@@ -1,0 +1,44 @@
+"""Shared configuration of the benchmark suite.
+
+The benchmarks regenerate every table and figure of the paper at the
+reproduction's (reduced) scale.  Heavy end-to-end benches run exactly once
+per session (``benchmark.pedantic`` with one round); the throughput benches
+use pytest-benchmark's normal calibration.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — dataset scale factor (default ``1.0``); set e.g.
+  ``0.3`` for a quick smoke run of the whole suite.
+* ``REPRO_BENCH_EPOCHS`` — training epochs per model (default ``15``).
+
+Results (formatted tables + JSON) are written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.training import TrainConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def bench_epochs() -> int:
+    return int(os.environ.get("REPRO_BENCH_EPOCHS", "15"))
+
+
+def bench_train_config() -> TrainConfig:
+    return TrainConfig(epochs=bench_epochs(), batch_size=256, learning_rate=0.01, eval_every=0, seed=0)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR

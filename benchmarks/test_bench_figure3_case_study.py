@@ -1,0 +1,39 @@
+"""Benchmark: regenerate Figure 3 (the scene-attention case study).
+
+Trains SceneRec on the Electronics dataset and, for the users with the
+longest histories, relates each candidate item's average scene-based
+attention (against the user's history) to the model's prediction score.  The
+paper's qualitative claim corresponds to a positive Spearman correlation,
+which is recorded in ``benchmarks/results/figure3.txt`` / ``.json``.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_scale, bench_train_config
+from repro.experiments import Figure3Config, run_figure3
+
+
+def test_bench_figure3_case_study(benchmark, results_dir):
+    config = Figure3Config(
+        dataset_name="electronics",
+        dataset_scale=bench_scale(),
+        embedding_dim=32,
+        num_users=5,
+        num_negatives=100,
+        train=bench_train_config(),
+        seed=0,
+    )
+    result = benchmark.pedantic(
+        lambda: run_figure3(config, output_dir=results_dir), rounds=1, iterations=1
+    )
+    assert len(result.reports) == config.num_users
+    correlation = result.mean_correlation()
+    assert -1.0 <= correlation <= 1.0
+    (results_dir / "figure3.txt").write_text(result.format())
+    benchmark.extra_info["mean_spearman_attention_vs_prediction"] = round(correlation, 4)
+    benchmark.extra_info["per_user_correlation"] = [
+        round(report.attention_prediction_correlation, 4) for report in result.reports
+    ]
+    # The paper's Figure 3 shows attention agreeing with predictions; at this
+    # scale the correlation should at least not be strongly negative.
+    assert correlation > -0.5

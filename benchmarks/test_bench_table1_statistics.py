@@ -1,0 +1,44 @@
+"""Benchmark: regenerate Table 1 (dataset statistics).
+
+For each of the four named datasets the bench measures the full pipeline —
+synthetic generation, graph construction and statistics extraction — and
+records the five relation rows the paper prints.  The formatted table
+(reproduction vs. paper) is written to ``benchmarks/results/table1.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_scale
+from repro.data import dataset_config, dataset_statistics, generate_dataset, list_dataset_names
+from repro.experiments import run_table1
+
+
+@pytest.mark.parametrize("dataset_name", list_dataset_names())
+def test_bench_dataset_generation(benchmark, dataset_name):
+    """Time the generation + statistics pipeline for one dataset."""
+    config = dataset_config(dataset_name, scale=bench_scale())
+
+    def pipeline():
+        dataset = generate_dataset(config)
+        return dataset_statistics(dataset)
+
+    stats = benchmark(pipeline)
+    # Sanity: every Table-1 relation is present and non-trivial.
+    assert stats["user_item"]["num_edges"] > 0
+    assert stats["item_item"]["num_edges"] > 0
+    assert stats["scene_category"]["num_edges"] >= stats["scene_category"]["num_a"]
+    benchmark.extra_info.update(
+        {relation: row["num_edges"] for relation, row in stats.items()}
+    )
+
+
+def test_bench_table1_full(benchmark, results_dir):
+    """Regenerate the complete Table 1 and persist the paper-vs-repro report."""
+    result = benchmark.pedantic(
+        lambda: run_table1(scale=bench_scale(), output_dir=results_dir), rounds=1, iterations=1
+    )
+    assert set(result.statistics) == set(list_dataset_names())
+    (results_dir / "table1.txt").write_text(result.format())
+    benchmark.extra_info["datasets"] = len(result.statistics)

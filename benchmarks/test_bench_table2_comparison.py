@@ -1,0 +1,101 @@
+"""Benchmark: regenerate Table 2 (the model comparison) and the RQ2 ablations.
+
+One bench per dataset trains all ten Table-2 models (six baselines, three
+SceneRec ablations, SceneRec) with the shared BPR trainer and evaluates
+NDCG@10 / HR@10 under the leave-one-out protocol.  A final bench aggregates
+the per-dataset results into the paper's §5.4.1 improvement summary and
+writes ``benchmarks/results/table2.txt`` / ``.json``.
+
+The absolute numbers differ from the paper (synthetic data at ~1/100 scale,
+small CPU training budget); the *shape* to look for is:
+
+* SceneRec at or near the top on every dataset,
+* the three ablations between the best baseline and the full model,
+* scene-blind CF baselines (BPR-MF, NCF) behind the graph-based ones.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks.conftest import bench_scale, bench_train_config
+from repro.data import list_dataset_names
+from repro.experiments import Table2Config, run_table2
+from repro.models import list_model_names
+from repro.utils.serialization import to_jsonable
+
+#: collected across the per-dataset benches so the summary bench can aggregate
+_COLLECTED: dict[str, object] = {}
+
+
+def _dataset_config(dataset_name: str) -> Table2Config:
+    return Table2Config(
+        dataset_names=(dataset_name,),
+        model_names=tuple(list_model_names()),
+        dataset_scale=bench_scale(),
+        embedding_dim=32,
+        num_negatives=100,
+        train=bench_train_config(),
+        seed=0,
+    )
+
+
+@pytest.mark.parametrize("dataset_name", list_dataset_names())
+def test_bench_table2_dataset(benchmark, dataset_name):
+    """Train and evaluate all ten models on one dataset."""
+    result = benchmark.pedantic(
+        lambda: run_table2(_dataset_config(dataset_name)), rounds=1, iterations=1
+    )
+    metrics = result.metrics()[dataset_name]
+    assert set(metrics) == set(list_model_names())
+    for entry in metrics.values():
+        assert 0.0 <= entry["ndcg"] <= 1.0
+        assert 0.0 <= entry["hr"] <= 1.0
+    _COLLECTED[dataset_name] = result
+    benchmark.extra_info["ndcg@10"] = {name: round(entry["ndcg"], 4) for name, entry in metrics.items()}
+    benchmark.extra_info["hr@10"] = {name: round(entry["hr"], 4) for name, entry in metrics.items()}
+
+
+def test_bench_table2_summary(benchmark, results_dir):
+    """Aggregate the per-dataset runs into the full Table 2 + §5.4.1 summary."""
+
+    def aggregate():
+        # Datasets that did not run in this session (e.g. with -k filtering)
+        # are recomputed so the summary is always complete.
+        results = []
+        for dataset_name in list_dataset_names():
+            outcome = _COLLECTED.get(dataset_name) or run_table2(_dataset_config(dataset_name))
+            results.extend(outcome.results)
+        from repro.experiments.table2 import Table2Result
+
+        combined = Table2Result(
+            config=Table2Config(
+                dataset_names=tuple(list_dataset_names()),
+                model_names=tuple(list_model_names()),
+                dataset_scale=bench_scale(),
+                train=bench_train_config(),
+            ),
+            results=results,
+        )
+        return combined
+
+    combined = benchmark.pedantic(aggregate, rounds=1, iterations=1)
+    summary = combined.improvement_summary()
+    assert set(summary) == set(list_dataset_names())
+
+    (results_dir / "table2.txt").write_text(combined.format())
+    (results_dir / "table2.json").write_text(json.dumps(to_jsonable(combined.to_dict()), indent=2))
+    benchmark.extra_info["improvement_summary"] = to_jsonable(summary)
+
+    # Shape check (soft): SceneRec should beat the weakest baseline everywhere
+    # and be competitive with the best baseline on average.  Hard per-dataset
+    # "SceneRec wins everywhere" assertions would make the bench flaky at this
+    # scale, so the precise numbers are recorded rather than asserted.
+    metrics = combined.metrics()
+    for dataset_name, by_model in metrics.items():
+        baselines = {m: v for m, v in by_model.items() if m in ("BPR-MF", "NCF", "CMN", "PinSAGE", "NGCF", "KGAT")}
+        assert by_model["SceneRec"]["ndcg"] >= min(v["ndcg"] for v in baselines.values()), dataset_name
+    mean_improvement = sum(entry["ndcg_improvement"] for entry in summary.values()) / len(summary)
+    benchmark.extra_info["mean_ndcg_improvement_vs_best_baseline"] = round(mean_improvement, 4)

@@ -1,0 +1,80 @@
+"""Micro-benchmarks: training / inference throughput of the substrate.
+
+Unlike the table/figure benches (one-shot end-to-end runs), these use
+pytest-benchmark's normal calibration to time the hot paths of the library —
+one training epoch per model family, one evaluation sweep, one SceneRec
+forward pass — so regressions in the NumPy substrate show up as timing
+changes rather than accuracy changes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import dataset_config, generate_dataset, leave_one_out_split
+from repro.data.batching import BprBatcher
+from repro.evaluation import RankingEvaluator
+from repro.models import build_model
+from repro.optim import RMSProp
+from repro.training.losses import bpr_loss
+
+
+@pytest.fixture(scope="module")
+def workload():
+    dataset = generate_dataset(dataset_config("electronics", scale=0.4))
+    split = leave_one_out_split(dataset, num_negatives=50, rng=0)
+    graph = dataset.bipartite_graph(split.train_interactions)
+    scene = dataset.scene_graph()
+    return dataset, split, graph, scene
+
+
+def _one_epoch(model, split, num_items):
+    batcher = BprBatcher(split.train_interactions, split.train_user_items(), num_items, batch_size=256, rng=0)
+    optimizer = RMSProp(model.parameters(), lr=0.01)
+    for batch in batcher.epoch():
+        optimizer.zero_grad()
+        positive, negative = model.bpr_scores(batch.users, batch.positive_items, batch.negative_items)
+        loss = bpr_loss(positive, negative)
+        loss.backward()
+        optimizer.step()
+    return float(loss.data)
+
+
+@pytest.mark.parametrize("model_name", ["BPR-MF", "NGCF", "SceneRec"])
+def test_bench_training_epoch(benchmark, workload, model_name):
+    """Wall-clock time of one BPR training epoch."""
+    dataset, split, graph, scene = workload
+    model = build_model(model_name, graph, scene, embedding_dim=32, seed=0)
+    loss = benchmark.pedantic(_one_epoch, args=(model, split, dataset.num_items), rounds=3, iterations=1)
+    assert np.isfinite(loss)
+    benchmark.extra_info["interactions_per_epoch"] = split.num_train
+
+
+@pytest.mark.parametrize("model_name", ["BPR-MF", "NGCF", "SceneRec"])
+def test_bench_evaluation_sweep(benchmark, workload, model_name):
+    """Wall-clock time of a full leave-one-out test evaluation."""
+    _, split, graph, scene = workload
+    model = build_model(model_name, graph, scene, embedding_dim=32, seed=0)
+    evaluator = RankingEvaluator(split.test, k=10)
+    result = benchmark(evaluator.evaluate, model)
+    assert 0.0 <= result.ndcg <= 1.0
+    benchmark.extra_info["users"] = result.num_users
+
+
+def test_bench_scenerec_forward(benchmark, workload):
+    """SceneRec forward pass over a batch of 256 (user, item) pairs."""
+    _, _, graph, scene = workload
+    model = build_model("SceneRec", graph, scene, embedding_dim=32, seed=0)
+    rng = np.random.default_rng(0)
+    users = rng.integers(0, graph.num_users, size=256)
+    items = rng.integers(0, graph.num_items, size=256)
+    scores = benchmark(model.score, users, items)
+    assert scores.shape == (256,)
+
+
+def test_bench_dataset_generation_throughput(benchmark):
+    """Synthetic generation of the (reduced) electronics dataset."""
+    config = dataset_config("electronics", scale=0.4)
+    dataset = benchmark(generate_dataset, config)
+    assert dataset.num_interactions > 0

@@ -1,0 +1,46 @@
+"""Explain SceneRec predictions with scene-based attention (paper Figure 3).
+
+Trains SceneRec on the Electronics configuration, picks the users with the
+richest histories and, for each held-out candidate list, prints the model's
+prediction score next to the average scene-based attention between the
+candidate and the user's interacted items.  The paper's qualitative claim —
+candidates that share more scenes with the user's history get higher
+attention *and* higher predictions — shows up as a positive Spearman
+correlation.
+
+Run with::
+
+    python examples/case_study_attention.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import Figure3Config, run_figure3
+from repro.training import TrainConfig
+from repro.utils.logging import configure_logging
+
+
+def main() -> None:
+    configure_logging()
+    config = Figure3Config(
+        dataset_name="electronics",
+        dataset_scale=0.5,
+        embedding_dim=32,
+        num_users=3,
+        num_negatives=50,
+        train=TrainConfig(epochs=10, batch_size=256, learning_rate=0.01, eval_every=0),
+        seed=0,
+    )
+    result = run_figure3(config)
+    print(result.format())
+    print()
+    correlation = result.mean_correlation()
+    print(f"mean Spearman correlation between attention and prediction: {correlation:+.3f}")
+    if correlation > 0:
+        print("=> candidates sharing more scenes with the user's history tend to score higher, as in the paper.")
+    else:
+        print("=> no positive relationship on this run; try more epochs or a larger scale.")
+
+
+if __name__ == "__main__":
+    main()

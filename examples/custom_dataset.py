@@ -1,0 +1,105 @@
+"""Build a SceneRec dataset from your own behaviour logs.
+
+The synthetic generator is only a stand-in for the paper's proprietary data;
+any system with (a) click logs, (b) browsing sessions, (c) an item→category
+mapping and (d) curated scene definitions can feed SceneRec directly.  This
+example starts from plain Python lists shaped like exported log tables, runs
+the paper's graph-construction pipeline (co-view counting + per-node top-k
+pruning), persists the dataset to disk and trains a small model on it.
+
+Run with::
+
+    python examples/custom_dataset.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.data import SceneRecDataset, leave_one_out_split, load_dataset, save_dataset
+from repro.graph import category_category_edges_from_sessions, item_item_edges_from_sessions
+from repro.models import SceneRec, SceneRecConfig
+from repro.training import TrainConfig, Trainer
+
+
+def build_raw_logs(num_users: int = 60, num_items: int = 300, seed: int = 0):
+    """Stand-in for an export from a production system.
+
+    Replace this function with real data loading: ``clicks`` is a list of
+    ``(user_id, item_id)`` pairs, ``sessions`` a list of item-id lists,
+    ``item_category`` the per-item category id, and ``scene_definitions`` the
+    human-curated scene → categories mapping.
+    """
+    rng = np.random.default_rng(seed)
+    num_categories = 15
+    item_category = rng.integers(0, num_categories, size=num_items)
+    scene_definitions = {
+        0: [0, 1, 2],      # e.g. "home office"
+        1: [3, 4],         # e.g. "kitchen"
+        2: [5, 6, 7, 8],   # e.g. "outdoor sports"
+        3: [9, 10],        # e.g. "baby care"
+        4: [11, 12, 13, 14],
+    }
+    # Users click mostly within one scene.
+    clicks: list[tuple[int, int]] = []
+    sessions: list[list[int]] = []
+    for user in range(num_users):
+        scene = int(rng.integers(0, len(scene_definitions)))
+        categories = scene_definitions[scene]
+        in_scene_items = np.flatnonzero(np.isin(item_category, categories))
+        for _ in range(18):
+            item = int(rng.choice(in_scene_items)) if rng.random() > 0.15 else int(rng.integers(0, num_items))
+            clicks.append((user, item))
+        for _ in range(3):
+            sessions.append([int(rng.choice(in_scene_items)) for _ in range(6)])
+    return clicks, sessions, item_category, scene_definitions
+
+
+def main() -> None:
+    clicks, sessions, item_category, scene_definitions = build_raw_logs()
+    num_items = int(item_category.size)
+    num_categories = int(item_category.max()) + 1
+    num_users = max(user for user, _ in clicks) + 1
+
+    # The paper's pipeline: co-view counting with per-node top-k pruning.
+    item_item = item_item_edges_from_sessions(sessions, num_items, top_k=20)
+    category_category = category_category_edges_from_sessions(sessions, item_category, num_categories, top_k=8)
+    scene_category = [(scene, category) for scene, categories in scene_definitions.items() for category in categories]
+
+    dataset = SceneRecDataset(
+        name="custom",
+        num_users=num_users,
+        num_items=num_items,
+        num_categories=num_categories,
+        num_scenes=len(scene_definitions),
+        interactions=np.array(clicks, dtype=np.int64),
+        item_category=item_category,
+        item_item_edges=item_item,
+        category_category_edges=category_category,
+        scene_category_edges=np.array(scene_category, dtype=np.int64),
+        sessions=sessions,
+    )
+    print(f"built dataset: {dataset}")
+
+    # Persist and reload — the on-disk format is a plain .npz + meta.json.
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = save_dataset(dataset, Path(tmp) / "custom_dataset")
+        dataset = load_dataset(directory)
+        print(f"saved to and reloaded from {directory}")
+
+    split = leave_one_out_split(dataset, num_negatives=50, rng=0)
+    model = SceneRec(
+        dataset.bipartite_graph(split.train_interactions),
+        dataset.scene_graph(),
+        SceneRecConfig(embedding_dim=16, seed=0),
+    )
+    trainer = Trainer(model, split, TrainConfig(epochs=8, batch_size=128, learning_rate=0.01, eval_every=0))
+    trainer.fit()
+    print(f"test metrics on the custom dataset: {trainer.evaluate_test()}")
+
+
+if __name__ == "__main__":
+    main()

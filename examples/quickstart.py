@@ -1,0 +1,55 @@
+"""Quickstart: train SceneRec on a synthetic JD-like dataset and evaluate it.
+
+This is the smallest end-to-end use of the public API:
+
+1. generate a scene-structured dataset (the paper's data is proprietary, so
+   the library ships a generator that mirrors its structure),
+2. split it with the paper's leave-one-out protocol,
+3. build the two graphs SceneRec consumes,
+4. train with the shared BPR trainer,
+5. evaluate NDCG@10 / HR@10 on the held-out test items.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.data import dataset_config, generate_dataset, leave_one_out_split
+from repro.models import SceneRec, SceneRecConfig
+from repro.training import TrainConfig, Trainer
+from repro.utils.logging import configure_logging
+
+
+def main() -> None:
+    configure_logging()
+
+    # 1. Data: the named "electronics" configuration, shrunk so this example
+    #    finishes in well under a minute on a laptop CPU.
+    dataset = generate_dataset(dataset_config("electronics", scale=0.5))
+    print(f"dataset: {dataset}")
+
+    # 2. Leave-one-out split with 100 sampled negatives per user (Section 5.3).
+    split = leave_one_out_split(dataset, num_negatives=100, rng=0)
+    print(f"training interactions: {split.num_train}, evaluated users: {len(split.test)}")
+
+    # 3. Graphs: the user-item bipartite graph is built from the *training*
+    #    interactions only; the scene-based graph is user-independent.
+    train_graph = dataset.bipartite_graph(split.train_interactions)
+    scene_graph = dataset.scene_graph()
+
+    # 4. Model + training.
+    model = SceneRec(train_graph, scene_graph, SceneRecConfig(embedding_dim=32, seed=0))
+    print(f"SceneRec parameters: {model.num_parameters():,}")
+    trainer = Trainer(model, split, TrainConfig(epochs=10, batch_size=256, learning_rate=0.01, eval_every=2, verbose=True))
+    history = trainer.fit()
+    print(f"final training loss: {history.losses[-1]:.4f}")
+
+    # 5. Test evaluation.
+    result = trainer.evaluate_test()
+    print(f"test metrics: {result}")
+
+
+if __name__ == "__main__":
+    main()

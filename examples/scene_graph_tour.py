@@ -1,0 +1,91 @@
+"""A tour of the scene-based graph (paper Figure 1 and Section 5.1).
+
+The script first rebuilds the small illustrative hierarchy of Figure 1 by
+hand, then shows how the same structure is derived automatically from raw
+co-view sessions with the graph-construction pipeline, and finally prints the
+Table-1-style statistics of a full synthetic dataset.
+
+Run with::
+
+    python examples/scene_graph_tour.py
+"""
+
+from __future__ import annotations
+
+from repro.data import dataset_config, dataset_statistics, generate_dataset, statistics_table
+from repro.graph import SceneBasedGraph, build_scene_based_graph
+
+
+def figure1_toy_graph() -> SceneBasedGraph:
+    """The 5-item / 5-category / 2-scene hierarchy sketched in Figure 1."""
+    return SceneBasedGraph(
+        num_items=5,
+        num_categories=5,
+        num_scenes=2,
+        item_category=[0, 1, 2, 3, 4],
+        item_item_edges=[(0, 1), (1, 2), (3, 4)],
+        category_category_edges=[(0, 1), (1, 2), (2, 3), (3, 4)],
+        scene_category_edges=[(0, 0), (0, 1), (0, 2), (1, 2), (1, 3), (1, 4)],
+    )
+
+
+def tour_toy_graph() -> None:
+    graph = figure1_toy_graph()
+    graph.validate()
+    print("=== Figure-1 toy hierarchy ===")
+    print(graph)
+    for scene in range(graph.num_scenes):
+        print(f"scene s{scene}: categories {graph.scene_categories(scene).tolist()}")
+    for item in range(graph.num_items):
+        print(
+            f"item i{item}: category c{graph.category_of(item)}, "
+            f"item neighbours {graph.item_neighbors(item).tolist()}, "
+            f"scenes {graph.item_scenes(item).tolist()}"
+        )
+    print(f"shared scenes of c1 and c2: {graph.shared_scenes(1, 2).tolist()}")
+    print(f"networkx export: {graph.to_networkx()}")
+    print()
+
+
+def tour_construction_pipeline() -> None:
+    """Derive item-item and category-category edges from raw sessions."""
+    print("=== Graph construction from co-view sessions (Section 5.1) ===")
+    # Item 0-3 are peripherals (two categories), items 4-5 are appliances.
+    item_category = [0, 0, 1, 1, 2, 2]
+    sessions = [
+        [0, 2, 3],  # a peripherals browsing session
+        [1, 2],     # another one
+        [4, 5],     # an appliances session
+        [0, 1, 2],
+    ]
+    scene_category_edges = [(0, 0), (0, 1), (1, 2)]  # scene 0 = peripherals, scene 1 = appliances
+    graph = build_scene_based_graph(
+        num_items=6,
+        num_categories=3,
+        num_scenes=2,
+        item_category=item_category,
+        sessions=sessions,
+        scene_category_edges=scene_category_edges,
+        item_top_k=3,
+        category_top_k=2,
+    )
+    print(graph)
+    print(f"item-item edges: {graph.item_item_edges.tolist()}")
+    print(f"category-category edges: {graph.category_category_edges.tolist()}")
+    print()
+
+
+def tour_dataset_statistics() -> None:
+    print("=== Table-1-style statistics of a synthetic dataset ===")
+    dataset = generate_dataset(dataset_config("fashion", scale=0.5))
+    print(statistics_table({dataset.name: dataset_statistics(dataset)}))
+
+
+def main() -> None:
+    tour_toy_graph()
+    tour_construction_pipeline()
+    tour_dataset_statistics()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The environment this reproduction targets is fully offline: ``pip`` cannot
+fetch the ``wheel`` package that modern PEP-660 editable installs require, so
+``pip install -e .`` falls back to this classic ``setup.py develop`` path.
+All project metadata lives in ``pyproject.toml``; this file only exists to
+keep editable installs working without network access.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""SceneRec reproduction: scene-based graph neural networks for recommendation.
+
+This package is a full, self-contained reproduction of
+
+    Wang, Guo, Li, Yin, Ma.
+    "SceneRec: Scene-Based Graph Neural Networks for Recommender Systems."
+    EDBT 2021 (arXiv:2102.06401).
+
+It ships its own neural substrate (reverse-mode autodiff on NumPy, layers,
+optimisers), the two graph structures the paper defines, a synthetic
+JD-like dataset generator, the SceneRec model with its three ablations, six
+baseline recommenders, a shared BPR trainer, the leave-one-out evaluator and
+an experiment harness that regenerates every table and figure.
+
+Quickstart
+----------
+>>> from repro.data import generate_dataset, dataset_config, leave_one_out_split
+>>> from repro.models import SceneRec, SceneRecConfig
+>>> from repro.training import Trainer, TrainConfig
+>>> dataset = generate_dataset(dataset_config("electronics"))
+>>> split = leave_one_out_split(dataset, num_negatives=100, rng=0)
+>>> model = SceneRec(dataset.bipartite_graph(split.train_interactions),
+...                  dataset.scene_graph(), SceneRecConfig(embedding_dim=32))
+>>> history = Trainer(model, split, TrainConfig(epochs=10)).fit()
+"""
+
+from repro import (
+    autograd,
+    data,
+    evaluation,
+    experiments,
+    graph,
+    models,
+    nn,
+    optim,
+    scene_mining,
+    training,
+    utils,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "autograd",
+    "data",
+    "evaluation",
+    "experiments",
+    "graph",
+    "models",
+    "nn",
+    "optim",
+    "scene_mining",
+    "training",
+    "utils",
+    "__version__",
+]

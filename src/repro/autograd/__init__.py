@@ -1,0 +1,48 @@
+"""A small reverse-mode automatic-differentiation engine on NumPy.
+
+The paper's reference implementation would sit on PyTorch/DGL; neither is
+available offline, so this package provides the minimal-but-complete tensor
+library the SceneRec model family needs:
+
+* :class:`~repro.autograd.tensor.Tensor` — a NumPy array plus gradient and a
+  recorded backward function, supporting broadcasting arithmetic, matrix
+  multiplication, reductions, activations, softmax, concatenation, indexing
+  and embedding-style gather with scatter-add gradients.
+* :mod:`~repro.autograd.functional` — free functions (``concat``, ``stack``,
+  ``embedding_lookup``, ``sparse_matmul``, ``log_sigmoid``...) used by the
+  neural-network layers and models.
+* :mod:`~repro.autograd.grad_check` — numerical gradient checking used by the
+  test-suite to validate every primitive.
+
+The engine is deliberately dense-and-simple: graphs are built eagerly, and
+``Tensor.backward()`` runs a topological sweep accumulating ``.grad`` on every
+tensor with ``requires_grad=True``.
+"""
+
+from repro.autograd.functional import (
+    concat,
+    dropout_mask,
+    embedding_lookup,
+    log_sigmoid,
+    masked_softmax,
+    sparse_matmul,
+    stack,
+    where,
+)
+from repro.autograd.grad_check import gradient_check, numerical_gradient
+from repro.autograd.tensor import Tensor, no_grad
+
+__all__ = [
+    "Tensor",
+    "concat",
+    "dropout_mask",
+    "embedding_lookup",
+    "gradient_check",
+    "log_sigmoid",
+    "masked_softmax",
+    "no_grad",
+    "numerical_gradient",
+    "sparse_matmul",
+    "stack",
+    "where",
+]

@@ -1,0 +1,169 @@
+"""Free functions on tensors used by layers and models.
+
+These complement the :class:`~repro.autograd.tensor.Tensor` methods with
+operations that involve several tensors (``concat``, ``stack``), fixed sparse
+operands (``sparse_matmul``), integer index arrays (``embedding_lookup``) or
+numerically delicate compositions (``log_sigmoid``, ``masked_softmax``,
+``cosine_similarity``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd.tensor import Tensor
+
+__all__ = [
+    "concat",
+    "stack",
+    "embedding_lookup",
+    "sparse_matmul",
+    "log_sigmoid",
+    "softplus",
+    "masked_softmax",
+    "cosine_similarity",
+    "where",
+    "dropout_mask",
+    "l2_norm",
+]
+
+
+def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis`` (the paper's ``∥`` operator)."""
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    if not tensors:
+        raise ValueError("concat() needs at least one tensor")
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    boundaries = np.cumsum(sizes)[:-1]
+
+    def backward(grad: np.ndarray) -> None:
+        pieces = np.split(grad, boundaries, axis=axis)
+        for tensor, piece in zip(tensors, pieces):
+            if tensor.requires_grad:
+                tensor._accumulate(piece)
+
+    return Tensor._make(out_data, tensors, backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack equally-shaped tensors along a new axis."""
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    if not tensors:
+        raise ValueError("stack() needs at least one tensor")
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        pieces = np.split(grad, len(tensors), axis=axis)
+        for tensor, piece in zip(tensors, pieces):
+            if tensor.requires_grad:
+                tensor._accumulate(np.squeeze(piece, axis=axis))
+
+    return Tensor._make(out_data, tensors, backward)
+
+
+def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Gather rows of an embedding table; gradients scatter-add back."""
+    return weight.take_rows(np.asarray(indices, dtype=np.int64))
+
+
+def sparse_matmul(matrix: sp.spmatrix, dense: Tensor) -> Tensor:
+    """Multiply a *constant* SciPy sparse matrix by a dense tensor.
+
+    This is the workhorse of the full-graph propagation models (NGCF,
+    PinSAGE-style convolutions): ``out = A @ X`` with ``dX = A.T @ dOut``.
+    The sparse matrix itself is never differentiated.
+    """
+    if not sp.issparse(matrix):
+        raise TypeError("sparse_matmul expects a scipy.sparse matrix as the left operand")
+    matrix = matrix.tocsr()
+    out_data = matrix @ dense.data
+
+    def backward(grad: np.ndarray) -> None:
+        if dense.requires_grad:
+            dense._accumulate(matrix.T @ grad)
+
+    return Tensor._make(np.asarray(out_data), (dense,), backward)
+
+
+def softplus(tensor: Tensor) -> Tensor:
+    """Numerically stable ``log(1 + exp(x))``."""
+    x = tensor.data
+    out_data = np.logaddexp(0.0, x)
+
+    def backward(grad: np.ndarray) -> None:
+        if tensor.requires_grad:
+            sig = np.where(
+                x >= 0,
+                1.0 / (1.0 + np.exp(-np.clip(x, 0, None))),
+                np.exp(np.clip(x, None, 0)) / (1.0 + np.exp(np.clip(x, None, 0))),
+            )
+            tensor._accumulate(grad * sig)
+
+    return Tensor._make(out_data, (tensor,), backward)
+
+
+def log_sigmoid(tensor: Tensor) -> Tensor:
+    """Numerically stable ``log(sigmoid(x)) = -softplus(-x)``.
+
+    Used by the BPR loss (Eq. 15) so that large score differences do not
+    overflow ``exp``.
+    """
+    return -softplus(-tensor)
+
+
+def masked_softmax(scores: Tensor, mask: np.ndarray, axis: int = -1) -> Tensor:
+    """Softmax over ``axis`` where ``mask == 0`` entries receive ~zero weight.
+
+    ``mask`` is a constant 0/1 array broadcastable to ``scores``; padded
+    neighbour slots use it so attention only distributes over real
+    neighbours.  Rows whose mask is entirely zero produce all-zero weights
+    rather than NaNs.
+    """
+    mask = np.asarray(mask, dtype=np.float64)
+    very_negative = Tensor((1.0 - mask) * -1e9)
+    weights = (scores + very_negative).softmax(axis=axis)
+    weights = weights * Tensor(mask)
+    # Rows that are fully masked end up all-zero after the multiplication;
+    # rows with at least one real entry are re-normalised to sum to one.
+    denom = weights.sum(axis=axis, keepdims=True) + 1e-12
+    return weights / denom
+
+
+def cosine_similarity(a: Tensor, b: Tensor, axis: int = -1, eps: float = 1e-8) -> Tensor:
+    """Cosine similarity along ``axis`` — the paper's attention function f(·)."""
+    dot = (a * b).sum(axis=axis)
+    norm_a = ((a * a).sum(axis=axis) + eps) ** 0.5
+    norm_b = ((b * b).sum(axis=axis) + eps) ** 0.5
+    return dot / (norm_a * norm_b)
+
+
+def where(condition: np.ndarray, if_true: Tensor, if_false: Tensor) -> Tensor:
+    """Elementwise select with a constant boolean condition."""
+    condition = np.asarray(condition, dtype=bool)
+    mask = condition.astype(np.float64)
+    return if_true * Tensor(mask) + if_false * Tensor(1.0 - mask)
+
+
+def dropout_mask(shape: tuple[int, ...], rate: float, rng: np.random.Generator) -> np.ndarray:
+    """Return an inverted-dropout mask (already scaled by ``1/(1-rate)``)."""
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+    if rate == 0.0:
+        return np.ones(shape, dtype=np.float64)
+    keep = (rng.random(shape) >= rate).astype(np.float64)
+    return keep / (1.0 - rate)
+
+
+def l2_norm(tensors: Sequence[Tensor]) -> Tensor:
+    """Sum of squared entries across tensors (the ``‖Θ‖²`` regulariser)."""
+    tensors = list(tensors)
+    if not tensors:
+        return Tensor(0.0)
+    total = (tensors[0] * tensors[0]).sum()
+    for tensor in tensors[1:]:
+        total = total + (tensor * tensor).sum()
+    return total

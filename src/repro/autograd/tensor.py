@@ -1,0 +1,513 @@
+"""The :class:`Tensor` class: NumPy arrays with reverse-mode autodiff.
+
+Design notes
+------------
+* Data is always stored as ``float64``; integer index arrays never become
+  tensors, they stay plain NumPy arrays and are captured by closures.
+* Each operation returns a new tensor whose ``_backward`` closure knows how to
+  push the output gradient onto the inputs.  ``backward()`` topologically
+  sorts the graph and runs the closures in reverse order.
+* Broadcasting is supported by "unbroadcasting" gradients back to the input
+  shape (summing over added/expanded axes).
+* A module-level flag implements :func:`no_grad`, which the evaluator and the
+  trainer's validation passes use to avoid building graphs.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "unbroadcast"]
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad() -> Iterator[None]:
+    """Context manager that disables graph construction.
+
+    Inside the context every operation still computes values, but the results
+    have ``requires_grad=False`` and record no backward closures, so forward
+    passes for evaluation are cheap.
+    """
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record gradients."""
+    return _GRAD_ENABLED
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` to undo NumPy broadcasting.
+
+    Broadcasting can (a) prepend axes and (b) expand length-1 axes; the
+    gradient of a broadcast input is the output gradient summed over exactly
+    those axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Remove prepended axes.
+    extra_dims = grad.ndim - len(shape)
+    if extra_dims > 0:
+        grad = grad.sum(axis=tuple(range(extra_dims)))
+    # Sum over axes that were expanded from length 1.
+    axes = tuple(idx for idx, size in enumerate(shape) if size == 1 and grad.shape[idx] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value: "Tensor | np.ndarray | float | int | Sequence") -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value, dtype=np.float64)
+
+
+class Tensor:
+    """A NumPy array with an optional gradient and a recorded backward rule."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    # Make ``np.ndarray.__mul__`` etc. defer to the Tensor reflected operators.
+    __array_priority__ = 100
+
+    def __init__(
+        self,
+        data: "np.ndarray | float | int | Sequence | Tensor",
+        requires_grad: bool = False,
+        parents: tuple["Tensor", ...] = (),
+        backward: Callable[[np.ndarray], None] | None = None,
+        name: str | None = None,
+    ) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.grad: np.ndarray | None = None
+        self._parents: tuple[Tensor, ...] = parents if self.requires_grad else ()
+        self._backward = backward if self.requires_grad else None
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        label = f" name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad}{label})"
+
+    def numpy(self) -> np.ndarray:
+        """Return a copy of the underlying data as a plain NumPy array."""
+        return self.data.copy()
+
+    def item(self) -> float:
+        """Return the value of a single-element tensor as a Python float."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else self._raise_item()
+
+    @staticmethod
+    def _raise_item() -> float:
+        raise ValueError("item() only works on single-element tensors")
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but detached from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    # ------------------------------------------------------------------ #
+    # Graph construction / backward
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Iterable["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        parents = tuple(parents)
+        requires_grad = _GRAD_ENABLED and any(parent.requires_grad for parent in parents)
+        return Tensor(data, requires_grad=requires_grad, parents=parents, backward=backward)
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    def zero_grad(self) -> None:
+        """Clear the accumulated gradient."""
+        self.grad = None
+
+    def backward(self, grad: np.ndarray | float | None = None) -> None:
+        """Run reverse-mode autodiff from this tensor.
+
+        ``grad`` defaults to ones, which only makes sense for scalar outputs;
+        callers backpropagating from non-scalar tensors must pass an explicit
+        output gradient of the same shape.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("cannot call backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("backward() without a gradient argument needs a scalar output")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+        if grad.shape != self.data.shape:
+            grad = np.broadcast_to(grad, self.data.shape).astype(np.float64)
+
+        ordered: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        # Iterative DFS for a topological order (recursion would overflow on
+        # deep MLP/GNN graphs).
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                ordered.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(ordered):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: "Tensor | float | np.ndarray") -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
+        out_data = self.data + other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad)
+            if other_t.requires_grad:
+                other_t._accumulate(grad)
+
+        return Tensor._make(out_data, (self, other_t), backward)
+
+    def __radd__(self, other: "float | np.ndarray") -> "Tensor":
+        return self.__add__(other)
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other: "Tensor | float | np.ndarray") -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
+        out_data = self.data - other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad)
+            if other_t.requires_grad:
+                other_t._accumulate(-grad)
+
+        return Tensor._make(out_data, (self, other_t), backward)
+
+    def __rsub__(self, other: "float | np.ndarray") -> "Tensor":
+        return Tensor(_as_array(other)).__sub__(self)
+
+    def __mul__(self, other: "Tensor | float | np.ndarray") -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
+        out_data = self.data * other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * other_t.data)
+            if other_t.requires_grad:
+                other_t._accumulate(grad * self.data)
+
+        return Tensor._make(out_data, (self, other_t), backward)
+
+    def __rmul__(self, other: "float | np.ndarray") -> "Tensor":
+        return self.__mul__(other)
+
+    def __truediv__(self, other: "Tensor | float | np.ndarray") -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
+        out_data = self.data / other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / other_t.data)
+            if other_t.requires_grad:
+                other_t._accumulate(-grad * self.data / (other_t.data**2))
+
+        return Tensor._make(out_data, (self, other_t), backward)
+
+    def __rtruediv__(self, other: "float | np.ndarray") -> "Tensor":
+        return Tensor(_as_array(other)).__truediv__(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data**exponent
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __matmul__(self, other: "Tensor | np.ndarray") -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
+        out_data = self.data @ other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                if other_t.data.ndim == 1:
+                    self._accumulate(np.outer(grad, other_t.data) if grad.ndim == 1 else grad[..., None] * other_t.data)
+                else:
+                    self._accumulate(grad @ np.swapaxes(other_t.data, -1, -2))
+            if other_t.requires_grad:
+                if self.data.ndim == 1:
+                    other_t._accumulate(np.outer(self.data, grad) if grad.ndim == 1 else self.data[..., None] @ grad[..., None, :])
+                else:
+                    other_t._accumulate(np.swapaxes(self.data, -1, -2) @ grad)
+
+        return Tensor._make(out_data, (self, other_t), backward)
+
+    # ------------------------------------------------------------------ #
+    # Reductions
+    # ------------------------------------------------------------------ #
+    def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            expanded = grad
+            if axis is not None and not keepdims:
+                axes = (axis,) if isinstance(axis, int) else tuple(axis)
+                axes = tuple(ax % self.data.ndim for ax in axes)
+                for ax in sorted(axes):
+                    expanded = np.expand_dims(expanded, ax)
+            self._accumulate(np.broadcast_to(expanded, self.data.shape))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([self.data.shape[ax] for ax in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: int | None = None, keepdims: bool = False) -> np.ndarray:
+        """Plain (non-differentiable) max, used for numerically stable softmax."""
+        return self.data.max(axis=axis, keepdims=keepdims)
+
+    # ------------------------------------------------------------------ #
+    # Elementwise non-linearities
+    # ------------------------------------------------------------------ #
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * out_data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / self.data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        return self**0.5
+
+    def sigmoid(self) -> "Tensor":
+        # Numerically stable: compute via exp of the negative magnitude.
+        out_data = np.where(
+            self.data >= 0,
+            1.0 / (1.0 + np.exp(-np.clip(self.data, 0, None))),
+            np.exp(np.clip(self.data, None, 0)) / (1.0 + np.exp(np.clip(self.data, None, 0))),
+        )
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * (1.0 - out_data**2))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = (self.data > 0).astype(np.float64)
+        out_data = self.data * mask
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
+        scale = np.where(self.data > 0, 1.0, negative_slope)
+        out_data = self.data * scale
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * scale)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                inner = (grad * out_data).sum(axis=axis, keepdims=True)
+                self._accumulate(out_data * (grad - inner))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def clip(self, minimum: float | None = None, maximum: float | None = None) -> "Tensor":
+        out_data = np.clip(self.data, minimum, maximum)
+        mask = np.ones_like(self.data)
+        if minimum is not None:
+            mask = mask * (self.data >= minimum)
+        if maximum is not None:
+            mask = mask * (self.data <= maximum)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+        out_data = np.abs(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * sign)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Shape manipulation
+    # ------------------------------------------------------------------ #
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original_shape = self.data.shape
+        out_data = self.data.reshape(shape)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.reshape(original_shape))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def transpose(self, axes: tuple[int, ...] | None = None) -> "Tensor":
+        out_data = np.transpose(self.data, axes)
+        if axes is None:
+            inverse: tuple[int, ...] | None = None
+        else:
+            inverse = tuple(np.argsort(axes))
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(np.transpose(grad, inverse))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def expand_dims(self, axis: int) -> "Tensor":
+        out_data = np.expand_dims(self.data, axis)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(np.squeeze(grad, axis=axis))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def squeeze(self, axis: int | None = None) -> "Tensor":
+        original_shape = self.data.shape
+        out_data = np.squeeze(self.data, axis=axis)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.reshape(original_shape))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __getitem__(self, index: object) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, index, grad)
+                self._accumulate(full)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def take_rows(self, indices: np.ndarray) -> "Tensor":
+        """Differentiable row gather (embedding lookup) along axis 0.
+
+        ``indices`` may have any shape; the result has shape
+        ``indices.shape + self.shape[1:]`` and gradients are scatter-added
+        back into the source rows (duplicated indices accumulate).
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        out_data = self.data[indices]
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, indices.reshape(-1), grad.reshape(-1, *self.data.shape[1:]))
+                self._accumulate(full)
+
+        return Tensor._make(out_data, (self,), backward)

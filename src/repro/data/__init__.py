@@ -1,0 +1,49 @@
+"""Dataset substrate: schema, synthetic generation, splits and batching.
+
+The paper evaluates on four proprietary JD.com datasets (Table 1).  Those
+cannot be redistributed, so this package provides:
+
+* :class:`~repro.data.schema.SceneRecDataset` — a self-contained dataset
+  record holding the interactions, the item/category/scene hierarchy, the
+  co-view sessions and the derived graphs;
+* :mod:`~repro.data.synthetic` — a configurable generator of JD-like
+  scene-structured behaviour, with four named configurations mirroring the
+  relative shape of the paper's datasets at reduced scale
+  (:mod:`~repro.data.configs`);
+* :mod:`~repro.data.splits` — the leave-one-out evaluation protocol
+  (one held-out positive + 100 sampled negatives per user for validation and
+  test, Section 5.3);
+* :mod:`~repro.data.negative_sampling` and :mod:`~repro.data.batching` — BPR
+  training pairs and mini-batches;
+* :mod:`~repro.data.statistics` — Table-1-style dataset statistics;
+* :mod:`~repro.data.io` — save/load datasets to disk.
+"""
+
+from repro.data.batching import BprBatch, BprBatcher
+from repro.data.configs import DATASET_CONFIGS, dataset_config, list_dataset_names
+from repro.data.io import load_dataset, save_dataset
+from repro.data.negative_sampling import UniformNegativeSampler, sample_negatives
+from repro.data.schema import SceneRecDataset
+from repro.data.splits import EvaluationInstance, LeaveOneOutSplit, leave_one_out_split
+from repro.data.statistics import dataset_statistics, statistics_table
+from repro.data.synthetic import SyntheticConfig, generate_dataset
+
+__all__ = [
+    "BprBatch",
+    "BprBatcher",
+    "DATASET_CONFIGS",
+    "EvaluationInstance",
+    "LeaveOneOutSplit",
+    "SceneRecDataset",
+    "SyntheticConfig",
+    "UniformNegativeSampler",
+    "dataset_config",
+    "dataset_statistics",
+    "generate_dataset",
+    "leave_one_out_split",
+    "list_dataset_names",
+    "load_dataset",
+    "sample_negatives",
+    "save_dataset",
+    "statistics_table",
+]

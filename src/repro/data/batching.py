@@ -1,0 +1,84 @@
+"""BPR mini-batching.
+
+The trainer optimises the pairwise BPR loss (Eq. 15) over triples
+``(user, positive item, negative item)``.  :class:`BprBatcher` shuffles the
+observed interactions every epoch, attaches freshly sampled negatives and
+yields fixed-size batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.negative_sampling import UniformNegativeSampler
+from repro.utils.rng import new_rng
+
+__all__ = ["BprBatch", "BprBatcher"]
+
+
+@dataclass(frozen=True)
+class BprBatch:
+    """A batch of (user, positive, negative) index arrays of equal length."""
+
+    users: np.ndarray
+    positive_items: np.ndarray
+    negative_items: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (len(self.users) == len(self.positive_items) == len(self.negative_items)):
+            raise ValueError("users, positive_items and negative_items must have equal length")
+
+    def __len__(self) -> int:
+        return int(len(self.users))
+
+
+class BprBatcher:
+    """Yield shuffled BPR batches from training interactions.
+
+    Parameters
+    ----------
+    train_interactions:
+        ``(n, 2)`` array of ``(user, item)`` training pairs.
+    user_positive_items:
+        per-user arrays of *all* positive items (used to reject negatives).
+    num_items:
+        catalogue size.
+    batch_size:
+        number of triples per batch; the final partial batch is yielded too.
+    """
+
+    def __init__(
+        self,
+        train_interactions: np.ndarray,
+        user_positive_items: list[np.ndarray],
+        num_items: int,
+        batch_size: int = 256,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.train_interactions = np.asarray(train_interactions, dtype=np.int64).reshape(-1, 2)
+        self.batch_size = batch_size
+        self._rng = rng if isinstance(rng, np.random.Generator) else new_rng(rng)
+        self._negative_sampler = UniformNegativeSampler(user_positive_items, num_items, rng=self._rng)
+
+    @property
+    def num_interactions(self) -> int:
+        return int(self.train_interactions.shape[0])
+
+    def num_batches(self) -> int:
+        return int(np.ceil(self.num_interactions / self.batch_size))
+
+    def epoch(self) -> Iterator[BprBatch]:
+        """Yield every training interaction once, in random order, with negatives."""
+        order = self._rng.permutation(self.num_interactions)
+        shuffled = self.train_interactions[order]
+        for start in range(0, self.num_interactions, self.batch_size):
+            chunk = shuffled[start : start + self.batch_size]
+            users = chunk[:, 0]
+            positives = chunk[:, 1]
+            negatives = self._negative_sampler.sample_for_users(users)
+            yield BprBatch(users=users, positive_items=positives, negative_items=negatives)

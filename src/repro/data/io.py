@@ -1,0 +1,69 @@
+"""Persist datasets to disk.
+
+A dataset is stored as one ``.npz`` file (all index arrays) plus a ``.json``
+side-car for the scalar metadata and the variable-length sessions.  The
+format is plain NumPy/JSON so datasets can be inspected or produced by other
+tools (e.g. a pipeline that extracts real session logs).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.schema import SceneRecDataset
+
+__all__ = ["save_dataset", "load_dataset"]
+
+
+def save_dataset(dataset: SceneRecDataset, directory: str | Path) -> Path:
+    """Write ``dataset`` under ``directory`` (created if missing).
+
+    Returns the directory path.  Files: ``arrays.npz`` and ``meta.json``.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        directory / "arrays.npz",
+        interactions=dataset.interactions,
+        item_category=dataset.item_category,
+        item_item_edges=dataset.item_item_edges,
+        category_category_edges=dataset.category_category_edges,
+        scene_category_edges=dataset.scene_category_edges,
+    )
+    meta = {
+        "name": dataset.name,
+        "num_users": dataset.num_users,
+        "num_items": dataset.num_items,
+        "num_categories": dataset.num_categories,
+        "num_scenes": dataset.num_scenes,
+        "sessions": [list(map(int, session)) for session in dataset.sessions],
+    }
+    (directory / "meta.json").write_text(json.dumps(meta))
+    return directory
+
+
+def load_dataset(directory: str | Path) -> SceneRecDataset:
+    """Load a dataset previously written by :func:`save_dataset`."""
+    directory = Path(directory)
+    arrays_path = directory / "arrays.npz"
+    meta_path = directory / "meta.json"
+    if not arrays_path.exists() or not meta_path.exists():
+        raise FileNotFoundError(f"no dataset found under {directory}")
+    arrays = np.load(arrays_path)
+    meta = json.loads(meta_path.read_text())
+    return SceneRecDataset(
+        name=meta["name"],
+        num_users=int(meta["num_users"]),
+        num_items=int(meta["num_items"]),
+        num_categories=int(meta["num_categories"]),
+        num_scenes=int(meta["num_scenes"]),
+        interactions=arrays["interactions"],
+        item_category=arrays["item_category"],
+        item_item_edges=arrays["item_item_edges"],
+        category_category_edges=arrays["category_category_edges"],
+        scene_category_edges=arrays["scene_category_edges"],
+        sessions=[list(map(int, session)) for session in meta.get("sessions", [])],
+    )

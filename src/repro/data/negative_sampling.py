@@ -1,0 +1,82 @@
+"""Negative sampling for evaluation candidates and BPR training pairs."""
+
+from __future__ import annotations
+
+from typing import Collection, Sequence
+
+import numpy as np
+
+from repro.utils.rng import new_rng
+
+__all__ = ["sample_negatives", "UniformNegativeSampler"]
+
+
+def sample_negatives(
+    observed_items: Collection[int],
+    num_items: int,
+    count: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Sample ``count`` distinct items the user has not interacted with.
+
+    When fewer than ``count`` unobserved items exist, all of them are
+    returned (shuffled); the evaluator copes with shorter candidate lists.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    observed = set(int(item) for item in observed_items)
+    available = num_items - len(observed)
+    if available <= 0:
+        return np.empty(0, dtype=np.int64)
+    if available <= count:
+        negatives = np.array([item for item in range(num_items) if item not in observed], dtype=np.int64)
+        rng.shuffle(negatives)
+        return negatives
+    # Rejection sampling: draw a batch, drop observed items, repeat.  For the
+    # sparse interaction matrices of recommendation data this touches each
+    # candidate at most a couple of times.
+    chosen: set[int] = set()
+    while len(chosen) < count:
+        draw = rng.integers(0, num_items, size=(count - len(chosen)) * 2 + 8)
+        for item in draw:
+            item = int(item)
+            if item not in observed and item not in chosen:
+                chosen.add(item)
+                if len(chosen) == count:
+                    break
+    return np.array(sorted(chosen), dtype=np.int64)
+
+
+class UniformNegativeSampler:
+    """Draw BPR negatives uniformly from the items a user never clicked.
+
+    Used by the trainer: for every observed ``(user, positive)`` pair it
+    produces one (or ``k``) negative item(s) per epoch, resampled each time
+    so the model sees fresh contrast pairs.
+    """
+
+    def __init__(
+        self,
+        user_positive_items: Sequence[np.ndarray],
+        num_items: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if num_items <= 0:
+            raise ValueError(f"num_items must be positive, got {num_items}")
+        self.num_items = num_items
+        self._positives = [set(int(i) for i in items) for items in user_positive_items]
+        self._rng = rng if isinstance(rng, np.random.Generator) else new_rng(rng)
+
+    def sample(self, user: int) -> int:
+        """One negative item for ``user``."""
+        positives = self._positives[user]
+        if len(positives) >= self.num_items:
+            raise ValueError(f"user {user} has interacted with every item; cannot sample a negative")
+        while True:
+            item = int(self._rng.integers(0, self.num_items))
+            if item not in positives:
+                return item
+
+    def sample_for_users(self, users: np.ndarray) -> np.ndarray:
+        """Vectorised convenience: one negative per entry of ``users``."""
+        return np.array([self.sample(int(user)) for user in users], dtype=np.int64)

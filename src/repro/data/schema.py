@@ -1,0 +1,126 @@
+"""Dataset schema: the :class:`SceneRecDataset` record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.graph.bipartite import UserItemBipartiteGraph
+from repro.graph.scene_graph import SceneBasedGraph
+
+__all__ = ["SceneRecDataset"]
+
+
+@dataclass
+class SceneRecDataset:
+    """Everything a SceneRec experiment needs, in one picklable record.
+
+    Attributes
+    ----------
+    name:
+        Human-readable dataset name (``"electronics"``...).
+    num_users, num_items, num_categories, num_scenes:
+        Entity counts.
+    interactions:
+        ``(n, 2)`` array of ``(user, item)`` click pairs (the bipartite graph).
+    item_category:
+        ``(num_items,)`` array giving each item's single category.
+    item_item_edges, category_category_edges, scene_category_edges:
+        Edge arrays of the scene-based graph (Definition 3.3); scene-category
+        edges are ``(scene, category)`` pairs.
+    sessions:
+        The co-view sessions the item/category edges were derived from (kept
+        for provenance and for rebuilding graphs with different caps).
+    """
+
+    name: str
+    num_users: int
+    num_items: int
+    num_categories: int
+    num_scenes: int
+    interactions: np.ndarray
+    item_category: np.ndarray
+    item_item_edges: np.ndarray
+    category_category_edges: np.ndarray
+    scene_category_edges: np.ndarray
+    sessions: list[list[int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.interactions = np.asarray(self.interactions, dtype=np.int64).reshape(-1, 2)
+        self.item_category = np.asarray(self.item_category, dtype=np.int64)
+        self.item_item_edges = np.asarray(self.item_item_edges, dtype=np.int64).reshape(-1, 2)
+        self.category_category_edges = np.asarray(self.category_category_edges, dtype=np.int64).reshape(-1, 2)
+        self.scene_category_edges = np.asarray(self.scene_category_edges, dtype=np.int64).reshape(-1, 2)
+        if self.item_category.shape != (self.num_items,):
+            raise ValueError(
+                f"item_category must have shape ({self.num_items},), got {self.item_category.shape}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Graph views
+    # ------------------------------------------------------------------ #
+    def bipartite_graph(self, interactions: np.ndarray | None = None) -> UserItemBipartiteGraph:
+        """Build the user-item bipartite graph (optionally from a subset)."""
+        pairs = self.interactions if interactions is None else interactions
+        return UserItemBipartiteGraph(self.num_users, self.num_items, pairs)
+
+    def scene_graph(self) -> SceneBasedGraph:
+        """Build the scene-based graph ``H``."""
+        return SceneBasedGraph(
+            num_items=self.num_items,
+            num_categories=self.num_categories,
+            num_scenes=self.num_scenes,
+            item_category=self.item_category,
+            item_item_edges=self.item_item_edges,
+            category_category_edges=self.category_category_edges,
+            scene_category_edges=self.scene_category_edges,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Convenience accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_interactions(self) -> int:
+        return int(self.interactions.shape[0])
+
+    def user_positive_items(self) -> list[np.ndarray]:
+        """Per-user sorted arrays of interacted items."""
+        per_user: list[list[int]] = [[] for _ in range(self.num_users)]
+        for user, item in self.interactions:
+            per_user[int(user)].append(int(item))
+        return [np.array(sorted(set(items)), dtype=np.int64) for items in per_user]
+
+    def subset_users(self, users: Sequence[int]) -> "SceneRecDataset":
+        """Restrict the dataset to a subset of users (items keep their ids).
+
+        Useful for quick smoke experiments; the scene-based graph is shared
+        because it does not depend on users.
+        """
+        users = sorted(set(int(u) for u in users))
+        mapping = {old: new for new, old in enumerate(users)}
+        kept = np.array(
+            [(mapping[int(u)], int(i)) for u, i in self.interactions if int(u) in mapping],
+            dtype=np.int64,
+        ).reshape(-1, 2)
+        return SceneRecDataset(
+            name=f"{self.name}-subset",
+            num_users=len(users),
+            num_items=self.num_items,
+            num_categories=self.num_categories,
+            num_scenes=self.num_scenes,
+            interactions=kept,
+            item_category=self.item_category,
+            item_item_edges=self.item_item_edges,
+            category_category_edges=self.category_category_edges,
+            scene_category_edges=self.scene_category_edges,
+            sessions=list(self.sessions),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SceneRecDataset(name={self.name!r}, users={self.num_users}, items={self.num_items}, "
+            f"categories={self.num_categories}, scenes={self.num_scenes}, "
+            f"interactions={self.num_interactions})"
+        )

@@ -1,0 +1,117 @@
+"""Leave-one-out evaluation split (Section 5.3 of the paper).
+
+For every user one interacted item is held out for validation and another for
+test; each held-out positive is paired with 100 sampled unobserved items.
+Users with fewer than three interactions keep all of them in training and are
+excluded from evaluation (they could not supply both held-out positives and a
+non-empty history).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.negative_sampling import sample_negatives
+from repro.data.schema import SceneRecDataset
+from repro.utils.rng import new_rng
+
+__all__ = ["EvaluationInstance", "LeaveOneOutSplit", "leave_one_out_split"]
+
+
+@dataclass(frozen=True)
+class EvaluationInstance:
+    """One ranking task: a user, the held-out positive and sampled negatives."""
+
+    user: int
+    positive_item: int
+    negative_items: np.ndarray
+
+    def candidates(self) -> np.ndarray:
+        """The positive followed by the negatives (the list models must rank)."""
+        return np.concatenate(([self.positive_item], self.negative_items)).astype(np.int64)
+
+    def __post_init__(self) -> None:
+        negatives = np.asarray(self.negative_items, dtype=np.int64)
+        object.__setattr__(self, "negative_items", negatives)
+        if self.positive_item in set(negatives.tolist()):
+            raise ValueError("the positive item must not appear among the negatives")
+
+
+@dataclass
+class LeaveOneOutSplit:
+    """Training interactions plus per-user validation and test instances."""
+
+    train_interactions: np.ndarray
+    validation: list[EvaluationInstance]
+    test: list[EvaluationInstance]
+    num_users: int
+    num_items: int
+    num_negatives: int
+    #: users excluded from evaluation because their history was too short
+    skipped_users: list[int] = field(default_factory=list)
+
+    @property
+    def num_train(self) -> int:
+        return int(self.train_interactions.shape[0])
+
+    def train_user_items(self) -> list[np.ndarray]:
+        """Per-user arrays of training items (used by evaluators and samplers)."""
+        per_user: list[list[int]] = [[] for _ in range(self.num_users)]
+        for user, item in self.train_interactions:
+            per_user[int(user)].append(int(item))
+        return [np.array(sorted(set(items)), dtype=np.int64) for items in per_user]
+
+
+def leave_one_out_split(
+    dataset: SceneRecDataset,
+    num_negatives: int = 100,
+    rng: np.random.Generator | int | None = None,
+) -> LeaveOneOutSplit:
+    """Split a dataset with the paper's leave-one-out protocol.
+
+    Negatives are sampled uniformly from the items the user has *never*
+    interacted with (train, validation or test), matching the "unobserved"
+    wording of Section 5.3.
+    """
+    if num_negatives <= 0:
+        raise ValueError(f"num_negatives must be positive, got {num_negatives}")
+    rng = rng if isinstance(rng, np.random.Generator) else new_rng(rng)
+
+    per_user = dataset.user_positive_items()
+    train_pairs: list[tuple[int, int]] = []
+    validation: list[EvaluationInstance] = []
+    test: list[EvaluationInstance] = []
+    skipped: list[int] = []
+
+    for user, items in enumerate(per_user):
+        if items.size < 3:
+            skipped.append(user)
+            train_pairs.extend((user, int(item)) for item in items)
+            continue
+        shuffled = items.copy()
+        rng.shuffle(shuffled)
+        validation_item = int(shuffled[0])
+        test_item = int(shuffled[1])
+        training_items = shuffled[2:]
+        train_pairs.extend((user, int(item)) for item in training_items)
+
+        observed = set(items.tolist())
+        validation_negatives = sample_negatives(observed, dataset.num_items, num_negatives, rng)
+        test_negatives = sample_negatives(observed, dataset.num_items, num_negatives, rng)
+        validation.append(
+            EvaluationInstance(user=user, positive_item=validation_item, negative_items=validation_negatives)
+        )
+        test.append(EvaluationInstance(user=user, positive_item=test_item, negative_items=test_negatives))
+
+    train_interactions = np.array(sorted(train_pairs), dtype=np.int64).reshape(-1, 2)
+    return LeaveOneOutSplit(
+        train_interactions=train_interactions,
+        validation=validation,
+        test=test,
+        num_users=dataset.num_users,
+        num_items=dataset.num_items,
+        num_negatives=num_negatives,
+        skipped_users=skipped,
+    )

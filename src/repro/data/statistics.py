@@ -1,0 +1,70 @@
+"""Dataset statistics in the shape of the paper's Table 1."""
+
+from __future__ import annotations
+
+from repro.data.schema import SceneRecDataset
+
+__all__ = ["dataset_statistics", "statistics_table"]
+
+
+def dataset_statistics(dataset: SceneRecDataset) -> dict[str, dict[str, int]]:
+    """Return the five Table-1 relation rows for one dataset.
+
+    Each relation ``A-B`` is reported as the paper does: number of A nodes,
+    number of B nodes and number of A-B edges.
+    """
+    scene_graph = dataset.scene_graph()
+    return {
+        "user_item": {
+            "num_a": dataset.num_users,
+            "num_b": dataset.num_items,
+            "num_edges": dataset.num_interactions,
+        },
+        "item_item": {
+            "num_a": dataset.num_items,
+            "num_b": dataset.num_items,
+            "num_edges": int(scene_graph.item_item_edges.shape[0]),
+        },
+        "item_category": {
+            "num_a": dataset.num_items,
+            "num_b": dataset.num_categories,
+            "num_edges": dataset.num_items,
+        },
+        "category_category": {
+            "num_a": dataset.num_categories,
+            "num_b": dataset.num_categories,
+            "num_edges": int(scene_graph.category_category_edges.shape[0]),
+        },
+        "scene_category": {
+            "num_a": dataset.num_scenes,
+            "num_b": dataset.num_categories,
+            "num_edges": int(scene_graph.scene_category_edges.shape[0]),
+        },
+    }
+
+
+_RELATION_LABELS = {
+    "user_item": "User-Item",
+    "item_item": "Item-Item",
+    "item_category": "Item-Category",
+    "category_category": "Category-Category",
+    "scene_category": "Scene-Category",
+}
+
+
+def statistics_table(statistics_by_dataset: dict[str, dict[str, dict[str, int]]]) -> str:
+    """Render Table-1-style statistics for several datasets as plain text."""
+    names = list(statistics_by_dataset)
+    header = ["Relations (A-B)"] + names
+    rows: list[list[str]] = []
+    for key, label in _RELATION_LABELS.items():
+        row = [label]
+        for name in names:
+            stats = statistics_by_dataset[name][key]
+            row.append(f"{stats['num_a']}-{stats['num_b']} ({stats['num_edges']})")
+        rows.append(row)
+    widths = [max(len(header[col]), *(len(row[col]) for row in rows)) for col in range(len(header))]
+    lines = ["  ".join(cell.ljust(widths[col]) for col, cell in enumerate(header))]
+    lines.append("  ".join("-" * widths[col] for col in range(len(header))))
+    lines.extend("  ".join(cell.ljust(widths[col]) for col, cell in enumerate(row)) for row in rows)
+    return "\n".join(lines)

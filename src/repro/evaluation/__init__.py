@@ -1,0 +1,48 @@
+"""Evaluation: ranking metrics, the leave-one-out evaluator and the case study.
+
+The paper reports HR@10 and NDCG@10 under a leave-one-out protocol with 100
+sampled negatives per user (Section 5.3); :class:`RankingEvaluator` implements
+exactly that, and :mod:`~repro.evaluation.case_study` reproduces the Figure-3
+analysis relating scene-based attention to prediction scores.
+"""
+
+from repro.evaluation.beyond_accuracy import (
+    average_popularity,
+    catalog_coverage,
+    gini_index,
+    intra_list_category_diversity,
+    novelty,
+)
+from repro.evaluation.case_study import CaseStudyReport, CandidateInsight, run_case_study
+from repro.evaluation.evaluator import EvaluationResult, RankingEvaluator
+from repro.evaluation.full_ranking import FullRankingEvaluator
+from repro.evaluation.metrics import (
+    average_precision_at_k,
+    hit_ratio_at_k,
+    mean_reciprocal_rank,
+    ndcg_at_k,
+    precision_at_k,
+    rank_of_positive,
+    recall_at_k,
+)
+
+__all__ = [
+    "CandidateInsight",
+    "CaseStudyReport",
+    "EvaluationResult",
+    "FullRankingEvaluator",
+    "RankingEvaluator",
+    "average_popularity",
+    "average_precision_at_k",
+    "catalog_coverage",
+    "gini_index",
+    "hit_ratio_at_k",
+    "intra_list_category_diversity",
+    "novelty",
+    "mean_reciprocal_rank",
+    "ndcg_at_k",
+    "precision_at_k",
+    "rank_of_positive",
+    "recall_at_k",
+    "run_case_study",
+]

@@ -1,0 +1,108 @@
+"""Beyond-accuracy metrics for recommendation lists.
+
+Accuracy metrics (HR/NDCG) say whether the held-out item is found; these
+metrics describe the *recommendation lists themselves* — how much of the
+catalogue they use, how popular/novel the recommended items are and how
+diverse each list is across categories.  They are computed on the output of
+:class:`repro.models.service.TopKRecommender` (or any iterable of item-id
+lists) and are used by the extension analyses, not by the paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "catalog_coverage",
+    "average_popularity",
+    "novelty",
+    "intra_list_category_diversity",
+    "gini_index",
+]
+
+
+def _as_lists(recommendations: Iterable[Sequence[int]]) -> list[list[int]]:
+    lists = [[int(item) for item in items] for items in recommendations]
+    if not lists:
+        raise ValueError("at least one recommendation list is required")
+    return lists
+
+
+def catalog_coverage(recommendations: Iterable[Sequence[int]], num_items: int) -> float:
+    """Fraction of the catalogue that appears in at least one list."""
+    if num_items <= 0:
+        raise ValueError(f"num_items must be positive, got {num_items}")
+    lists = _as_lists(recommendations)
+    recommended = {item for items in lists for item in items}
+    return len(recommended) / num_items
+
+
+def average_popularity(recommendations: Iterable[Sequence[int]], item_popularity: np.ndarray) -> float:
+    """Mean training popularity (interaction count) of recommended items."""
+    item_popularity = np.asarray(item_popularity, dtype=np.float64)
+    lists = _as_lists(recommendations)
+    values = [item_popularity[item] for items in lists for item in items]
+    return float(np.mean(values)) if values else 0.0
+
+
+def novelty(recommendations: Iterable[Sequence[int]], item_popularity: np.ndarray) -> float:
+    """Mean self-information ``-log2 p(item)`` of recommended items.
+
+    ``p(item)`` is the item's share of all training interactions; recommending
+    only blockbusters gives low novelty, recommending long-tail items gives
+    high novelty.  Items never interacted with in training are assigned the
+    probability of a single interaction so the quantity stays finite.
+    """
+    item_popularity = np.asarray(item_popularity, dtype=np.float64)
+    total = item_popularity.sum()
+    if total <= 0:
+        raise ValueError("item_popularity must contain at least one interaction")
+    lists = _as_lists(recommendations)
+    probabilities = np.maximum(item_popularity, 1.0) / total
+    values = [-np.log2(probabilities[item]) for items in lists for item in items]
+    return float(np.mean(values)) if values else 0.0
+
+
+def intra_list_category_diversity(
+    recommendations: Iterable[Sequence[int]], item_category: np.ndarray
+) -> float:
+    """Mean fraction of distinct categories within each recommendation list.
+
+    1.0 means every recommended item in a list has a different category;
+    ``1/len(list)`` means the list is a single category.  Lists with fewer
+    than two items count as fully diverse.
+    """
+    item_category = np.asarray(item_category, dtype=np.int64)
+    lists = _as_lists(recommendations)
+    ratios = []
+    for items in lists:
+        if len(items) < 2:
+            ratios.append(1.0)
+            continue
+        categories = {int(item_category[item]) for item in items}
+        ratios.append(len(categories) / len(items))
+    return float(np.mean(ratios))
+
+
+def gini_index(recommendations: Iterable[Sequence[int]], num_items: int) -> float:
+    """Gini index of how recommendations concentrate on few items.
+
+    0 means every catalogue item is recommended equally often; values close
+    to 1 mean a handful of items dominate all lists.
+    """
+    if num_items <= 0:
+        raise ValueError(f"num_items must be positive, got {num_items}")
+    lists = _as_lists(recommendations)
+    counts = np.zeros(num_items, dtype=np.float64)
+    for items in lists:
+        for item in items:
+            counts[item] += 1.0
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    sorted_counts = np.sort(counts)
+    cumulative = np.cumsum(sorted_counts) / total
+    # Standard discrete Gini formulation over the item axis.
+    return float(1.0 - 2.0 * np.trapezoid(cumulative, dx=1.0 / num_items))

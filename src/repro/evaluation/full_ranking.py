@@ -1,0 +1,103 @@
+"""Full-catalogue ranking evaluation.
+
+The paper evaluates with sampled negatives (1 positive vs. 100 sampled
+unobserved items).  Sampled-negative evaluation is fast but is known to bias
+comparisons between models; this module adds the stricter protocol used by
+much of the follow-up literature: every held-out positive is ranked against
+the *entire* catalogue, excluding the user's training items.
+
+It reuses the same :class:`~repro.data.splits.LeaveOneOutSplit` and the same
+per-rank metrics, so the two protocols can be compared side by side on any
+model that implements :meth:`repro.models.base.Recommender.score`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import no_grad
+from repro.data.splits import LeaveOneOutSplit
+from repro.evaluation.evaluator import EvaluationResult
+from repro.evaluation.metrics import hit_ratio_at_k, mean_reciprocal_rank, ndcg_at_k, rank_of_positive
+from repro.models.base import Recommender
+
+__all__ = ["FullRankingEvaluator"]
+
+
+class FullRankingEvaluator:
+    """Rank each held-out positive against every non-training item.
+
+    Parameters
+    ----------
+    split:
+        the leave-one-out split; ``which`` selects its validation or test
+        instances.
+    k:
+        metric cutoff.
+    exclude_training_items:
+        when True (default, the standard protocol) a user's training items
+        are removed from the candidate list before ranking.
+    """
+
+    def __init__(
+        self,
+        split: LeaveOneOutSplit,
+        which: str = "test",
+        k: int = 10,
+        exclude_training_items: bool = True,
+    ) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if which not in ("test", "validation"):
+            raise ValueError(f"which must be 'test' or 'validation', got {which!r}")
+        instances = split.test if which == "test" else split.validation
+        if not instances:
+            raise ValueError(f"the split has no {which} instances")
+        self.split = split
+        self.instances = list(instances)
+        self.k = k
+        self.exclude_training_items = exclude_training_items
+        self._train_items = split.train_user_items()
+
+    def evaluate(self, model: Recommender, item_batch: int = 2048) -> EvaluationResult:
+        """Return averaged metrics under the full-ranking protocol.
+
+        ``item_batch`` bounds how many (user, item) pairs are scored per model
+        call so memory stays flat for large catalogues.
+        """
+        if item_batch <= 0:
+            raise ValueError(f"item_batch must be positive, got {item_batch}")
+        num_items = self.split.num_items
+        all_items = np.arange(num_items, dtype=np.int64)
+        ranks: list[int] = []
+        was_training = getattr(model, "training", False)
+        if hasattr(model, "eval"):
+            model.eval()
+        try:
+            with no_grad():
+                for instance in self.instances:
+                    scores = np.empty(num_items, dtype=np.float64)
+                    for start in range(0, num_items, item_batch):
+                        chunk = all_items[start : start + item_batch]
+                        users = np.full(chunk.size, instance.user, dtype=np.int64)
+                        scores[start : start + item_batch] = np.asarray(
+                            model.score(users, chunk), dtype=np.float64
+                        ).reshape(-1)
+                    positive_score = scores[instance.positive_item]
+                    mask = np.ones(num_items, dtype=bool)
+                    mask[instance.positive_item] = False
+                    if self.exclude_training_items:
+                        mask[self._train_items[instance.user]] = False
+                    ranks.append(rank_of_positive(positive_score, scores[mask]))
+        finally:
+            if hasattr(model, "train") and was_training:
+                model.train()
+
+        return EvaluationResult(
+            ndcg=float(np.mean([ndcg_at_k(rank, self.k) for rank in ranks])),
+            hit_ratio=float(np.mean([hit_ratio_at_k(rank, self.k) for rank in ranks])),
+            mrr=float(np.mean([mean_reciprocal_rank(rank) for rank in ranks])),
+            k=self.k,
+            num_users=len(ranks),
+            ranks=np.array(ranks, dtype=np.int64),
+        )

@@ -1,0 +1,78 @@
+"""Ranking metrics.
+
+All metrics operate on a single ranking task in the leave-one-out setting:
+one positive item scored against a list of sampled negatives.  The helpers
+take either the rank of the positive (0-based) or raw score arrays and are
+averaged over users by the evaluator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "rank_of_positive",
+    "hit_ratio_at_k",
+    "ndcg_at_k",
+    "mean_reciprocal_rank",
+    "precision_at_k",
+    "recall_at_k",
+    "average_precision_at_k",
+]
+
+
+def rank_of_positive(positive_score: float, negative_scores: np.ndarray) -> int:
+    """0-based rank of the positive among ``negatives + positive``.
+
+    Ties are broken pessimistically (a tie counts as the negative being
+    ranked above the positive), so a model emitting constant scores gets the
+    worst possible — not a lucky — rank.  This avoids metric inflation from
+    degenerate models.
+    """
+    negative_scores = np.asarray(negative_scores, dtype=np.float64)
+    return int(np.sum(negative_scores >= positive_score))
+
+
+def hit_ratio_at_k(rank: int, k: int = 10) -> float:
+    """1.0 if the positive lands in the top ``k`` positions, else 0.0."""
+    _validate_k(k)
+    return 1.0 if rank < k else 0.0
+
+
+def ndcg_at_k(rank: int, k: int = 10) -> float:
+    """NDCG@k for a single relevant item: ``1 / log2(rank + 2)`` if it hits.
+
+    With exactly one relevant item the ideal DCG is 1, so NDCG reduces to the
+    discounted gain of the hit position.
+    """
+    _validate_k(k)
+    if rank >= k:
+        return 0.0
+    return float(1.0 / np.log2(rank + 2))
+
+
+def mean_reciprocal_rank(rank: int) -> float:
+    """Reciprocal rank ``1 / (rank + 1)`` (no cutoff)."""
+    return float(1.0 / (rank + 1))
+
+
+def precision_at_k(rank: int, k: int = 10) -> float:
+    """Precision@k with a single relevant item: ``1/k`` on a hit, else 0."""
+    _validate_k(k)
+    return 1.0 / k if rank < k else 0.0
+
+
+def recall_at_k(rank: int, k: int = 10) -> float:
+    """Recall@k with a single relevant item equals the hit ratio."""
+    return hit_ratio_at_k(rank, k)
+
+
+def average_precision_at_k(rank: int, k: int = 10) -> float:
+    """AP@k with a single relevant item: ``1 / (rank + 1)`` on a hit, else 0."""
+    _validate_k(k)
+    return float(1.0 / (rank + 1)) if rank < k else 0.0
+
+
+def _validate_k(k: int) -> None:
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")

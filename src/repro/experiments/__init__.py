@@ -1,0 +1,34 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+* :mod:`~repro.experiments.table1` — dataset statistics (Table 1),
+* :mod:`~repro.experiments.table2` — the model comparison (Table 2 and the
+  §5.4.1 improvement summary, including the three ablations of RQ2),
+* :mod:`~repro.experiments.figure3` — the scene-attention case study (Figure 3),
+* :mod:`~repro.experiments.reporting` — plain-text/markdown table rendering,
+* :mod:`~repro.experiments.registry` — name → runner mapping used by the CLI
+  (``python -m repro.experiments.run <experiment>``).
+"""
+
+from repro.experiments.figure3 import Figure3Config, Figure3Result, run_figure3
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+from repro.experiments.reporting import format_improvement_summary, format_table2, render_table
+from repro.experiments.table1 import Table1Result, run_table1
+from repro.experiments.table2 import ModelResult, Table2Config, Table2Result, run_table2
+
+__all__ = [
+    "EXPERIMENTS",
+    "Figure3Config",
+    "Figure3Result",
+    "ModelResult",
+    "Table1Result",
+    "Table2Config",
+    "Table2Result",
+    "format_improvement_summary",
+    "format_table2",
+    "get_experiment",
+    "list_experiments",
+    "render_table",
+    "run_figure3",
+    "run_table1",
+    "run_table2",
+]

@@ -1,0 +1,97 @@
+"""Name → experiment runner registry used by the CLI and the benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.experiments.figure3 import Figure3Config, run_figure3
+from repro.experiments.scene_mining_experiment import (
+    SceneMiningExperimentConfig,
+    run_scene_mining_experiment,
+)
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import Table2Config, run_table2
+from repro.training.config import TrainConfig
+
+__all__ = ["ExperimentSpec", "EXPERIMENTS", "list_experiments", "get_experiment"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """An experiment the CLI can run: id, description and runner."""
+
+    name: str
+    description: str
+    #: ``runner(scale, output_dir)`` returns an object with a ``format()`` method
+    runner: Callable[[float, Path | None], object]
+
+
+def _run_table1(scale: float, output_dir: Path | None) -> object:
+    return run_table1(scale=scale, output_dir=output_dir)
+
+
+def _run_table2(scale: float, output_dir: Path | None) -> object:
+    config = Table2Config(dataset_scale=scale)
+    return run_table2(config, output_dir=output_dir)
+
+
+def _run_table2_quick(scale: float, output_dir: Path | None) -> object:
+    """A reduced Table 2: one dataset, fewer epochs — for demos and CI."""
+    config = Table2Config(
+        dataset_names=("electronics",),
+        dataset_scale=min(scale, 0.5),
+        train=TrainConfig(epochs=8, batch_size=256, eval_every=0),
+    )
+    return run_table2(config, output_dir=output_dir)
+
+
+def _run_figure3(scale: float, output_dir: Path | None) -> object:
+    config = Figure3Config(dataset_scale=scale)
+    return run_figure3(config, output_dir=output_dir)
+
+
+def _run_scene_mining(scale: float, output_dir: Path | None) -> object:
+    config = SceneMiningExperimentConfig(dataset_scale=scale)
+    return run_scene_mining_experiment(config, output_dir=output_dir)
+
+
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    "table1": ExperimentSpec(
+        name="table1",
+        description="Dataset statistics for the four synthetic JD-like datasets (paper Table 1).",
+        runner=_run_table1,
+    ),
+    "table2": ExperimentSpec(
+        name="table2",
+        description="Full model comparison: 6 baselines + 3 ablations + SceneRec on 4 datasets (paper Table 2).",
+        runner=_run_table2,
+    ),
+    "table2-quick": ExperimentSpec(
+        name="table2-quick",
+        description="Reduced Table 2 (Electronics only, short training) for quick demonstrations.",
+        runner=_run_table2_quick,
+    ),
+    "figure3": ExperimentSpec(
+        name="figure3",
+        description="Scene-attention case study relating attention scores to predictions (paper Figure 3).",
+        runner=_run_figure3,
+    ),
+    "scene-mining": ExperimentSpec(
+        name="scene-mining",
+        description="Extension: mine scenes automatically (the paper's future work) and compare curated vs mined layers.",
+        runner=_run_scene_mining,
+    ),
+}
+
+
+def list_experiments() -> list[str]:
+    return list(EXPERIMENTS)
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    try:
+        return EXPERIMENTS[name]
+    except KeyError as error:
+        raise KeyError(f"unknown experiment {name!r}; known: {list(EXPERIMENTS)}") from error

@@ -1,0 +1,75 @@
+"""Textual rendering of experiment results."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["render_table", "format_table2", "format_improvement_summary"]
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]], markdown: bool = False) -> str:
+    """Render a table as aligned plain text or GitHub-flavoured markdown."""
+    headers = [str(cell) for cell in headers]
+    rows = [[str(cell) for cell in row] for row in rows]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells but the header has {len(headers)}")
+    widths = [max(len(headers[col]), *(len(row[col]) for row in rows)) if rows else len(headers[col]) for col in range(len(headers))]
+    if markdown:
+        lines = ["| " + " | ".join(headers[col].ljust(widths[col]) for col in range(len(headers))) + " |"]
+        lines.append("|" + "|".join("-" * (widths[col] + 2) for col in range(len(headers))) + "|")
+        lines.extend(
+            "| " + " | ".join(row[col].ljust(widths[col]) for col in range(len(headers))) + " |" for row in rows
+        )
+        return "\n".join(lines)
+    lines = ["  ".join(headers[col].ljust(widths[col]) for col in range(len(headers)))]
+    lines.append("  ".join("-" * widths[col] for col in range(len(headers))))
+    lines.extend("  ".join(row[col].ljust(widths[col]) for col in range(len(headers))) for row in rows)
+    return "\n".join(lines)
+
+
+def format_table2(
+    metrics: Mapping[str, Mapping[str, Mapping[str, float]]],
+    dataset_order: Sequence[str],
+    model_order: Sequence[str],
+    markdown: bool = False,
+) -> str:
+    """Format Table-2-style results.
+
+    ``metrics[dataset][model]`` is a mapping with ``"ndcg"`` and ``"hr"``
+    entries; the rendered table mirrors the paper's layout (models as rows,
+    one NDCG@10 and one HR@10 column per dataset).
+    """
+    headers = ["Model"]
+    for dataset in dataset_order:
+        headers.extend([f"{dataset} NDCG@10", f"{dataset} HR@10"])
+    rows: list[list[str]] = []
+    for model in model_order:
+        row = [model]
+        for dataset in dataset_order:
+            entry = metrics.get(dataset, {}).get(model)
+            if entry is None:
+                row.extend(["-", "-"])
+            else:
+                row.extend([f"{entry['ndcg']:.4f}", f"{entry['hr']:.4f}"])
+        rows.append(row)
+    return render_table(headers, rows, markdown=markdown)
+
+
+def format_improvement_summary(improvements: Mapping[str, Mapping[str, float]]) -> str:
+    """Format per-dataset relative improvements of SceneRec over the best baseline.
+
+    ``improvements[dataset]`` holds ``ndcg_improvement`` / ``hr_improvement``
+    as fractions (0.15 = +15%), plus the name of the best baseline.
+    """
+    lines = []
+    for dataset, entry in improvements.items():
+        lines.append(
+            f"{dataset}: SceneRec vs best baseline ({entry.get('best_baseline', '?')}): "
+            f"NDCG@10 {entry['ndcg_improvement']:+.1%}, HR@10 {entry['hr_improvement']:+.1%}"
+        )
+    if improvements:
+        mean_ndcg = sum(entry["ndcg_improvement"] for entry in improvements.values()) / len(improvements)
+        mean_hr = sum(entry["hr_improvement"] for entry in improvements.values()) / len(improvements)
+        lines.append(f"average: NDCG@10 {mean_ndcg:+.1%}, HR@10 {mean_hr:+.1%}")
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Command-line entry point: ``python -m repro.experiments.run <experiment>``.
+
+Examples
+--------
+List experiments::
+
+    python -m repro.experiments.run --list
+
+Reproduce Table 1 and write JSON results::
+
+    python -m repro.experiments.run table1 --output results/
+
+Reproduce a quick Table 2 on a half-scale dataset::
+
+    python -m repro.experiments.run table2-quick --scale 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.utils.logging import configure_logging
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.run",
+        description="Reproduce the tables and figures of the SceneRec paper.",
+    )
+    parser.add_argument("experiment", nargs="?", choices=sorted(EXPERIMENTS), help="experiment to run")
+    parser.add_argument("--list", action="store_true", help="list available experiments and exit")
+    parser.add_argument("--scale", type=float, default=1.0, help="dataset scale factor (default: 1.0)")
+    parser.add_argument("--output", type=Path, default=None, help="directory for JSON results")
+    parser.add_argument("--quiet", action="store_true", help="suppress progress logging")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list or args.experiment is None:
+        for spec in EXPERIMENTS.values():
+            print(f"{spec.name:15s} {spec.description}")
+        return 0
+    if not args.quiet:
+        configure_logging()
+    spec = get_experiment(args.experiment)
+    result = spec.runner(args.scale, args.output)
+    print(result.format())  # type: ignore[attr-defined]
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

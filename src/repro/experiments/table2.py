@@ -1,0 +1,174 @@
+"""Experiment: Table 2 — model comparison and ablations (RQ1 + RQ2).
+
+For every dataset and every model (six baselines, three SceneRec ablations
+and SceneRec itself) the runner:
+
+1. generates the synthetic dataset,
+2. applies the leave-one-out split with 100 sampled negatives,
+3. trains the model with the shared BPR trainer,
+4. evaluates NDCG@10 and HR@10 on the held-out test instances,
+
+and finally computes the §5.4.1 improvement summary (SceneRec vs. the best
+non-SceneRec baseline per dataset, plus the average over datasets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.data.configs import dataset_config, list_dataset_names
+from repro.data.splits import leave_one_out_split
+from repro.data.synthetic import generate_dataset
+from repro.evaluation.evaluator import EvaluationResult
+from repro.experiments.reporting import format_improvement_summary, format_table2
+from repro.models.registry import build_model, list_model_names
+from repro.training.config import TrainConfig
+from repro.training.trainer import Trainer
+from repro.utils.logging import get_logger
+from repro.utils.serialization import save_json
+from repro.utils.timing import Timer
+
+__all__ = ["Table2Config", "ModelResult", "Table2Result", "run_table2"]
+
+_LOGGER = get_logger("experiments.table2")
+
+#: models that count as "baselines" when computing the improvement summary
+_BASELINE_MODELS = ("BPR-MF", "NCF", "CMN", "PinSAGE", "NGCF", "KGAT")
+
+
+@dataclass(frozen=True)
+class Table2Config:
+    """Scope and budget of the Table-2 run.
+
+    The defaults reproduce the full table at the reproduction's reduced scale;
+    tests and quick demos shrink ``dataset_scale``, ``epochs`` and the model
+    list.
+    """
+
+    dataset_names: tuple[str, ...] = tuple(list_dataset_names())
+    model_names: tuple[str, ...] = tuple(list_model_names())
+    dataset_scale: float = 1.0
+    embedding_dim: int = 32
+    num_negatives: int = 100
+    train: TrainConfig = field(default_factory=lambda: TrainConfig(epochs=15, batch_size=256, eval_every=0))
+    k: int = 10
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.dataset_names:
+            raise ValueError("at least one dataset is required")
+        if not self.model_names:
+            raise ValueError("at least one model is required")
+        if self.dataset_scale <= 0:
+            raise ValueError(f"dataset_scale must be positive, got {self.dataset_scale}")
+        if self.embedding_dim <= 0:
+            raise ValueError(f"embedding_dim must be positive, got {self.embedding_dim}")
+
+
+@dataclass(frozen=True)
+class ModelResult:
+    """Test metrics (and timing) of one model on one dataset."""
+
+    dataset: str
+    model: str
+    test: EvaluationResult
+    train_seconds: float
+
+    @property
+    def ndcg(self) -> float:
+        return self.test.ndcg
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.test.hit_ratio
+
+
+@dataclass
+class Table2Result:
+    """All per-model results plus the derived improvement summary."""
+
+    config: Table2Config
+    results: list[ModelResult]
+
+    def metrics(self) -> dict[str, dict[str, dict[str, float]]]:
+        """``metrics[dataset][model] = {"ndcg": ..., "hr": ...}``."""
+        table: dict[str, dict[str, dict[str, float]]] = {}
+        for result in self.results:
+            table.setdefault(result.dataset, {})[result.model] = {
+                "ndcg": result.ndcg,
+                "hr": result.hit_ratio,
+            }
+        return table
+
+    def improvement_summary(self) -> dict[str, dict[str, float]]:
+        """SceneRec vs. the best baseline, per dataset (the §5.4.1 numbers)."""
+        summary: dict[str, dict[str, float]] = {}
+        metrics = self.metrics()
+        for dataset, by_model in metrics.items():
+            if "SceneRec" not in by_model:
+                continue
+            baselines = {name: entry for name, entry in by_model.items() if name in _BASELINE_MODELS}
+            if not baselines:
+                continue
+            best_ndcg_name = max(baselines, key=lambda name: baselines[name]["ndcg"])
+            best_hr_name = max(baselines, key=lambda name: baselines[name]["hr"])
+            best_ndcg = baselines[best_ndcg_name]["ndcg"]
+            best_hr = baselines[best_hr_name]["hr"]
+            scenerec = by_model["SceneRec"]
+            summary[dataset] = {
+                "best_baseline": best_ndcg_name,
+                "ndcg_improvement": (scenerec["ndcg"] - best_ndcg) / best_ndcg if best_ndcg else float("nan"),
+                "hr_improvement": (scenerec["hr"] - best_hr) / best_hr if best_hr else float("nan"),
+            }
+        return summary
+
+    def format(self, markdown: bool = False) -> str:
+        table = format_table2(
+            self.metrics(),
+            dataset_order=list(self.config.dataset_names),
+            model_order=list(self.config.model_names),
+            markdown=markdown,
+        )
+        summary = format_improvement_summary(self.improvement_summary())
+        return f"{table}\n\n{summary}" if summary else table
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "metrics": self.metrics(),
+            "improvement_summary": self.improvement_summary(),
+            "train_seconds": {f"{r.dataset}/{r.model}": r.train_seconds for r in self.results},
+        }
+
+
+def run_table2(config: Table2Config | None = None, output_dir: str | Path | None = None) -> Table2Result:
+    """Run the full comparison described by ``config``."""
+    config = config or Table2Config()
+    results: list[ModelResult] = []
+    for dataset_name in config.dataset_names:
+        dataset = generate_dataset(dataset_config(dataset_name, scale=config.dataset_scale))
+        split = leave_one_out_split(dataset, num_negatives=config.num_negatives, rng=config.seed)
+        train_graph = dataset.bipartite_graph(split.train_interactions)
+        scene_graph = dataset.scene_graph()
+        for model_name in config.model_names:
+            model = build_model(
+                model_name,
+                train_graph,
+                scene_graph,
+                embedding_dim=config.embedding_dim,
+                seed=config.seed,
+            )
+            trainer = Trainer(model, split, config.train)
+            timer = Timer()
+            with timer:
+                trainer.fit()
+            test = trainer.evaluate_test(k=config.k)
+            _LOGGER.info("%s / %s: %s (%.1fs)", dataset_name, model_name, test, timer.elapsed)
+            results.append(
+                ModelResult(dataset=dataset_name, model=model_name, test=test, train_seconds=timer.elapsed)
+            )
+    outcome = Table2Result(config=config, results=results)
+    if output_dir is not None:
+        save_json(Path(output_dir) / "table2.json", outcome.to_dict())
+    return outcome

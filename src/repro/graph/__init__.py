@@ -1,0 +1,48 @@
+"""Graph substrate: the user-item bipartite graph and the scene-based graph.
+
+The paper (Section 3) works with two structures:
+
+* the **user-item bipartite graph** ``G`` (Definition 3.2), represented by
+  :class:`~repro.graph.bipartite.UserItemBipartiteGraph`;
+* the **scene-based graph** ``H`` (Definition 3.3), a 3-layer hierarchy of
+  items, categories and scenes, represented by
+  :class:`~repro.graph.scene_graph.SceneBasedGraph`.
+
+:mod:`~repro.graph.builders` reconstructs the paper's graph-construction
+pipeline (co-view sessions → item-item edges, category co-view → category
+relations, scene membership), :mod:`~repro.graph.adjacency` provides sparse
+matrix views, and :mod:`~repro.graph.sampling` provides the padded
+fixed-width neighbour arrays the GNN layers consume.
+"""
+
+from repro.graph.adjacency import (
+    build_adjacency_lists,
+    edges_to_csr,
+    normalized_adjacency,
+    symmetric_normalized,
+)
+from repro.graph.bipartite import UserItemBipartiteGraph
+from repro.graph.builders import (
+    build_scene_based_graph,
+    category_category_edges_from_sessions,
+    item_item_edges_from_sessions,
+    top_k_filter,
+)
+from repro.graph.sampling import NeighborTable, pad_neighbor_lists, sample_neighbors
+from repro.graph.scene_graph import SceneBasedGraph
+
+__all__ = [
+    "NeighborTable",
+    "SceneBasedGraph",
+    "UserItemBipartiteGraph",
+    "build_adjacency_lists",
+    "build_scene_based_graph",
+    "category_category_edges_from_sessions",
+    "edges_to_csr",
+    "item_item_edges_from_sessions",
+    "normalized_adjacency",
+    "pad_neighbor_lists",
+    "sample_neighbors",
+    "symmetric_normalized",
+    "top_k_filter",
+]

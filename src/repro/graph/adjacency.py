@@ -1,0 +1,107 @@
+"""Sparse adjacency helpers shared by both graphs and the GNN baselines."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = [
+    "edges_to_csr",
+    "build_adjacency_lists",
+    "symmetric_normalized",
+    "normalized_adjacency",
+]
+
+
+def edges_to_csr(
+    edges: Iterable[tuple[int, int] | tuple[int, int, float]],
+    num_rows: int,
+    num_cols: int,
+    symmetric: bool = False,
+) -> sp.csr_matrix:
+    """Build a CSR matrix from an edge list.
+
+    Each edge is ``(row, col)`` or ``(row, col, weight)``; unweighted edges
+    get weight 1, and duplicate edges accumulate.  With ``symmetric=True``
+    (only valid for square matrices) each edge is also inserted reversed.
+    """
+    rows: list[int] = []
+    cols: list[int] = []
+    values: list[float] = []
+    for edge in edges:
+        if len(edge) == 2:
+            row, col = edge  # type: ignore[misc]
+            weight = 1.0
+        else:
+            row, col, weight = edge  # type: ignore[misc]
+        if not (0 <= row < num_rows and 0 <= col < num_cols):
+            raise IndexError(f"edge ({row}, {col}) outside matrix of shape ({num_rows}, {num_cols})")
+        rows.append(int(row))
+        cols.append(int(col))
+        values.append(float(weight))
+        if symmetric and row != col:
+            if num_rows != num_cols:
+                raise ValueError("symmetric=True requires a square matrix")
+            rows.append(int(col))
+            cols.append(int(row))
+            values.append(float(weight))
+    matrix = sp.coo_matrix((values, (rows, cols)), shape=(num_rows, num_cols))
+    return matrix.tocsr()
+
+
+def build_adjacency_lists(
+    edges: Iterable[tuple[int, int]] | Iterable[tuple[int, int, float]],
+    num_nodes: int,
+    directed: bool = False,
+) -> list[np.ndarray]:
+    """Return, for every node, a sorted array of unique neighbour ids."""
+    neighbor_sets: list[set[int]] = [set() for _ in range(num_nodes)]
+    for edge in edges:
+        source, target = int(edge[0]), int(edge[1])
+        if not (0 <= source < num_nodes and 0 <= target < num_nodes):
+            raise IndexError(f"edge ({source}, {target}) outside graph with {num_nodes} nodes")
+        if source == target:
+            continue
+        neighbor_sets[source].add(target)
+        if not directed:
+            neighbor_sets[target].add(source)
+    return [np.array(sorted(neighbors), dtype=np.int64) for neighbors in neighbor_sets]
+
+
+def symmetric_normalized(adjacency: sp.spmatrix, add_self_loops: bool = True) -> sp.csr_matrix:
+    """Return ``D^{-1/2} (A [+ I]) D^{-1/2}``, the GCN/NGCF propagation matrix."""
+    adjacency = adjacency.tocsr().astype(np.float64)
+    if adjacency.shape[0] != adjacency.shape[1]:
+        raise ValueError(f"symmetric normalisation needs a square matrix, got {adjacency.shape}")
+    if add_self_loops:
+        adjacency = adjacency + sp.eye(adjacency.shape[0], format="csr")
+    degrees = np.asarray(adjacency.sum(axis=1)).reshape(-1)
+    with np.errstate(divide="ignore"):
+        inv_sqrt = 1.0 / np.sqrt(degrees)
+    inv_sqrt[~np.isfinite(inv_sqrt)] = 0.0
+    scaling = sp.diags(inv_sqrt)
+    return (scaling @ adjacency @ scaling).tocsr()
+
+
+def normalized_adjacency(adjacency: sp.spmatrix, how: str = "sym", add_self_loops: bool = True) -> sp.csr_matrix:
+    """Normalise an adjacency matrix.
+
+    ``how`` is ``"sym"`` for ``D^{-1/2} A D^{-1/2}`` (GCN/NGCF), ``"row"`` for
+    ``D^{-1} A`` (mean aggregation, PinSAGE-style) or ``"none"``.
+    """
+    if how == "sym":
+        return symmetric_normalized(adjacency, add_self_loops=add_self_loops)
+    adjacency = adjacency.tocsr().astype(np.float64)
+    if add_self_loops and adjacency.shape[0] == adjacency.shape[1]:
+        adjacency = adjacency + sp.eye(adjacency.shape[0], format="csr")
+    if how == "none":
+        return adjacency
+    if how == "row":
+        degrees = np.asarray(adjacency.sum(axis=1)).reshape(-1)
+        with np.errstate(divide="ignore"):
+            inv = 1.0 / degrees
+        inv[~np.isfinite(inv)] = 0.0
+        return (sp.diags(inv) @ adjacency).tocsr()
+    raise ValueError(f"unknown normalisation {how!r}; expected 'sym', 'row' or 'none'")

@@ -1,0 +1,147 @@
+"""The user-item bipartite graph ``G`` (Definition 3.2)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.adjacency import normalized_adjacency
+
+__all__ = ["UserItemBipartiteGraph"]
+
+
+class UserItemBipartiteGraph:
+    """Users, items and the interactions between them.
+
+    Interactions are stored as an ``(n, 2)`` integer array of
+    ``(user, item)`` pairs.  Duplicate pairs are collapsed; the class exposes
+    per-user and per-item neighbour lists, sparse matrix views and the joint
+    ``(U+I) × (U+I)`` normalised adjacency used by NGCF-style propagation.
+    """
+
+    def __init__(
+        self,
+        num_users: int,
+        num_items: int,
+        interactions: "np.ndarray | Sequence[tuple[int, int]]",
+    ) -> None:
+        if num_users <= 0 or num_items <= 0:
+            raise ValueError(f"num_users and num_items must be positive, got {num_users}, {num_items}")
+        interactions = np.asarray(interactions, dtype=np.int64)
+        if interactions.size == 0:
+            interactions = interactions.reshape(0, 2)
+        if interactions.ndim != 2 or interactions.shape[1] != 2:
+            raise ValueError(f"interactions must have shape (n, 2), got {interactions.shape}")
+        if interactions.size:
+            if interactions[:, 0].min() < 0 or interactions[:, 0].max() >= num_users:
+                raise IndexError("user index out of range")
+            if interactions[:, 1].min() < 0 or interactions[:, 1].max() >= num_items:
+                raise IndexError("item index out of range")
+        self.num_users = int(num_users)
+        self.num_items = int(num_items)
+        self.interactions = np.unique(interactions, axis=0) if interactions.size else interactions
+
+        self._user_items: list[np.ndarray] = [np.empty(0, dtype=np.int64) for _ in range(num_users)]
+        self._item_users: list[np.ndarray] = [np.empty(0, dtype=np.int64) for _ in range(num_items)]
+        if self.interactions.size:
+            order = np.argsort(self.interactions[:, 0], kind="stable")
+            by_user = self.interactions[order]
+            users, starts = np.unique(by_user[:, 0], return_index=True)
+            splits = np.split(by_user[:, 1], starts[1:])
+            for user, items in zip(users, splits):
+                self._user_items[user] = np.sort(items)
+            order = np.argsort(self.interactions[:, 1], kind="stable")
+            by_item = self.interactions[order]
+            items, starts = np.unique(by_item[:, 0 + 1], return_index=True)
+            splits = np.split(by_item[:, 0], starts[1:])
+            for item, users_of_item in zip(items, splits):
+                self._item_users[item] = np.sort(users_of_item)
+        self._pair_set = {(int(u), int(i)) for u, i in self.interactions}
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_interactions(self) -> int:
+        return int(self.interactions.shape[0])
+
+    def user_items(self, user: int) -> np.ndarray:
+        """Items the user interacted with — the paper's ``UI(u)``."""
+        self._check_user(user)
+        return self._user_items[user]
+
+    def item_users(self, item: int) -> np.ndarray:
+        """Users that interacted with the item — the paper's ``IU(i)``."""
+        self._check_item(item)
+        return self._item_users[item]
+
+    def user_degree(self, user: int) -> int:
+        return int(self.user_items(user).size)
+
+    def item_degree(self, item: int) -> int:
+        return int(self.item_users(item).size)
+
+    def has_interaction(self, user: int, item: int) -> bool:
+        return (int(user), int(item)) in self._pair_set
+
+    def density(self) -> float:
+        """Fraction of the user × item matrix that is observed."""
+        return self.num_interactions / float(self.num_users * self.num_items)
+
+    def _check_user(self, user: int) -> None:
+        if not 0 <= user < self.num_users:
+            raise IndexError(f"user {user} out of range [0, {self.num_users})")
+
+    def _check_item(self, item: int) -> None:
+        if not 0 <= item < self.num_items:
+            raise IndexError(f"item {item} out of range [0, {self.num_items})")
+
+    # ------------------------------------------------------------------ #
+    # Matrix views
+    # ------------------------------------------------------------------ #
+    def interaction_matrix(self) -> sp.csr_matrix:
+        """The ``num_users × num_items`` 0/1 interaction matrix ``R``."""
+        if not self.interactions.size:
+            return sp.csr_matrix((self.num_users, self.num_items))
+        values = np.ones(self.num_interactions, dtype=np.float64)
+        matrix = sp.coo_matrix(
+            (values, (self.interactions[:, 0], self.interactions[:, 1])),
+            shape=(self.num_users, self.num_items),
+        )
+        return matrix.tocsr()
+
+    def joint_adjacency(self, how: str = "sym", add_self_loops: bool = True) -> sp.csr_matrix:
+        """The ``(U+I) × (U+I)`` adjacency ``[[0, R], [R^T, 0]]``, normalised.
+
+        Users occupy indices ``0..U-1`` and items ``U..U+I-1``; this is the
+        propagation matrix used by the NGCF and PinSAGE baselines.
+        """
+        rating = self.interaction_matrix()
+        upper = sp.hstack([sp.csr_matrix((self.num_users, self.num_users)), rating])
+        lower = sp.hstack([rating.T, sp.csr_matrix((self.num_items, self.num_items))])
+        joint = sp.vstack([upper, lower]).tocsr()
+        return normalized_adjacency(joint, how=how, add_self_loops=add_self_loops)
+
+    # ------------------------------------------------------------------ #
+    # Derived graphs
+    # ------------------------------------------------------------------ #
+    def without_interactions(self, pairs: Iterable[tuple[int, int]]) -> "UserItemBipartiteGraph":
+        """Return a copy with the given ``(user, item)`` pairs removed.
+
+        The leave-one-out splitter uses this to carve held-out interactions
+        out of the training graph.
+        """
+        to_remove = {(int(u), int(i)) for u, i in pairs}
+        kept = np.array(
+            [pair for pair in self.interactions.tolist() if (pair[0], pair[1]) not in to_remove],
+            dtype=np.int64,
+        ).reshape(-1, 2)
+        return UserItemBipartiteGraph(self.num_users, self.num_items, kept)
+
+    def __repr__(self) -> str:
+        return (
+            f"UserItemBipartiteGraph(users={self.num_users}, items={self.num_items}, "
+            f"interactions={self.num_interactions})"
+        )

@@ -1,0 +1,98 @@
+"""Neighbour sampling and padding.
+
+The GNN components aggregate over variable-size neighbour sets.  To keep the
+NumPy forward pass vectorised, neighbour lists are padded (or sampled down)
+to a fixed width and paired with a 0/1 mask; the attention softmax and the
+sum aggregators honour the mask so padded slots contribute nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.rng import new_rng
+
+__all__ = ["sample_neighbors", "pad_neighbor_lists", "NeighborTable"]
+
+
+def sample_neighbors(
+    neighbors: np.ndarray,
+    cap: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Return at most ``cap`` neighbours, sampling without replacement if needed."""
+    if cap <= 0:
+        raise ValueError(f"cap must be positive, got {cap}")
+    neighbors = np.asarray(neighbors, dtype=np.int64)
+    if neighbors.size <= cap:
+        return neighbors
+    return rng.choice(neighbors, size=cap, replace=False)
+
+
+def pad_neighbor_lists(
+    neighbor_lists: Sequence[np.ndarray],
+    cap: int,
+    rng: np.random.Generator | int | None = None,
+    pad_value: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pad/sample per-node neighbour lists into fixed-width index + mask arrays.
+
+    Returns ``(indices, mask)`` of shape ``(len(neighbor_lists), cap)``.
+    ``mask`` is 1.0 where the slot holds a real neighbour and 0.0 where it is
+    padding; padded slots point at ``pad_value`` (a valid row) so gathers stay
+    in range, and consumers must multiply by the mask.
+    """
+    rng = rng if isinstance(rng, np.random.Generator) else new_rng(rng)
+    count = len(neighbor_lists)
+    indices = np.full((count, cap), pad_value, dtype=np.int64)
+    mask = np.zeros((count, cap), dtype=np.float64)
+    for row, neighbors in enumerate(neighbor_lists):
+        chosen = sample_neighbors(np.asarray(neighbors, dtype=np.int64), cap, rng)
+        width = chosen.size
+        if width:
+            indices[row, :width] = chosen
+            mask[row, :width] = 1.0
+    return indices, mask
+
+
+@dataclass(frozen=True)
+class NeighborTable:
+    """A padded neighbour table: indices, mask and the cap used to build it."""
+
+    indices: np.ndarray
+    mask: np.ndarray
+    cap: int
+
+    @classmethod
+    def from_lists(
+        cls,
+        neighbor_lists: Sequence[np.ndarray],
+        cap: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> "NeighborTable":
+        indices, mask = pad_neighbor_lists(neighbor_lists, cap, rng)
+        return cls(indices=indices, mask=mask, cap=cap)
+
+    def __post_init__(self) -> None:
+        if self.indices.shape != self.mask.shape:
+            raise ValueError(
+                f"indices and mask must share a shape, got {self.indices.shape} and {self.mask.shape}"
+            )
+        if self.indices.ndim != 2 or self.indices.shape[1] != self.cap:
+            raise ValueError(f"expected shape (*, {self.cap}), got {self.indices.shape}")
+
+    @property
+    def num_rows(self) -> int:
+        return int(self.indices.shape[0])
+
+    def take(self, rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Select the neighbour rows for a batch of node ids."""
+        rows = np.asarray(rows, dtype=np.int64)
+        return self.indices[rows], self.mask[rows]
+
+    def degrees(self) -> np.ndarray:
+        """Number of real (unmasked) neighbours per row."""
+        return self.mask.sum(axis=1).astype(np.int64)

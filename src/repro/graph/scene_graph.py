@@ -1,0 +1,215 @@
+"""The scene-based graph ``H`` (Definition 3.3).
+
+The graph is a 3-layer hierarchy:
+
+* **item layer** ``L_item`` — item-item similarity edges (built from co-view
+  sessions in the paper),
+* **category layer** ``L_cate`` — category-category relevance edges, plus the
+  item→category assignment ``L_ic`` (each item has exactly one category),
+* **scene layer** — scenes are sets of categories, connected by the
+  category→scene membership edges ``L_cs``.
+
+All edge weights are 1 as in the paper ("for simplicity, we set the weights
+of edges in the scene-based graph to be 1").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.graph.adjacency import build_adjacency_lists
+
+__all__ = ["SceneBasedGraph"]
+
+
+class SceneBasedGraph:
+    """Items, categories and scenes plus the four relation sets of Def. 3.3."""
+
+    def __init__(
+        self,
+        num_items: int,
+        num_categories: int,
+        num_scenes: int,
+        item_category: "np.ndarray | Sequence[int]",
+        item_item_edges: "Iterable[tuple[int, int]] | np.ndarray" = (),
+        category_category_edges: "Iterable[tuple[int, int]] | np.ndarray" = (),
+        scene_category_edges: "Iterable[tuple[int, int]] | np.ndarray" = (),
+    ) -> None:
+        if num_items <= 0 or num_categories <= 0 or num_scenes < 0:
+            raise ValueError(
+                "num_items and num_categories must be positive and num_scenes non-negative, "
+                f"got {num_items}, {num_categories}, {num_scenes}"
+            )
+        item_category = np.asarray(item_category, dtype=np.int64)
+        if item_category.shape != (num_items,):
+            raise ValueError(
+                f"item_category must map every item to a category: expected shape ({num_items},), "
+                f"got {item_category.shape}"
+            )
+        if item_category.size and (item_category.min() < 0 or item_category.max() >= num_categories):
+            raise IndexError("item_category contains out-of-range category ids")
+
+        self.num_items = int(num_items)
+        self.num_categories = int(num_categories)
+        self.num_scenes = int(num_scenes)
+        self.item_category = item_category
+
+        self.item_item_edges = self._dedupe_undirected(item_item_edges, num_items, "item")
+        self.category_category_edges = self._dedupe_undirected(
+            category_category_edges, num_categories, "category"
+        )
+        self.scene_category_edges = self._dedupe_membership(scene_category_edges, num_scenes, num_categories)
+
+        self._item_neighbors = build_adjacency_lists(self.item_item_edges, num_items)
+        self._category_neighbors = build_adjacency_lists(self.category_category_edges, num_categories)
+
+        self._category_scenes: list[np.ndarray] = [np.empty(0, dtype=np.int64) for _ in range(num_categories)]
+        self._scene_categories: list[np.ndarray] = [np.empty(0, dtype=np.int64) for _ in range(num_scenes)]
+        scene_sets: list[set[int]] = [set() for _ in range(num_scenes)]
+        category_sets: list[set[int]] = [set() for _ in range(num_categories)]
+        for scene, category in self.scene_category_edges:
+            scene_sets[scene].add(int(category))
+            category_sets[category].add(int(scene))
+        self._scene_categories = [np.array(sorted(values), dtype=np.int64) for values in scene_sets]
+        self._category_scenes = [np.array(sorted(values), dtype=np.int64) for values in category_sets]
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _dedupe_undirected(
+        edges: "Iterable[tuple[int, int]] | np.ndarray", num_nodes: int, label: str
+    ) -> np.ndarray:
+        unique: set[tuple[int, int]] = set()
+        for edge in np.asarray(list(edges), dtype=np.int64).reshape(-1, 2):
+            a, b = int(edge[0]), int(edge[1])
+            if not (0 <= a < num_nodes and 0 <= b < num_nodes):
+                raise IndexError(f"{label}-{label} edge ({a}, {b}) out of range [0, {num_nodes})")
+            if a == b:
+                continue
+            unique.add((min(a, b), max(a, b)))
+        if not unique:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.array(sorted(unique), dtype=np.int64)
+
+    @staticmethod
+    def _dedupe_membership(
+        edges: "Iterable[tuple[int, int]] | np.ndarray", num_scenes: int, num_categories: int
+    ) -> np.ndarray:
+        unique: set[tuple[int, int]] = set()
+        for edge in np.asarray(list(edges), dtype=np.int64).reshape(-1, 2):
+            scene, category = int(edge[0]), int(edge[1])
+            if not 0 <= scene < num_scenes:
+                raise IndexError(f"scene id {scene} out of range [0, {num_scenes})")
+            if not 0 <= category < num_categories:
+                raise IndexError(f"category id {category} out of range [0, {num_categories})")
+            unique.add((scene, category))
+        if not unique:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.array(sorted(unique), dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # Neighbourhood accessors (the paper's II, CC, CS, IS sets)
+    # ------------------------------------------------------------------ #
+    def item_neighbors(self, item: int) -> np.ndarray:
+        """``II(i)`` — items connected to ``item`` in the item layer."""
+        self._check(item, self.num_items, "item")
+        return self._item_neighbors[item]
+
+    def category_neighbors(self, category: int) -> np.ndarray:
+        """``CC(c)`` — categories related to ``category``."""
+        self._check(category, self.num_categories, "category")
+        return self._category_neighbors[category]
+
+    def category_of(self, item: int) -> int:
+        """``C(i)`` — the single pre-defined category of an item."""
+        self._check(item, self.num_items, "item")
+        return int(self.item_category[item])
+
+    def category_scenes(self, category: int) -> np.ndarray:
+        """``CS(c)`` — scenes the category belongs to."""
+        self._check(category, self.num_categories, "category")
+        return self._category_scenes[category]
+
+    def scene_categories(self, scene: int) -> np.ndarray:
+        """Categories that make up a scene (the scene's definition)."""
+        self._check(scene, self.num_scenes, "scene")
+        return self._scene_categories[scene]
+
+    def item_scenes(self, item: int) -> np.ndarray:
+        """``IS(i)`` — scenes that contain the item's category."""
+        return self.category_scenes(self.category_of(item))
+
+    def items_in_category(self, category: int) -> np.ndarray:
+        """All items whose pre-defined category is ``category``."""
+        self._check(category, self.num_categories, "category")
+        return np.flatnonzero(self.item_category == category)
+
+    def shared_scenes(self, category_a: int, category_b: int) -> np.ndarray:
+        """Scenes containing both categories — drives the attention intuition."""
+        return np.intersect1d(self.category_scenes(category_a), self.category_scenes(category_b))
+
+    @staticmethod
+    def _check(index: int, bound: int, label: str) -> None:
+        if not 0 <= index < bound:
+            raise IndexError(f"{label} {index} out of range [0, {bound})")
+
+    # ------------------------------------------------------------------ #
+    # Statistics and export
+    # ------------------------------------------------------------------ #
+    def statistics(self) -> dict[str, int]:
+        """Edge/node counts in the shape of the paper's Table 1 rows."""
+        return {
+            "num_items": self.num_items,
+            "num_categories": self.num_categories,
+            "num_scenes": self.num_scenes,
+            "item_item_edges": int(self.item_item_edges.shape[0]),
+            "item_category_edges": self.num_items,
+            "category_category_edges": int(self.category_category_edges.shape[0]),
+            "scene_category_edges": int(self.scene_category_edges.shape[0]),
+        }
+
+    def to_networkx(self) -> nx.Graph:
+        """Export the hierarchy as a NetworkX graph for inspection/plotting.
+
+        Node names are prefixed (``i:`` / ``c:`` / ``s:``) so the three layers
+        remain distinguishable.
+        """
+        graph = nx.Graph()
+        graph.add_nodes_from((f"i:{i}", {"layer": "item"}) for i in range(self.num_items))
+        graph.add_nodes_from((f"c:{c}", {"layer": "category"}) for c in range(self.num_categories))
+        graph.add_nodes_from((f"s:{s}", {"layer": "scene"}) for s in range(self.num_scenes))
+        graph.add_edges_from((f"i:{a}", f"i:{b}", {"relation": "item-item"}) for a, b in self.item_item_edges)
+        graph.add_edges_from(
+            (f"i:{i}", f"c:{c}", {"relation": "item-category"}) for i, c in enumerate(self.item_category)
+        )
+        graph.add_edges_from(
+            (f"c:{a}", f"c:{b}", {"relation": "category-category"}) for a, b in self.category_category_edges
+        )
+        graph.add_edges_from(
+            (f"s:{s}", f"c:{c}", {"relation": "scene-category"}) for s, c in self.scene_category_edges
+        )
+        return graph
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` if the hierarchy violates Definition 3.1/3.3.
+
+        Checks that every scene is a non-empty set of categories; categories
+        and items without scene coverage are allowed (they simply receive no
+        scene-specific signal), matching the paper's datasets where scene
+        coverage is partial.
+        """
+        for scene in range(self.num_scenes):
+            if self.scene_categories(scene).size == 0:
+                raise ValueError(f"scene {scene} has no categories; Definition 3.1 requires |s| >= 1")
+
+    def __repr__(self) -> str:
+        stats = self.statistics()
+        return (
+            "SceneBasedGraph(items={num_items}, categories={num_categories}, scenes={num_scenes}, "
+            "item_item={item_item_edges}, cat_cat={category_category_edges}, "
+            "scene_cat={scene_category_edges})".format(**stats)
+        )

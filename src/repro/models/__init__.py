@@ -1,0 +1,46 @@
+"""Recommendation models: SceneRec, its ablations and all paper baselines.
+
+* :class:`~repro.models.scenerec.SceneRec` — the paper's contribution
+  (Section 4), built on the scene-based graph and the user-item graph.
+* :mod:`~repro.models.scenerec_variants` — the three ablations of Table 2:
+  ``SceneRec-noitem``, ``SceneRec-nosce`` and ``SceneRec-noatt``.
+* :mod:`~repro.models.baselines` — re-implementations of the six baselines
+  (BPR-MF, NCF, CMN, PinSAGE, NGCF, KGAT) plus non-learned sanity baselines.
+* :func:`build_model` — a registry/factory used by the benchmark harness.
+"""
+
+from repro.models.base import Recommender
+from repro.models.baselines.bpr_mf import BPRMF
+from repro.models.baselines.cmn import CMN
+from repro.models.baselines.kgat import KGAT
+from repro.models.baselines.ncf import NCF
+from repro.models.baselines.ngcf import NGCF
+from repro.models.baselines.pinsage import PinSAGE
+from repro.models.baselines.simple import ItemKNN, ItemPop, RandomRecommender
+from repro.models.registry import MODEL_REGISTRY, build_model, list_model_names
+from repro.models.scenerec import SceneRec, SceneRecConfig
+from repro.models.service import Recommendation, TopKRecommender
+from repro.models.scenerec_variants import SceneRecNoAttention, SceneRecNoItem, SceneRecNoScene
+
+__all__ = [
+    "BPRMF",
+    "CMN",
+    "ItemKNN",
+    "ItemPop",
+    "KGAT",
+    "MODEL_REGISTRY",
+    "NCF",
+    "NGCF",
+    "PinSAGE",
+    "RandomRecommender",
+    "Recommendation",
+    "Recommender",
+    "SceneRec",
+    "TopKRecommender",
+    "SceneRecConfig",
+    "SceneRecNoAttention",
+    "SceneRecNoItem",
+    "SceneRecNoScene",
+    "build_model",
+    "list_model_names",
+]

@@ -1,0 +1,61 @@
+"""The common interface every recommender implements.
+
+The trainer and the evaluator only talk to models through this interface, so
+SceneRec, its ablations, the neural baselines and the heuristic baselines are
+all interchangeable in the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+__all__ = ["Recommender"]
+
+
+class Recommender(Module):
+    """Base class for all recommendation models.
+
+    Subclasses must implement :meth:`predict_pairs`, which returns a tensor of
+    preference scores for ``(user, item)`` index pairs; training uses the
+    differentiable tensor, evaluation uses the plain NumPy view via
+    :meth:`score`.
+    """
+
+    #: set by subclasses; the benchmark harness reports it
+    name: str = "recommender"
+    #: heuristic models (popularity, random, kNN) set this to False so the
+    #: trainer knows there is nothing to optimise
+    trainable: bool = True
+
+    def predict_pairs(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        """Return a ``(batch,)`` tensor of preference scores ``r'_{ui}``."""
+        raise NotImplementedError(f"{type(self).__name__} does not implement predict_pairs()")
+
+    def forward(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        return self.predict_pairs(users, items)
+
+    def score(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """NumPy scores for evaluation (no gradient bookkeeping)."""
+        return self.predict_pairs(np.asarray(users), np.asarray(items)).data.reshape(-1)
+
+    def bpr_scores(
+        self, users: np.ndarray, positive_items: np.ndarray, negative_items: np.ndarray
+    ) -> tuple[Tensor, Tensor]:
+        """Scores of the positive and negative items for a BPR batch.
+
+        The default implementation calls :meth:`predict_pairs` twice; models
+        that can share intermediate computation (e.g. the user embedding) may
+        override this for speed.
+        """
+        return self.predict_pairs(users, positive_items), self.predict_pairs(users, negative_items)
+
+    @staticmethod
+    def _check_index_arrays(users: np.ndarray, items: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        users = np.asarray(users, dtype=np.int64).reshape(-1)
+        items = np.asarray(items, dtype=np.int64).reshape(-1)
+        if users.shape != items.shape:
+            raise ValueError(f"users and items must have equal length, got {users.shape} and {items.shape}")
+        return users, items

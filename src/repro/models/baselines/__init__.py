@@ -1,0 +1,38 @@
+"""Baseline recommenders compared against SceneRec in Table 2.
+
+Neural baselines (trained with the same BPR trainer as SceneRec):
+
+* :class:`~repro.models.baselines.bpr_mf.BPRMF` — matrix factorisation with BPR loss,
+* :class:`~repro.models.baselines.ncf.NCF` — neural collaborative filtering (NeuMF),
+* :class:`~repro.models.baselines.cmn.CMN` — collaborative memory network,
+* :class:`~repro.models.baselines.pinsage.PinSAGE` — GraphSAGE-style convolution on the
+  user-item bipartite graph (the paper applies PinSAGE to that graph directly),
+* :class:`~repro.models.baselines.ngcf.NGCF` — neural graph collaborative filtering,
+* :class:`~repro.models.baselines.kgat.KGAT` — knowledge-graph attention network with
+  scenes as KG entities (the paper's degraded item-scene graph).
+
+Heuristic baselines (no training, used as sanity floors in extension
+experiments): :class:`ItemPop`, :class:`RandomRecommender`, :class:`ItemKNN`.
+"""
+
+from repro.models.baselines.bpr_mf import BPRMF
+from repro.models.baselines.cmn import CMN
+from repro.models.baselines.kgat import KGAT
+from repro.models.baselines.lightgcn import LightGCN
+from repro.models.baselines.ncf import NCF
+from repro.models.baselines.ngcf import NGCF
+from repro.models.baselines.pinsage import PinSAGE
+from repro.models.baselines.simple import ItemKNN, ItemPop, RandomRecommender
+
+__all__ = [
+    "BPRMF",
+    "CMN",
+    "ItemKNN",
+    "ItemPop",
+    "KGAT",
+    "LightGCN",
+    "NCF",
+    "NGCF",
+    "PinSAGE",
+    "RandomRecommender",
+]

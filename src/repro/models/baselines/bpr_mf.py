@@ -1,0 +1,39 @@
+"""BPR-MF: matrix factorisation trained with the BPR loss [Rendle et al. 2009]."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.functional import embedding_lookup
+from repro.autograd.tensor import Tensor
+from repro.models.base import Recommender
+from repro.nn.embedding import Embedding
+from repro.nn.module import Parameter
+from repro.utils.rng import new_rng, spawn_rngs
+
+__all__ = ["BPRMF"]
+
+
+class BPRMF(Recommender):
+    """``r'_{ui} = e_u · e_i + b_i``: the classic pairwise-ranking MF baseline."""
+
+    name = "BPR-MF"
+
+    def __init__(self, num_users: int, num_items: int, embedding_dim: int = 32, seed: int = 0) -> None:
+        super().__init__()
+        if num_users <= 0 or num_items <= 0:
+            raise ValueError("num_users and num_items must be positive")
+        rng = new_rng(seed)
+        user_rng, item_rng = spawn_rngs(int(rng.integers(0, 2**31 - 1)), 2)
+        self.num_users = num_users
+        self.num_items = num_items
+        self.user_embedding = Embedding(num_users, embedding_dim, rng=user_rng)
+        self.item_embedding = Embedding(num_items, embedding_dim, rng=item_rng)
+        self.item_bias = Parameter(np.zeros(num_items), name="item_bias")
+
+    def predict_pairs(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        users, items = self._check_index_arrays(users, items)
+        user_vectors = self.user_embedding(users)
+        item_vectors = self.item_embedding(items)
+        bias = embedding_lookup(self.item_bias, items)
+        return (user_vectors * item_vectors).sum(axis=-1) + bias

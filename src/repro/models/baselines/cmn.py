@@ -1,0 +1,70 @@
+"""CMN: collaborative memory network [Ebesu et al. 2018].
+
+CMN scores a (user, item) pair by attending over the *neighbourhood memory*:
+the users who also interacted with the item.  The attention query combines the
+target user and item embeddings; the attended output is mixed with a GMF-style
+term through a small output network (we implement the single-hop variant,
+which the original paper reports as already competitive).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.functional import concat, masked_softmax
+from repro.autograd.tensor import Tensor
+from repro.graph.bipartite import UserItemBipartiteGraph
+from repro.graph.sampling import NeighborTable
+from repro.models.base import Recommender
+from repro.nn.embedding import Embedding
+from repro.nn.linear import Linear
+from repro.utils.rng import new_rng, spawn_rngs
+
+__all__ = ["CMN"]
+
+
+class CMN(Recommender):
+    """Single-hop collaborative memory network."""
+
+    name = "CMN"
+
+    def __init__(
+        self,
+        bipartite: UserItemBipartiteGraph,
+        embedding_dim: int = 32,
+        neighbor_cap: int = 30,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = new_rng(seed)
+        rngs = spawn_rngs(int(rng.integers(0, 2**31 - 1)), 4)
+        self.num_users = bipartite.num_users
+        self.num_items = bipartite.num_items
+        # The "memory" and "output" user tables of the original model.
+        self.user_embedding = Embedding(self.num_users, embedding_dim, rng=rngs[0])
+        self.user_memory = Embedding(self.num_users, embedding_dim, rng=rngs[1])
+        self.item_embedding = Embedding(self.num_items, embedding_dim, rng=rngs[2])
+        self.output = Linear(2 * embedding_dim, 1, rng=rngs[3])
+        self._item_users = NeighborTable.from_lists(
+            [bipartite.item_users(i) for i in range(self.num_items)],
+            cap=neighbor_cap,
+            rng=new_rng(seed + 1),
+        )
+
+    def predict_pairs(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        users, items = self._check_index_arrays(users, items)
+        user_vectors = self.user_embedding(users)  # (B, d)
+        item_vectors = self.item_embedding(items)  # (B, d)
+
+        neighbor_indices, neighbor_mask = self._item_users.take(items)
+        neighbor_vectors = self.user_embedding(neighbor_indices)  # (B, cap, d)
+        # Attention: how relevant is each neighbour v to the query (u, i)?
+        query = (user_vectors + item_vectors).expand_dims(1)  # (B, 1, d)
+        scores = (neighbor_vectors * query).sum(axis=-1)  # (B, cap)
+        weights = masked_softmax(scores, neighbor_mask, axis=-1)
+        memory_vectors = self.user_memory(neighbor_indices)  # (B, cap, d)
+        attended = (memory_vectors * weights.expand_dims(-1)).sum(axis=1)  # (B, d)
+
+        gmf = user_vectors * item_vectors
+        hidden = concat([gmf, attended], axis=-1).relu()
+        return self.output(hidden).squeeze(-1)

@@ -1,0 +1,58 @@
+"""NCF / NeuMF: neural collaborative filtering [He et al. 2017].
+
+The model combines a generalised matrix-factorisation (GMF) branch with an
+MLP branch over the concatenated user/item embeddings, exactly as in the
+NeuMF architecture the paper cites as its NCF baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.autograd.functional import concat
+from repro.autograd.tensor import Tensor
+from repro.models.base import Recommender
+from repro.nn.embedding import Embedding
+from repro.nn.linear import Linear
+from repro.nn.mlp import MLP
+from repro.utils.rng import new_rng, spawn_rngs
+
+__all__ = ["NCF"]
+
+
+class NCF(Recommender):
+    """NeuMF: GMF branch ⊕ MLP branch → linear scoring head."""
+
+    name = "NCF"
+
+    def __init__(
+        self,
+        num_users: int,
+        num_items: int,
+        embedding_dim: int = 8,
+        mlp_hidden: Sequence[int] = (32, 16),
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if num_users <= 0 or num_items <= 0:
+            raise ValueError("num_users and num_items must be positive")
+        rng = new_rng(seed)
+        rngs = spawn_rngs(int(rng.integers(0, 2**31 - 1)), 6)
+        self.num_users = num_users
+        self.num_items = num_items
+        # Separate embedding tables per branch, as in the original NeuMF.
+        self.gmf_user_embedding = Embedding(num_users, embedding_dim, rng=rngs[0])
+        self.gmf_item_embedding = Embedding(num_items, embedding_dim, rng=rngs[1])
+        self.mlp_user_embedding = Embedding(num_users, embedding_dim, rng=rngs[2])
+        self.mlp_item_embedding = Embedding(num_items, embedding_dim, rng=rngs[3])
+        self.mlp = MLP([2 * embedding_dim, *mlp_hidden], activation="relu", rng=rngs[4])
+        self.output = Linear(embedding_dim + (list(mlp_hidden)[-1] if mlp_hidden else 2 * embedding_dim), 1, rng=rngs[5])
+
+    def predict_pairs(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        users, items = self._check_index_arrays(users, items)
+        gmf = self.gmf_user_embedding(users) * self.gmf_item_embedding(items)
+        mlp_input = concat([self.mlp_user_embedding(users), self.mlp_item_embedding(items)], axis=-1)
+        mlp_out = self.mlp(mlp_input)
+        return self.output(concat([gmf, mlp_out], axis=-1)).squeeze(-1)

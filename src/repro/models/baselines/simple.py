@@ -1,0 +1,93 @@
+"""Non-learned sanity baselines: popularity, random and item-kNN.
+
+These are not part of the paper's Table 2 but serve two purposes in this
+reproduction: they give the benchmark harness cheap sanity floors (any trained
+model should beat Random, and a healthy dataset makes ItemPop non-trivial to
+beat), and they exercise the evaluator with models that have no trainable
+parameters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd.tensor import Tensor
+from repro.graph.bipartite import UserItemBipartiteGraph
+from repro.models.base import Recommender
+from repro.utils.rng import new_rng
+
+__all__ = ["ItemPop", "RandomRecommender", "ItemKNN"]
+
+
+class ItemPop(Recommender):
+    """Score every item by its training interaction count."""
+
+    name = "ItemPop"
+    trainable = False
+
+    def __init__(self, bipartite: UserItemBipartiteGraph) -> None:
+        super().__init__()
+        counts = np.zeros(bipartite.num_items, dtype=np.float64)
+        for item in bipartite.interactions[:, 1]:
+            counts[item] += 1.0
+        self._popularity = counts
+
+    def predict_pairs(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        users, items = self._check_index_arrays(users, items)
+        return Tensor(self._popularity[items])
+
+
+class RandomRecommender(Recommender):
+    """Uniformly random scores; the floor every model must clear."""
+
+    name = "Random"
+    trainable = False
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__()
+        self._rng = new_rng(seed)
+
+    def predict_pairs(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        users, items = self._check_index_arrays(users, items)
+        return Tensor(self._rng.random(items.shape[0]))
+
+
+class ItemKNN(Recommender):
+    """Item-based k-nearest-neighbour collaborative filtering.
+
+    Item-item cosine similarities are computed from the training interaction
+    matrix; a candidate item's score for a user is the summed similarity to
+    the user's training items (restricted to the ``k`` most similar).
+    """
+
+    name = "ItemKNN"
+    trainable = False
+
+    def __init__(self, bipartite: UserItemBipartiteGraph, k: int = 50) -> None:
+        super().__init__()
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+        rating = bipartite.interaction_matrix()  # users × items
+        norms = np.sqrt(np.asarray(rating.power(2).sum(axis=0)).reshape(-1)) + 1e-12
+        normalized = rating @ sp.diags(1.0 / norms)
+        similarity = (normalized.T @ normalized).toarray()
+        np.fill_diagonal(similarity, 0.0)
+        # Keep only the top-k similarities per item (standard kNN pruning).
+        if k < similarity.shape[0]:
+            for row in range(similarity.shape[0]):
+                keep = np.argpartition(similarity[row], -k)[-k:]
+                pruned = np.zeros_like(similarity[row])
+                pruned[keep] = similarity[row][keep]
+                similarity[row] = pruned
+        self._similarity = similarity
+        self._user_items = [bipartite.user_items(u) for u in range(bipartite.num_users)]
+
+    def predict_pairs(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        users, items = self._check_index_arrays(users, items)
+        scores = np.empty(items.shape[0], dtype=np.float64)
+        for position, (user, item) in enumerate(zip(users, items)):
+            history = self._user_items[int(user)]
+            scores[position] = float(self._similarity[int(item), history].sum()) if history.size else 0.0
+        return Tensor(scores)

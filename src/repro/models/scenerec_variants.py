@@ -1,0 +1,70 @@
+"""The three SceneRec ablations evaluated in Table 2 (Section 5.2).
+
+Each variant is the full model with one component removed:
+
+* :class:`SceneRecNoItem` — drops the item-item sub-network of the scene-based
+  graph, so the scene-based item view is driven purely by the category/scene
+  hierarchy.
+* :class:`SceneRecNoScene` — drops the category and scene layers, so the
+  scene-based graph degenerates to the item-item similarity network.
+* :class:`SceneRecNoAttention` — keeps the full graph but replaces the
+  scene-based attention (Eqs. 5-6, 10-11) with uniform neighbour averaging.
+
+They are thin configuration wrappers over :class:`~repro.models.scenerec.SceneRec`
+so the ablation differs from the full model in exactly one switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.graph.bipartite import UserItemBipartiteGraph
+from repro.graph.scene_graph import SceneBasedGraph
+from repro.models.scenerec import SceneRec, SceneRecConfig
+
+__all__ = ["SceneRecNoItem", "SceneRecNoScene", "SceneRecNoAttention"]
+
+
+class SceneRecNoItem(SceneRec):
+    """SceneRec without item-item interactions in the scene-based graph."""
+
+    name = "SceneRec-noitem"
+
+    def __init__(
+        self,
+        bipartite: UserItemBipartiteGraph,
+        scene_graph: SceneBasedGraph,
+        config: SceneRecConfig | None = None,
+    ) -> None:
+        config = replace(config or SceneRecConfig(), use_item_item=False, use_scene_hierarchy=True)
+        super().__init__(bipartite, scene_graph, config)
+
+
+class SceneRecNoScene(SceneRec):
+    """SceneRec without the category and scene layers (item-item only)."""
+
+    name = "SceneRec-nosce"
+
+    def __init__(
+        self,
+        bipartite: UserItemBipartiteGraph,
+        scene_graph: SceneBasedGraph,
+        config: SceneRecConfig | None = None,
+    ) -> None:
+        config = replace(config or SceneRecConfig(), use_scene_hierarchy=False, use_item_item=True)
+        super().__init__(bipartite, scene_graph, config)
+
+
+class SceneRecNoAttention(SceneRec):
+    """SceneRec with uniform neighbour averaging instead of scene-based attention."""
+
+    name = "SceneRec-noatt"
+
+    def __init__(
+        self,
+        bipartite: UserItemBipartiteGraph,
+        scene_graph: SceneBasedGraph,
+        config: SceneRecConfig | None = None,
+    ) -> None:
+        config = replace(config or SceneRecConfig(), use_attention=False)
+        super().__init__(bipartite, scene_graph, config)

@@ -1,0 +1,38 @@
+"""Neural-network building blocks on top of :mod:`repro.autograd`.
+
+The layer zoo is intentionally small — exactly what the SceneRec model family
+and the re-implemented baselines need: parameters with a module registry,
+linear layers, embedding tables, multi-layer perceptrons, dropout and a few
+activation wrappers.
+"""
+
+from repro.nn.activations import Activation, identity, relu, sigmoid, tanh
+from repro.nn.containers import ModuleDict, ModuleList, Sequential
+from repro.nn.dropout import Dropout
+from repro.nn.embedding import Embedding
+from repro.nn.init import he_uniform, normal_init, xavier_normal, xavier_uniform, zeros_init
+from repro.nn.linear import Linear
+from repro.nn.mlp import MLP
+from repro.nn.module import Module, Parameter
+
+__all__ = [
+    "Activation",
+    "Dropout",
+    "Embedding",
+    "Linear",
+    "MLP",
+    "Module",
+    "ModuleDict",
+    "ModuleList",
+    "Parameter",
+    "Sequential",
+    "he_uniform",
+    "identity",
+    "normal_init",
+    "relu",
+    "sigmoid",
+    "tanh",
+    "xavier_normal",
+    "xavier_uniform",
+    "zeros_init",
+]

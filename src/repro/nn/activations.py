@@ -1,0 +1,76 @@
+"""Activation functions as composable modules and as plain callables."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+__all__ = ["identity", "relu", "sigmoid", "tanh", "leaky_relu", "Activation", "resolve_activation"]
+
+
+def identity(x: Tensor) -> Tensor:
+    """Pass-through activation."""
+    return x
+
+
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def leaky_relu(x: Tensor) -> Tensor:
+    return x.leaky_relu()
+
+
+_BY_NAME: dict[str, Callable[[Tensor], Tensor]] = {
+    "identity": identity,
+    "linear": identity,
+    "none": identity,
+    "relu": relu,
+    "sigmoid": sigmoid,
+    "tanh": tanh,
+    "leaky_relu": leaky_relu,
+}
+
+
+def resolve_activation(activation: "str | Callable[[Tensor], Tensor] | None") -> Callable[[Tensor], Tensor]:
+    """Map an activation name (or callable, or None) to a callable.
+
+    The paper writes a generic non-linearity ``σ``; the default throughout the
+    library is ReLU for hidden layers and sigmoid only where a probability is
+    required.
+    """
+    if activation is None:
+        return identity
+    if callable(activation):
+        return activation
+    try:
+        return _BY_NAME[activation.lower()]
+    except KeyError as error:
+        raise ValueError(
+            f"unknown activation {activation!r}; expected one of {sorted(_BY_NAME)}"
+        ) from error
+
+
+class Activation(Module):
+    """Module wrapper so activations can participate in :class:`Sequential`."""
+
+    def __init__(self, activation: "str | Callable[[Tensor], Tensor]") -> None:
+        super().__init__()
+        self.fn = resolve_activation(activation)
+        self.name = activation if isinstance(activation, str) else getattr(activation, "__name__", "custom")
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fn(x)
+
+    def __repr__(self) -> str:
+        return f"Activation({self.name})"

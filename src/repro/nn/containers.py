@@ -1,0 +1,98 @@
+"""Container modules: Sequential, ModuleList and ModuleDict."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+__all__ = ["Sequential", "ModuleList", "ModuleDict"]
+
+
+class Sequential(Module):
+    """Apply child modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._ordered: list[Module] = []
+        for index, module in enumerate(modules):
+            self.append(module)
+
+    def append(self, module: Module) -> "Sequential":
+        if not isinstance(module, Module):
+            raise TypeError(f"Sequential only holds Modules, got {type(module).__name__}")
+        setattr(self, f"layer_{len(self._ordered)}", module)
+        self._ordered.append(module)
+        return self
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self._ordered:
+            x = module(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._ordered)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._ordered[index]
+
+
+class ModuleList(Module):
+    """A list of modules whose parameters are all registered."""
+
+    def __init__(self, modules: Iterable[Module] = ()) -> None:
+        super().__init__()
+        self._items: list[Module] = []
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        if not isinstance(module, Module):
+            raise TypeError(f"ModuleList only holds Modules, got {type(module).__name__}")
+        setattr(self, f"item_{len(self._items)}", module)
+        self._items.append(module)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]
+
+
+class ModuleDict(Module):
+    """A string-keyed collection of modules."""
+
+    def __init__(self, modules: dict[str, Module] | None = None) -> None:
+        super().__init__()
+        self._keys: list[str] = []
+        for key, module in (modules or {}).items():
+            self[key] = module
+
+    def __setitem__(self, key: str, module: Module) -> None:
+        if not isinstance(module, Module):
+            raise TypeError(f"ModuleDict only holds Modules, got {type(module).__name__}")
+        if key not in self._keys:
+            self._keys.append(key)
+        setattr(self, key, module)
+
+    def __getitem__(self, key: str) -> Module:
+        if key not in self._keys:
+            raise KeyError(key)
+        return getattr(self, key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._keys
+
+    def keys(self) -> list[str]:
+        return list(self._keys)
+
+    def __len__(self) -> int:
+        return len(self._keys)

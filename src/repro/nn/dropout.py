@@ -1,0 +1,36 @@
+"""Inverted dropout."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.functional import dropout_mask
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+from repro.utils.rng import new_rng
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Module):
+    """Randomly zero a fraction of activations during training.
+
+    Uses inverted dropout (scaling by ``1/(1-rate)`` at train time) so
+    evaluation is a plain pass-through.
+    """
+
+    def __init__(self, rate: float = 0.1, rng: np.random.Generator | int | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = rng if isinstance(rng, np.random.Generator) else new_rng(rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.rate == 0.0:
+            return x
+        mask = dropout_mask(x.shape, self.rate, self._rng)
+        return x * Tensor(mask)
+
+    def __repr__(self) -> str:
+        return f"Dropout(rate={self.rate})"

@@ -1,0 +1,61 @@
+"""Embedding tables for users, items, categories and scenes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.functional import embedding_lookup
+from repro.autograd.tensor import Tensor
+from repro.nn.init import normal_init, xavier_uniform
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import new_rng
+
+__all__ = ["Embedding"]
+
+
+class Embedding(Module):
+    """A learnable lookup table of shape ``(num_embeddings, dim)``.
+
+    ``forward`` accepts an integer array of any shape and returns a tensor of
+    shape ``indices.shape + (dim,)``; gradients are scatter-added so repeated
+    indices within a batch accumulate correctly.
+    """
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        dim: int,
+        init: str = "normal",
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__()
+        if num_embeddings <= 0 or dim <= 0:
+            raise ValueError(
+                f"num_embeddings and dim must be positive, got {num_embeddings} and {dim}"
+            )
+        rng = rng if isinstance(rng, np.random.Generator) else new_rng(rng)
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        if init == "normal":
+            values = normal_init((num_embeddings, dim), rng, std=0.1)
+        elif init == "xavier":
+            values = xavier_uniform((num_embeddings, dim), rng)
+        else:
+            raise ValueError(f"unknown init {init!r}; expected 'normal' or 'xavier'")
+        self.weight = Parameter(values, name="embedding")
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
+            raise IndexError(
+                f"embedding indices out of range [0, {self.num_embeddings}): "
+                f"min={indices.min()}, max={indices.max()}"
+            )
+        return embedding_lookup(self.weight, indices)
+
+    def all(self) -> Tensor:
+        """The full table as a tensor, for full-graph propagation models."""
+        return self.weight
+
+    def __repr__(self) -> str:
+        return f"Embedding(num={self.num_embeddings}, dim={self.dim})"

@@ -1,0 +1,52 @@
+"""Weight initialisers.
+
+All initialisers take an explicit :class:`numpy.random.Generator` so model
+construction is deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "xavier_normal", "he_uniform", "normal_init", "zeros_init"]
+
+
+def _fan(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) == 0:
+        return 1, 1
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = int(np.prod(shape[1:]))
+    fan_out = shape[0]
+    return fan_in, fan_out
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation, suitable for tanh/sigmoid layers."""
+    fan_in, fan_out = _fan(shape)
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def xavier_normal(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier normal initialisation."""
+    fan_in, fan_out = _fan(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def he_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming uniform initialisation, suitable for ReLU layers."""
+    fan_in, _ = _fan(shape)
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def normal_init(shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.01) -> np.ndarray:
+    """Small-variance Gaussian initialisation, used for embedding tables."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros_init(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zeros initialisation, used for biases."""
+    return np.zeros(shape, dtype=np.float64)

@@ -1,0 +1,53 @@
+"""Fully-connected layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn.init import xavier_uniform, zeros_init
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import new_rng
+
+__all__ = ["Linear"]
+
+
+class Linear(Module):
+    """Affine map ``y = x W^T + b``.
+
+    Weights use Xavier-uniform initialisation; the bias starts at zero and can
+    be disabled, which some propagation layers (NGCF) use.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError(
+                f"in_features and out_features must be positive, got {in_features} and {out_features}"
+            )
+        rng = rng if isinstance(rng, np.random.Generator) else new_rng(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(xavier_uniform((out_features, in_features), rng), name="weight")
+        self.use_bias = bias
+        if bias:
+            self.bias = Parameter(zeros_init((out_features,)), name="bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"Linear expected input with last dimension {self.in_features}, got {x.shape}"
+            )
+        out = x @ self.weight.T
+        if self.use_bias:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear(in={self.in_features}, out={self.out_features}, bias={self.use_bias})"

@@ -1,0 +1,64 @@
+"""Multi-layer perceptron, the paper's F(·) in Eqs. 13-14."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn.activations import resolve_activation
+from repro.nn.containers import ModuleList
+from repro.nn.dropout import Dropout
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.utils.rng import new_rng, spawn_rngs
+
+__all__ = ["MLP"]
+
+
+class MLP(Module):
+    """A stack of ``Linear`` layers with a shared hidden activation.
+
+    ``layer_sizes`` lists every width including input and output, e.g.
+    ``MLP([128, 64, 1])`` maps 128 → 64 → 1.  The hidden activation is applied
+    after every layer except the last; the optional ``output_activation``
+    applies to the final layer.
+    """
+
+    def __init__(
+        self,
+        layer_sizes: Sequence[int],
+        activation: "str | Callable[[Tensor], Tensor]" = "relu",
+        output_activation: "str | Callable[[Tensor], Tensor] | None" = None,
+        dropout: float = 0.0,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__()
+        sizes = list(layer_sizes)
+        if len(sizes) < 2:
+            raise ValueError(f"MLP needs at least an input and an output width, got {sizes}")
+        rng = rng if isinstance(rng, np.random.Generator) else new_rng(rng)
+        layer_rngs = spawn_rngs(int(rng.integers(0, 2**31 - 1)), len(sizes) - 1)
+        self.layer_sizes = sizes
+        self.activation = resolve_activation(activation)
+        self.output_activation = resolve_activation(output_activation)
+        self.layers = ModuleList(
+            Linear(sizes[index], sizes[index + 1], rng=layer_rngs[index]) for index in range(len(sizes) - 1)
+        )
+        self.dropout = Dropout(dropout, rng=rng) if dropout > 0 else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        last = len(self.layers) - 1
+        for index, layer in enumerate(self.layers):
+            x = layer(x)
+            if index < last:
+                x = self.activation(x)
+                if self.dropout is not None:
+                    x = self.dropout(x)
+            else:
+                x = self.output_activation(x)
+        return x
+
+    def __repr__(self) -> str:
+        return f"MLP(sizes={self.layer_sizes})"

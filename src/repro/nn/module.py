@@ -1,0 +1,142 @@
+"""``Parameter`` and ``Module``: the layer/parameter registry.
+
+A :class:`Module` automatically registers any :class:`Parameter` or child
+:class:`Module` assigned as an attribute, so optimisers can collect trainable
+tensors with :meth:`Module.parameters` and models can be saved/restored with
+:meth:`Module.state_dict` / :meth:`Module.load_state_dict`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A tensor that is always trainable and registered by modules."""
+
+    def __init__(self, data: np.ndarray | list | float, name: str | None = None) -> None:
+        super().__init__(np.asarray(data, dtype=np.float64), requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for layers and models.
+
+    Subclasses define parameters/child modules in ``__init__`` and implement
+    ``forward``.  Calling the module invokes ``forward``.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------ #
+    # Attribute registration
+    # ------------------------------------------------------------------ #
+    def __setattr__(self, name: str, value: object) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+            if value.name is None:
+                value.name = name
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        else:
+            # Re-assigning a previously registered name with a non-parameter
+            # removes the registration so stale entries never linger.
+            self._parameters.pop(name, None)
+            self._modules.pop(name, None)
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------ #
+    # Parameter iteration
+    # ------------------------------------------------------------------ #
+    def parameters(self) -> list[Parameter]:
+        """Return all trainable parameters of this module and its children."""
+        return [parameter for _, parameter in self.named_parameters()]
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs, depth first."""
+        for name, parameter in self._parameters.items():
+            yield f"{prefix}{name}", parameter
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def children(self) -> list["Module"]:
+        """Immediate child modules."""
+        return list(self._modules.values())
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and every descendant."""
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar trainable parameters."""
+        return sum(parameter.size for parameter in self.parameters())
+
+    # ------------------------------------------------------------------ #
+    # Training / evaluation mode
+    # ------------------------------------------------------------------ #
+    def train(self, mode: bool = True) -> "Module":
+        """Switch this module (and children) between train and eval mode."""
+        for module in self.modules():
+            object.__setattr__(module, "training", mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    # ------------------------------------------------------------------ #
+    # Gradients
+    # ------------------------------------------------------------------ #
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter."""
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    # ------------------------------------------------------------------ #
+    # State persistence
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> "OrderedDict[str, np.ndarray]":
+        """Copy of every parameter keyed by its dotted name."""
+        return OrderedDict((name, parameter.data.copy()) for name, parameter in self.named_parameters())
+
+    def load_state_dict(self, state: dict[str, np.ndarray], strict: bool = True) -> None:
+        """Load parameter values previously produced by :meth:`state_dict`."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if strict and (missing or unexpected):
+            raise KeyError(
+                f"state_dict mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}"
+            )
+        for name, parameter in own.items():
+            if name not in state:
+                continue
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != parameter.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: expected {parameter.data.shape}, got {value.shape}"
+                )
+            parameter.data = value.copy()
+
+    # ------------------------------------------------------------------ #
+    # Forward dispatch
+    # ------------------------------------------------------------------ #
+    def forward(self, *args: object, **kwargs: object) -> object:
+        raise NotImplementedError(f"{type(self).__name__} does not implement forward()")
+
+    def __call__(self, *args: object, **kwargs: object) -> object:
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        child_reprs = ", ".join(f"{name}={type(mod).__name__}" for name, mod in self._modules.items())
+        return f"{type(self).__name__}({child_reprs})"

@@ -1,0 +1,25 @@
+"""Optimisers and gradient utilities.
+
+The paper trains with RMSProp; SGD and Adam are provided so the baselines and
+ablation studies can be run with different optimisers, and so the tuning
+helper can sweep over them.
+"""
+
+from repro.optim.adam import Adam
+from repro.optim.clip import clip_grad_norm, clip_grad_value
+from repro.optim.optimizer import Optimizer
+from repro.optim.rmsprop import RMSProp
+from repro.optim.schedulers import ConstantLR, ExponentialDecayLR, StepLR
+from repro.optim.sgd import SGD
+
+__all__ = [
+    "Adam",
+    "ConstantLR",
+    "ExponentialDecayLR",
+    "Optimizer",
+    "RMSProp",
+    "SGD",
+    "StepLR",
+    "clip_grad_norm",
+    "clip_grad_value",
+]

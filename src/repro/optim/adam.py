@@ -1,0 +1,49 @@
+"""Adam optimiser."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.optimizer import Optimizer
+
+__all__ = ["Adam"]
+
+
+class Adam(Optimizer):
+    """Adam with bias-corrected first and second moment estimates."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.001,
+        betas: tuple[float, float] = (0.9, 0.999),
+        epsilon: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr, weight_decay)
+        beta1, beta2 = betas
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._moment1: dict[int, np.ndarray] = {}
+        self._moment2: dict[int, np.ndarray] = {}
+
+    def _update(self, index: int, parameter: Parameter, grad: np.ndarray) -> None:
+        moment1 = self._moment1.get(index)
+        moment2 = self._moment2.get(index)
+        if moment1 is None:
+            moment1 = np.zeros_like(parameter.data)
+            moment2 = np.zeros_like(parameter.data)
+        moment1 = self.beta1 * moment1 + (1.0 - self.beta1) * grad
+        moment2 = self.beta2 * moment2 + (1.0 - self.beta2) * grad**2
+        self._moment1[index] = moment1
+        self._moment2[index] = moment2
+        step = self._step_count + 1
+        corrected1 = moment1 / (1.0 - self.beta1**step)
+        corrected2 = moment2 / (1.0 - self.beta2**step)
+        parameter.data = parameter.data - self.lr * corrected1 / (np.sqrt(corrected2) + self.epsilon)

@@ -1,0 +1,39 @@
+"""Gradient clipping utilities."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+__all__ = ["clip_grad_norm", "clip_grad_value"]
+
+
+def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
+    """Scale gradients so their joint L2 norm does not exceed ``max_norm``.
+
+    Returns the pre-clipping norm, which the trainer logs to spot exploding
+    gradients early.
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    parameters = [p for p in parameters if p.grad is not None]
+    if not parameters:
+        return 0.0
+    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in parameters)))
+    if total > max_norm:
+        scale = max_norm / (total + 1e-12)
+        for parameter in parameters:
+            parameter.grad = parameter.grad * scale
+    return total
+
+
+def clip_grad_value(parameters: Iterable[Parameter], max_value: float) -> None:
+    """Clamp every gradient entry into ``[-max_value, max_value]``."""
+    if max_value <= 0:
+        raise ValueError(f"max_value must be positive, got {max_value}")
+    for parameter in parameters:
+        if parameter.grad is not None:
+            parameter.grad = np.clip(parameter.grad, -max_value, max_value)

@@ -1,0 +1,63 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+__all__ = ["Optimizer"]
+
+
+class Optimizer:
+    """Base class: holds parameters, a learning rate and optional weight decay.
+
+    ``weight_decay`` implements decoupled L2 regularisation by adding
+    ``weight_decay * parameter`` to the gradient before the update, which
+    matches the ``λ‖Θ‖²`` term of the paper's loss (Eq. 15) up to the factor
+    of two absorbed into the coefficient.
+    """
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float, weight_decay: float = 0.0) -> None:
+        self.parameters: Sequence[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if weight_decay < 0:
+            raise ValueError(f"weight_decay must be non-negative, got {weight_decay}")
+        self.lr = float(lr)
+        self.weight_decay = float(weight_decay)
+        self._step_count = 0
+
+    # ------------------------------------------------------------------ #
+    def zero_grad(self) -> None:
+        """Clear gradients on all managed parameters."""
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def _effective_grad(self, parameter: Parameter) -> np.ndarray | None:
+        if parameter.grad is None:
+            return None
+        grad = parameter.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * parameter.data
+        return grad
+
+    def step(self) -> None:
+        """Apply one update; subclasses implement :meth:`_update`."""
+        for index, parameter in enumerate(self.parameters):
+            grad = self._effective_grad(parameter)
+            if grad is None:
+                continue
+            self._update(index, parameter, grad)
+        self._step_count += 1
+
+    def _update(self, index: int, parameter: Parameter, grad: np.ndarray) -> None:
+        raise NotImplementedError
+
+    @property
+    def step_count(self) -> int:
+        return self._step_count

@@ -1,0 +1,41 @@
+"""RMSProp — the optimiser used by the paper (Section 5.3)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.optimizer import Optimizer
+
+__all__ = ["RMSProp"]
+
+
+class RMSProp(Optimizer):
+    """RMSProp with exponentially decaying squared-gradient average."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.001,
+        decay: float = 0.9,
+        epsilon: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr, weight_decay)
+        if not 0.0 < decay < 1.0:
+            raise ValueError(f"decay must be in (0, 1), got {decay}")
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        self.decay = decay
+        self.epsilon = epsilon
+        self._square_avg: dict[int, np.ndarray] = {}
+
+    def _update(self, index: int, parameter: Parameter, grad: np.ndarray) -> None:
+        square_avg = self._square_avg.get(index)
+        if square_avg is None:
+            square_avg = np.zeros_like(parameter.data)
+        square_avg = self.decay * square_avg + (1.0 - self.decay) * grad**2
+        self._square_avg[index] = square_avg
+        parameter.data = parameter.data - self.lr * grad / (np.sqrt(square_avg) + self.epsilon)

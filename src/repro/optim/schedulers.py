@@ -1,0 +1,64 @@
+"""Learning-rate schedulers.
+
+Schedulers wrap an optimiser and mutate its ``lr`` when :meth:`step` is
+called once per epoch.  The benchmark harness uses :class:`ConstantLR`; the
+others exist for the tuning helper and extension experiments.
+"""
+
+from __future__ import annotations
+
+from repro.optim.optimizer import Optimizer
+
+__all__ = ["ConstantLR", "StepLR", "ExponentialDecayLR"]
+
+
+class _Scheduler:
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch and return the new learning rate."""
+        self.epoch += 1
+        self.optimizer.lr = self._lr_at(self.epoch)
+        return self.optimizer.lr
+
+    def _lr_at(self, epoch: int) -> float:
+        raise NotImplementedError
+
+
+class ConstantLR(_Scheduler):
+    """Keep the learning rate fixed (the paper's setting)."""
+
+    def _lr_at(self, epoch: int) -> float:
+        return self.base_lr
+
+
+class StepLR(_Scheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5) -> None:
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def _lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class ExponentialDecayLR(_Scheduler):
+    """Multiply the learning rate by ``gamma`` every epoch."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.95) -> None:
+        super().__init__(optimizer)
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        self.gamma = gamma
+
+    def _lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma**epoch

@@ -1,0 +1,40 @@
+"""Stochastic gradient descent with optional momentum."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.optimizer import Optimizer
+
+__all__ = ["SGD"]
+
+
+class SGD(Optimizer):
+    """Vanilla SGD, optionally with classical momentum."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr, weight_decay)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def _update(self, index: int, parameter: Parameter, grad: np.ndarray) -> None:
+        if self.momentum:
+            velocity = self._velocity.get(index)
+            if velocity is None:
+                velocity = np.zeros_like(parameter.data)
+            velocity = self.momentum * velocity + grad
+            self._velocity[index] = velocity
+            parameter.data = parameter.data - self.lr * velocity
+        else:
+            parameter.data = parameter.data - self.lr * grad

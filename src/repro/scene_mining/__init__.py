@@ -1,0 +1,34 @@
+"""Automatic scene mining — the paper's stated future work.
+
+SceneRec's scenes are curated by human experts ("scene mining is our future
+work", Section 5.1).  This package implements that future-work component: it
+discovers candidate scenes — sets of item categories that co-occur in
+browsing behaviour — directly from session data, so the scene layer of the
+scene-based graph can be built without manual labelling.
+
+The miner builds a weighted category co-occurrence graph from co-view
+sessions and extracts communities with standard graph-clustering algorithms
+(greedy modularity, label propagation or connected components of a pruned
+graph).  Mined scenes can be compared against curated ones
+(:func:`scene_overlap_report`) and swapped into an existing dataset
+(:func:`replace_scenes`) so the full SceneRec pipeline runs unchanged on
+mined scenes.
+"""
+
+from repro.scene_mining.mining import (
+    MinedScenes,
+    SceneMiningConfig,
+    category_cooccurrence_graph,
+    mine_scenes,
+    replace_scenes,
+    scene_overlap_report,
+)
+
+__all__ = [
+    "MinedScenes",
+    "SceneMiningConfig",
+    "category_cooccurrence_graph",
+    "mine_scenes",
+    "replace_scenes",
+    "scene_overlap_report",
+]

@@ -1,0 +1,22 @@
+"""Training: BPR loss, the trainer loop, early stopping, checkpoints and tuning."""
+
+from repro.training.checkpoint import load_checkpoint, save_checkpoint
+from repro.training.config import TrainConfig
+from repro.training.early_stopping import EarlyStopping
+from repro.training.losses import bpr_loss, l2_regularization
+from repro.training.trainer import EpochStats, Trainer, TrainingHistory
+from repro.training.tuning import GridSearch, GridSearchResult
+
+__all__ = [
+    "EarlyStopping",
+    "EpochStats",
+    "GridSearch",
+    "GridSearchResult",
+    "TrainConfig",
+    "Trainer",
+    "TrainingHistory",
+    "bpr_loss",
+    "l2_regularization",
+    "load_checkpoint",
+    "save_checkpoint",
+]

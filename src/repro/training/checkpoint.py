@@ -1,0 +1,46 @@
+"""Model checkpointing.
+
+Checkpoints are ``.npz`` files holding every named parameter; they are
+model-class agnostic (loading requires constructing the same architecture
+first, then calling :func:`load_checkpoint`).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+
+def _sanitize(name: str) -> str:
+    # np.savez keys cannot contain '/', and '.' is fine but keep it simple.
+    return name.replace("/", "_")
+
+
+def save_checkpoint(model: Module, path: str | Path) -> Path:
+    """Write every parameter of ``model`` to ``path`` (``.npz``)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = {_sanitize(name): value for name, value in model.state_dict().items()}
+    np.savez_compressed(path, **state)
+    return path
+
+
+def load_checkpoint(model: Module, path: str | Path, strict: bool = True) -> Module:
+    """Load parameters saved by :func:`save_checkpoint` into ``model``."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"checkpoint not found: {path}")
+    archive = np.load(path)
+    own_names = {name: _sanitize(name) for name, _ in model.named_parameters()}
+    state = {name: archive[key] for name, key in own_names.items() if key in archive.files}
+    if strict:
+        missing = [name for name, key in own_names.items() if key not in archive.files]
+        if missing:
+            raise KeyError(f"checkpoint is missing parameters: {missing}")
+    model.load_state_dict(state, strict=strict)
+    return model

@@ -1,0 +1,55 @@
+"""Training configuration."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+__all__ = ["TrainConfig"]
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Hyper-parameters of the BPR training loop.
+
+    The paper tunes the learning rate over {1e-4, 1e-3, 1e-2, 1e-1} and the
+    L2 coefficient over {0, 1e-6, 1e-4, 1e-2} with RMSProp; the defaults here
+    are the mid-grid values that work well at the reproduction's scale.
+    """
+
+    epochs: int = 20
+    batch_size: int = 256
+    learning_rate: float = 0.01
+    #: λ of Eq. 15, applied as optimiser weight decay
+    l2_coefficient: float = 1e-6
+    optimizer: str = "rmsprop"
+    #: validate every ``eval_every`` epochs (0 disables validation during training)
+    eval_every: int = 1
+    #: stop after this many evaluations without NDCG improvement (0 disables)
+    early_stopping_patience: int = 0
+    #: clip the global gradient norm (0 disables)
+    grad_clip_norm: float = 5.0
+    #: cutoff K of the validation metrics
+    k: int = 10
+    seed: int = 0
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if self.epochs < 0:
+            raise ValueError(f"epochs must be non-negative, got {self.epochs}")
+        if self.batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {self.batch_size}")
+        if self.learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {self.learning_rate}")
+        if self.l2_coefficient < 0:
+            raise ValueError(f"l2_coefficient must be non-negative, got {self.l2_coefficient}")
+        if self.optimizer.lower() not in {"rmsprop", "adam", "sgd"}:
+            raise ValueError(f"optimizer must be one of rmsprop/adam/sgd, got {self.optimizer!r}")
+        if self.eval_every < 0:
+            raise ValueError(f"eval_every must be non-negative, got {self.eval_every}")
+        if self.grad_clip_norm < 0:
+            raise ValueError(f"grad_clip_norm must be non-negative, got {self.grad_clip_norm}")
+        if self.k <= 0:
+            raise ValueError(f"k must be positive, got {self.k}")
+
+    def to_dict(self) -> dict[str, object]:
+        return asdict(self)

@@ -1,0 +1,39 @@
+"""Early stopping on a validation metric."""
+
+from __future__ import annotations
+
+__all__ = ["EarlyStopping"]
+
+
+class EarlyStopping:
+    """Stop training after ``patience`` evaluations without improvement.
+
+    ``update`` returns ``True`` while training should continue.  The monitor
+    assumes larger metric values are better (NDCG/HR), and treats improvements
+    smaller than ``min_delta`` as no improvement.
+    """
+
+    def __init__(self, patience: int, min_delta: float = 0.0) -> None:
+        if patience <= 0:
+            raise ValueError(f"patience must be positive, got {patience}")
+        if min_delta < 0:
+            raise ValueError(f"min_delta must be non-negative, got {min_delta}")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best_value: float | None = None
+        self.best_step: int | None = None
+        self._bad_evaluations = 0
+
+    def update(self, value: float, step: int) -> bool:
+        """Record an evaluation; return ``False`` when training should stop."""
+        if self.best_value is None or value > self.best_value + self.min_delta:
+            self.best_value = value
+            self.best_step = step
+            self._bad_evaluations = 0
+            return True
+        self._bad_evaluations += 1
+        return self._bad_evaluations < self.patience
+
+    @property
+    def should_stop(self) -> bool:
+        return self._bad_evaluations >= self.patience

@@ -1,0 +1,40 @@
+"""Training losses: pairwise BPR (Eq. 15) and L2 regularisation."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.autograd.functional import l2_norm, log_sigmoid
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Parameter
+
+__all__ = ["bpr_loss", "l2_regularization"]
+
+
+def bpr_loss(positive_scores: Tensor, negative_scores: Tensor) -> Tensor:
+    """``-mean(log σ(r'_{px} - r'_{py}))`` over a batch of BPR triples.
+
+    This is the data term of the paper's objective (Eq. 15): observed
+    interactions should be scored above sampled unobserved ones.  The mean
+    (rather than the sum) keeps the loss scale independent of batch size so
+    one learning rate works across batch-size choices.
+    """
+    if positive_scores.shape != negative_scores.shape:
+        raise ValueError(
+            f"positive and negative score shapes differ: {positive_scores.shape} vs {negative_scores.shape}"
+        )
+    return -(log_sigmoid(positive_scores - negative_scores).mean())
+
+
+def l2_regularization(parameters: Sequence[Parameter], coefficient: float) -> Tensor:
+    """``λ ‖Θ‖²`` — the explicit regulariser of Eq. 15.
+
+    The trainer applies regularisation through the optimiser's weight decay by
+    default (cheaper: no extra graph); this explicit form exists for tests and
+    for experiments that regularise only a subset of parameters.
+    """
+    if coefficient < 0:
+        raise ValueError(f"coefficient must be non-negative, got {coefficient}")
+    if coefficient == 0:
+        return Tensor(0.0)
+    return l2_norm(list(parameters)) * coefficient

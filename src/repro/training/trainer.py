@@ -1,0 +1,184 @@
+"""The BPR trainer shared by SceneRec, its ablations and all neural baselines.
+
+Every model is trained the same way — same negative sampling, same loss, same
+optimiser family, same validation protocol — so Table-2 style comparisons
+measure differences between *models*, not between training pipelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.batching import BprBatcher
+from repro.data.splits import LeaveOneOutSplit
+from repro.evaluation.evaluator import EvaluationResult, RankingEvaluator
+from repro.models.base import Recommender
+from repro.optim.adam import Adam
+from repro.optim.clip import clip_grad_norm
+from repro.optim.optimizer import Optimizer
+from repro.optim.rmsprop import RMSProp
+from repro.optim.sgd import SGD
+from repro.training.config import TrainConfig
+from repro.training.early_stopping import EarlyStopping
+from repro.training.losses import bpr_loss
+from repro.utils.logging import get_logger
+from repro.utils.rng import new_rng
+from repro.utils.timing import Timer
+
+__all__ = ["EpochStats", "TrainingHistory", "Trainer"]
+
+_LOGGER = get_logger("training.trainer")
+
+
+@dataclass(frozen=True)
+class EpochStats:
+    """Loss and (optional) validation metrics of one epoch."""
+
+    epoch: int
+    loss: float
+    grad_norm: float
+    seconds: float
+    validation: EvaluationResult | None = None
+
+
+@dataclass
+class TrainingHistory:
+    """All per-epoch statistics of a training run."""
+
+    epochs: list[EpochStats] = field(default_factory=list)
+
+    def append(self, stats: EpochStats) -> None:
+        self.epochs.append(stats)
+
+    @property
+    def losses(self) -> list[float]:
+        return [stats.loss for stats in self.epochs]
+
+    def best_validation(self) -> EvaluationResult | None:
+        """The best validation result observed (by NDCG), if any."""
+        results = [stats.validation for stats in self.epochs if stats.validation is not None]
+        if not results:
+            return None
+        return max(results, key=lambda result: result.ndcg)
+
+    def __len__(self) -> int:
+        return len(self.epochs)
+
+
+def _build_optimizer(model: Recommender, config: TrainConfig) -> Optimizer:
+    parameters = model.parameters()
+    name = config.optimizer.lower()
+    if name == "rmsprop":
+        return RMSProp(parameters, lr=config.learning_rate, weight_decay=config.l2_coefficient)
+    if name == "adam":
+        return Adam(parameters, lr=config.learning_rate, weight_decay=config.l2_coefficient)
+    return SGD(parameters, lr=config.learning_rate, weight_decay=config.l2_coefficient)
+
+
+class Trainer:
+    """Train a recommender with pairwise BPR on a leave-one-out split."""
+
+    def __init__(
+        self,
+        model: Recommender,
+        split: LeaveOneOutSplit,
+        config: TrainConfig | None = None,
+    ) -> None:
+        self.model = model
+        self.split = split
+        self.config = config or TrainConfig()
+        self._rng = new_rng(self.config.seed)
+        self._validation_evaluator = (
+            RankingEvaluator(split.validation, k=self.config.k) if split.validation else None
+        )
+
+    # ------------------------------------------------------------------ #
+    def fit(self) -> TrainingHistory:
+        """Run the full training loop and return the per-epoch history.
+
+        Heuristic models (``trainable=False``) skip optimisation entirely but
+        still produce a (single, evaluation-only) history entry so harness
+        code can treat every model uniformly.
+        """
+        history = TrainingHistory()
+        if not self.model.trainable or not self.model.parameters() or self.config.epochs == 0:
+            validation = self._maybe_validate(force=True)
+            history.append(EpochStats(epoch=0, loss=float("nan"), grad_norm=0.0, seconds=0.0, validation=validation))
+            return history
+
+        optimizer = _build_optimizer(self.model, self.config)
+        batcher = BprBatcher(
+            self.split.train_interactions,
+            self.split.train_user_items(),
+            num_items=self.split.num_items,
+            batch_size=self.config.batch_size,
+            rng=self._rng,
+        )
+        stopper = (
+            EarlyStopping(self.config.early_stopping_patience)
+            if self.config.early_stopping_patience > 0
+            else None
+        )
+
+        for epoch in range(1, self.config.epochs + 1):
+            timer = Timer()
+            with timer:
+                loss_value, grad_norm = self._train_one_epoch(batcher, optimizer)
+            validation = self._maybe_validate(epoch=epoch)
+            stats = EpochStats(
+                epoch=epoch,
+                loss=loss_value,
+                grad_norm=grad_norm,
+                seconds=timer.elapsed,
+                validation=validation,
+            )
+            history.append(stats)
+            if self.config.verbose:
+                message = f"epoch {epoch:3d} loss={loss_value:.4f}"
+                if validation is not None:
+                    message += f" {validation}"
+                _LOGGER.info(message)
+            if stopper is not None and validation is not None:
+                if not stopper.update(validation.ndcg, epoch):
+                    if self.config.verbose:
+                        _LOGGER.info("early stopping at epoch %d", epoch)
+                    break
+        return history
+
+    # ------------------------------------------------------------------ #
+    def _train_one_epoch(self, batcher: BprBatcher, optimizer: Optimizer) -> tuple[float, float]:
+        self.model.train()
+        total_loss = 0.0
+        total_examples = 0
+        last_grad_norm = 0.0
+        for batch in batcher.epoch():
+            optimizer.zero_grad()
+            positive_scores, negative_scores = self.model.bpr_scores(
+                batch.users, batch.positive_items, batch.negative_items
+            )
+            loss = bpr_loss(positive_scores, negative_scores)
+            loss.backward()
+            if self.config.grad_clip_norm > 0:
+                last_grad_norm = clip_grad_norm(self.model.parameters(), self.config.grad_clip_norm)
+            optimizer.step()
+            total_loss += float(loss.data) * len(batch)
+            total_examples += len(batch)
+        return total_loss / max(total_examples, 1), last_grad_norm
+
+    def _maybe_validate(self, epoch: int = 0, force: bool = False) -> EvaluationResult | None:
+        if self._validation_evaluator is None:
+            return None
+        if not force:
+            if self.config.eval_every == 0 or epoch % self.config.eval_every != 0:
+                return None
+        return self._validation_evaluator.evaluate(self.model)
+
+    # ------------------------------------------------------------------ #
+    def evaluate_test(self, k: int | None = None) -> EvaluationResult:
+        """Evaluate the (current) model on the held-out test instances."""
+        if not self.split.test:
+            raise ValueError("the split has no test instances")
+        evaluator = RankingEvaluator(self.split.test, k=k or self.config.k)
+        return evaluator.evaluate(self.model)

@@ -1,0 +1,90 @@
+"""Grid-search hyper-parameter tuning on the validation split.
+
+The paper selects the learning rate and L2 coefficient by grid search on the
+validation set (Section 5.3).  :class:`GridSearch` reproduces that procedure
+for any model factory; the benchmark harness uses fixed defaults to stay
+within CPU budget, but the machinery is available (and tested) for users who
+want the full protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from itertools import product
+from typing import Callable, Mapping, Sequence
+
+from repro.data.splits import LeaveOneOutSplit
+from repro.evaluation.evaluator import EvaluationResult
+from repro.models.base import Recommender
+from repro.training.config import TrainConfig
+from repro.training.trainer import Trainer
+from repro.utils.logging import get_logger
+
+__all__ = ["GridSearchResult", "GridSearch"]
+
+_LOGGER = get_logger("training.tuning")
+
+
+@dataclass(frozen=True)
+class GridSearchResult:
+    """Validation outcome of one hyper-parameter combination."""
+
+    params: dict[str, object]
+    validation: EvaluationResult
+
+    @property
+    def ndcg(self) -> float:
+        return self.validation.ndcg
+
+
+class GridSearch:
+    """Exhaustive search over a grid of :class:`TrainConfig` overrides.
+
+    ``model_factory`` must build a *fresh* model for every trial (models are
+    stateful once trained).  The grid maps ``TrainConfig`` field names to the
+    candidate values, e.g. ``{"learning_rate": [1e-3, 1e-2], "l2_coefficient": [0, 1e-4]}``.
+    """
+
+    def __init__(
+        self,
+        model_factory: Callable[[], Recommender],
+        split: LeaveOneOutSplit,
+        base_config: TrainConfig,
+        grid: Mapping[str, Sequence[object]],
+    ) -> None:
+        if not grid:
+            raise ValueError("the search grid must not be empty")
+        unknown = [name for name in grid if not hasattr(base_config, name)]
+        if unknown:
+            raise ValueError(f"grid refers to unknown TrainConfig fields: {unknown}")
+        self.model_factory = model_factory
+        self.split = split
+        self.base_config = base_config
+        self.grid = {name: list(values) for name, values in grid.items()}
+
+    def combinations(self) -> list[dict[str, object]]:
+        """Every parameter combination in the grid, in deterministic order."""
+        names = sorted(self.grid)
+        return [dict(zip(names, values)) for values in product(*(self.grid[name] for name in names))]
+
+    def run(self) -> list[GridSearchResult]:
+        """Train one model per combination and return results sorted by NDCG."""
+        results: list[GridSearchResult] = []
+        for params in self.combinations():
+            config = replace(self.base_config, **params)
+            model = self.model_factory()
+            trainer = Trainer(model, self.split, config)
+            history = trainer.fit()
+            validation = history.best_validation()
+            if validation is None:
+                raise RuntimeError(
+                    "grid search requires validation instances; the split has none or eval_every=0"
+                )
+            _LOGGER.info("grid point %s -> NDCG=%.4f", params, validation.ndcg)
+            results.append(GridSearchResult(params=params, validation=validation))
+        return sorted(results, key=lambda result: result.ndcg, reverse=True)
+
+    def best(self) -> GridSearchResult:
+        """Run the search (if needed) and return the best combination."""
+        results = self.run()
+        return results[0]

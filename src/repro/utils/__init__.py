@@ -1,0 +1,16 @@
+"""Shared utilities: seeding, logging, timing and light-weight persistence."""
+
+from repro.utils.logging import get_logger
+from repro.utils.rng import RngMixin, new_rng, set_global_seed
+from repro.utils.serialization import load_json, save_json
+from repro.utils.timing import Timer
+
+__all__ = [
+    "RngMixin",
+    "Timer",
+    "get_logger",
+    "load_json",
+    "new_rng",
+    "save_json",
+    "set_global_seed",
+]

@@ -1,0 +1,39 @@
+"""Library-wide logging configuration.
+
+The library logs through the standard :mod:`logging` module under the
+``repro`` namespace.  By default the root ``repro`` logger gets a single
+stream handler with a compact format; applications embedding the library can
+reconfigure or silence it like any other logger.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger", "configure_logging"]
+
+_FORMAT = "%(asctime)s %(levelname)s %(name)s: %(message)s"
+_configured = False
+
+
+def configure_logging(level: int = logging.INFO) -> None:
+    """Attach a stream handler to the ``repro`` root logger once."""
+    global _configured
+    logger = logging.getLogger("repro")
+    if not _configured:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT, datefmt="%H:%M:%S"))
+        logger.addHandler(handler)
+        _configured = True
+    logger.setLevel(level)
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger namespaced under ``repro``.
+
+    ``get_logger("training.trainer")`` and ``get_logger("repro.training")``
+    both resolve below the ``repro`` root so one call configures everything.
+    """
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)

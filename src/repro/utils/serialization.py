@@ -1,0 +1,50 @@
+"""JSON persistence helpers that understand NumPy scalars and arrays.
+
+Experiment results, dataset statistics and model configuration dictionaries
+are stored as JSON so they are diff-able and inspectable without the library.
+NumPy types are converted to their Python equivalents on the way out.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = ["to_jsonable", "save_json", "load_json"]
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert ``value`` into JSON-serialisable Python objects."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [to_jsonable(item) for item in value]
+    if hasattr(value, "to_dict"):
+        return to_jsonable(value.to_dict())
+    raise TypeError(f"cannot convert {type(value).__name__} to JSON")
+
+
+def save_json(path: str | Path, value: Any, *, indent: int = 2) -> Path:
+    """Serialise ``value`` to ``path``, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_jsonable(value), indent=indent, sort_keys=True))
+    return path
+
+
+def load_json(path: str | Path) -> Any:
+    """Load JSON previously written by :func:`save_json`."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,217 @@
+"""Unit tests for the free functions in repro.autograd.functional."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.autograd import Tensor, concat, embedding_lookup, log_sigmoid, masked_softmax, sparse_matmul, stack, where
+from repro.autograd.functional import cosine_similarity, dropout_mask, l2_norm, softplus
+
+
+class TestConcat:
+    def test_values_last_axis(self):
+        out = concat([Tensor(np.ones((2, 2))), Tensor(np.zeros((2, 3)))], axis=-1)
+        assert out.shape == (2, 5)
+
+    def test_values_first_axis(self):
+        out = concat([Tensor(np.ones((2, 2))), Tensor(np.zeros((3, 2)))], axis=0)
+        assert out.shape == (5, 2)
+
+    def test_grad_splits_back(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((2, 3)), requires_grad=True)
+        out = concat([a, b], axis=1)
+        out.backward(np.arange(10.0).reshape(2, 5))
+        assert np.allclose(a.grad, [[0.0, 1.0], [5.0, 6.0]])
+        assert np.allclose(b.grad, [[2.0, 3.0, 4.0], [7.0, 8.0, 9.0]])
+
+    def test_accepts_raw_arrays(self):
+        out = concat([np.ones((1, 2)), Tensor(np.zeros((1, 2)))], axis=0)
+        assert out.shape == (2, 2)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            concat([])
+
+
+class TestStack:
+    def test_shape(self):
+        out = stack([Tensor(np.ones(3)), Tensor(np.zeros(3))], axis=0)
+        assert out.shape == (2, 3)
+
+    def test_grad(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        stack([a, b], axis=0).sum().backward()
+        assert np.allclose(a.grad, 1.0)
+        assert np.allclose(b.grad, 1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            stack([])
+
+
+class TestEmbeddingLookup:
+    def test_gather_values(self):
+        table = Tensor(np.arange(12.0).reshape(4, 3), requires_grad=True)
+        out = embedding_lookup(table, np.array([3, 0]))
+        assert np.allclose(out.data, table.data[[3, 0]])
+
+    def test_scatter_add_gradient(self):
+        table = Tensor(np.zeros((4, 2)), requires_grad=True)
+        embedding_lookup(table, np.array([1, 1, 3])).sum().backward()
+        assert np.allclose(table.grad[1], [2.0, 2.0])
+        assert np.allclose(table.grad[3], [1.0, 1.0])
+        assert np.allclose(table.grad[0], [0.0, 0.0])
+
+    def test_nd_indices(self):
+        table = Tensor(np.arange(12.0).reshape(4, 3))
+        out = embedding_lookup(table, np.array([[0, 1], [2, 3]]))
+        assert out.shape == (2, 2, 3)
+
+
+class TestSparseMatmul:
+    def test_value_matches_dense(self):
+        matrix = sp.random(6, 4, density=0.5, random_state=0, format="csr")
+        dense = Tensor(np.random.default_rng(1).normal(size=(4, 3)))
+        out = sparse_matmul(matrix, dense)
+        assert np.allclose(out.data, matrix.toarray() @ dense.data)
+
+    def test_gradient_is_transpose_product(self):
+        matrix = sp.random(5, 4, density=0.6, random_state=2, format="csr")
+        dense = Tensor(np.random.default_rng(3).normal(size=(4, 2)), requires_grad=True)
+        sparse_matmul(matrix, dense).sum().backward()
+        assert np.allclose(dense.grad, matrix.T.toarray() @ np.ones((5, 2)))
+
+    def test_rejects_dense_left_operand(self):
+        with pytest.raises(TypeError):
+            sparse_matmul(np.eye(3), Tensor(np.ones((3, 2))))
+
+
+class TestLogSigmoidAndSoftplus:
+    def test_log_sigmoid_matches_reference(self):
+        x = np.array([-3.0, 0.0, 2.0])
+        expected = np.log(1.0 / (1.0 + np.exp(-x)))
+        assert np.allclose(log_sigmoid(Tensor(x)).data, expected)
+
+    def test_log_sigmoid_stable_for_large_negative(self):
+        out = log_sigmoid(Tensor([-1000.0])).data
+        assert np.isfinite(out).all()
+        assert out[0] == pytest.approx(-1000.0, rel=1e-3)
+
+    def test_log_sigmoid_stable_for_large_positive(self):
+        out = log_sigmoid(Tensor([1000.0])).data
+        assert out[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_softplus_values(self):
+        assert np.allclose(softplus(Tensor([0.0])).data, np.log(2.0))
+
+    def test_softplus_grad_is_sigmoid(self):
+        x = Tensor([0.5], requires_grad=True)
+        softplus(x).sum().backward()
+        assert np.allclose(x.grad, 1.0 / (1.0 + np.exp(-0.5)))
+
+
+class TestMaskedSoftmax:
+    def test_masked_entries_get_zero_weight(self):
+        scores = Tensor(np.array([[1.0, 2.0, 3.0]]))
+        mask = np.array([[1.0, 1.0, 0.0]])
+        weights = masked_softmax(scores, mask).data
+        assert weights[0, 2] == pytest.approx(0.0, abs=1e-9)
+        assert weights[0, :2].sum() == pytest.approx(1.0)
+
+    def test_unmasked_matches_plain_softmax(self):
+        scores = np.random.default_rng(0).normal(size=(3, 4))
+        plain = Tensor(scores).softmax(axis=-1).data
+        masked = masked_softmax(Tensor(scores), np.ones((3, 4))).data
+        assert np.allclose(plain, masked, atol=1e-9)
+
+    def test_fully_masked_row_is_all_zero(self):
+        weights = masked_softmax(Tensor(np.ones((1, 3))), np.zeros((1, 3))).data
+        assert np.allclose(weights, 0.0)
+
+    def test_gradients_flow_only_through_real_slots(self):
+        scores = Tensor(np.zeros((1, 3)), requires_grad=True)
+        mask = np.array([[1.0, 1.0, 0.0]])
+        masked_softmax(scores, mask).sum().backward()
+        assert np.isfinite(scores.grad).all()
+
+
+class TestCosineSimilarity:
+    def test_identical_vectors(self):
+        a = Tensor(np.array([[1.0, 2.0, 3.0]]))
+        assert cosine_similarity(a, a).data[0] == pytest.approx(1.0, rel=1e-6)
+
+    def test_orthogonal_vectors(self):
+        a = Tensor(np.array([[1.0, 0.0]]))
+        b = Tensor(np.array([[0.0, 1.0]]))
+        assert cosine_similarity(a, b).data[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_opposite_vectors(self):
+        a = Tensor(np.array([[1.0, 1.0]]))
+        assert cosine_similarity(a, -a).data[0] == pytest.approx(-1.0, rel=1e-6)
+
+    def test_broadcasting_against_neighbors(self):
+        own = Tensor(np.ones((2, 1, 3)))
+        neighbors = Tensor(np.ones((2, 4, 3)))
+        assert cosine_similarity(own, neighbors).shape == (2, 4)
+
+    def test_zero_vector_does_not_nan(self):
+        a = Tensor(np.zeros((1, 3)))
+        b = Tensor(np.ones((1, 3)))
+        assert np.isfinite(cosine_similarity(a, b).data).all()
+
+    def test_gradient_finite(self):
+        a = Tensor(np.array([[0.5, -1.0, 2.0]]), requires_grad=True)
+        b = Tensor(np.array([[1.0, 1.0, 1.0]]), requires_grad=True)
+        cosine_similarity(a, b).sum().backward()
+        assert np.isfinite(a.grad).all()
+        assert np.isfinite(b.grad).all()
+
+
+class TestWhere:
+    def test_select_values(self):
+        out = where(np.array([True, False]), Tensor([1.0, 1.0]), Tensor([2.0, 2.0]))
+        assert np.allclose(out.data, [1.0, 2.0])
+
+    def test_gradients_routed_by_condition(self):
+        a = Tensor([1.0, 1.0], requires_grad=True)
+        b = Tensor([2.0, 2.0], requires_grad=True)
+        where(np.array([True, False]), a, b).sum().backward()
+        assert np.allclose(a.grad, [1.0, 0.0])
+        assert np.allclose(b.grad, [0.0, 1.0])
+
+
+class TestDropoutMask:
+    def test_zero_rate_is_all_ones(self):
+        mask = dropout_mask((10, 10), 0.0, np.random.default_rng(0))
+        assert np.allclose(mask, 1.0)
+
+    def test_scaling_preserves_expectation(self):
+        mask = dropout_mask((200, 200), 0.3, np.random.default_rng(0))
+        assert mask.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_values_are_zero_or_scaled(self):
+        mask = dropout_mask((50,), 0.5, np.random.default_rng(1))
+        assert set(np.round(np.unique(mask), 6)).issubset({0.0, 2.0})
+
+    def test_invalid_rate_raises(self):
+        with pytest.raises(ValueError):
+            dropout_mask((2,), 1.0, np.random.default_rng(0))
+
+
+class TestL2Norm:
+    def test_value(self):
+        a = Tensor([3.0])
+        b = Tensor([4.0])
+        assert l2_norm([a, b]).item() == pytest.approx(25.0)
+
+    def test_empty_is_zero(self):
+        assert l2_norm([]).item() == 0.0
+
+    def test_gradient(self):
+        a = Tensor([2.0], requires_grad=True)
+        l2_norm([a]).backward()
+        assert np.allclose(a.grad, [4.0])

@@ -1,0 +1,176 @@
+"""Numerical gradient checks for every primitive and key compositions.
+
+These tests are the ground truth for the engine: if the analytic gradients of
+a primitive drift from finite differences, everything downstream (models,
+trainer) silently degrades, so each op gets its own check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.autograd import Tensor, concat, gradient_check, log_sigmoid, masked_softmax, sparse_matmul
+from repro.autograd.functional import cosine_similarity, softplus
+from repro.autograd.grad_check import numerical_gradient
+
+
+def _tensor(shape, seed, scale=1.0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(size=shape) * scale, requires_grad=True)
+
+
+class TestPrimitiveGradients:
+    def test_add(self):
+        inputs = [_tensor((3, 2), 0), _tensor((3, 2), 1)]
+        assert gradient_check(lambda ts: (ts[0] + ts[1]).sum(), inputs)
+
+    def test_add_broadcast(self):
+        inputs = [_tensor((3, 2), 0), _tensor((2,), 1)]
+        assert gradient_check(lambda ts: (ts[0] + ts[1]).sum(), inputs)
+
+    def test_sub(self):
+        inputs = [_tensor((4,), 2), _tensor((4,), 3)]
+        assert gradient_check(lambda ts: (ts[0] - ts[1]).sum(), inputs)
+
+    def test_mul(self):
+        inputs = [_tensor((3, 3), 4), _tensor((3, 3), 5)]
+        assert gradient_check(lambda ts: (ts[0] * ts[1]).sum(), inputs)
+
+    def test_mul_broadcast(self):
+        inputs = [_tensor((3, 4), 6), _tensor((3, 1), 7)]
+        assert gradient_check(lambda ts: (ts[0] * ts[1]).sum(), inputs)
+
+    def test_div(self):
+        numerator = _tensor((3,), 8)
+        denominator = Tensor(np.random.default_rng(9).uniform(1.0, 2.0, size=3), requires_grad=True)
+        assert gradient_check(lambda ts: (ts[0] / ts[1]).sum(), [numerator, denominator])
+
+    def test_pow(self):
+        base = Tensor(np.random.default_rng(10).uniform(0.5, 2.0, size=4), requires_grad=True)
+        assert gradient_check(lambda ts: (ts[0] ** 3).sum(), [base])
+
+    def test_matmul(self):
+        inputs = [_tensor((2, 3), 11), _tensor((3, 4), 12)]
+        assert gradient_check(lambda ts: (ts[0] @ ts[1]).sum(), inputs)
+
+    def test_matmul_3d_left(self):
+        inputs = [_tensor((2, 3, 4), 13), _tensor((4, 5), 14)]
+        assert gradient_check(lambda ts: (ts[0] @ ts[1]).sum(), inputs)
+
+    def test_sum_axis(self):
+        assert gradient_check(lambda ts: ts[0].sum(axis=1).sum(), [_tensor((3, 4), 15)])
+
+    def test_mean(self):
+        assert gradient_check(lambda ts: ts[0].mean(), [_tensor((5,), 16)])
+
+    def test_exp(self):
+        assert gradient_check(lambda ts: ts[0].exp().sum(), [_tensor((4,), 17, scale=0.5)])
+
+    def test_log(self):
+        positive = Tensor(np.random.default_rng(18).uniform(0.5, 2.0, size=4), requires_grad=True)
+        assert gradient_check(lambda ts: ts[0].log().sum(), [positive])
+
+    def test_sigmoid(self):
+        assert gradient_check(lambda ts: ts[0].sigmoid().sum(), [_tensor((6,), 19)])
+
+    def test_tanh(self):
+        assert gradient_check(lambda ts: ts[0].tanh().sum(), [_tensor((6,), 20)])
+
+    def test_leaky_relu_away_from_kink(self):
+        x = Tensor(np.array([-2.0, -1.0, 1.0, 2.0]), requires_grad=True)
+        assert gradient_check(lambda ts: ts[0].leaky_relu(0.1).sum(), [x])
+
+    def test_softmax(self):
+        weights = Tensor(np.random.default_rng(121).normal(size=(3, 4)))
+        assert gradient_check(lambda ts: (ts[0].softmax(axis=-1) * weights).sum(), [_tensor((3, 4), 21)])
+
+    def test_transpose(self):
+        assert gradient_check(lambda ts: (ts[0].T ** 2).sum(), [_tensor((3, 4), 22)])
+
+    def test_reshape(self):
+        assert gradient_check(lambda ts: (ts[0].reshape(6) ** 2).sum(), [_tensor((2, 3), 23)])
+
+    def test_getitem(self):
+        assert gradient_check(lambda ts: (ts[0][1:3] ** 2).sum(), [_tensor((5,), 24)])
+
+    def test_take_rows(self):
+        indices = np.array([0, 2, 2, 1])
+        assert gradient_check(lambda ts: (ts[0].take_rows(indices) ** 2).sum(), [_tensor((4, 3), 25)])
+
+    def test_abs_away_from_zero(self):
+        x = Tensor(np.array([-2.0, -0.5, 0.5, 3.0]), requires_grad=True)
+        assert gradient_check(lambda ts: ts[0].abs().sum(), [x])
+
+
+class TestFunctionalGradients:
+    def test_concat(self):
+        inputs = [_tensor((2, 3), 26), _tensor((2, 2), 27)]
+        assert gradient_check(lambda ts: (concat(ts, axis=-1) ** 2).sum(), inputs)
+
+    def test_log_sigmoid(self):
+        assert gradient_check(lambda ts: log_sigmoid(ts[0]).sum(), [_tensor((5,), 28)])
+
+    def test_softplus(self):
+        assert gradient_check(lambda ts: softplus(ts[0]).sum(), [_tensor((5,), 29)])
+
+    def test_cosine_similarity(self):
+        inputs = [_tensor((3, 4), 30), _tensor((3, 4), 31)]
+        assert gradient_check(lambda ts: cosine_similarity(ts[0], ts[1]).sum(), inputs, atol=1e-3)
+
+    def test_masked_softmax(self):
+        mask = np.array([[1.0, 1.0, 0.0, 1.0], [1.0, 0.0, 1.0, 1.0]])
+        scores = _tensor((2, 4), 32)
+        weights = Tensor(np.random.default_rng(33).normal(size=(2, 4)))
+        assert gradient_check(
+            lambda ts: (masked_softmax(ts[0], mask) * weights).sum(), [scores], atol=1e-3
+        )
+
+    def test_sparse_matmul(self):
+        matrix = sp.random(4, 3, density=0.7, random_state=34, format="csr")
+        dense = _tensor((3, 2), 35)
+        assert gradient_check(lambda ts: (sparse_matmul(matrix, ts[0]) ** 2).sum(), [dense])
+
+
+class TestCompositionGradients:
+    def test_tiny_mlp_composition(self):
+        weight1 = _tensor((4, 3), 36)
+        weight2 = _tensor((1, 4), 37)
+        features = Tensor(np.random.default_rng(38).normal(size=(5, 3)))
+
+        def forward(tensors):
+            hidden = (features @ tensors[0].T).tanh()
+            return (hidden @ tensors[1].T).sigmoid().sum()
+
+        assert gradient_check(forward, [weight1, weight2])
+
+    def test_bpr_style_objective(self):
+        positive = _tensor((6,), 39)
+        negative = _tensor((6,), 40)
+        assert gradient_check(lambda ts: -(log_sigmoid(ts[0] - ts[1]).mean()), [positive, negative])
+
+    def test_attention_style_composition(self):
+        context = _tensor((2, 3, 4), 41)
+        own = _tensor((2, 1, 4), 42)
+        values = Tensor(np.random.default_rng(43).normal(size=(2, 3, 4)))
+        mask = np.array([[1.0, 1.0, 0.0], [1.0, 1.0, 1.0]])
+
+        def forward(tensors):
+            scores = cosine_similarity(tensors[1], tensors[0], axis=-1)
+            weights = masked_softmax(scores, mask, axis=-1)
+            return ((values * weights.expand_dims(-1)).sum(axis=1) ** 2).sum()
+
+        assert gradient_check(forward, [context, own], atol=1e-3)
+
+
+class TestNumericalGradientHelper:
+    def test_matches_analytic_for_square(self):
+        x = Tensor(np.array([1.0, -2.0, 3.0]), requires_grad=True)
+        numeric = numerical_gradient(lambda ts: (ts[0] ** 2).sum(), [x], 0)
+        assert np.allclose(numeric, 2 * x.data, atol=1e-4)
+
+    def test_gradient_check_raises_on_scalar_violation(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError):
+            gradient_check(lambda ts: ts[0] * 2.0, [x])

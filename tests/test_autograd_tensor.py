@@ -1,0 +1,380 @@
+"""Unit tests for the Tensor class: values, gradients and shape machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.autograd.tensor import is_grad_enabled, unbroadcast
+
+
+class TestConstruction:
+    def test_from_list(self):
+        tensor = Tensor([1.0, 2.0, 3.0])
+        assert tensor.shape == (3,)
+        assert tensor.data.dtype == np.float64
+
+    def test_from_scalar(self):
+        tensor = Tensor(2.5)
+        assert tensor.shape == ()
+        assert tensor.item() == 2.5
+
+    def test_from_tensor_copies_data_reference(self):
+        source = Tensor([1.0, 2.0])
+        tensor = Tensor(source)
+        assert np.array_equal(tensor.data, source.data)
+
+    def test_requires_grad_default_false(self):
+        assert not Tensor([1.0]).requires_grad
+
+    def test_item_raises_on_vector(self):
+        with pytest.raises(ValueError):
+            Tensor([1.0, 2.0]).item()
+
+    def test_len_and_size(self):
+        tensor = Tensor(np.zeros((4, 3)))
+        assert len(tensor) == 4
+        assert tensor.size == 12
+        assert tensor.ndim == 2
+
+    def test_repr_mentions_shape(self):
+        assert "shape=(2,)" in repr(Tensor([1.0, 2.0]))
+
+    def test_numpy_returns_copy(self):
+        tensor = Tensor([1.0, 2.0])
+        out = tensor.numpy()
+        out[0] = 99.0
+        assert tensor.data[0] == 1.0
+
+    def test_detach_drops_grad_tracking(self):
+        tensor = Tensor([1.0], requires_grad=True)
+        assert not tensor.detach().requires_grad
+
+
+class TestArithmetic:
+    def test_add_values(self):
+        result = Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])
+        assert np.allclose(result.data, [4.0, 6.0])
+
+    def test_add_scalar_right(self):
+        assert np.allclose((Tensor([1.0, 2.0]) + 1.0).data, [2.0, 3.0])
+
+    def test_add_scalar_left(self):
+        assert np.allclose((1.0 + Tensor([1.0, 2.0])).data, [2.0, 3.0])
+
+    def test_sub(self):
+        assert np.allclose((Tensor([3.0]) - Tensor([1.0])).data, [2.0])
+
+    def test_rsub(self):
+        assert np.allclose((5.0 - Tensor([1.0, 2.0])).data, [4.0, 3.0])
+
+    def test_mul(self):
+        assert np.allclose((Tensor([2.0, 3.0]) * Tensor([4.0, 5.0])).data, [8.0, 15.0])
+
+    def test_rmul(self):
+        assert np.allclose((2.0 * Tensor([1.0, 2.0])).data, [2.0, 4.0])
+
+    def test_div(self):
+        assert np.allclose((Tensor([6.0]) / Tensor([3.0])).data, [2.0])
+
+    def test_rdiv(self):
+        assert np.allclose((6.0 / Tensor([2.0, 3.0])).data, [3.0, 2.0])
+
+    def test_neg(self):
+        assert np.allclose((-Tensor([1.0, -2.0])).data, [-1.0, 2.0])
+
+    def test_pow(self):
+        assert np.allclose((Tensor([2.0, 3.0]) ** 2).data, [4.0, 9.0])
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([2.0]) ** Tensor([2.0])
+
+    def test_matmul_2d(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3))
+        b = Tensor(np.arange(12.0).reshape(3, 4))
+        assert np.allclose((a @ b).data, a.data @ b.data)
+
+
+class TestBackwardBasics:
+    def test_add_grads(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a + b).sum().backward()
+        assert np.allclose(a.grad, [1.0, 1.0])
+        assert np.allclose(b.grad, [1.0, 1.0])
+
+    def test_mul_grads(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a * b).sum().backward()
+        assert np.allclose(a.grad, b.data)
+        assert np.allclose(b.grad, a.data)
+
+    def test_div_grads(self):
+        a = Tensor([4.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        (a / b).sum().backward()
+        assert np.allclose(a.grad, [0.5])
+        assert np.allclose(b.grad, [-1.0])
+
+    def test_chain_rule(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = (x * x + x) * 3.0  # y = 3x^2 + 3x, dy/dx = 6x + 3 = 15
+        y.sum().backward()
+        assert np.allclose(x.grad, [15.0])
+
+    def test_grad_accumulates_over_multiple_uses(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x + x + x
+        y.sum().backward()
+        assert np.allclose(x.grad, [3.0])
+
+    def test_grad_accumulates_over_multiple_backward_calls(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2.0).sum().backward()
+        (x * 2.0).sum().backward()
+        assert np.allclose(x.grad, [4.0])
+
+    def test_zero_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2.0).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_backward_requires_scalar_without_seed(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2.0).backward()
+
+    def test_backward_with_explicit_seed(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        (x * 2.0).backward(np.array([1.0, 10.0]))
+        assert np.allclose(x.grad, [2.0, 20.0])
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_matmul_grads(self):
+        a = Tensor(np.random.default_rng(0).normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(np.random.default_rng(1).normal(size=(3, 4)), requires_grad=True)
+        (a @ b).sum().backward()
+        assert np.allclose(a.grad, np.ones((2, 4)) @ b.data.T)
+        assert np.allclose(b.grad, a.data.T @ np.ones((2, 4)))
+
+    def test_deep_graph_does_not_overflow(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(2000):
+            y = y + 1.0
+        y.sum().backward()
+        assert np.allclose(x.grad, [1.0])
+
+
+class TestBroadcasting:
+    def test_unbroadcast_prepended_axes(self):
+        grad = np.ones((4, 3))
+        assert unbroadcast(grad, (3,)).shape == (3,)
+        assert np.allclose(unbroadcast(grad, (3,)), [4.0, 4.0, 4.0])
+
+    def test_unbroadcast_expanded_axes(self):
+        grad = np.ones((4, 3))
+        assert unbroadcast(grad, (4, 1)).shape == (4, 1)
+        assert np.allclose(unbroadcast(grad, (4, 1)), 3.0)
+
+    def test_unbroadcast_noop(self):
+        grad = np.ones((2, 2))
+        assert unbroadcast(grad, (2, 2)) is grad
+
+    def test_add_broadcast_grads(self):
+        a = Tensor(np.ones((4, 3)), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (4, 3)
+        assert b.grad.shape == (3,)
+        assert np.allclose(b.grad, [4.0, 4.0, 4.0])
+
+    def test_mul_broadcast_row_vector(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.array([[1.0], [2.0]]), requires_grad=True)
+        (a * b).sum().backward()
+        assert np.allclose(a.grad, [[1.0, 1.0, 1.0], [2.0, 2.0, 2.0]])
+        assert np.allclose(b.grad, [[3.0], [3.0]])
+
+    def test_scalar_broadcast(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        (a * 3.0).sum().backward()
+        assert np.allclose(a.grad, 3.0)
+
+
+class TestReductions:
+    def test_sum_all(self):
+        assert Tensor(np.arange(6.0)).sum().item() == 15.0
+
+    def test_sum_axis(self):
+        tensor = Tensor(np.arange(6.0).reshape(2, 3))
+        assert np.allclose(tensor.sum(axis=0).data, [3.0, 5.0, 7.0])
+        assert np.allclose(tensor.sum(axis=1).data, [3.0, 12.0])
+
+    def test_sum_keepdims(self):
+        tensor = Tensor(np.arange(6.0).reshape(2, 3))
+        assert tensor.sum(axis=1, keepdims=True).shape == (2, 1)
+
+    def test_sum_axis_grad(self):
+        tensor = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        tensor.sum(axis=0).sum().backward()
+        assert np.allclose(tensor.grad, np.ones((2, 3)))
+
+    def test_sum_negative_axis_grad(self):
+        tensor = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        tensor.sum(axis=-1).sum().backward()
+        assert np.allclose(tensor.grad, np.ones((2, 3)))
+
+    def test_mean_value_and_grad(self):
+        tensor = Tensor(np.arange(4.0), requires_grad=True)
+        tensor.mean().backward()
+        assert np.allclose(tensor.grad, 0.25)
+
+    def test_mean_axis(self):
+        tensor = Tensor(np.arange(6.0).reshape(2, 3))
+        assert np.allclose(tensor.mean(axis=1).data, [1.0, 4.0])
+
+    def test_max_is_plain_numpy(self):
+        tensor = Tensor(np.arange(6.0).reshape(2, 3))
+        assert isinstance(tensor.max(axis=1), np.ndarray)
+
+
+class TestNonlinearities:
+    def test_exp_log_roundtrip(self):
+        x = Tensor([0.5, 1.0, 2.0])
+        assert np.allclose(x.exp().log().data, x.data)
+
+    def test_sigmoid_range_and_extremes(self):
+        x = Tensor([-1000.0, 0.0, 1000.0])
+        out = x.sigmoid().data
+        assert np.all((out >= 0) & (out <= 1))
+        assert np.isclose(out[1], 0.5)
+        assert np.all(np.isfinite(out))
+
+    def test_tanh_values(self):
+        assert np.allclose(Tensor([0.0]).tanh().data, [0.0])
+
+    def test_relu(self):
+        assert np.allclose(Tensor([-1.0, 0.0, 2.0]).relu().data, [0.0, 0.0, 2.0])
+
+    def test_relu_grad_zero_below_zero(self):
+        x = Tensor([-1.0, 2.0], requires_grad=True)
+        x.relu().sum().backward()
+        assert np.allclose(x.grad, [0.0, 1.0])
+
+    def test_leaky_relu(self):
+        out = Tensor([-2.0, 2.0]).leaky_relu(0.1)
+        assert np.allclose(out.data, [-0.2, 2.0])
+
+    def test_softmax_rows_sum_to_one(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 5)))
+        assert np.allclose(x.softmax(axis=-1).data.sum(axis=-1), 1.0)
+
+    def test_softmax_invariant_to_shift(self):
+        x = np.random.default_rng(0).normal(size=(3, 4))
+        assert np.allclose(Tensor(x).softmax(-1).data, Tensor(x + 100.0).softmax(-1).data)
+
+    def test_softmax_large_values_stable(self):
+        out = Tensor([1000.0, 1000.0]).softmax().data
+        assert np.allclose(out, [0.5, 0.5])
+
+    def test_clip_values_and_grad(self):
+        x = Tensor([-2.0, 0.5, 3.0], requires_grad=True)
+        clipped = x.clip(0.0, 1.0)
+        assert np.allclose(clipped.data, [0.0, 0.5, 1.0])
+        clipped.sum().backward()
+        assert np.allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_abs_value_and_grad(self):
+        x = Tensor([-3.0, 2.0], requires_grad=True)
+        x.abs().sum().backward()
+        assert np.allclose(x.grad, [-1.0, 1.0])
+
+    def test_sqrt(self):
+        assert np.allclose(Tensor([4.0, 9.0]).sqrt().data, [2.0, 3.0])
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip_grad(self):
+        x = Tensor(np.arange(6.0), requires_grad=True)
+        x.reshape(2, 3).sum().backward()
+        assert x.grad.shape == (6,)
+
+    def test_reshape_accepts_tuple(self):
+        assert Tensor(np.arange(6.0)).reshape((2, 3)).shape == (2, 3)
+
+    def test_transpose_default(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3))
+        assert x.T.shape == (3, 2)
+
+    def test_transpose_axes_grad(self):
+        x = Tensor(np.arange(24.0).reshape(2, 3, 4), requires_grad=True)
+        x.transpose((1, 0, 2)).sum().backward()
+        assert x.grad.shape == (2, 3, 4)
+
+    def test_expand_squeeze(self):
+        x = Tensor(np.arange(3.0), requires_grad=True)
+        y = x.expand_dims(0)
+        assert y.shape == (1, 3)
+        assert y.squeeze(0).shape == (3,)
+
+    def test_squeeze_grad(self):
+        x = Tensor(np.zeros((1, 3)), requires_grad=True)
+        x.squeeze(0).sum().backward()
+        assert x.grad.shape == (1, 3)
+
+    def test_getitem_slice_grad(self):
+        x = Tensor(np.arange(6.0), requires_grad=True)
+        x[2:4].sum().backward()
+        expected = np.zeros(6)
+        expected[2:4] = 1.0
+        assert np.allclose(x.grad, expected)
+
+    def test_take_rows_values(self):
+        x = Tensor(np.arange(12.0).reshape(4, 3))
+        out = x.take_rows(np.array([0, 2]))
+        assert np.allclose(out.data, x.data[[0, 2]])
+
+    def test_take_rows_duplicate_indices_accumulate_grad(self):
+        x = Tensor(np.zeros((3, 2)), requires_grad=True)
+        x.take_rows(np.array([1, 1, 2])).sum().backward()
+        assert np.allclose(x.grad, [[0.0, 0.0], [2.0, 2.0], [1.0, 1.0]])
+
+    def test_take_rows_2d_indices(self):
+        x = Tensor(np.arange(8.0).reshape(4, 2), requires_grad=True)
+        out = x.take_rows(np.array([[0, 1], [2, 3]]))
+        assert out.shape == (2, 2, 2)
+        out.sum().backward()
+        assert np.allclose(x.grad, np.ones((4, 2)))
+
+
+class TestNoGrad:
+    def test_no_grad_disables_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+
+    def test_no_grad_restores_state(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_state_after_exception(self):
+        with pytest.raises(ValueError):
+            with no_grad():
+                raise ValueError("boom")
+        assert is_grad_enabled()
+
+    def test_tensor_created_inside_no_grad_never_requires_grad(self):
+        with no_grad():
+            tensor = Tensor([1.0], requires_grad=True)
+        assert not tensor.requires_grad

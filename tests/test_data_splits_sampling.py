@@ -1,0 +1,187 @@
+"""Tests for the leave-one-out split, negative sampling and BPR batching."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    BprBatcher,
+    EvaluationInstance,
+    UniformNegativeSampler,
+    leave_one_out_split,
+    sample_negatives,
+)
+
+
+class TestEvaluationInstance:
+    def test_candidates_order(self):
+        instance = EvaluationInstance(user=0, positive_item=5, negative_items=np.array([1, 2]))
+        assert instance.candidates().tolist() == [5, 1, 2]
+
+    def test_positive_among_negatives_rejected(self):
+        with pytest.raises(ValueError):
+            EvaluationInstance(user=0, positive_item=1, negative_items=np.array([1, 2]))
+
+
+class TestLeaveOneOutSplit:
+    def test_every_evaluated_user_has_validation_and_test(self, tiny_dataset, tiny_split):
+        evaluated = {instance.user for instance in tiny_split.validation}
+        assert evaluated == {instance.user for instance in tiny_split.test}
+        assert len(tiny_split.validation) + len(tiny_split.skipped_users) == tiny_dataset.num_users
+
+    def test_heldout_items_not_in_training(self, tiny_split):
+        train_pairs = {(int(u), int(i)) for u, i in tiny_split.train_interactions}
+        for instance in tiny_split.validation + tiny_split.test:
+            assert (instance.user, instance.positive_item) not in train_pairs
+
+    def test_validation_and_test_positives_differ(self, tiny_split):
+        validation = {(inst.user, inst.positive_item) for inst in tiny_split.validation}
+        test = {(inst.user, inst.positive_item) for inst in tiny_split.test}
+        assert not validation & test
+
+    def test_negative_counts(self, tiny_split):
+        for instance in tiny_split.validation:
+            assert instance.negative_items.size == tiny_split.num_negatives
+
+    def test_negatives_never_observed(self, tiny_dataset, tiny_split):
+        per_user = tiny_dataset.user_positive_items()
+        for instance in tiny_split.test:
+            observed = set(per_user[instance.user].tolist())
+            assert not observed & set(instance.negative_items.tolist())
+
+    def test_train_user_items_consistent(self, tiny_split):
+        per_user = tiny_split.train_user_items()
+        rebuilt = sum(items.size for items in per_user)
+        assert rebuilt == tiny_split.num_train
+
+    def test_interaction_conservation(self, tiny_dataset, tiny_split):
+        evaluated = len(tiny_split.validation)
+        assert tiny_split.num_train + 2 * evaluated == tiny_dataset.num_interactions
+
+    def test_short_history_users_are_skipped_not_dropped(self, tiny_dataset):
+        # Build a dataset copy where one user has a single interaction.
+        from repro.data.schema import SceneRecDataset
+
+        interactions = tiny_dataset.interactions.copy()
+        keep = interactions[:, 0] != 0
+        single = interactions[interactions[:, 0] == 0][:1]
+        dataset = SceneRecDataset(
+            name="edited",
+            num_users=tiny_dataset.num_users,
+            num_items=tiny_dataset.num_items,
+            num_categories=tiny_dataset.num_categories,
+            num_scenes=tiny_dataset.num_scenes,
+            interactions=np.vstack([interactions[keep], single]),
+            item_category=tiny_dataset.item_category,
+            item_item_edges=tiny_dataset.item_item_edges,
+            category_category_edges=tiny_dataset.category_category_edges,
+            scene_category_edges=tiny_dataset.scene_category_edges,
+        )
+        split = leave_one_out_split(dataset, num_negatives=5, rng=0)
+        assert 0 in split.skipped_users
+        train_users = set(split.train_interactions[:, 0].tolist())
+        assert 0 in train_users  # the lone interaction stays in training
+
+    def test_determinism(self, tiny_dataset):
+        first = leave_one_out_split(tiny_dataset, num_negatives=10, rng=5)
+        second = leave_one_out_split(tiny_dataset, num_negatives=10, rng=5)
+        assert np.array_equal(first.train_interactions, second.train_interactions)
+        assert all(
+            a.positive_item == b.positive_item and np.array_equal(a.negative_items, b.negative_items)
+            for a, b in zip(first.test, second.test)
+        )
+
+    def test_invalid_num_negatives(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            leave_one_out_split(tiny_dataset, num_negatives=0)
+
+
+class TestSampleNegatives:
+    def test_excludes_observed(self, rng):
+        negatives = sample_negatives({0, 1, 2}, num_items=10, count=5, rng=rng)
+        assert not set(negatives.tolist()) & {0, 1, 2}
+        assert negatives.size == 5
+
+    def test_distinct(self, rng):
+        negatives = sample_negatives({0}, num_items=50, count=30, rng=rng)
+        assert len(set(negatives.tolist())) == 30
+
+    def test_returns_all_when_pool_small(self, rng):
+        negatives = sample_negatives({0, 1}, num_items=5, count=10, rng=rng)
+        assert set(negatives.tolist()) == {2, 3, 4}
+
+    def test_everything_observed_gives_empty(self, rng):
+        assert sample_negatives({0, 1}, num_items=2, count=3, rng=rng).size == 0
+
+    def test_invalid_count(self, rng):
+        with pytest.raises(ValueError):
+            sample_negatives(set(), num_items=5, count=0, rng=rng)
+
+
+class TestUniformNegativeSampler:
+    def test_never_returns_positive(self):
+        sampler = UniformNegativeSampler([np.array([0, 1]), np.array([2])], num_items=4, rng=0)
+        for _ in range(50):
+            assert sampler.sample(0) in {2, 3}
+            assert sampler.sample(1) in {0, 1, 3}
+
+    def test_sample_for_users_shape(self):
+        sampler = UniformNegativeSampler([np.array([0]), np.array([1])], num_items=5, rng=0)
+        out = sampler.sample_for_users(np.array([0, 1, 0]))
+        assert out.shape == (3,)
+
+    def test_all_items_observed_raises(self):
+        sampler = UniformNegativeSampler([np.arange(3)], num_items=3, rng=0)
+        with pytest.raises(ValueError):
+            sampler.sample(0)
+
+    def test_invalid_num_items(self):
+        with pytest.raises(ValueError):
+            UniformNegativeSampler([], num_items=0)
+
+
+class TestBprBatcher:
+    def _batcher(self, tiny_split, tiny_dataset, batch_size=32):
+        return BprBatcher(
+            tiny_split.train_interactions,
+            tiny_split.train_user_items(),
+            num_items=tiny_dataset.num_items,
+            batch_size=batch_size,
+            rng=0,
+        )
+
+    def test_epoch_covers_every_interaction_once(self, tiny_split, tiny_dataset):
+        batcher = self._batcher(tiny_split, tiny_dataset)
+        seen = []
+        for batch in batcher.epoch():
+            seen.extend(zip(batch.users.tolist(), batch.positive_items.tolist()))
+        assert sorted(seen) == sorted(map(tuple, tiny_split.train_interactions.tolist()))
+
+    def test_num_batches(self, tiny_split, tiny_dataset):
+        batcher = self._batcher(tiny_split, tiny_dataset, batch_size=50)
+        assert batcher.num_batches() == int(np.ceil(tiny_split.num_train / 50))
+        assert len(list(batcher.epoch())) == batcher.num_batches()
+
+    def test_negatives_are_not_training_positives(self, tiny_split, tiny_dataset):
+        batcher = self._batcher(tiny_split, tiny_dataset)
+        per_user = tiny_split.train_user_items()
+        for batch in batcher.epoch():
+            for user, negative in zip(batch.users, batch.negative_items):
+                assert negative not in per_user[int(user)]
+
+    def test_batch_length_validation(self):
+        from repro.data.batching import BprBatch
+
+        with pytest.raises(ValueError):
+            BprBatch(users=np.array([0]), positive_items=np.array([1, 2]), negative_items=np.array([3]))
+
+    def test_invalid_batch_size(self, tiny_split, tiny_dataset):
+        with pytest.raises(ValueError):
+            self._batcher(tiny_split, tiny_dataset, batch_size=0)
+
+    def test_shuffling_changes_order_between_epochs(self, tiny_split, tiny_dataset):
+        batcher = self._batcher(tiny_split, tiny_dataset, batch_size=1000)
+        first = next(iter(batcher.epoch())).users.tolist()
+        second = next(iter(batcher.epoch())).users.tolist()
+        assert first != second

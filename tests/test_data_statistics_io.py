@@ -1,0 +1,104 @@
+"""Tests for dataset statistics (Table 1), persistence and the schema record."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import dataset_statistics, load_dataset, save_dataset, statistics_table
+from repro.data.schema import SceneRecDataset
+
+
+class TestDatasetStatistics:
+    def test_relation_keys(self, tiny_dataset):
+        stats = dataset_statistics(tiny_dataset)
+        assert set(stats) == {"user_item", "item_item", "item_category", "category_category", "scene_category"}
+
+    def test_user_item_row(self, tiny_dataset):
+        row = dataset_statistics(tiny_dataset)["user_item"]
+        assert row == {
+            "num_a": tiny_dataset.num_users,
+            "num_b": tiny_dataset.num_items,
+            "num_edges": tiny_dataset.num_interactions,
+        }
+
+    def test_item_category_edges_equal_items(self, tiny_dataset):
+        stats = dataset_statistics(tiny_dataset)
+        assert stats["item_category"]["num_edges"] == tiny_dataset.num_items
+
+    def test_table_rendering_contains_all_relations(self, tiny_dataset):
+        table = statistics_table({"tiny": dataset_statistics(tiny_dataset)})
+        for label in ("User-Item", "Item-Item", "Item-Category", "Category-Category", "Scene-Category"):
+            assert label in table
+        assert "tiny" in table
+
+    def test_table_rendering_multiple_datasets(self, tiny_dataset):
+        stats = dataset_statistics(tiny_dataset)
+        table = statistics_table({"a": stats, "b": stats})
+        assert "a" in table and "b" in table
+
+
+class TestSchema:
+    def test_post_init_validates_item_category(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            SceneRecDataset(
+                name="broken",
+                num_users=2,
+                num_items=3,
+                num_categories=2,
+                num_scenes=1,
+                interactions=np.zeros((0, 2)),
+                item_category=np.array([0]),
+                item_item_edges=np.zeros((0, 2)),
+                category_category_edges=np.zeros((0, 2)),
+                scene_category_edges=np.zeros((0, 2)),
+            )
+
+    def test_user_positive_items(self, tiny_dataset):
+        per_user = tiny_dataset.user_positive_items()
+        assert len(per_user) == tiny_dataset.num_users
+        assert sum(items.size for items in per_user) == tiny_dataset.num_interactions
+
+    def test_bipartite_graph_view(self, tiny_dataset):
+        graph = tiny_dataset.bipartite_graph()
+        assert graph.num_interactions == tiny_dataset.num_interactions
+
+    def test_bipartite_graph_with_subset(self, tiny_dataset):
+        subset = tiny_dataset.interactions[:10]
+        assert tiny_dataset.bipartite_graph(subset).num_interactions == 10
+
+    def test_scene_graph_view(self, tiny_dataset):
+        graph = tiny_dataset.scene_graph()
+        assert graph.num_items == tiny_dataset.num_items
+        assert graph.num_scenes == tiny_dataset.num_scenes
+
+    def test_subset_users(self, tiny_dataset):
+        subset = tiny_dataset.subset_users([0, 1, 2])
+        assert subset.num_users == 3
+        assert subset.num_items == tiny_dataset.num_items
+        assert subset.interactions[:, 0].max() <= 2
+
+    def test_repr(self, tiny_dataset):
+        assert "tiny" in repr(tiny_dataset)
+
+
+class TestIo:
+    def test_roundtrip(self, tiny_dataset, tmp_path):
+        directory = save_dataset(tiny_dataset, tmp_path / "ds")
+        loaded = load_dataset(directory)
+        assert loaded.name == tiny_dataset.name
+        assert loaded.num_users == tiny_dataset.num_users
+        assert np.array_equal(loaded.interactions, tiny_dataset.interactions)
+        assert np.array_equal(loaded.item_category, tiny_dataset.item_category)
+        assert np.array_equal(loaded.scene_category_edges, tiny_dataset.scene_category_edges)
+        assert loaded.sessions == tiny_dataset.sessions
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset(tmp_path / "nope")
+
+    def test_save_creates_directories(self, tiny_dataset, tmp_path):
+        target = tmp_path / "deeply" / "nested" / "dir"
+        save_dataset(tiny_dataset, target)
+        assert (target / "arrays.npz").exists()
+        assert (target / "meta.json").exists()

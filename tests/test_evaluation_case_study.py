@@ -1,0 +1,77 @@
+"""Tests for the Figure-3 case-study analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation import run_case_study
+from repro.models import SceneRec, SceneRecConfig
+from repro.training import TrainConfig, Trainer
+
+
+@pytest.fixture(scope="module")
+def trained_model(tiny_train_graph, tiny_scene_graph, tiny_split):
+    model = SceneRec(
+        tiny_train_graph,
+        tiny_scene_graph,
+        SceneRecConfig(embedding_dim=8, item_item_cap=4, category_category_cap=3, category_scene_cap=3, seed=0),
+    )
+    Trainer(model, tiny_split, TrainConfig(epochs=3, batch_size=64, eval_every=0)).fit()
+    return model
+
+
+@pytest.fixture(scope="module")
+def case_report(trained_model, tiny_scene_graph, tiny_split):
+    instance = tiny_split.test[0]
+    history = tiny_split.train_user_items()[instance.user]
+    return run_case_study(
+        model=trained_model,
+        scene_graph=tiny_scene_graph,
+        user=instance.user,
+        history_items=history,
+        candidate_items=instance.candidates(),
+        positive_items={instance.positive_item},
+    )
+
+
+class TestRunCaseStudy:
+    def test_one_insight_per_candidate(self, case_report, tiny_split):
+        assert len(case_report.candidates) == tiny_split.test[0].candidates().size
+
+    def test_positive_flagged(self, case_report, tiny_split):
+        positives = [insight for insight in case_report.candidates if insight.is_positive]
+        assert len(positives) == 1
+        assert positives[0].item == tiny_split.test[0].positive_item
+
+    def test_attention_scores_bounded(self, case_report):
+        for insight in case_report.candidates:
+            assert -1.0 - 1e-9 <= insight.average_attention <= 1.0 + 1e-9
+
+    def test_shared_scene_counts_non_negative(self, case_report):
+        assert all(insight.average_shared_scenes >= 0 for insight in case_report.candidates)
+
+    def test_categories_match_graph(self, case_report, tiny_scene_graph):
+        for insight in case_report.candidates:
+            assert insight.category == tiny_scene_graph.category_of(insight.item)
+
+    def test_correlation_in_valid_range(self, case_report):
+        assert -1.0 <= case_report.attention_prediction_correlation <= 1.0
+
+    def test_sorted_by_prediction(self, case_report):
+        scores = [insight.prediction_score for insight in case_report.sorted_by_prediction()]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_format_contains_key_columns(self, case_report):
+        text = case_report.format()
+        assert "Spearman" in text
+        assert "shared-scenes" in text
+        assert str(case_report.user) in text
+
+    def test_empty_history_rejected(self, trained_model, tiny_scene_graph):
+        with pytest.raises(ValueError):
+            run_case_study(trained_model, tiny_scene_graph, user=0, history_items=np.array([]), candidate_items=np.array([1, 2]))
+
+    def test_single_candidate_rejected(self, trained_model, tiny_scene_graph):
+        with pytest.raises(ValueError):
+            run_case_study(trained_model, tiny_scene_graph, user=0, history_items=np.array([1]), candidate_items=np.array([2]))

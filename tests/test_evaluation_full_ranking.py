@@ -1,0 +1,75 @@
+"""Tests for the full-catalogue ranking evaluator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation import FullRankingEvaluator, RankingEvaluator
+from repro.models import BPRMF, ItemPop, RandomRecommender
+from repro.training import TrainConfig, Trainer
+
+
+class _OracleModel:
+    """Scores the held-out positives of a split above everything else."""
+
+    training = False
+
+    def __init__(self, positives: set[tuple[int, int]]):
+        self._positives = positives
+
+    def score(self, users, items):
+        return np.array(
+            [1.0 if (int(u), int(i)) in self._positives else 0.0 for u, i in zip(users, items)]
+        )
+
+
+class TestFullRankingEvaluator:
+    def test_oracle_gets_perfect_metrics(self, tiny_split):
+        oracle = _OracleModel({(inst.user, inst.positive_item) for inst in tiny_split.test})
+        result = FullRankingEvaluator(tiny_split, k=10).evaluate(oracle)
+        assert result.ndcg == pytest.approx(1.0)
+        assert result.hit_ratio == pytest.approx(1.0)
+
+    def test_random_model_is_poor(self, tiny_split):
+        result = FullRankingEvaluator(tiny_split, k=10).evaluate(RandomRecommender(seed=0))
+        # With ~120 items and k=10 the chance level is roughly 10/120.
+        assert result.hit_ratio < 0.5
+
+    def test_num_users_matches_split(self, tiny_split):
+        result = FullRankingEvaluator(tiny_split, k=10).evaluate(RandomRecommender(seed=0))
+        assert result.num_users == len(tiny_split.test)
+
+    def test_validation_instances_selectable(self, tiny_split):
+        result = FullRankingEvaluator(tiny_split, which="validation", k=10).evaluate(RandomRecommender(seed=0))
+        assert result.num_users == len(tiny_split.validation)
+
+    def test_item_batching_does_not_change_result(self, tiny_split, tiny_train_graph):
+        model = ItemPop(tiny_train_graph)
+        small = FullRankingEvaluator(tiny_split, k=10).evaluate(model, item_batch=7)
+        large = FullRankingEvaluator(tiny_split, k=10).evaluate(model, item_batch=10_000)
+        assert np.array_equal(small.ranks, large.ranks)
+
+    def test_full_ranking_is_harder_than_sampled(self, tiny_split, tiny_train_graph):
+        """Ranking against the full catalogue can only add competitors."""
+        model = BPRMF(tiny_train_graph.num_users, tiny_train_graph.num_items, embedding_dim=8, seed=0)
+        Trainer(model, tiny_split, TrainConfig(epochs=3, batch_size=64, learning_rate=0.05, eval_every=0)).fit()
+        sampled = RankingEvaluator(tiny_split.test, k=10).evaluate(model)
+        full = FullRankingEvaluator(tiny_split, k=10).evaluate(model)
+        assert full.hit_ratio <= sampled.hit_ratio + 1e-9
+
+    def test_training_items_excluded_by_default(self, tiny_split, tiny_train_graph):
+        # ItemPop ranks popular (training-heavy) items first; excluding the
+        # user's own training items can only improve the positive's rank.
+        model = ItemPop(tiny_train_graph)
+        with_exclusion = FullRankingEvaluator(tiny_split, k=10, exclude_training_items=True).evaluate(model)
+        without_exclusion = FullRankingEvaluator(tiny_split, k=10, exclude_training_items=False).evaluate(model)
+        assert np.all(with_exclusion.ranks <= without_exclusion.ranks)
+
+    def test_invalid_arguments(self, tiny_split):
+        with pytest.raises(ValueError):
+            FullRankingEvaluator(tiny_split, k=0)
+        with pytest.raises(ValueError):
+            FullRankingEvaluator(tiny_split, which="train")
+        with pytest.raises(ValueError):
+            FullRankingEvaluator(tiny_split, k=10).evaluate(RandomRecommender(seed=0), item_batch=0)

@@ -1,0 +1,157 @@
+"""Tests for ranking metrics and the leave-one-out evaluator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    RankingEvaluator,
+    average_precision_at_k,
+    hit_ratio_at_k,
+    mean_reciprocal_rank,
+    ndcg_at_k,
+    precision_at_k,
+    rank_of_positive,
+    recall_at_k,
+)
+from repro.data.splits import EvaluationInstance
+from repro.models import BPRMF, ItemPop
+
+
+class TestRankOfPositive:
+    def test_best_rank(self):
+        assert rank_of_positive(10.0, np.array([1.0, 2.0, 3.0])) == 0
+
+    def test_worst_rank(self):
+        assert rank_of_positive(0.0, np.array([1.0, 2.0, 3.0])) == 3
+
+    def test_middle_rank(self):
+        assert rank_of_positive(2.5, np.array([1.0, 2.0, 3.0])) == 1
+
+    def test_ties_are_pessimistic(self):
+        assert rank_of_positive(1.0, np.array([1.0, 1.0, 0.5])) == 2
+
+
+class TestPointMetrics:
+    def test_hit_ratio(self):
+        assert hit_ratio_at_k(0, 10) == 1.0
+        assert hit_ratio_at_k(9, 10) == 1.0
+        assert hit_ratio_at_k(10, 10) == 0.0
+
+    def test_ndcg_top_rank_is_one(self):
+        assert ndcg_at_k(0, 10) == pytest.approx(1.0)
+
+    def test_ndcg_decreases_with_rank(self):
+        values = [ndcg_at_k(rank, 10) for rank in range(10)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_ndcg_zero_outside_cutoff(self):
+        assert ndcg_at_k(10, 10) == 0.0
+
+    def test_ndcg_known_value(self):
+        assert ndcg_at_k(1, 10) == pytest.approx(1.0 / np.log2(3))
+
+    def test_mrr(self):
+        assert mean_reciprocal_rank(0) == 1.0
+        assert mean_reciprocal_rank(4) == pytest.approx(0.2)
+
+    def test_precision_recall(self):
+        assert precision_at_k(3, 10) == pytest.approx(0.1)
+        assert precision_at_k(10, 10) == 0.0
+        assert recall_at_k(3, 10) == 1.0
+
+    def test_average_precision(self):
+        assert average_precision_at_k(2, 10) == pytest.approx(1.0 / 3)
+        assert average_precision_at_k(12, 10) == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            hit_ratio_at_k(0, 0)
+        with pytest.raises(ValueError):
+            ndcg_at_k(0, -1)
+
+
+class _PerfectModel:
+    """Scores equal to the negated item id: item 0 always wins."""
+
+    training = False
+
+    def score(self, users, items):
+        return -np.asarray(items, dtype=np.float64)
+
+
+class _ConstantModel:
+    training = False
+
+    def score(self, users, items):
+        return np.zeros(len(items))
+
+
+class TestRankingEvaluator:
+    def _instances(self, count=4, num_negatives=6):
+        instances = []
+        for user in range(count):
+            instances.append(
+                EvaluationInstance(
+                    user=user,
+                    positive_item=0,
+                    negative_items=np.arange(1, num_negatives + 1),
+                )
+            )
+        return instances
+
+    def test_perfect_model_gets_perfect_metrics(self):
+        evaluator = RankingEvaluator(self._instances(), k=5)
+        result = evaluator.evaluate(_PerfectModel())
+        assert result.ndcg == pytest.approx(1.0)
+        assert result.hit_ratio == pytest.approx(1.0)
+        assert result.mrr == pytest.approx(1.0)
+
+    def test_constant_model_gets_worst_rank(self):
+        evaluator = RankingEvaluator(self._instances(num_negatives=20), k=10)
+        result = evaluator.evaluate(_ConstantModel())
+        assert result.hit_ratio == 0.0
+        assert result.ndcg == 0.0
+
+    def test_num_users_reported(self):
+        evaluator = RankingEvaluator(self._instances(count=7), k=5)
+        assert evaluator.evaluate(_PerfectModel()).num_users == 7
+
+    def test_batching_does_not_change_results(self):
+        instances = self._instances(count=9, num_negatives=13)
+        result_small = RankingEvaluator(instances, k=5).evaluate(_PerfectModel(), batch_users=2)
+        result_large = RankingEvaluator(instances, k=5).evaluate(_PerfectModel(), batch_users=100)
+        assert result_small.ndcg == result_large.ndcg
+        assert np.array_equal(result_small.ranks, result_large.ranks)
+
+    def test_result_to_dict_and_str(self):
+        result = RankingEvaluator(self._instances(), k=5).evaluate(_PerfectModel())
+        as_dict = result.to_dict()
+        assert as_dict["NDCG@5"] == pytest.approx(1.0)
+        assert "HR@5" in str(result)
+
+    def test_requires_instances(self):
+        with pytest.raises(ValueError):
+            RankingEvaluator([], k=10)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            RankingEvaluator(self._instances(), k=0)
+
+    def test_invalid_batch_users(self):
+        evaluator = RankingEvaluator(self._instances(), k=5)
+        with pytest.raises(ValueError):
+            evaluator.evaluate(_PerfectModel(), batch_users=0)
+
+    def test_real_models_restore_training_mode(self, tiny_train_graph, tiny_split):
+        model = BPRMF(tiny_train_graph.num_users, tiny_train_graph.num_items, 8, seed=0)
+        model.train()
+        RankingEvaluator(tiny_split.test, k=10).evaluate(model)
+        assert model.training
+
+    def test_itempop_beats_random_ordering(self, tiny_train_graph, tiny_split):
+        pop = ItemPop(tiny_train_graph)
+        result = RankingEvaluator(tiny_split.test, k=10).evaluate(pop)
+        assert 0.0 <= result.hit_ratio <= 1.0
+        assert result.num_users == len(tiny_split.test)

@@ -1,0 +1,52 @@
+"""Smoke tests for the example scripts.
+
+Each example is compiled and its module-level structure inspected without
+executing ``main()`` (the examples train models and are exercised manually /
+in documentation); the cheapest one is additionally run end-to-end with a
+shrunken workload to make sure the public API calls it makes stay valid.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExampleScripts:
+    def test_at_least_three_examples_exist(self):
+        assert len(EXAMPLE_FILES) >= 3
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+    def test_example_compiles(self, path):
+        source = path.read_text()
+        compile(source, str(path), "exec")
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+    def test_example_has_docstring_and_main(self, path):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree), f"{path.name} is missing a module docstring"
+        function_names = {node.name for node in tree.body if isinstance(node, ast.FunctionDef)}
+        assert "main" in function_names, f"{path.name} has no main()"
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+    def test_example_only_imports_public_api(self, path):
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module and node.module.startswith("repro"):
+                module = __import__(node.module, fromlist=[alias.name for alias in node.names])
+                for alias in node.names:
+                    assert hasattr(module, alias.name), f"{path.name}: {node.module}.{alias.name} missing"
+
+    def test_scene_graph_tour_runs_end_to_end(self, capsys):
+        # The cheapest example: pure graph construction, no training loops.
+        namespace: dict[str, object] = {"__name__": "example"}
+        exec(compile((EXAMPLES_DIR / "scene_graph_tour.py").read_text(), "scene_graph_tour.py", "exec"), namespace)
+        namespace["main"]()
+        out = capsys.readouterr().out
+        assert "Figure-1 toy hierarchy" in out
+        assert "Table-1-style statistics" in out

@@ -1,0 +1,213 @@
+"""Tests for the experiment harness: reporting, Table 1/2, Figure 3 and the CLI."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    Figure3Config,
+    Table2Config,
+    format_improvement_summary,
+    format_table2,
+    get_experiment,
+    list_experiments,
+    render_table,
+    run_figure3,
+    run_table1,
+    run_table2,
+)
+from repro.experiments.run import build_parser, main
+from repro.training import TrainConfig
+
+
+class TestRenderTable:
+    def test_plain_text_alignment(self):
+        text = render_table(["a", "bbb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_markdown_mode(self):
+        text = render_table(["col"], [["x"]], markdown=True)
+        assert text.startswith("| col")
+        assert "|---" in text.splitlines()[1].replace(" ", "")
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only one"]])
+
+    def test_empty_rows_allowed(self):
+        assert "a" in render_table(["a"], [])
+
+
+class TestFormatTable2:
+    def test_contains_models_and_metrics(self):
+        metrics = {"ds": {"BPR-MF": {"ndcg": 0.1, "hr": 0.2}, "SceneRec": {"ndcg": 0.3, "hr": 0.4}}}
+        text = format_table2(metrics, ["ds"], ["BPR-MF", "SceneRec"])
+        assert "0.1000" in text and "0.4000" in text
+        assert "SceneRec" in text
+
+    def test_missing_entries_rendered_as_dash(self):
+        text = format_table2({"ds": {}}, ["ds"], ["BPR-MF"])
+        assert "-" in text
+
+    def test_improvement_summary_format(self):
+        summary = {
+            "ds": {"best_baseline": "NGCF", "ndcg_improvement": 0.15, "hr_improvement": 0.10},
+        }
+        text = format_improvement_summary(summary)
+        assert "+15.0%" in text
+        assert "NGCF" in text
+        assert "average" in text
+
+    def test_empty_summary(self):
+        assert format_improvement_summary({}) == ""
+
+
+class TestTable1:
+    def test_statistics_for_all_datasets(self):
+        result = run_table1(scale=0.08)
+        assert set(result.statistics) == {"baby_toy", "electronics", "fashion", "food_drink"}
+        for stats in result.statistics.values():
+            assert stats["user_item"]["num_edges"] > 0
+
+    def test_paper_reference_attached(self):
+        result = run_table1(scale=0.08, dataset_names=["electronics"])
+        assert "electronics" in result.paper_reference
+
+    def test_format_mentions_paper_comparison(self):
+        result = run_table1(scale=0.08, dataset_names=["electronics"])
+        text = result.format()
+        assert "Paper vs reproduction" in text
+        assert "electronics" in text
+
+    def test_output_json_written(self, tmp_path):
+        run_table1(scale=0.08, dataset_names=["electronics"], output_dir=tmp_path)
+        payload = json.loads((tmp_path / "table1.json").read_text())
+        assert "electronics" in payload["statistics"]
+
+
+@pytest.fixture(scope="module")
+def quick_table2_result():
+    config = Table2Config(
+        dataset_names=("electronics",),
+        model_names=("BPR-MF", "SceneRec"),
+        dataset_scale=0.2,
+        embedding_dim=8,
+        num_negatives=20,
+        train=TrainConfig(epochs=2, batch_size=64, eval_every=0),
+        seed=0,
+    )
+    return run_table2(config)
+
+
+class TestTable2:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            Table2Config(dataset_names=())
+        with pytest.raises(ValueError):
+            Table2Config(model_names=())
+        with pytest.raises(ValueError):
+            Table2Config(dataset_scale=0.0)
+
+    def test_results_cover_grid(self, quick_table2_result):
+        assert len(quick_table2_result.results) == 2
+        metrics = quick_table2_result.metrics()
+        assert set(metrics["electronics"]) == {"BPR-MF", "SceneRec"}
+
+    def test_metrics_in_unit_interval(self, quick_table2_result):
+        for by_model in quick_table2_result.metrics().values():
+            for entry in by_model.values():
+                assert 0.0 <= entry["ndcg"] <= 1.0
+                assert 0.0 <= entry["hr"] <= 1.0
+
+    def test_improvement_summary_references_baseline(self, quick_table2_result):
+        summary = quick_table2_result.improvement_summary()
+        assert "electronics" in summary
+        assert summary["electronics"]["best_baseline"] == "BPR-MF"
+
+    def test_format_includes_table_and_summary(self, quick_table2_result):
+        text = quick_table2_result.format()
+        assert "SceneRec" in text
+        assert "vs best baseline" in text
+
+    def test_to_dict_and_json_output(self, quick_table2_result, tmp_path):
+        payload = quick_table2_result.to_dict()
+        assert "metrics" in payload and "improvement_summary" in payload
+        config = Table2Config(
+            dataset_names=("electronics",),
+            model_names=("BPR-MF",),
+            dataset_scale=0.15,
+            embedding_dim=8,
+            num_negatives=10,
+            train=TrainConfig(epochs=1, batch_size=64, eval_every=0),
+        )
+        run_table2(config, output_dir=tmp_path)
+        assert (tmp_path / "table2.json").exists()
+
+
+class TestFigure3:
+    def test_runs_and_reports_correlation(self):
+        config = Figure3Config(
+            dataset_scale=0.2,
+            embedding_dim=8,
+            num_users=2,
+            num_negatives=15,
+            train=TrainConfig(epochs=2, batch_size=64, eval_every=0),
+        )
+        result = run_figure3(config)
+        assert len(result.reports) == 2
+        assert -1.0 <= result.mean_correlation() <= 1.0
+        assert "Figure 3" in result.format()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            Figure3Config(num_users=0)
+
+    def test_json_output(self, tmp_path):
+        config = Figure3Config(
+            dataset_scale=0.15,
+            embedding_dim=8,
+            num_users=1,
+            num_negatives=10,
+            train=TrainConfig(epochs=1, batch_size=64, eval_every=0),
+        )
+        run_figure3(config, output_dir=tmp_path)
+        payload = json.loads((tmp_path / "figure3.json").read_text())
+        assert payload["per_user"]
+
+
+class TestRegistryAndCli:
+    def test_registry_contains_all_paper_artifacts(self):
+        assert {"table1", "table2", "figure3"}.issubset(set(list_experiments()))
+
+    def test_get_experiment_unknown(self):
+        with pytest.raises(KeyError):
+            get_experiment("table99")
+
+    def test_every_spec_has_description(self):
+        assert all(spec.description for spec in EXPERIMENTS.values())
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.experiment == "table1"
+        assert args.scale == 1.0
+
+    def test_cli_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out
+
+    def test_cli_no_arguments_lists(self, capsys):
+        assert main([]) == 0
+        assert "figure3" in capsys.readouterr().out
+
+    def test_cli_runs_table1(self, capsys, tmp_path):
+        assert main(["table1", "--scale", "0.08", "--output", str(tmp_path), "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "Reproduced dataset statistics" in out
+        assert (tmp_path / "table1.json").exists()

@@ -1,0 +1,73 @@
+"""Tests for the curated-vs-mined scene experiment and its CLI registration."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import get_experiment, list_experiments
+from repro.experiments.scene_mining_experiment import (
+    SceneMiningExperimentConfig,
+    run_scene_mining_experiment,
+)
+from repro.scene_mining import SceneMiningConfig
+from repro.training import TrainConfig
+
+
+@pytest.fixture(scope="module")
+def quick_result():
+    config = SceneMiningExperimentConfig(
+        dataset_name="electronics",
+        dataset_scale=0.2,
+        embedding_dim=8,
+        num_negatives=15,
+        mining=SceneMiningConfig(min_weight=1.0),
+        train=TrainConfig(epochs=2, batch_size=64, eval_every=0),
+        seed=0,
+    )
+    return run_scene_mining_experiment(config)
+
+
+class TestSceneMiningExperiment:
+    def test_metrics_for_all_three_layers(self, quick_result):
+        assert set(quick_result.metrics) == {"curated", "mined", "no scenes (ablation)"}
+        for result in quick_result.metrics.values():
+            assert 0.0 <= result.ndcg <= 1.0
+
+    def test_overlap_report_present(self, quick_result):
+        assert 0.0 <= quick_result.overlap["mined_to_reference_jaccard"] <= 1.0
+        assert quick_result.num_mined_scenes >= 0
+        assert quick_result.num_curated_scenes > 0
+
+    def test_format_contains_table(self, quick_result):
+        text = quick_result.format()
+        assert "Scene layer" in text
+        assert "curated" in text and "mined" in text
+
+    def test_to_dict_round_trips_through_json(self, quick_result, tmp_path):
+        payload = quick_result.to_dict()
+        encoded = json.dumps(payload, default=float)
+        assert "metrics" in json.loads(encoded)
+
+    def test_json_output_written(self, tmp_path):
+        config = SceneMiningExperimentConfig(
+            dataset_name="electronics",
+            dataset_scale=0.15,
+            embedding_dim=8,
+            num_negatives=10,
+            mining=SceneMiningConfig(min_weight=1.0),
+            train=TrainConfig(epochs=1, batch_size=64, eval_every=0),
+        )
+        run_scene_mining_experiment(config, output_dir=tmp_path)
+        assert (tmp_path / "scene_mining.json").exists()
+
+
+class TestRegistration:
+    def test_listed_in_registry(self):
+        assert "scene-mining" in list_experiments()
+
+    def test_spec_has_runner(self):
+        spec = get_experiment("scene-mining")
+        assert callable(spec.runner)
+        assert "future work" in spec.description

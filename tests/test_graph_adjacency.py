@@ -1,0 +1,110 @@
+"""Tests for sparse adjacency helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph import build_adjacency_lists, edges_to_csr, normalized_adjacency, symmetric_normalized
+
+
+class TestEdgesToCsr:
+    def test_basic_edges(self):
+        matrix = edges_to_csr([(0, 1), (1, 2)], 3, 3)
+        assert matrix[0, 1] == 1.0
+        assert matrix[1, 2] == 1.0
+        assert matrix.nnz == 2
+
+    def test_weighted_edges(self):
+        matrix = edges_to_csr([(0, 1, 2.5)], 2, 2)
+        assert matrix[0, 1] == 2.5
+
+    def test_duplicates_accumulate(self):
+        matrix = edges_to_csr([(0, 1), (0, 1)], 2, 2)
+        assert matrix[0, 1] == 2.0
+
+    def test_symmetric_insertion(self):
+        matrix = edges_to_csr([(0, 1)], 3, 3, symmetric=True)
+        assert matrix[1, 0] == 1.0
+
+    def test_symmetric_requires_square(self):
+        with pytest.raises(ValueError):
+            edges_to_csr([(0, 1)], 2, 3, symmetric=True)
+
+    def test_out_of_range_edge_raises(self):
+        with pytest.raises(IndexError):
+            edges_to_csr([(0, 5)], 2, 2)
+
+    def test_empty_edges(self):
+        assert edges_to_csr([], 3, 4).shape == (3, 4)
+
+
+class TestAdjacencyLists:
+    def test_undirected_neighbors(self):
+        lists = build_adjacency_lists([(0, 1), (1, 2)], 3)
+        assert lists[0].tolist() == [1]
+        assert lists[1].tolist() == [0, 2]
+        assert lists[2].tolist() == [1]
+
+    def test_directed_neighbors(self):
+        lists = build_adjacency_lists([(0, 1)], 3, directed=True)
+        assert lists[0].tolist() == [1]
+        assert lists[1].tolist() == []
+
+    def test_self_loops_dropped(self):
+        lists = build_adjacency_lists([(1, 1)], 3)
+        assert lists[1].size == 0
+
+    def test_duplicate_edges_collapse(self):
+        lists = build_adjacency_lists([(0, 1), (1, 0), (0, 1)], 2)
+        assert lists[0].tolist() == [1]
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(IndexError):
+            build_adjacency_lists([(0, 9)], 3)
+
+    def test_isolated_nodes_have_empty_arrays(self):
+        lists = build_adjacency_lists([], 4)
+        assert all(neighbors.size == 0 for neighbors in lists)
+
+
+class TestNormalization:
+    def _chain(self) -> sp.csr_matrix:
+        return edges_to_csr([(0, 1), (1, 2)], 3, 3, symmetric=True)
+
+    def test_symmetric_rows_bounded(self):
+        normalized = symmetric_normalized(self._chain())
+        assert np.all(normalized.toarray() >= 0)
+        assert np.all(normalized.toarray() <= 1)
+
+    def test_symmetric_with_self_loops_diagonal_positive(self):
+        normalized = symmetric_normalized(self._chain(), add_self_loops=True)
+        assert np.all(normalized.diagonal() > 0)
+
+    def test_symmetric_requires_square(self):
+        with pytest.raises(ValueError):
+            symmetric_normalized(sp.csr_matrix(np.ones((2, 3))))
+
+    def test_isolated_node_stays_finite(self):
+        matrix = sp.csr_matrix((3, 3))
+        normalized = symmetric_normalized(matrix, add_self_loops=False)
+        assert np.isfinite(normalized.toarray()).all()
+
+    def test_row_normalization_rows_sum_to_one(self):
+        normalized = normalized_adjacency(self._chain(), how="row", add_self_loops=False)
+        sums = np.asarray(normalized.sum(axis=1)).reshape(-1)
+        assert np.allclose(sums[sums > 0], 1.0)
+
+    def test_none_normalization_keeps_values(self):
+        raw = self._chain()
+        normalized = normalized_adjacency(raw, how="none", add_self_loops=False)
+        assert np.allclose(normalized.toarray(), raw.toarray())
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError):
+            normalized_adjacency(self._chain(), how="bogus")
+
+    def test_symmetric_normalization_is_symmetric(self):
+        normalized = symmetric_normalized(self._chain()).toarray()
+        assert np.allclose(normalized, normalized.T)

@@ -1,0 +1,123 @@
+"""Tests for the user-item bipartite graph."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import UserItemBipartiteGraph
+
+
+class TestConstruction:
+    def test_counts(self, toy_bipartite):
+        assert toy_bipartite.num_users == 3
+        assert toy_bipartite.num_items == 5
+        assert toy_bipartite.num_interactions == 7
+
+    def test_duplicate_interactions_collapse(self):
+        graph = UserItemBipartiteGraph(2, 2, [(0, 1), (0, 1)])
+        assert graph.num_interactions == 1
+
+    def test_empty_interactions(self):
+        graph = UserItemBipartiteGraph(2, 3, [])
+        assert graph.num_interactions == 0
+        assert graph.user_items(0).size == 0
+
+    def test_invalid_shape_raises(self):
+        with pytest.raises(ValueError):
+            UserItemBipartiteGraph(2, 2, np.zeros((3, 3), dtype=np.int64))
+
+    def test_out_of_range_user(self):
+        with pytest.raises(IndexError):
+            UserItemBipartiteGraph(2, 2, [(2, 0)])
+
+    def test_out_of_range_item(self):
+        with pytest.raises(IndexError):
+            UserItemBipartiteGraph(2, 2, [(0, 2)])
+
+    def test_non_positive_sizes(self):
+        with pytest.raises(ValueError):
+            UserItemBipartiteGraph(0, 2, [])
+
+    def test_repr(self, toy_bipartite):
+        assert "users=3" in repr(toy_bipartite)
+
+
+class TestNeighborhoods:
+    def test_user_items(self, toy_bipartite):
+        assert toy_bipartite.user_items(0).tolist() == [0, 1, 2]
+        assert toy_bipartite.user_items(2).tolist() == [0, 4]
+
+    def test_item_users(self, toy_bipartite):
+        assert toy_bipartite.item_users(0).tolist() == [0, 2]
+        assert toy_bipartite.item_users(1).tolist() == [0, 1]
+        assert toy_bipartite.item_users(4).tolist() == [2]
+
+    def test_degrees(self, toy_bipartite):
+        assert toy_bipartite.user_degree(0) == 3
+        assert toy_bipartite.item_degree(2) == 1
+
+    def test_has_interaction(self, toy_bipartite):
+        assert toy_bipartite.has_interaction(0, 1)
+        assert not toy_bipartite.has_interaction(1, 0)
+
+    def test_out_of_range_queries(self, toy_bipartite):
+        with pytest.raises(IndexError):
+            toy_bipartite.user_items(3)
+        with pytest.raises(IndexError):
+            toy_bipartite.item_users(5)
+
+    def test_density(self, toy_bipartite):
+        assert toy_bipartite.density() == pytest.approx(7 / 15)
+
+    def test_every_interaction_mirrored_in_both_indexes(self, tiny_train_graph):
+        for user, item in tiny_train_graph.interactions:
+            assert item in tiny_train_graph.user_items(user)
+            assert user in tiny_train_graph.item_users(item)
+
+
+class TestMatrixViews:
+    def test_interaction_matrix_values(self, toy_bipartite):
+        matrix = toy_bipartite.interaction_matrix()
+        assert matrix.shape == (3, 5)
+        assert matrix[0, 1] == 1.0
+        assert matrix[1, 0] == 0.0
+        assert matrix.nnz == 7
+
+    def test_empty_interaction_matrix(self):
+        graph = UserItemBipartiteGraph(2, 3, [])
+        assert graph.interaction_matrix().nnz == 0
+
+    def test_joint_adjacency_shape(self, toy_bipartite):
+        joint = toy_bipartite.joint_adjacency()
+        assert joint.shape == (8, 8)
+
+    def test_joint_adjacency_blocks(self, toy_bipartite):
+        joint = toy_bipartite.joint_adjacency(how="none", add_self_loops=False).toarray()
+        # user-user and item-item blocks are zero; user-item block mirrors R.
+        assert np.allclose(joint[:3, :3], 0.0)
+        assert np.allclose(joint[3:, 3:], 0.0)
+        assert np.allclose(joint[:3, 3:], toy_bipartite.interaction_matrix().toarray())
+        assert np.allclose(joint, joint.T)
+
+    def test_joint_adjacency_row_normalized(self, toy_bipartite):
+        joint = toy_bipartite.joint_adjacency(how="row", add_self_loops=False)
+        sums = np.asarray(joint.sum(axis=1)).reshape(-1)
+        assert np.allclose(sums[sums > 0], 1.0)
+
+
+class TestWithoutInteractions:
+    def test_removes_pairs(self, toy_bipartite):
+        reduced = toy_bipartite.without_interactions([(0, 1), (2, 4)])
+        assert reduced.num_interactions == 5
+        assert not reduced.has_interaction(0, 1)
+        assert not reduced.has_interaction(2, 4)
+
+    def test_keeps_node_counts(self, toy_bipartite):
+        reduced = toy_bipartite.without_interactions([(0, 0)])
+        assert reduced.num_users == toy_bipartite.num_users
+        assert reduced.num_items == toy_bipartite.num_items
+
+    def test_removing_unknown_pair_is_noop(self, toy_bipartite):
+        reduced = toy_bipartite.without_interactions([(1, 4)])
+        assert reduced.num_interactions == toy_bipartite.num_interactions

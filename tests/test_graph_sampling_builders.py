@@ -1,0 +1,156 @@
+"""Tests for neighbour sampling/padding and the graph-construction pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    NeighborTable,
+    build_scene_based_graph,
+    category_category_edges_from_sessions,
+    item_item_edges_from_sessions,
+    pad_neighbor_lists,
+    sample_neighbors,
+    top_k_filter,
+)
+from repro.graph.builders import co_occurrence_counts
+
+
+class TestSampleNeighbors:
+    def test_returns_all_when_under_cap(self, rng):
+        neighbors = np.array([1, 2, 3])
+        assert np.array_equal(sample_neighbors(neighbors, 5, rng), neighbors)
+
+    def test_samples_without_replacement_when_over_cap(self, rng):
+        neighbors = np.arange(100)
+        sampled = sample_neighbors(neighbors, 10, rng)
+        assert sampled.size == 10
+        assert len(set(sampled.tolist())) == 10
+
+    def test_invalid_cap(self, rng):
+        with pytest.raises(ValueError):
+            sample_neighbors(np.array([1]), 0, rng)
+
+
+class TestPadNeighborLists:
+    def test_shapes_and_mask(self, rng):
+        lists = [np.array([1, 2]), np.array([], dtype=np.int64), np.array([3, 4, 5, 6])]
+        indices, mask = pad_neighbor_lists(lists, cap=3, rng=rng)
+        assert indices.shape == (3, 3)
+        assert mask.shape == (3, 3)
+        assert mask[0].tolist() == [1.0, 1.0, 0.0]
+        assert mask[1].tolist() == [0.0, 0.0, 0.0]
+        assert mask[2].sum() == 3.0
+
+    def test_padding_uses_pad_value(self, rng):
+        indices, mask = pad_neighbor_lists([np.array([], dtype=np.int64)], cap=2, rng=rng, pad_value=7)
+        assert indices.tolist() == [[7, 7]]
+
+    def test_real_slots_contain_original_ids(self, rng):
+        indices, mask = pad_neighbor_lists([np.array([4, 9])], cap=4, rng=rng)
+        real = indices[0][mask[0] == 1.0]
+        assert set(real.tolist()) == {4, 9}
+
+
+class TestNeighborTable:
+    def test_from_lists_and_take(self, rng):
+        table = NeighborTable.from_lists([np.array([1]), np.array([2, 3])], cap=2, rng=rng)
+        indices, mask = table.take(np.array([1, 0]))
+        assert indices.shape == (2, 2)
+        assert mask[0].sum() == 2.0
+        assert mask[1].sum() == 1.0
+
+    def test_degrees(self, rng):
+        table = NeighborTable.from_lists([np.array([1, 2, 3]), np.array([], dtype=np.int64)], cap=2, rng=rng)
+        assert table.degrees().tolist() == [2, 0]
+        assert table.num_rows == 2
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            NeighborTable(indices=np.zeros((2, 3), dtype=np.int64), mask=np.zeros((2, 2)), cap=3)
+        with pytest.raises(ValueError):
+            NeighborTable(indices=np.zeros((2, 3), dtype=np.int64), mask=np.zeros((2, 3)), cap=4)
+
+
+class TestCoOccurrence:
+    def test_counts_unordered_pairs(self):
+        counts = co_occurrence_counts([[1, 2, 3], [2, 3]])
+        assert counts[(1, 2)] == 1
+        assert counts[(2, 3)] == 2
+        assert (3, 2) not in counts
+
+    def test_repeated_items_in_session_collapse(self):
+        counts = co_occurrence_counts([[1, 1, 2]])
+        assert counts[(1, 2)] == 1
+
+    def test_empty_sessions(self):
+        assert len(co_occurrence_counts([[], [5]])) == 0
+
+
+class TestTopKFilter:
+    def test_keeps_strongest_partners(self):
+        counts = {(0, 1): 10, (0, 2): 5, (0, 3): 1}
+        edges = top_k_filter(counts, top_k=2, num_nodes=4)
+        pairs = {(a, b) for a, b, _ in edges}
+        assert (0, 1) in pairs and (0, 2) in pairs
+        # (0,3) survives only if it is in node 3's top-k, which it is (3 has a
+        # single partner), mirroring the per-node cap semantics.
+        assert (0, 3) in pairs
+
+    def test_cap_applies_per_node(self):
+        # Node 0 has 3 partners but cap 1; each partner keeps the edge from
+        # its own side, so all survive — but if partners have better options
+        # they drop it.
+        counts = {(0, 1): 3, (0, 2): 2, (0, 3): 1, (1, 2): 10, (2, 3): 10, (1, 3): 10}
+        edges = top_k_filter(counts, top_k=1, num_nodes=4)
+        pairs = {(a, b) for a, b, _ in edges}
+        assert (0, 1) in pairs  # node 0's single best partner
+        assert (0, 3) not in pairs
+
+    def test_weights_preserved(self):
+        counts = {(0, 1): 7}
+        assert top_k_filter(counts, top_k=1, num_nodes=2)[0][2] == 7.0
+
+    def test_invalid_top_k(self):
+        with pytest.raises(ValueError):
+            top_k_filter({}, top_k=0, num_nodes=2)
+
+
+class TestSessionPipelines:
+    def test_item_item_edges(self):
+        sessions = [[0, 1, 2], [0, 1], [3, 4]]
+        edges = item_item_edges_from_sessions(sessions, num_items=5, top_k=10)
+        pairs = {tuple(edge) for edge in edges.tolist()}
+        assert (0, 1) in pairs
+        assert (3, 4) in pairs
+        assert (0, 3) not in pairs
+
+    def test_empty_sessions_give_no_edges(self):
+        assert item_item_edges_from_sessions([], num_items=3).shape == (0, 2)
+
+    def test_category_edges_follow_item_categories(self):
+        item_category = np.array([0, 0, 1, 2])
+        sessions = [[0, 2], [1, 2], [3]]
+        edges = category_category_edges_from_sessions(sessions, item_category, num_categories=3, top_k=5)
+        pairs = {tuple(edge) for edge in edges.tolist()}
+        assert (0, 1) in pairs
+        assert (1, 2) not in pairs
+
+    def test_build_scene_based_graph_end_to_end(self):
+        item_category = np.array([0, 0, 1, 1, 2])
+        sessions = [[0, 2, 4], [1, 3], [0, 1]]
+        graph = build_scene_based_graph(
+            num_items=5,
+            num_categories=3,
+            num_scenes=2,
+            item_category=item_category,
+            sessions=sessions,
+            scene_category_edges=[(0, 0), (0, 1), (1, 2)],
+            item_top_k=5,
+            category_top_k=5,
+        )
+        assert graph.num_items == 5
+        assert graph.statistics()["scene_category_edges"] == 3
+        assert graph.item_neighbors(0).size > 0
+        graph.validate()

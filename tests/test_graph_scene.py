@@ -1,0 +1,120 @@
+"""Tests for the scene-based graph (Definition 3.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import SceneBasedGraph
+
+
+class TestConstruction:
+    def test_counts(self, toy_scene_graph):
+        stats = toy_scene_graph.statistics()
+        assert stats["num_items"] == 5
+        assert stats["num_categories"] == 5
+        assert stats["num_scenes"] == 2
+        assert stats["item_item_edges"] == 3
+        assert stats["category_category_edges"] == 4
+        assert stats["scene_category_edges"] == 6
+        assert stats["item_category_edges"] == 5
+
+    def test_item_category_must_cover_every_item(self):
+        with pytest.raises(ValueError):
+            SceneBasedGraph(3, 2, 1, item_category=[0, 1])
+
+    def test_item_category_out_of_range(self):
+        with pytest.raises(IndexError):
+            SceneBasedGraph(2, 2, 1, item_category=[0, 5])
+
+    def test_edge_out_of_range(self):
+        with pytest.raises(IndexError):
+            SceneBasedGraph(2, 2, 1, item_category=[0, 1], item_item_edges=[(0, 7)])
+
+    def test_scene_edge_out_of_range(self):
+        with pytest.raises(IndexError):
+            SceneBasedGraph(2, 2, 1, item_category=[0, 1], scene_category_edges=[(1, 0)])
+
+    def test_duplicate_and_reversed_edges_collapse(self):
+        graph = SceneBasedGraph(
+            3, 3, 1, item_category=[0, 1, 2], item_item_edges=[(0, 1), (1, 0), (0, 1)]
+        )
+        assert graph.statistics()["item_item_edges"] == 1
+
+    def test_self_loops_dropped(self):
+        graph = SceneBasedGraph(3, 3, 1, item_category=[0, 1, 2], item_item_edges=[(1, 1)])
+        assert graph.statistics()["item_item_edges"] == 0
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            SceneBasedGraph(0, 1, 1, item_category=[])
+
+
+class TestNeighborhoods:
+    def test_item_neighbors(self, toy_scene_graph):
+        assert toy_scene_graph.item_neighbors(1).tolist() == [0, 2]
+        assert toy_scene_graph.item_neighbors(4).tolist() == [3]
+
+    def test_category_neighbors(self, toy_scene_graph):
+        assert toy_scene_graph.category_neighbors(2).tolist() == [1, 3]
+
+    def test_category_of(self, toy_scene_graph):
+        assert toy_scene_graph.category_of(3) == 3
+
+    def test_category_scenes(self, toy_scene_graph):
+        assert toy_scene_graph.category_scenes(2).tolist() == [0, 1]
+        assert toy_scene_graph.category_scenes(0).tolist() == [0]
+
+    def test_scene_categories(self, toy_scene_graph):
+        assert toy_scene_graph.scene_categories(0).tolist() == [0, 1, 2]
+        assert toy_scene_graph.scene_categories(1).tolist() == [2, 3, 4]
+
+    def test_item_scenes_follow_category(self, toy_scene_graph):
+        # item 2 has category 2, which belongs to both scenes.
+        assert toy_scene_graph.item_scenes(2).tolist() == [0, 1]
+        # item 0 has category 0, which belongs only to scene 0.
+        assert toy_scene_graph.item_scenes(0).tolist() == [0]
+
+    def test_items_in_category(self, toy_scene_graph):
+        assert toy_scene_graph.items_in_category(4).tolist() == [4]
+
+    def test_shared_scenes(self, toy_scene_graph):
+        assert toy_scene_graph.shared_scenes(0, 1).tolist() == [0]
+        assert toy_scene_graph.shared_scenes(0, 4).tolist() == []
+        assert toy_scene_graph.shared_scenes(2, 3).tolist() == [1]
+
+    def test_out_of_range_queries(self, toy_scene_graph):
+        with pytest.raises(IndexError):
+            toy_scene_graph.item_neighbors(99)
+        with pytest.raises(IndexError):
+            toy_scene_graph.category_scenes(99)
+        with pytest.raises(IndexError):
+            toy_scene_graph.scene_categories(99)
+
+
+class TestValidationAndExport:
+    def test_validate_passes_on_toy(self, toy_scene_graph):
+        toy_scene_graph.validate()
+
+    def test_validate_rejects_empty_scene(self):
+        graph = SceneBasedGraph(2, 2, 2, item_category=[0, 1], scene_category_edges=[(0, 0)])
+        with pytest.raises(ValueError):
+            graph.validate()
+
+    def test_to_networkx_node_and_edge_counts(self, toy_scene_graph):
+        exported = toy_scene_graph.to_networkx()
+        assert exported.number_of_nodes() == 5 + 5 + 2
+        # item-item + item-category + category-category + scene-category
+        assert exported.number_of_edges() == 3 + 5 + 4 + 6
+
+    def test_to_networkx_layers_annotated(self, toy_scene_graph):
+        exported = toy_scene_graph.to_networkx()
+        assert exported.nodes["i:0"]["layer"] == "item"
+        assert exported.nodes["c:0"]["layer"] == "category"
+        assert exported.nodes["s:0"]["layer"] == "scene"
+
+    def test_repr(self, toy_scene_graph):
+        assert "scenes=2" in repr(toy_scene_graph)
+
+    def test_synthetic_scene_graph_is_valid(self, tiny_scene_graph):
+        tiny_scene_graph.validate()

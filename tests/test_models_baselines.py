@@ -1,0 +1,211 @@
+"""Tests for the baseline recommenders and the model registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    BPRMF,
+    CMN,
+    KGAT,
+    NCF,
+    NGCF,
+    ItemKNN,
+    ItemPop,
+    PinSAGE,
+    RandomRecommender,
+    build_model,
+    list_model_names,
+)
+from repro.models.registry import MODEL_REGISTRY
+
+
+def _batch(graph, count=6, seed=0):
+    rng = np.random.default_rng(seed)
+    users = rng.integers(0, graph.num_users, size=count)
+    items = rng.integers(0, graph.num_items, size=count)
+    return users, items
+
+
+class TestBPRMF:
+    def test_score_is_dot_product_plus_bias(self):
+        model = BPRMF(num_users=3, num_items=4, embedding_dim=5, seed=0)
+        users, items = np.array([1]), np.array([2])
+        expected = float(
+            model.user_embedding.weight.data[1] @ model.item_embedding.weight.data[2]
+            + model.item_bias.data[2]
+        )
+        assert model.score(users, items)[0] == pytest.approx(expected)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            BPRMF(0, 5)
+
+    def test_gradients_flow(self):
+        model = BPRMF(4, 6, 8, seed=0)
+        pos, neg = model.bpr_scores(np.array([0, 1]), np.array([2, 3]), np.array([4, 5]))
+        (-(pos - neg).sigmoid().log().mean()).backward()
+        assert model.user_embedding.weight.grad is not None
+        assert model.item_bias.grad is not None
+
+
+class TestNCF:
+    def test_forward_shape(self, tiny_train_graph):
+        model = NCF(tiny_train_graph.num_users, tiny_train_graph.num_items, embedding_dim=4, seed=0)
+        users, items = _batch(tiny_train_graph)
+        assert model.score(users, items).shape == (6,)
+
+    def test_has_separate_branch_embeddings(self, tiny_train_graph):
+        model = NCF(tiny_train_graph.num_users, tiny_train_graph.num_items, embedding_dim=4, seed=0)
+        names = [name for name, _ in model.named_parameters()]
+        assert any("gmf_user_embedding" in name for name in names)
+        assert any("mlp_user_embedding" in name for name in names)
+
+    def test_gradients_reach_both_branches(self, tiny_train_graph):
+        model = NCF(tiny_train_graph.num_users, tiny_train_graph.num_items, embedding_dim=4, seed=0)
+        users, items = _batch(tiny_train_graph)
+        model.predict_pairs(users, items).sum().backward()
+        assert model.gmf_user_embedding.weight.grad is not None
+        assert model.mlp_user_embedding.weight.grad is not None
+
+
+class TestCMN:
+    def test_forward_shape(self, tiny_train_graph):
+        model = CMN(tiny_train_graph, embedding_dim=8, neighbor_cap=5, seed=0)
+        users, items = _batch(tiny_train_graph)
+        assert model.score(users, items).shape == (6,)
+
+    def test_memory_attention_uses_item_neighbourhood(self, tiny_train_graph):
+        model = CMN(tiny_train_graph, embedding_dim=8, neighbor_cap=5, seed=0)
+        # Items with no interactions attend over an empty memory and still
+        # produce finite scores.
+        scores = model.score(np.array([0]), np.array([0]))
+        assert np.isfinite(scores).all()
+
+    def test_gradients_reach_memory_table(self, tiny_train_graph):
+        model = CMN(tiny_train_graph, embedding_dim=8, seed=0)
+        users, items = _batch(tiny_train_graph)
+        model.predict_pairs(users, items).sum().backward()
+        assert model.user_memory.weight.grad is not None
+
+
+class TestPinSAGE:
+    def test_forward_shape(self, tiny_train_graph):
+        model = PinSAGE(tiny_train_graph, embedding_dim=8, num_layers=2, seed=0)
+        users, items = _batch(tiny_train_graph)
+        assert model.score(users, items).shape == (6,)
+
+    def test_layer_count_validation(self, tiny_train_graph):
+        with pytest.raises(ValueError):
+            PinSAGE(tiny_train_graph, num_layers=0)
+
+    def test_bpr_scores_shared_propagation_matches(self, tiny_train_graph):
+        model = PinSAGE(tiny_train_graph, embedding_dim=8, seed=0)
+        users = np.array([0, 1])
+        pos_items, neg_items = np.array([2, 3]), np.array([4, 5])
+        pos, neg = model.bpr_scores(users, pos_items, neg_items)
+        assert np.allclose(pos.data, model.score(users, pos_items))
+        assert np.allclose(neg.data, model.score(users, neg_items))
+
+
+class TestNGCF:
+    def test_forward_shape(self, tiny_train_graph):
+        model = NGCF(tiny_train_graph, embedding_dim=8, num_layers=2, seed=0)
+        users, items = _batch(tiny_train_graph)
+        assert model.score(users, items).shape == (6,)
+
+    def test_representation_width_grows_with_layers(self, tiny_train_graph):
+        model = NGCF(tiny_train_graph, embedding_dim=8, num_layers=3, seed=0)
+        assert model._propagate().shape[-1] == 8 * 4
+
+    def test_gradients_reach_all_layers(self, tiny_train_graph):
+        model = NGCF(tiny_train_graph, embedding_dim=8, num_layers=2, seed=0)
+        users, items = _batch(tiny_train_graph)
+        model.predict_pairs(users, items).sum().backward()
+        for layer in model.aggregation_layers:
+            assert layer.weight.grad is not None
+
+    def test_layer_count_validation(self, tiny_train_graph):
+        with pytest.raises(ValueError):
+            NGCF(tiny_train_graph, num_layers=0)
+
+
+class TestKGAT:
+    def test_forward_shape(self, tiny_train_graph, tiny_scene_graph):
+        model = KGAT(tiny_train_graph, tiny_scene_graph, embedding_dim=8, seed=0)
+        users, items = _batch(tiny_train_graph)
+        assert model.score(users, items).shape == (6,)
+
+    def test_mismatched_graphs_rejected(self, tiny_train_graph):
+        from repro.graph import SceneBasedGraph
+
+        scene = SceneBasedGraph(2, 2, 1, item_category=[0, 1], scene_category_edges=[(0, 0)])
+        with pytest.raises(ValueError):
+            KGAT(tiny_train_graph, scene)
+
+    def test_scene_embeddings_receive_gradient(self, tiny_train_graph, tiny_scene_graph):
+        model = KGAT(tiny_train_graph, tiny_scene_graph, embedding_dim=8, seed=0)
+        users, items = _batch(tiny_train_graph)
+        model.predict_pairs(users, items).sum().backward()
+        assert model.scene_embedding.weight.grad is not None
+
+
+class TestHeuristicBaselines:
+    def test_itempop_prefers_popular_items(self, tiny_train_graph):
+        model = ItemPop(tiny_train_graph)
+        degrees = np.array([tiny_train_graph.item_degree(i) for i in range(tiny_train_graph.num_items)])
+        most, least = int(degrees.argmax()), int(degrees.argmin())
+        scores = model.score(np.array([0, 0]), np.array([most, least]))
+        assert scores[0] >= scores[1]
+
+    def test_itempop_not_trainable(self, tiny_train_graph):
+        assert not ItemPop(tiny_train_graph).trainable
+        assert ItemPop(tiny_train_graph).parameters() == []
+
+    def test_random_scores_in_unit_interval(self):
+        scores = RandomRecommender(seed=0).score(np.zeros(10, dtype=int), np.arange(10))
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_itemknn_scores_history_neighbours_higher(self, toy_bipartite):
+        model = ItemKNN(toy_bipartite, k=5)
+        # User 1 interacted with items 1 and 3; item 0 is co-consumed with
+        # item 1 (by user 0) so it should outscore item 4 (no overlap).
+        scores = model.score(np.array([1, 1]), np.array([0, 4]))
+        assert scores[0] > scores[1]
+
+    def test_itemknn_invalid_k(self, toy_bipartite):
+        with pytest.raises(ValueError):
+            ItemKNN(toy_bipartite, k=0)
+
+    def test_itemknn_empty_history_user(self, toy_bipartite):
+        model = ItemKNN(toy_bipartite.without_interactions([(2, 0), (2, 4)]), k=3)
+        assert model.score(np.array([2]), np.array([1]))[0] == 0.0
+
+
+class TestRegistry:
+    def test_list_matches_paper_order(self):
+        names = list_model_names()
+        assert names[0] == "BPR-MF"
+        assert names[-1] == "SceneRec"
+        assert len(names) == 10
+
+    def test_heuristics_appended(self):
+        assert "ItemPop" in list_model_names(include_heuristics=True)
+
+    def test_every_registered_model_builds_and_scores(self, tiny_train_graph, tiny_scene_graph):
+        users, items = _batch(tiny_train_graph, count=3)
+        for name in MODEL_REGISTRY:
+            model = build_model(name, tiny_train_graph, tiny_scene_graph, embedding_dim=8, seed=0)
+            scores = model.score(users, items)
+            assert scores.shape == (3,), name
+            assert np.isfinite(scores).all(), name
+
+    def test_unknown_model_raises(self, tiny_train_graph, tiny_scene_graph):
+        with pytest.raises(KeyError):
+            build_model("DoesNotExist", tiny_train_graph, tiny_scene_graph)
+
+    def test_model_names_attached(self, tiny_train_graph, tiny_scene_graph):
+        for name in list_model_names():
+            model = build_model(name, tiny_train_graph, tiny_scene_graph, embedding_dim=8, seed=0)
+            assert model.name == name

@@ -1,0 +1,59 @@
+"""Tests for the LightGCN extension baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.models.baselines import LightGCN
+from repro.training import TrainConfig, Trainer
+
+
+class TestLightGCN:
+    def test_forward_shape(self, tiny_train_graph):
+        model = LightGCN(tiny_train_graph, embedding_dim=8, num_layers=2, seed=0)
+        users = np.array([0, 1, 2])
+        items = np.array([3, 4, 5])
+        assert model.score(users, items).shape == (3,)
+
+    def test_layer_count_validation(self, tiny_train_graph):
+        with pytest.raises(ValueError):
+            LightGCN(tiny_train_graph, num_layers=0)
+
+    def test_has_only_embedding_parameters(self, tiny_train_graph):
+        """LightGCN removes all transformation weights — only the table trains."""
+        model = LightGCN(tiny_train_graph, embedding_dim=8, seed=0)
+        names = [name for name, _ in model.named_parameters()]
+        assert names == ["embedding.weight"]
+
+    def test_propagation_is_layer_average(self, tiny_train_graph):
+        model = LightGCN(tiny_train_graph, embedding_dim=8, num_layers=2, seed=0)
+        adjacency = model._adjacency.toarray()
+        base = model.embedding.weight.data
+        layer1 = adjacency @ base
+        layer2 = adjacency @ layer1
+        expected = (base + layer1 + layer2) / 3.0
+        assert np.allclose(model._propagate().data, expected)
+
+    def test_bpr_scores_match_predict_pairs(self, tiny_train_graph):
+        model = LightGCN(tiny_train_graph, embedding_dim=8, seed=0)
+        users = np.array([0, 1])
+        positives, negatives = np.array([2, 3]), np.array([4, 5])
+        pos, neg = model.bpr_scores(users, positives, negatives)
+        assert np.allclose(pos.data, model.score(users, positives))
+        assert np.allclose(neg.data, model.score(users, negatives))
+
+    def test_training_reduces_loss(self, tiny_split, tiny_train_graph):
+        model = LightGCN(tiny_train_graph, embedding_dim=8, seed=0)
+        history = Trainer(
+            model, tiny_split, TrainConfig(epochs=4, batch_size=64, learning_rate=0.05, eval_every=0)
+        ).fit()
+        assert history.losses[-1] < history.losses[0]
+
+    def test_registered_as_extension_not_in_table2(self, tiny_train_graph, tiny_scene_graph):
+        from repro.models import list_model_names
+
+        model = build_model("LightGCN", tiny_train_graph, tiny_scene_graph, embedding_dim=8, seed=0)
+        assert model.name == "LightGCN"
+        assert "LightGCN" not in list_model_names()

@@ -1,0 +1,231 @@
+"""Tests for the SceneRec model: shapes, equations, attention and ablations."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.graph import SceneBasedGraph, UserItemBipartiteGraph
+from repro.models import SceneRec, SceneRecConfig, SceneRecNoAttention, SceneRecNoItem, SceneRecNoScene
+
+
+@pytest.fixture(scope="module")
+def small_config() -> SceneRecConfig:
+    return SceneRecConfig(
+        embedding_dim=8,
+        user_item_cap=6,
+        item_user_cap=6,
+        item_item_cap=4,
+        category_category_cap=3,
+        category_scene_cap=3,
+        fusion_hidden=(12,),
+        prediction_hidden=(12,),
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def model(tiny_train_graph, tiny_scene_graph, small_config) -> SceneRec:
+    return SceneRec(tiny_train_graph, tiny_scene_graph, small_config)
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        SceneRecConfig()
+
+    def test_rejects_zero_dim(self):
+        with pytest.raises(ValueError):
+            SceneRecConfig(embedding_dim=0)
+
+    def test_rejects_zero_caps(self):
+        with pytest.raises(ValueError):
+            SceneRecConfig(item_item_cap=0)
+
+    def test_rejects_disabling_both_scene_space_parts(self):
+        with pytest.raises(ValueError):
+            SceneRecConfig(use_item_item=False, use_scene_hierarchy=False)
+
+
+class TestConstruction:
+    def test_mismatched_item_counts_rejected(self, tiny_train_graph):
+        scene = SceneBasedGraph(3, 2, 1, item_category=[0, 1, 0], scene_category_edges=[(0, 0)])
+        with pytest.raises(ValueError):
+            SceneRec(tiny_train_graph, scene)
+
+    def test_has_four_embedding_tables(self, model, tiny_train_graph, tiny_scene_graph):
+        assert model.user_embedding.num_embeddings == tiny_train_graph.num_users
+        assert model.item_embedding.num_embeddings == tiny_train_graph.num_items
+        assert model.category_embedding.num_embeddings == tiny_scene_graph.num_categories
+        assert model.scene_embedding.num_embeddings == tiny_scene_graph.num_scenes
+
+    def test_parameter_count_is_substantial(self, model):
+        assert model.num_parameters() > 1000
+
+    def test_deterministic_construction(self, tiny_train_graph, tiny_scene_graph, small_config):
+        first = SceneRec(tiny_train_graph, tiny_scene_graph, small_config)
+        second = SceneRec(tiny_train_graph, tiny_scene_graph, small_config)
+        assert np.allclose(first.item_embedding.weight.data, second.item_embedding.weight.data)
+        assert np.array_equal(first._item_items.indices, second._item_items.indices)
+
+
+class TestForwardShapes:
+    def test_user_representation(self, model):
+        out = model.user_representation(np.array([0, 1, 2]))
+        assert out.shape == (3, model.config.embedding_dim)
+
+    def test_item_user_based_representation(self, model):
+        out = model.item_user_based_representation(np.array([0, 5]))
+        assert out.shape == (2, model.config.embedding_dim)
+
+    def test_category_representations_cover_all_categories(self, model, tiny_scene_graph):
+        out = model.category_representations()
+        assert out.shape == (tiny_scene_graph.num_categories, model.config.embedding_dim)
+
+    def test_item_scene_based_representation(self, model):
+        out = model.item_scene_based_representation(np.array([1, 2, 3, 4]))
+        assert out.shape == (4, model.config.embedding_dim)
+
+    def test_item_representation(self, model):
+        out = model.item_representation(np.array([0, 1]))
+        assert out.shape == (2, model.config.embedding_dim)
+
+    def test_predict_pairs_shape_and_finiteness(self, model):
+        scores = model.predict_pairs(np.array([0, 1, 2]), np.array([3, 4, 5]))
+        assert scores.shape == (3,)
+        assert np.isfinite(scores.data).all()
+
+    def test_score_returns_numpy(self, model):
+        scores = model.score(np.array([0]), np.array([1]))
+        assert isinstance(scores, np.ndarray)
+
+    def test_mismatched_lengths_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.predict_pairs(np.array([0, 1]), np.array([2]))
+
+    def test_bpr_scores_match_predict_pairs(self, model):
+        users = np.array([0, 1])
+        positives = np.array([2, 3])
+        negatives = np.array([4, 5])
+        pos, neg = model.bpr_scores(users, positives, negatives)
+        assert np.allclose(pos.data, model.predict_pairs(users, positives).data)
+        assert np.allclose(neg.data, model.predict_pairs(users, negatives).data)
+
+
+class TestGradients:
+    def test_backward_reaches_all_embedding_tables(self, model):
+        model.zero_grad()
+        pos, neg = model.bpr_scores(np.array([0, 1, 2]), np.array([1, 2, 3]), np.array([4, 5, 6]))
+        loss = -(pos - neg).sigmoid().log().mean()
+        loss.backward()
+        assert model.user_embedding.weight.grad is not None
+        assert model.item_embedding.weight.grad is not None
+        assert model.category_embedding.weight.grad is not None
+        assert model.scene_embedding.weight.grad is not None
+
+    def test_gradients_are_finite(self, model):
+        model.zero_grad()
+        scores = model.predict_pairs(np.array([0, 1]), np.array([2, 3]))
+        scores.sum().backward()
+        for _, parameter in model.named_parameters():
+            if parameter.grad is not None:
+                assert np.isfinite(parameter.grad).all()
+
+    def test_scene_embedding_untouched_by_pure_user_path(self, model):
+        model.zero_grad()
+        model.user_representation(np.array([0, 1])).sum().backward()
+        assert model.scene_embedding.weight.grad is None
+
+
+class TestSceneAttention:
+    def test_attention_score_symmetric(self, model):
+        assert model.scene_attention_score(0, 5) == pytest.approx(model.scene_attention_score(5, 0))
+
+    def test_attention_score_self_is_one(self, model):
+        assert model.scene_attention_score(3, 3) == pytest.approx(1.0, abs=1e-6)
+
+    def test_attention_bounded(self, model, tiny_scene_graph):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            a, b = rng.integers(0, tiny_scene_graph.num_items, size=2)
+            assert -1.0 - 1e-9 <= model.scene_attention_score(int(a), int(b)) <= 1.0 + 1e-9
+
+    def test_same_category_items_have_identical_scene_context(self, model, tiny_scene_graph):
+        category = int(tiny_scene_graph.item_category[0])
+        same_category_items = tiny_scene_graph.items_in_category(category)
+        if same_category_items.size >= 2:
+            a, b = int(same_category_items[0]), int(same_category_items[1])
+            assert model.scene_attention_score(a, b) == pytest.approx(1.0, abs=1e-6)
+
+    def test_attention_weights_sum_to_one_over_real_neighbors(self, model):
+        context = model.category_scene_context()
+        indices = model._category_categories.indices
+        mask = model._category_categories.mask
+        weights = model._attention_weights(context, context.take_rows(indices), mask).data
+        sums = weights.sum(axis=-1)
+        has_neighbors = mask.sum(axis=-1) > 0
+        assert np.allclose(sums[has_neighbors], 1.0, atol=1e-6)
+        assert np.allclose(sums[~has_neighbors], 0.0, atol=1e-6)
+
+
+class TestAblations:
+    def test_noitem_disables_item_item(self, tiny_train_graph, tiny_scene_graph, small_config):
+        variant = SceneRecNoItem(tiny_train_graph, tiny_scene_graph, small_config)
+        assert not variant.config.use_item_item
+        assert variant.config.use_scene_hierarchy
+        assert variant.name == "SceneRec-noitem"
+
+    def test_nosce_disables_hierarchy(self, tiny_train_graph, tiny_scene_graph, small_config):
+        variant = SceneRecNoScene(tiny_train_graph, tiny_scene_graph, small_config)
+        assert not variant.config.use_scene_hierarchy
+        assert variant.config.use_item_item
+        # Without the hierarchy there are no category/scene embedding tables.
+        names = [name for name, _ in variant.named_parameters()]
+        assert not any("category_embedding" in name or "scene_embedding" in name for name in names)
+
+    def test_noatt_keeps_structure_but_uniform_weights(self, tiny_train_graph, tiny_scene_graph, small_config):
+        variant = SceneRecNoAttention(tiny_train_graph, tiny_scene_graph, small_config)
+        context = variant.category_scene_context()
+        indices = variant._category_categories.indices
+        mask = variant._category_categories.mask
+        weights = variant._attention_weights(context, context.take_rows(indices), mask).data
+        row = mask.sum(axis=-1).argmax()
+        degree = mask[row].sum()
+        assert np.allclose(weights[row][mask[row] == 1.0], 1.0 / degree)
+
+    def test_all_variants_forward(self, tiny_train_graph, tiny_scene_graph, small_config):
+        for cls in (SceneRecNoItem, SceneRecNoScene, SceneRecNoAttention):
+            variant = cls(tiny_train_graph, tiny_scene_graph, small_config)
+            scores = variant.predict_pairs(np.array([0, 1]), np.array([2, 3]))
+            assert scores.shape == (2,)
+            assert np.isfinite(scores.data).all()
+
+    def test_nosce_cannot_report_scene_attention(self, tiny_train_graph, tiny_scene_graph, small_config):
+        variant = SceneRecNoScene(tiny_train_graph, tiny_scene_graph, small_config)
+        with pytest.raises(RuntimeError):
+            variant.scene_attention_score(0, 1)
+
+    def test_variant_scores_differ_from_full_model(self, model, tiny_train_graph, tiny_scene_graph, small_config):
+        users = np.array([0, 1, 2, 3])
+        items = np.array([5, 6, 7, 8])
+        full = model.score(users, items)
+        for cls in (SceneRecNoItem, SceneRecNoScene, SceneRecNoAttention):
+            variant = cls(tiny_train_graph, tiny_scene_graph, small_config)
+            assert not np.allclose(variant.score(users, items), full)
+
+
+class TestStatePersistence:
+    def test_state_dict_roundtrip_preserves_scores(self, tiny_train_graph, tiny_scene_graph, small_config):
+        # Same config ⇒ identical sampled neighbour tables, so scores are a
+        # pure function of the parameters and the state dict restores them.
+        first = SceneRec(tiny_train_graph, tiny_scene_graph, small_config)
+        second = SceneRec(tiny_train_graph, tiny_scene_graph, small_config)
+        rng = np.random.default_rng(99)
+        for parameter in second.parameters():
+            parameter.data = parameter.data + rng.normal(scale=0.1, size=parameter.data.shape)
+        users, items = np.array([0, 1]), np.array([2, 3])
+        assert not np.allclose(first.score(users, items), second.score(users, items))
+        second.load_state_dict(first.state_dict())
+        assert np.allclose(first.score(users, items), second.score(users, items))

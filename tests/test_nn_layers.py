@@ -1,0 +1,213 @@
+"""Tests for Linear, MLP, Dropout, activations, containers and initialisers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import (
+    MLP,
+    Activation,
+    Dropout,
+    Linear,
+    ModuleDict,
+    ModuleList,
+    Sequential,
+    he_uniform,
+    normal_init,
+    xavier_normal,
+    xavier_uniform,
+    zeros_init,
+)
+from repro.nn.activations import resolve_activation
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = Linear(4, 3, rng=0)
+        assert layer(Tensor(np.ones((5, 4)))).shape == (5, 3)
+
+    def test_3d_input(self):
+        layer = Linear(4, 3, rng=0)
+        assert layer(Tensor(np.ones((2, 5, 4)))).shape == (2, 5, 3)
+
+    def test_no_bias(self):
+        layer = Linear(4, 3, bias=False, rng=0)
+        assert len(layer.parameters()) == 1
+
+    def test_zero_input_gives_bias(self):
+        layer = Linear(4, 3, rng=0)
+        out = layer(Tensor(np.zeros((1, 4))))
+        assert np.allclose(out.data, layer.bias.data)
+
+    def test_wrong_input_width_raises(self):
+        layer = Linear(4, 3, rng=0)
+        with pytest.raises(ValueError):
+            layer(Tensor(np.ones((2, 5))))
+
+    def test_invalid_sizes_raise(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+
+    def test_gradients_reach_weight_and_bias(self):
+        layer = Linear(3, 2, rng=0)
+        layer(Tensor(np.ones((4, 3)))).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+    def test_deterministic_given_seed(self):
+        assert np.allclose(Linear(3, 2, rng=7).weight.data, Linear(3, 2, rng=7).weight.data)
+
+
+class TestMLP:
+    def test_shapes_through_stack(self):
+        mlp = MLP([6, 4, 2], rng=0)
+        assert mlp(Tensor(np.ones((3, 6)))).shape == (3, 2)
+
+    def test_needs_two_sizes(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+
+    def test_output_activation(self):
+        mlp = MLP([3, 1], output_activation="sigmoid", rng=0)
+        out = mlp(Tensor(np.random.default_rng(0).normal(size=(10, 3)))).data
+        assert np.all((out >= 0) & (out <= 1))
+
+    def test_hidden_activation_applied(self):
+        # With ReLU hidden activation and all-negative weights/inputs the
+        # hidden layer output is clamped at zero, so the output equals the
+        # final layer's bias.
+        mlp = MLP([2, 2, 1], activation="relu", rng=0)
+        mlp.layers[0].weight.data = -np.abs(mlp.layers[0].weight.data)
+        mlp.layers[0].bias.data = np.zeros_like(mlp.layers[0].bias.data)
+        out = mlp(Tensor(np.ones((1, 2))))
+        assert np.allclose(out.data, mlp.layers[1].bias.data)
+
+    def test_dropout_only_active_in_training(self):
+        mlp = MLP([4, 8, 2], dropout=0.9, rng=0)
+        x = Tensor(np.ones((2, 4)))
+        mlp.eval()
+        out1 = mlp(x).data
+        out2 = mlp(x).data
+        assert np.allclose(out1, out2)
+
+    def test_parameter_count(self):
+        mlp = MLP([4, 3, 2], rng=0)
+        assert mlp.num_parameters() == (4 * 3 + 3) + (3 * 2 + 2)
+
+
+class TestDropout:
+    def test_eval_is_identity(self):
+        layer = Dropout(0.5, rng=0)
+        layer.eval()
+        x = Tensor(np.ones((4, 4)))
+        assert np.allclose(layer(x).data, x.data)
+
+    def test_training_zeroes_some_entries(self):
+        layer = Dropout(0.5, rng=0)
+        out = layer(Tensor(np.ones((20, 20)))).data
+        assert (out == 0).any()
+        assert (out > 1).any()  # inverted scaling
+
+    def test_zero_rate_identity_even_in_training(self):
+        layer = Dropout(0.0)
+        x = Tensor(np.ones((3, 3)))
+        assert np.allclose(layer(x).data, 1.0)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestActivations:
+    def test_resolve_by_name(self):
+        assert resolve_activation("relu")(Tensor([-1.0, 1.0])).data.tolist() == [0.0, 1.0]
+
+    def test_resolve_none_is_identity(self):
+        x = Tensor([1.0, 2.0])
+        assert resolve_activation(None)(x) is x
+
+    def test_resolve_callable_passthrough(self):
+        custom = lambda t: t * 2.0  # noqa: E731 - tiny test lambda
+        assert resolve_activation(custom) is custom
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            resolve_activation("bogus")
+
+    def test_activation_module(self):
+        module = Activation("tanh")
+        assert np.allclose(module(Tensor([0.0])).data, [0.0])
+        assert "tanh" in repr(module)
+
+
+class TestContainers:
+    def test_sequential_applies_in_order(self):
+        model = Sequential(Linear(3, 4, rng=0), Activation("relu"), Linear(4, 2, rng=1))
+        assert model(Tensor(np.ones((2, 3)))).shape == (2, 2)
+
+    def test_sequential_len_iter_getitem(self):
+        model = Sequential(Linear(2, 2, rng=0), Linear(2, 2, rng=1))
+        assert len(model) == 2
+        assert isinstance(model[1], Linear)
+        assert len(list(iter(model))) == 2
+
+    def test_sequential_registers_parameters(self):
+        model = Sequential(Linear(2, 2, rng=0), Linear(2, 2, rng=1))
+        assert len(model.parameters()) == 4
+
+    def test_sequential_rejects_non_module(self):
+        with pytest.raises(TypeError):
+            Sequential("nope")
+
+    def test_module_list(self):
+        layers = ModuleList(Linear(2, 2, rng=i) for i in range(3))
+        assert len(layers) == 3
+        assert len(layers.parameters()) == 6
+        assert isinstance(layers[0], Linear)
+
+    def test_module_list_rejects_non_module(self):
+        with pytest.raises(TypeError):
+            ModuleList([1])
+
+    def test_module_dict(self):
+        modules = ModuleDict({"a": Linear(2, 2, rng=0)})
+        modules["b"] = Linear(2, 3, rng=1)
+        assert "a" in modules
+        assert set(modules.keys()) == {"a", "b"}
+        assert len(modules) == 2
+        assert modules["b"].out_features == 3
+
+    def test_module_dict_missing_key(self):
+        with pytest.raises(KeyError):
+            ModuleDict()["missing"]
+
+
+class TestInitializers:
+    def test_xavier_uniform_bounds(self):
+        rng = np.random.default_rng(0)
+        values = xavier_uniform((100, 50), rng)
+        limit = np.sqrt(6.0 / 150)
+        assert np.all(np.abs(values) <= limit + 1e-12)
+
+    def test_xavier_normal_std(self):
+        rng = np.random.default_rng(0)
+        values = xavier_normal((400, 400), rng)
+        assert values.std() == pytest.approx(np.sqrt(2.0 / 800), rel=0.1)
+
+    def test_he_uniform_bounds(self):
+        rng = np.random.default_rng(0)
+        values = he_uniform((64, 32), rng)
+        assert np.all(np.abs(values) <= np.sqrt(6.0 / 32) + 1e-12)
+
+    def test_normal_init_std(self):
+        rng = np.random.default_rng(0)
+        assert normal_init((1000, 10), rng, std=0.05).std() == pytest.approx(0.05, rel=0.1)
+
+    def test_zeros_init(self):
+        assert np.allclose(zeros_init((3, 3)), 0.0)
+
+    def test_vector_shape_fan(self):
+        rng = np.random.default_rng(0)
+        assert xavier_uniform((7,), rng).shape == (7,)

@@ -1,0 +1,170 @@
+"""Tests for Parameter/Module registration, modes and state persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import Dropout, Embedding, Linear, Module, Parameter, Sequential
+
+
+class _ToyModule(Module):
+    def __init__(self):
+        super().__init__()
+        self.weight = Parameter(np.ones((2, 2)))
+        self.child = Linear(2, 3, rng=0)
+        self.plain_attribute = "not registered"
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.child(x @ self.weight)
+
+
+class TestParameter:
+    def test_always_requires_grad(self):
+        assert Parameter(np.zeros(3)).requires_grad
+
+    def test_keeps_name(self):
+        assert Parameter(np.zeros(3), name="bias").name == "bias"
+
+    def test_data_is_float64(self):
+        assert Parameter([1, 2, 3]).data.dtype == np.float64
+
+
+class TestModuleRegistration:
+    def test_parameters_include_children(self):
+        module = _ToyModule()
+        names = dict(module.named_parameters())
+        assert "weight" in names
+        assert "child.weight" in names
+        assert "child.bias" in names
+
+    def test_plain_attributes_not_registered(self):
+        module = _ToyModule()
+        assert all("plain_attribute" not in name for name, _ in module.named_parameters())
+
+    def test_num_parameters(self):
+        module = _ToyModule()
+        assert module.num_parameters() == 4 + 6 + 3
+
+    def test_children_and_modules(self):
+        module = _ToyModule()
+        assert module.children() == [module.child]
+        assert module in list(module.modules())
+        assert module.child in list(module.modules())
+
+    def test_reassigning_with_non_module_unregisters(self):
+        module = _ToyModule()
+        module.child = "gone"
+        assert all(not name.startswith("child") for name, _ in module.named_parameters())
+
+    def test_parameter_auto_naming(self):
+        module = _ToyModule()
+        assert module.weight.name == "weight"
+
+    def test_repr_lists_children(self):
+        assert "child=Linear" in repr(_ToyModule())
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestTrainEvalMode:
+    def test_default_training_true(self):
+        assert _ToyModule().training
+
+    def test_eval_propagates_to_children(self):
+        module = Sequential(Linear(2, 2, rng=0), Dropout(0.5, rng=1))
+        module.eval()
+        assert all(not child.training for child in module.modules())
+
+    def test_train_restores(self):
+        module = _ToyModule()
+        module.eval()
+        module.train()
+        assert module.training and module.child.training
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        module = _ToyModule()
+        state = module.state_dict()
+        other = _ToyModule()
+        other.load_state_dict(state)
+        for (_, a), (_, b) in zip(module.named_parameters(), other.named_parameters()):
+            assert np.allclose(a.data, b.data)
+
+    def test_state_dict_is_a_copy(self):
+        module = _ToyModule()
+        state = module.state_dict()
+        state["weight"][0, 0] = 123.0
+        assert module.weight.data[0, 0] == 1.0
+
+    def test_strict_load_rejects_missing_keys(self):
+        module = _ToyModule()
+        state = module.state_dict()
+        del state["weight"]
+        with pytest.raises(KeyError):
+            module.load_state_dict(state)
+
+    def test_strict_load_rejects_unexpected_keys(self):
+        module = _ToyModule()
+        state = module.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            module.load_state_dict(state)
+
+    def test_non_strict_load_ignores_extras(self):
+        module = _ToyModule()
+        state = module.state_dict()
+        state["bogus"] = np.zeros(1)
+        module.load_state_dict(state, strict=False)
+
+    def test_shape_mismatch_raises(self):
+        module = _ToyModule()
+        state = module.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            module.load_state_dict(state)
+
+
+class TestZeroGrad:
+    def test_clears_all_gradients(self):
+        module = _ToyModule()
+        out = module(Tensor(np.ones((1, 2))))
+        out.sum().backward()
+        assert any(parameter.grad is not None for parameter in module.parameters())
+        module.zero_grad()
+        assert all(parameter.grad is None for parameter in module.parameters())
+
+
+class TestEmbeddingModule:
+    def test_lookup_shape(self):
+        embedding = Embedding(10, 4, rng=0)
+        assert embedding(np.array([1, 5])).shape == (2, 4)
+
+    def test_out_of_range_raises(self):
+        embedding = Embedding(10, 4, rng=0)
+        with pytest.raises(IndexError):
+            embedding(np.array([10]))
+
+    def test_negative_index_raises(self):
+        embedding = Embedding(10, 4, rng=0)
+        with pytest.raises(IndexError):
+            embedding(np.array([-1]))
+
+    def test_xavier_init_option(self):
+        assert Embedding(5, 3, init="xavier", rng=0).weight.data.shape == (5, 3)
+
+    def test_unknown_init_raises(self):
+        with pytest.raises(ValueError):
+            Embedding(5, 3, init="bogus", rng=0)
+
+    def test_invalid_sizes_raise(self):
+        with pytest.raises(ValueError):
+            Embedding(0, 3)
+
+    def test_all_returns_full_table(self):
+        embedding = Embedding(5, 3, rng=0)
+        assert embedding.all() is embedding.weight

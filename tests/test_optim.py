@@ -1,0 +1,184 @@
+"""Tests for optimisers, gradient clipping and learning-rate schedulers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import Parameter
+from repro.optim import SGD, Adam, ConstantLR, ExponentialDecayLR, RMSProp, StepLR, clip_grad_norm, clip_grad_value
+
+
+def _quadratic_loss(parameter: Parameter) -> Tensor:
+    return ((parameter - Tensor(np.array([3.0, -2.0]))) ** 2).sum()
+
+
+def _minimise(optimizer_factory, steps: int = 200) -> np.ndarray:
+    parameter = Parameter(np.zeros(2))
+    optimizer = optimizer_factory([parameter])
+    for _ in range(steps):
+        optimizer.zero_grad()
+        loss = _quadratic_loss(parameter)
+        loss.backward()
+        optimizer.step()
+    return parameter.data
+
+
+class TestOptimizerBase:
+    def test_requires_parameters(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_requires_positive_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(2))], lr=0.0)
+
+    def test_negative_weight_decay_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(2))], lr=0.1, weight_decay=-1.0)
+
+    def test_step_skips_parameters_without_grad(self):
+        parameter = Parameter(np.ones(2))
+        optimizer = SGD([parameter], lr=0.1)
+        optimizer.step()  # no gradient accumulated: should be a no-op
+        assert np.allclose(parameter.data, 1.0)
+
+    def test_zero_grad(self):
+        parameter = Parameter(np.ones(2))
+        _quadratic_loss(parameter).backward()
+        optimizer = SGD([parameter], lr=0.1)
+        optimizer.zero_grad()
+        assert parameter.grad is None
+
+    def test_step_count_increments(self):
+        parameter = Parameter(np.ones(2))
+        optimizer = SGD([parameter], lr=0.1)
+        optimizer.step()
+        optimizer.step()
+        assert optimizer.step_count == 2
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        final = _minimise(lambda params: SGD(params, lr=0.1))
+        assert np.allclose(final, [3.0, -2.0], atol=1e-3)
+
+    def test_momentum_converges(self):
+        final = _minimise(lambda params: SGD(params, lr=0.05, momentum=0.9))
+        assert np.allclose(final, [3.0, -2.0], atol=1e-3)
+
+    def test_single_step_matches_formula(self):
+        parameter = Parameter(np.array([1.0]))
+        parameter.grad = np.array([2.0])
+        SGD([parameter], lr=0.5).step()
+        assert np.allclose(parameter.data, [0.0])
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, momentum=1.0)
+
+    def test_weight_decay_shrinks_parameters(self):
+        parameter = Parameter(np.array([1.0]))
+        parameter.grad = np.array([0.0])
+        SGD([parameter], lr=0.1, weight_decay=0.5).step()
+        assert parameter.data[0] < 1.0
+
+
+class TestRMSProp:
+    def test_converges_on_quadratic(self):
+        final = _minimise(lambda params: RMSProp(params, lr=0.05), steps=400)
+        assert np.allclose(final, [3.0, -2.0], atol=1e-2)
+
+    def test_first_step_magnitude_is_lr_over_sqrt_one_minus_decay(self):
+        parameter = Parameter(np.array([0.0]))
+        parameter.grad = np.array([4.0])
+        RMSProp([parameter], lr=0.01, decay=0.9).step()
+        expected = 0.01 * 4.0 / (np.sqrt(0.1 * 16.0) + 1e-8)
+        assert np.allclose(parameter.data, [-expected])
+
+    def test_invalid_decay(self):
+        with pytest.raises(ValueError):
+            RMSProp([Parameter(np.zeros(1))], lr=0.1, decay=1.5)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            RMSProp([Parameter(np.zeros(1))], lr=0.1, epsilon=0.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        final = _minimise(lambda params: Adam(params, lr=0.1), steps=400)
+        assert np.allclose(final, [3.0, -2.0], atol=1e-2)
+
+    def test_first_step_is_approximately_lr(self):
+        parameter = Parameter(np.array([0.0]))
+        parameter.grad = np.array([123.0])
+        Adam([parameter], lr=0.01).step()
+        assert np.allclose(np.abs(parameter.data), 0.01, rtol=1e-4)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=0.1, betas=(1.0, 0.9))
+
+
+class TestClipping:
+    def test_clip_grad_norm_scales_down(self):
+        parameter = Parameter(np.zeros(4))
+        parameter.grad = np.full(4, 10.0)
+        norm = clip_grad_norm([parameter], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(parameter.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_clip_grad_norm_leaves_small_gradients(self):
+        parameter = Parameter(np.zeros(2))
+        parameter.grad = np.array([0.1, 0.1])
+        clip_grad_norm([parameter], max_norm=5.0)
+        assert np.allclose(parameter.grad, [0.1, 0.1])
+
+    def test_clip_grad_norm_no_grads(self):
+        assert clip_grad_norm([Parameter(np.zeros(2))], max_norm=1.0) == 0.0
+
+    def test_clip_grad_norm_invalid(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([], max_norm=0.0)
+
+    def test_clip_grad_value(self):
+        parameter = Parameter(np.zeros(3))
+        parameter.grad = np.array([-10.0, 0.5, 10.0])
+        clip_grad_value([parameter], max_value=1.0)
+        assert np.allclose(parameter.grad, [-1.0, 0.5, 1.0])
+
+    def test_clip_grad_value_invalid(self):
+        with pytest.raises(ValueError):
+            clip_grad_value([], max_value=0.0)
+
+
+class TestSchedulers:
+    def _optimizer(self):
+        return SGD([Parameter(np.zeros(1))], lr=1.0)
+
+    def test_constant(self):
+        scheduler = ConstantLR(self._optimizer())
+        for _ in range(5):
+            assert scheduler.step() == 1.0
+
+    def test_step_lr(self):
+        scheduler = StepLR(self._optimizer(), step_size=2, gamma=0.5)
+        lrs = [scheduler.step() for _ in range(4)]
+        assert lrs == [1.0, 0.5, 0.5, 0.25]
+
+    def test_exponential(self):
+        scheduler = ExponentialDecayLR(self._optimizer(), gamma=0.5)
+        assert scheduler.step() == 0.5
+        assert scheduler.step() == 0.25
+
+    def test_step_lr_validation(self):
+        with pytest.raises(ValueError):
+            StepLR(self._optimizer(), step_size=0)
+        with pytest.raises(ValueError):
+            StepLR(self._optimizer(), step_size=1, gamma=0.0)
+
+    def test_exponential_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialDecayLR(self._optimizer(), gamma=2.0)

@@ -1,0 +1,121 @@
+"""Property-based tests (hypothesis) for the autodiff engine."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.autograd import Tensor, concat, log_sigmoid, masked_softmax
+from repro.autograd.tensor import unbroadcast
+
+_finite = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False, width=64)
+
+
+def _float_arrays(max_dims=2, max_side=5):
+    return arrays(
+        dtype=np.float64,
+        shape=array_shapes(min_dims=1, max_dims=max_dims, min_side=1, max_side=max_side),
+        elements=_finite,
+    )
+
+
+class TestAlgebraicProperties:
+    @given(_float_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_addition_commutes(self, values):
+        a = Tensor(values)
+        b = Tensor(values[::-1].copy())
+        assert np.allclose((a + b).data, (b + a).data)
+
+    @given(_float_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_add_zero_is_identity(self, values):
+        assert np.allclose((Tensor(values) + 0.0).data, values)
+
+    @given(_float_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_double_negation(self, values):
+        assert np.allclose((-(-Tensor(values))).data, values)
+
+    @given(_float_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_sum_grad_is_all_ones(self, values):
+        tensor = Tensor(values, requires_grad=True)
+        tensor.sum().backward()
+        assert np.allclose(tensor.grad, np.ones_like(values))
+
+    @given(_float_arrays(), st.floats(min_value=0.1, max_value=5.0))
+    @settings(max_examples=40, deadline=None)
+    def test_scalar_mul_grad(self, values, scalar):
+        tensor = Tensor(values, requires_grad=True)
+        (tensor * scalar).sum().backward()
+        assert np.allclose(tensor.grad, scalar)
+
+
+class TestActivationProperties:
+    @given(_float_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_sigmoid_bounded(self, values):
+        out = Tensor(values).sigmoid().data
+        assert np.all((out > 0) & (out < 1))
+
+    @given(_float_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_tanh_bounded_and_odd(self, values):
+        tensor = Tensor(values)
+        assert np.all(np.abs(tensor.tanh().data) <= 1.0)
+        assert np.allclose((-tensor).tanh().data, -tensor.tanh().data)
+
+    @given(_float_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_relu_non_negative_and_idempotent(self, values):
+        once = Tensor(values).relu()
+        assert np.all(once.data >= 0)
+        assert np.allclose(once.relu().data, once.data)
+
+    @given(_float_arrays(max_dims=2))
+    @settings(max_examples=40, deadline=None)
+    def test_softmax_is_distribution(self, values):
+        weights = Tensor(values).softmax(axis=-1).data
+        assert np.all(weights >= 0)
+        assert np.allclose(weights.sum(axis=-1), 1.0)
+
+    @given(_float_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_log_sigmoid_non_positive(self, values):
+        assert np.all(log_sigmoid(Tensor(values)).data <= 1e-12)
+
+
+class TestStructuralProperties:
+    @given(_float_arrays(max_dims=2), _float_arrays(max_dims=2))
+    @settings(max_examples=40, deadline=None)
+    def test_concat_preserves_total_size(self, left, right):
+        left_t, right_t = Tensor(left.reshape(-1)), Tensor(right.reshape(-1))
+        assert concat([left_t, right_t], axis=0).size == left_t.size + right_t.size
+
+    @given(
+        arrays(dtype=np.float64, shape=st.tuples(st.integers(1, 4), st.integers(1, 6)), elements=_finite),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_masked_softmax_respects_mask(self, scores):
+        rng = np.random.default_rng(0)
+        mask = (rng.random(scores.shape) > 0.3).astype(np.float64)
+        weights = masked_softmax(Tensor(scores), mask).data
+        assert np.all(weights[mask == 0.0] < 1e-8)
+        row_sums = weights.sum(axis=-1)
+        has_real = mask.sum(axis=-1) > 0
+        assert np.allclose(row_sums[has_real], 1.0, atol=1e-6)
+
+    @given(_float_arrays(max_dims=3))
+    @settings(max_examples=40, deadline=None)
+    def test_unbroadcast_restores_shape_after_broadcast(self, values):
+        broadcast = np.broadcast_to(values, (2,) + values.shape)
+        assert unbroadcast(broadcast.copy(), values.shape).shape == values.shape
+
+    @given(_float_arrays(max_dims=2))
+    @settings(max_examples=40, deadline=None)
+    def test_reshape_roundtrip(self, values):
+        tensor = Tensor(values)
+        assert np.allclose(tensor.reshape(values.size).reshape(*values.shape).data, values)

@@ -1,0 +1,134 @@
+"""Property-based tests for metrics, sampling, graphs and the data pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.negative_sampling import sample_negatives
+from repro.evaluation.metrics import hit_ratio_at_k, mean_reciprocal_rank, ndcg_at_k, rank_of_positive
+from repro.graph.builders import co_occurrence_counts, top_k_filter
+from repro.graph.sampling import pad_neighbor_lists
+from repro.optim import RMSProp, SGD
+from repro.nn import Parameter
+
+
+class TestMetricProperties:
+    @given(st.integers(min_value=0, max_value=200), st.integers(min_value=1, max_value=50))
+    @settings(max_examples=60, deadline=None)
+    def test_metrics_bounded(self, rank, k):
+        assert 0.0 <= hit_ratio_at_k(rank, k) <= 1.0
+        assert 0.0 <= ndcg_at_k(rank, k) <= 1.0
+        assert 0.0 < mean_reciprocal_rank(rank) <= 1.0
+
+    @given(st.integers(min_value=0, max_value=100), st.integers(min_value=1, max_value=50))
+    @settings(max_examples=60, deadline=None)
+    def test_ndcg_never_exceeds_hit(self, rank, k):
+        assert ndcg_at_k(rank, k) <= hit_ratio_at_k(rank, k)
+
+    @given(st.integers(min_value=1, max_value=99))
+    @settings(max_examples=40, deadline=None)
+    def test_better_rank_never_hurts(self, rank):
+        assert ndcg_at_k(rank - 1, 10) >= ndcg_at_k(rank, 10)
+        assert mean_reciprocal_rank(rank - 1) > mean_reciprocal_rank(rank)
+
+    @given(
+        st.floats(min_value=-5, max_value=5, allow_nan=False),
+        st.lists(st.floats(min_value=-5, max_value=5, allow_nan=False), min_size=1, max_size=30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_rank_of_positive_within_bounds(self, positive, negatives):
+        rank = rank_of_positive(positive, np.array(negatives))
+        assert 0 <= rank <= len(negatives)
+
+
+class TestSamplingProperties:
+    @given(
+        st.sets(st.integers(min_value=0, max_value=49), max_size=30),
+        st.integers(min_value=1, max_value=20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_negatives_disjoint_from_observed(self, observed, count):
+        rng = np.random.default_rng(0)
+        negatives = sample_negatives(observed, num_items=50, count=count, rng=rng)
+        assert not set(negatives.tolist()) & observed
+        assert len(set(negatives.tolist())) == negatives.size
+
+    @given(
+        st.lists(
+            st.lists(st.integers(min_value=0, max_value=19), max_size=6).map(
+                lambda xs: np.array(sorted(set(xs)), dtype=np.int64)
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_padding_mask_counts_real_neighbors(self, neighbor_lists, cap):
+        indices, mask = pad_neighbor_lists(neighbor_lists, cap=cap, rng=0)
+        assert indices.shape == mask.shape == (len(neighbor_lists), cap)
+        for row, neighbors in enumerate(neighbor_lists):
+            assert mask[row].sum() == min(neighbors.size, cap)
+            real = set(indices[row][mask[row] == 1.0].tolist())
+            assert real.issubset(set(neighbors.tolist()))
+
+
+class TestGraphBuilderProperties:
+    @given(
+        st.lists(
+            st.lists(st.integers(min_value=0, max_value=14), min_size=0, max_size=6),
+            min_size=0,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_co_occurrence_is_symmetric_by_construction(self, sessions):
+        counts = co_occurrence_counts(sessions)
+        for (a, b), value in counts.items():
+            assert a < b
+            assert value >= 1
+
+    @given(
+        st.dictionaries(
+            st.tuples(st.integers(0, 9), st.integers(0, 9)).map(lambda p: (min(p), max(p))).filter(lambda p: p[0] != p[1]),
+            st.integers(min_value=1, max_value=20),
+            max_size=20,
+        ),
+        st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_top_k_filter_is_subset_with_positive_weights(self, counts, top_k):
+        edges = top_k_filter(counts, top_k=top_k, num_nodes=10)
+        for a, b, weight in edges:
+            assert (a, b) in counts
+            assert weight == counts[(a, b)]
+        assert len(edges) <= len(counts)
+
+
+class TestOptimizerProperties:
+    @given(st.floats(min_value=0.001, max_value=0.1), st.integers(min_value=1, max_value=50))
+    @settings(max_examples=25, deadline=None)
+    def test_sgd_monotone_on_convex_quadratic(self, lr, steps):
+        parameter = Parameter(np.array([5.0]))
+        optimizer = SGD([parameter], lr=lr)
+        previous_loss = float("inf")
+        for _ in range(steps):
+            optimizer.zero_grad()
+            loss = (parameter * parameter).sum()
+            loss.backward()
+            optimizer.step()
+            assert float(loss.data) <= previous_loss + 1e-9
+            previous_loss = float(loss.data)
+
+    @given(st.floats(min_value=0.001, max_value=0.05))
+    @settings(max_examples=20, deadline=None)
+    def test_rmsprop_moves_toward_minimum(self, lr):
+        parameter = Parameter(np.array([3.0]))
+        optimizer = RMSProp([parameter], lr=lr)
+        for _ in range(50):
+            optimizer.zero_grad()
+            ((parameter - 1.0) ** 2).sum().backward()
+            optimizer.step()
+        assert abs(parameter.data[0] - 1.0) < abs(3.0 - 1.0)

