@@ -7,7 +7,8 @@ This is the smallest end-to-end use of the public API:
 2. split it with the paper's leave-one-out protocol,
 3. build the two graphs SceneRec consumes,
 4. train with the shared BPR trainer,
-5. evaluate NDCG@10 / HR@10 on the held-out test items.
+5. evaluate NDCG@10 / HR@10 on the held-out test items,
+6. serve ranked recommendations through ``repro.serving``.
 
 Run with::
 
@@ -18,6 +19,7 @@ from __future__ import annotations
 
 from repro.data import dataset_config, generate_dataset, leave_one_out_split
 from repro.models import SceneRec, SceneRecConfig
+from repro.serving import RecommendRequest, RecommendationService
 from repro.training import TrainConfig, Trainer
 from repro.utils.logging import configure_logging
 
@@ -49,6 +51,16 @@ def main() -> None:
     # 5. Test evaluation.
     result = trainer.evaluate_test()
     print(f"test metrics: {result}")
+
+    # 6. Serving: one vectorized request answers several users at once, with
+    #    seen items excluded and scene-affinity explanations attached.
+    service = RecommendationService(model, train_graph, scene_graph)
+    response = service.recommend(RecommendRequest(users=(0, 1, 2), k=5, explain=True))
+    for user, items in response.as_dict().items():
+        listed = ", ".join(
+            f"{rec.item}(affinity {rec.scene_affinity:+.2f})" for rec in items
+        )
+        print(f"user {user} top-5: {listed}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,80 @@
+"""Serving demo: batched top-K recommendations from the ``repro.serving`` layer.
+
+The serving subsystem answers "give me the K best items for these users" from
+one catalogue matmul per request (for factorized models such as BPR-MF or
+LightGCN), with composable candidate filters and scene-affinity explanations:
+
+1. train a factorized baseline on a synthetic dataset,
+2. build a :class:`~repro.serving.RecommendationService` over it,
+3. answer a batched request with exclude-seen filtering,
+4. narrow a second request to a category allowlist,
+5. compare the vectorized path's wall-clock against the pairwise loop.
+
+Run with::
+
+    python examples/serving_demo.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.data import dataset_config, generate_dataset, leave_one_out_split
+from repro.models import build_model
+from repro.serving import CategoryAllowlistFilter, RecommendRequest, RecommendationService
+from repro.training import TrainConfig, Trainer
+from repro.utils.logging import configure_logging
+
+
+def main() -> None:
+    configure_logging()
+
+    # 1. Data + a quickly-trained factorized model.
+    dataset = generate_dataset(dataset_config("electronics", scale=0.5))
+    split = leave_one_out_split(dataset, num_negatives=50, rng=0)
+    train_graph = dataset.bipartite_graph(split.train_interactions)
+    scene_graph = dataset.scene_graph()
+    model = build_model("BPR-MF", train_graph, scene_graph, embedding_dim=32, seed=0)
+    Trainer(model, split, TrainConfig(epochs=5, batch_size=256, learning_rate=0.05, eval_every=0)).fit()
+
+    # 2. The service precomputes the model's user/item representations on
+    #    first use; call service.refresh() after any further training.
+    service = RecommendationService(model, train_graph, scene_graph)
+
+    # 3. One batched request for several users at once.
+    users = tuple(range(5))
+    response = service.recommend(RecommendRequest(users=users, k=5))
+    for user, items in response.as_dict().items():
+        listed = ", ".join(f"{rec.item}(cat {rec.category}, {rec.score:.2f})" for rec in items)
+        print(f"user {user}: {listed}")
+
+    # 4. The same request narrowed to two categories.
+    narrowed = service.recommend(
+        RecommendRequest(users=users, k=5, filters=(CategoryAllowlistFilter(scene_graph, [0, 1]),))
+    )
+    categories = {rec.category for items in narrowed.results for rec in items}
+    print(f"with the category allowlist, recommended categories = {sorted(categories)}")
+
+    # 5. Vectorized vs pairwise wall-clock on the full user base.
+    everyone = tuple(range(train_graph.num_users))
+    start = time.perf_counter()
+    service.recommend(RecommendRequest(users=everyone, k=10))
+    matrix_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    all_items = np.arange(train_graph.num_items, dtype=np.int64)
+    for user in everyone:
+        scores = model.score(np.full(all_items.size, user, dtype=np.int64), all_items)
+        np.argsort(-scores)
+    pairwise_seconds = time.perf_counter() - start
+    print(
+        f"full-user-base top-10: matrix path {matrix_seconds * 1000:.1f} ms, "
+        f"pairwise loop {pairwise_seconds * 1000:.1f} ms "
+        f"({pairwise_seconds / matrix_seconds:.1f}x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

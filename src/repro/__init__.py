@@ -9,19 +9,34 @@ This package is a full, self-contained reproduction of
 It ships its own neural substrate (reverse-mode autodiff on NumPy, layers,
 optimisers), the two graph structures the paper defines, a synthetic
 JD-like dataset generator, the SceneRec model with its three ablations, six
-baseline recommenders, a shared BPR trainer, the leave-one-out evaluator and
-an experiment harness that regenerates every table and figure.
+baseline recommenders, a shared BPR trainer, the leave-one-out evaluator, a
+vectorized serving layer and an experiment harness that regenerates every
+table and figure.
 
 Quickstart
 ----------
+Train a model, then serve ranked recommendations from it:
+
 >>> from repro.data import generate_dataset, dataset_config, leave_one_out_split
 >>> from repro.models import SceneRec, SceneRecConfig
 >>> from repro.training import Trainer, TrainConfig
+>>> from repro.serving import RecommendationService, RecommendRequest
 >>> dataset = generate_dataset(dataset_config("electronics"))
 >>> split = leave_one_out_split(dataset, num_negatives=100, rng=0)
->>> model = SceneRec(dataset.bipartite_graph(split.train_interactions),
-...                  dataset.scene_graph(), SceneRecConfig(embedding_dim=32))
+>>> train_graph = dataset.bipartite_graph(split.train_interactions)
+>>> model = SceneRec(train_graph, dataset.scene_graph(),
+...                  SceneRecConfig(embedding_dim=32))
 >>> history = Trainer(model, split, TrainConfig(epochs=10)).fit()
+>>> service = RecommendationService(model, train_graph, dataset.scene_graph())
+>>> response = service.recommend(RecommendRequest(users=(0, 1, 2), k=10,
+...                                               explain=True))
+>>> top = response.for_user(0)  # ranked Recommendation tuples
+
+Models are scored through a two-tier API (:mod:`repro.models.base`):
+pairwise ``score(users, items)`` for training-time protocols, and a
+catalogue-wide ``score_matrix(users)`` that factorized models answer with a
+single matmul — the serving layer and the full-ranking evaluator ride on the
+fast tier automatically.
 """
 
 from repro import (
@@ -34,11 +49,12 @@ from repro import (
     nn,
     optim,
     scene_mining,
+    serving,
     training,
     utils,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "autograd",
@@ -50,6 +66,7 @@ __all__ = [
     "nn",
     "optim",
     "scene_mining",
+    "serving",
     "training",
     "utils",
     "__version__",

@@ -2,8 +2,14 @@
 
 The paper reports HR@10 and NDCG@10 under a leave-one-out protocol with 100
 sampled negatives per user (Section 5.3); :class:`RankingEvaluator` implements
-exactly that, and :mod:`~repro.evaluation.case_study` reproduces the Figure-3
+exactly that, :class:`FullRankingEvaluator` adds the stricter full-catalogue
+protocol, and :mod:`~repro.evaluation.case_study` reproduces the Figure-3
 analysis relating scene-based attention to prediction scores.
+
+Both evaluators score through the two-tier API of :mod:`repro.models.base`:
+models with a catalogue ``score_matrix`` fast path (factorized models,
+SceneRec) are ranked from one matrix per user batch, everything else falls
+back to batched pairwise scoring with identical results.
 """
 
 from repro.evaluation.beyond_accuracy import (

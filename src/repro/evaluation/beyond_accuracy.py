@@ -4,8 +4,10 @@ Accuracy metrics (HR/NDCG) say whether the held-out item is found; these
 metrics describe the *recommendation lists themselves* — how much of the
 catalogue they use, how popular/novel the recommended items are and how
 diverse each list is across categories.  They are computed on the output of
-:class:`repro.models.service.TopKRecommender` (or any iterable of item-id
-lists) and are used by the extension analyses, not by the paper's tables.
+:class:`repro.serving.RecommendationService` (see
+:meth:`~repro.serving.RecommendResponse.item_lists`, or any iterable of
+item-id lists) and are used by the extension analyses, not by the paper's
+tables.
 """
 
 from __future__ import annotations

@@ -15,7 +15,7 @@ from repro.evaluation.metrics import (
     ndcg_at_k,
     rank_of_positive,
 )
-from repro.models.base import Recommender
+from repro.models.base import FactorizedRecommender, Recommender, has_matrix_fast_path
 
 __all__ = ["EvaluationResult", "RankingEvaluator"]
 
@@ -50,6 +50,11 @@ class RankingEvaluator:
     :meth:`repro.models.base.Recommender.score` can be evaluated, which keeps
     the comparison across SceneRec, its ablations and every baseline exactly
     like-for-like (same candidates, same metric code).
+
+    Models with a vectorized catalogue path (factorized models, SceneRec) are
+    scored through :meth:`~repro.models.base.Recommender.score_matrix` — one
+    matrix per user chunk, candidates gathered by fancy indexing — while
+    pairwise-only models keep the flattened batched-pairs path.
     """
 
     def __init__(self, instances: Sequence[EvaluationInstance], k: int = 10) -> None:
@@ -70,35 +75,26 @@ class RankingEvaluator:
         if batch_users <= 0:
             raise ValueError(f"batch_users must be positive, got {batch_users}")
         ranks: list[int] = []
+        use_matrix = has_matrix_fast_path(model)
         was_training = getattr(model, "training", False)
         if hasattr(model, "eval"):
             model.eval()
         try:
             with no_grad():
+                if use_matrix and isinstance(model, FactorizedRecommender):
+                    # One propagation/encoding for the whole evaluation.
+                    scorer = model.factorized_representations().score_matrix
+                elif use_matrix:
+                    def scorer(users: np.ndarray) -> np.ndarray:
+                        return np.asarray(model.score_matrix(users), dtype=np.float64)
+                else:
+                    scorer = None
                 for start in range(0, len(self.instances), batch_users):
                     chunk = self.instances[start : start + batch_users]
-                    users: list[int] = []
-                    items: list[int] = []
-                    offsets: list[tuple[int, int]] = []
-                    cursor = 0
-                    for instance in chunk:
-                        candidates = instance.candidates()
-                        users.extend([instance.user] * candidates.size)
-                        items.extend(candidates.tolist())
-                        offsets.append((cursor, candidates.size))
-                        cursor += candidates.size
-                    scores = np.asarray(
-                        model.score(np.array(users, dtype=np.int64), np.array(items, dtype=np.int64)),
-                        dtype=np.float64,
-                    ).reshape(-1)
-                    if scores.size != cursor:
-                        raise ValueError(
-                            f"model.score returned {scores.size} scores for {cursor} (user, item) pairs"
-                        )
-                    for (offset, width), instance in zip(offsets, chunk):
-                        positive_score = scores[offset]
-                        negative_scores = scores[offset + 1 : offset + width]
-                        ranks.append(rank_of_positive(positive_score, negative_scores))
+                    if scorer is not None:
+                        self._rank_chunk_matrix(scorer, chunk, ranks)
+                    else:
+                        self._rank_chunk_pairwise(model, chunk, ranks)
         finally:
             if hasattr(model, "train") and was_training:
                 model.train()
@@ -112,3 +108,39 @@ class RankingEvaluator:
             num_users=len(ranks),
             ranks=rank_array,
         )
+
+    @staticmethod
+    def _rank_chunk_pairwise(model: Recommender, chunk: Sequence[EvaluationInstance], ranks: list[int]) -> None:
+        """Flatten all candidates of the chunk into one pairwise scoring call."""
+        users: list[int] = []
+        items: list[int] = []
+        offsets: list[tuple[int, int]] = []
+        cursor = 0
+        for instance in chunk:
+            candidates = instance.candidates()
+            users.extend([instance.user] * candidates.size)
+            items.extend(candidates.tolist())
+            offsets.append((cursor, candidates.size))
+            cursor += candidates.size
+        scores = np.asarray(
+            model.score(np.array(users, dtype=np.int64), np.array(items, dtype=np.int64)),
+            dtype=np.float64,
+        ).reshape(-1)
+        if scores.size != cursor:
+            raise ValueError(
+                f"model.score returned {scores.size} scores for {cursor} (user, item) pairs"
+            )
+        for offset, width in offsets:
+            positive_score = scores[offset]
+            negative_scores = scores[offset + 1 : offset + width]
+            ranks.append(rank_of_positive(positive_score, negative_scores))
+
+    @staticmethod
+    def _rank_chunk_matrix(scorer, chunk: Sequence[EvaluationInstance], ranks: list[int]) -> None:
+        """Score each distinct user once against the catalogue, then gather."""
+        chunk_users = np.array([instance.user for instance in chunk], dtype=np.int64)
+        unique_users, rows = np.unique(chunk_users, return_inverse=True)
+        matrix = np.asarray(scorer(unique_users), dtype=np.float64)
+        for row, instance in zip(rows, chunk):
+            candidate_scores = matrix[row, instance.candidates()]
+            ranks.append(rank_of_positive(candidate_scores[0], candidate_scores[1:]))

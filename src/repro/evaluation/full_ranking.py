@@ -9,6 +9,10 @@ the *entire* catalogue, excluding the user's training items.
 It reuses the same :class:`~repro.data.splits.LeaveOneOutSplit` and the same
 per-rank metrics, so the two protocols can be compared side by side on any
 model that implements :meth:`repro.models.base.Recommender.score`.
+
+Scoring goes through :func:`repro.models.base.compute_score_matrix`, so
+factorized models answer each user batch with a single catalogue matmul while
+pairwise-only models transparently fall back to batched tiling.
 """
 
 from __future__ import annotations
@@ -19,7 +23,7 @@ from repro.autograd.tensor import no_grad
 from repro.data.splits import LeaveOneOutSplit
 from repro.evaluation.evaluator import EvaluationResult
 from repro.evaluation.metrics import hit_ratio_at_k, mean_reciprocal_rank, ndcg_at_k, rank_of_positive
-from repro.models.base import Recommender
+from repro.models.base import FactorizedRecommender, Recommender, compute_score_matrix
 
 __all__ = ["FullRankingEvaluator"]
 
@@ -59,36 +63,52 @@ class FullRankingEvaluator:
         self.exclude_training_items = exclude_training_items
         self._train_items = split.train_user_items()
 
-    def evaluate(self, model: Recommender, item_batch: int = 2048) -> EvaluationResult:
+    def evaluate(self, model: Recommender, item_batch: int = 2048, user_batch: int = 64) -> EvaluationResult:
         """Return averaged metrics under the full-ranking protocol.
 
-        ``item_batch`` bounds how many (user, item) pairs are scored per model
-        call so memory stays flat for large catalogues.
+        ``user_batch`` instances are scored per catalogue-matrix call (one
+        matmul on factorized models); on the pairwise fallback path
+        ``item_batch`` additionally bounds how many (user, item) pairs are
+        scored per model call so memory stays flat for large catalogues.
         """
         if item_batch <= 0:
             raise ValueError(f"item_batch must be positive, got {item_batch}")
+        if user_batch <= 0:
+            raise ValueError(f"user_batch must be positive, got {user_batch}")
         num_items = self.split.num_items
-        all_items = np.arange(num_items, dtype=np.int64)
         ranks: list[int] = []
         was_training = getattr(model, "training", False)
         if hasattr(model, "eval"):
             model.eval()
         try:
             with no_grad():
-                for instance in self.instances:
-                    scores = np.empty(num_items, dtype=np.float64)
-                    for start in range(0, num_items, item_batch):
-                        chunk = all_items[start : start + item_batch]
-                        users = np.full(chunk.size, instance.user, dtype=np.int64)
-                        scores[start : start + item_batch] = np.asarray(
-                            model.score(users, chunk), dtype=np.float64
-                        ).reshape(-1)
-                    positive_score = scores[instance.positive_item]
-                    mask = np.ones(num_items, dtype=bool)
-                    mask[instance.positive_item] = False
-                    if self.exclude_training_items:
-                        mask[self._train_items[instance.user]] = False
-                    ranks.append(rank_of_positive(positive_score, scores[mask]))
+                if isinstance(model, FactorizedRecommender):
+                    # Hoist the expensive side (full-graph propagation, item
+                    # encodings) out of the chunk loop: compute once, reuse
+                    # for every user batch.
+                    representations = model.factorized_representations()
+                    if representations.num_items != num_items:
+                        raise ValueError(
+                            f"model factorizes over {representations.num_items} items, "
+                            f"but the split has {num_items}"
+                        )
+                    scorer = representations.score_matrix
+                else:
+                    def scorer(users: np.ndarray) -> np.ndarray:
+                        return compute_score_matrix(model, users, num_items=num_items, item_batch=item_batch)
+
+                for start in range(0, len(self.instances), user_batch):
+                    chunk = self.instances[start : start + user_batch]
+                    users = np.array([instance.user for instance in chunk], dtype=np.int64)
+                    scores = scorer(users)
+                    for row, instance in enumerate(chunk):
+                        row_scores = scores[row]
+                        positive_score = row_scores[instance.positive_item]
+                        mask = np.ones(num_items, dtype=bool)
+                        mask[instance.positive_item] = False
+                        if self.exclude_training_items:
+                            mask[self._train_items[instance.user]] = False
+                        ranks.append(rank_of_positive(positive_score, row_scores[mask]))
         finally:
             if hasattr(model, "train") and was_training:
                 model.train()

@@ -3,16 +3,67 @@
 The trainer and the evaluator only talk to models through this interface, so
 SceneRec, its ablations, the neural baselines and the heuristic baselines are
 all interchangeable in the benchmark harness.
+
+Scoring is a two-tier API:
+
+* :meth:`Recommender.score` — pairwise scores for explicit ``(user, item)``
+  index pairs; every model implements this via :meth:`Recommender.predict_pairs`.
+* :meth:`Recommender.score_matrix` — a dense ``(len(users), num_items)``
+  score matrix against the whole catalogue.  The base implementation falls
+  back to batched :meth:`predict_pairs` tiling, so it works for any model;
+  models that can do better override it.  :class:`FactorizedRecommender`
+  provides the override for every model whose score is a user·item dot
+  product (optionally plus an item bias): one ``(U, d) @ (d, I)`` matmul.
+
+Full-catalogue consumers (the full-ranking evaluator, the serving layer)
+should go through :func:`compute_score_matrix`, which also accepts duck-typed
+models that only define ``score``.
 """
 
 from __future__ import annotations
 
+from typing import NamedTuple
+
 import numpy as np
 
-from repro.autograd.tensor import Tensor
+from repro.autograd.tensor import Tensor, no_grad
 from repro.nn.module import Module
 
-__all__ = ["Recommender"]
+__all__ = [
+    "FactorizedRecommender",
+    "FactorizedRepresentations",
+    "Recommender",
+    "compute_score_matrix",
+    "has_matrix_fast_path",
+]
+
+
+class FactorizedRepresentations(NamedTuple):
+    """The pieces of a dot-product scoring function, as plain NumPy arrays.
+
+    ``users`` is ``(num_users, d)``, ``items`` is ``(num_items, d)`` and
+    ``item_biases`` (optional) is ``(num_items,)``.  The serving layer caches
+    instances of this tuple so the item side is computed once per model
+    refresh instead of once per request.
+    """
+
+    users: np.ndarray
+    items: np.ndarray
+    item_biases: np.ndarray | None = None
+
+    @property
+    def num_items(self) -> int:
+        return int(self.items.shape[0])
+
+    def score_matrix(self, users: np.ndarray) -> np.ndarray:
+        """``users_matrix[users] @ items_matrix.T (+ biases)`` in one matmul."""
+        users = np.asarray(users, dtype=np.int64).reshape(-1)
+        scores = np.asarray(self.users, dtype=np.float64)[users] @ np.asarray(
+            self.items, dtype=np.float64
+        ).T
+        if self.item_biases is not None:
+            scores = scores + np.asarray(self.item_biases, dtype=np.float64)[None, :]
+        return scores
 
 
 class Recommender(Module):
@@ -21,7 +72,7 @@ class Recommender(Module):
     Subclasses must implement :meth:`predict_pairs`, which returns a tensor of
     preference scores for ``(user, item)`` index pairs; training uses the
     differentiable tensor, evaluation uses the plain NumPy view via
-    :meth:`score`.
+    :meth:`score` or the catalogue-wide :meth:`score_matrix`.
     """
 
     #: set by subclasses; the benchmark harness reports it
@@ -41,6 +92,49 @@ class Recommender(Module):
         """NumPy scores for evaluation (no gradient bookkeeping)."""
         return self.predict_pairs(np.asarray(users), np.asarray(items)).data.reshape(-1)
 
+    def score_matrix(
+        self,
+        users: np.ndarray,
+        num_items: int | None = None,
+        item_batch: int = 8192,
+    ) -> np.ndarray:
+        """Scores of every user in ``users`` against the whole catalogue.
+
+        Returns a ``(len(users), num_items)`` float64 matrix.  This default
+        implementation tiles batched :meth:`score` calls, so any model gets a
+        correct (if slow) catalogue path; factorized and representation-cached
+        models override it with a vectorized fast path.
+
+        ``num_items`` may be omitted when the model carries a ``num_items``
+        attribute (all graph-built models do); ``item_batch`` bounds how many
+        pairs are scored per model call so memory stays flat.
+        """
+        users = np.asarray(users, dtype=np.int64).reshape(-1)
+        num_items = self._resolve_num_items(num_items)
+        if item_batch <= 0:
+            raise ValueError(f"item_batch must be positive, got {item_batch}")
+        scores = np.empty((users.size, num_items), dtype=np.float64)
+        all_items = np.arange(num_items, dtype=np.int64)
+        with no_grad():
+            for row, user in enumerate(users):
+                for start in range(0, num_items, item_batch):
+                    chunk = all_items[start : start + item_batch]
+                    pair_users = np.full(chunk.size, user, dtype=np.int64)
+                    scores[row, start : start + chunk.size] = np.asarray(
+                        self.score(pair_users, chunk), dtype=np.float64
+                    ).reshape(-1)
+        return scores
+
+    def _resolve_num_items(self, num_items: int | None) -> int:
+        if num_items is not None:
+            return int(num_items)
+        inferred = getattr(self, "num_items", None)
+        if inferred is None:
+            raise ValueError(
+                f"{type(self).__name__} does not expose num_items; pass num_items= explicitly"
+            )
+        return int(inferred)
+
     def bpr_scores(
         self, users: np.ndarray, positive_items: np.ndarray, negative_items: np.ndarray
     ) -> tuple[Tensor, Tensor]:
@@ -59,3 +153,103 @@ class Recommender(Module):
         if users.shape != items.shape:
             raise ValueError(f"users and items must have equal length, got {users.shape} and {items.shape}")
         return users, items
+
+
+class FactorizedRecommender(Recommender):
+    """Recommenders whose score factorizes as ``u · i (+ b_i)``.
+
+    Subclasses implement :meth:`factorized_representations`; everything else —
+    the single-matmul :meth:`score_matrix` fast path, the convenience
+    accessors, the serving-layer representation cache — is derived from it.
+    """
+
+    def factorized_representations(self) -> FactorizedRepresentations:
+        """User matrix, item matrix and optional item biases, computed once.
+
+        Models that derive both sides from a shared computation (e.g. one
+        full-graph propagation) implement this so the work is not repeated per
+        side.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement factorized_representations()"
+        )
+
+    # Convenience accessors over the combined method. ------------------- #
+    def user_representations(self) -> np.ndarray:
+        """``(num_users, d)`` matrix of serving-time user vectors."""
+        return self.factorized_representations().users
+
+    def item_representations(self) -> np.ndarray:
+        """``(num_items, d)`` matrix of serving-time item vectors."""
+        return self.factorized_representations().items
+
+    def item_biases(self) -> np.ndarray | None:
+        """Optional ``(num_items,)`` additive item biases."""
+        return self.factorized_representations().item_biases
+
+    def score_matrix(
+        self,
+        users: np.ndarray,
+        num_items: int | None = None,
+        item_batch: int = 8192,
+    ) -> np.ndarray:
+        users = np.asarray(users, dtype=np.int64).reshape(-1)
+        with no_grad():
+            representations = self.factorized_representations()
+        if num_items is not None and int(num_items) != representations.num_items:
+            raise ValueError(
+                f"model factorizes over {representations.num_items} items, "
+                f"but num_items={num_items} was requested"
+            )
+        return representations.score_matrix(users)
+
+
+def has_matrix_fast_path(model: object) -> bool:
+    """True when ``model`` overrides the default tiled :meth:`score_matrix`.
+
+    Consumers with a cheap pairwise alternative (e.g. the sampled-negative
+    evaluator, which only needs ~100 candidates per user) use this to decide
+    whether scoring the whole catalogue is actually a win.
+    """
+    method = getattr(type(model), "score_matrix", None)
+    return method is not None and method is not Recommender.score_matrix
+
+
+def compute_score_matrix(
+    model: object,
+    users: np.ndarray,
+    *,
+    num_items: int,
+    item_batch: int = 8192,
+) -> np.ndarray:
+    """Dispatch to ``model.score_matrix`` or tile a duck-typed ``model.score``.
+
+    The evaluation protocols accept anything with a ``score(users, items)``
+    method (e.g. hand-written oracles in tests); this helper gives those the
+    same catalogue-matrix contract as real :class:`Recommender` subclasses.
+    """
+    users = np.asarray(users, dtype=np.int64).reshape(-1)
+    if num_items <= 0:
+        raise ValueError(f"num_items must be positive, got {num_items}")
+    if item_batch <= 0:
+        raise ValueError(f"item_batch must be positive, got {item_batch}")
+    if hasattr(model, "score_matrix"):
+        scores = np.asarray(
+            model.score_matrix(users, num_items=num_items, item_batch=item_batch),
+            dtype=np.float64,
+        )
+    else:
+        scores = np.empty((users.size, num_items), dtype=np.float64)
+        all_items = np.arange(num_items, dtype=np.int64)
+        for row, user in enumerate(users):
+            for start in range(0, num_items, item_batch):
+                chunk = all_items[start : start + item_batch]
+                pair_users = np.full(chunk.size, user, dtype=np.int64)
+                scores[row, start : start + chunk.size] = np.asarray(
+                    model.score(pair_users, chunk), dtype=np.float64
+                ).reshape(-1)
+    if scores.shape != (users.size, num_items):
+        raise ValueError(
+            f"score matrix has shape {scores.shape}, expected {(users.size, num_items)}"
+        )
+    return scores

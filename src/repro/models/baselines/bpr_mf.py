@@ -6,7 +6,7 @@ import numpy as np
 
 from repro.autograd.functional import embedding_lookup
 from repro.autograd.tensor import Tensor
-from repro.models.base import Recommender
+from repro.models.base import FactorizedRecommender, FactorizedRepresentations
 from repro.nn.embedding import Embedding
 from repro.nn.module import Parameter
 from repro.utils.rng import new_rng, spawn_rngs
@@ -14,7 +14,7 @@ from repro.utils.rng import new_rng, spawn_rngs
 __all__ = ["BPRMF"]
 
 
-class BPRMF(Recommender):
+class BPRMF(FactorizedRecommender):
     """``r'_{ui} = e_u · e_i + b_i``: the classic pairwise-ranking MF baseline."""
 
     name = "BPR-MF"
@@ -37,3 +37,11 @@ class BPRMF(Recommender):
         item_vectors = self.item_embedding(items)
         bias = embedding_lookup(self.item_bias, items)
         return (user_vectors * item_vectors).sum(axis=-1) + bias
+
+    def factorized_representations(self) -> FactorizedRepresentations:
+        """The embedding tables themselves are the serving representations."""
+        return FactorizedRepresentations(
+            users=self.user_embedding.weight.data,
+            items=self.item_embedding.weight.data,
+            item_biases=self.item_bias.data,
+        )

@@ -19,11 +19,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.autograd.functional import masked_softmax
-from repro.autograd.tensor import Tensor
+from repro.autograd.tensor import Tensor, no_grad
 from repro.graph.bipartite import UserItemBipartiteGraph
 from repro.graph.sampling import NeighborTable
 from repro.graph.scene_graph import SceneBasedGraph
-from repro.models.base import Recommender
+from repro.models.base import FactorizedRecommender, FactorizedRepresentations
 from repro.nn.embedding import Embedding
 from repro.nn.linear import Linear
 from repro.utils.rng import new_rng, spawn_rngs
@@ -31,7 +31,7 @@ from repro.utils.rng import new_rng, spawn_rngs
 __all__ = ["KGAT"]
 
 
-class KGAT(Recommender):
+class KGAT(FactorizedRecommender):
     """Knowledge-graph attention over item-scene edges + CF inner product."""
 
     name = "KGAT"
@@ -82,3 +82,9 @@ class KGAT(Recommender):
         user_vectors = self.user_embedding(users)
         item_vectors = self._enriched_item_vectors(items)
         return (user_vectors * item_vectors).sum(axis=-1)
+
+    def factorized_representations(self) -> FactorizedRepresentations:
+        """Scene-enriched item vectors for the whole catalogue, computed once."""
+        with no_grad():
+            enriched = self._enriched_item_vectors(np.arange(self.num_items, dtype=np.int64)).data
+        return FactorizedRepresentations(users=self.user_embedding.weight.data, items=enriched)

@@ -13,16 +13,16 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.autograd.functional import sparse_matmul
-from repro.autograd.tensor import Tensor
+from repro.autograd.tensor import Tensor, no_grad
 from repro.graph.bipartite import UserItemBipartiteGraph
-from repro.models.base import Recommender
+from repro.models.base import FactorizedRecommender, FactorizedRepresentations
 from repro.nn.embedding import Embedding
 from repro.utils.rng import new_rng
 
 __all__ = ["LightGCN"]
 
 
-class LightGCN(Recommender):
+class LightGCN(FactorizedRecommender):
     """Simplified graph convolution collaborative filtering."""
 
     name = "LightGCN"
@@ -53,6 +53,15 @@ class LightGCN(Recommender):
             current = sparse_matmul(self._adjacency, current)
             accumulated = accumulated + current
         return accumulated * (1.0 / (self.num_layers + 1))
+
+    def factorized_representations(self) -> FactorizedRepresentations:
+        """Propagate once and split the joint node matrix into the two sides."""
+        with no_grad():
+            representation = self._propagate().data
+        return FactorizedRepresentations(
+            users=representation[: self.num_users],
+            items=representation[self.num_users :],
+        )
 
     def predict_pairs(self, users: np.ndarray, items: np.ndarray) -> Tensor:
         users, items = self._check_index_arrays(users, items)

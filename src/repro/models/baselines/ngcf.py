@@ -18,9 +18,9 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.autograd.functional import concat, sparse_matmul
-from repro.autograd.tensor import Tensor
+from repro.autograd.tensor import Tensor, no_grad
 from repro.graph.bipartite import UserItemBipartiteGraph
-from repro.models.base import Recommender
+from repro.models.base import FactorizedRecommender, FactorizedRepresentations
 from repro.nn.containers import ModuleList
 from repro.nn.embedding import Embedding
 from repro.nn.linear import Linear
@@ -29,7 +29,7 @@ from repro.utils.rng import new_rng, spawn_rngs
 __all__ = ["NGCF"]
 
 
-class NGCF(Recommender):
+class NGCF(FactorizedRecommender):
     """Multi-hop embedding propagation on the user-item graph."""
 
     name = "NGCF"
@@ -70,6 +70,15 @@ class NGCF(Recommender):
             representation = message.leaky_relu(0.2)
             outputs.append(representation)
         return concat(outputs, axis=-1)
+
+    def factorized_representations(self) -> FactorizedRepresentations:
+        """Propagate once and split the joint node matrix into the two sides."""
+        with no_grad():
+            representation = self._propagate().data
+        return FactorizedRepresentations(
+            users=representation[: self.num_users],
+            items=representation[self.num_users :],
+        )
 
     def predict_pairs(self, users: np.ndarray, items: np.ndarray) -> Tensor:
         users, items = self._check_index_arrays(users, items)

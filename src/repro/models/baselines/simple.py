@@ -5,6 +5,12 @@ reproduction: they give the benchmark harness cheap sanity floors (any trained
 model should beat Random, and a healthy dataset makes ItemPop non-trivial to
 beat), and they exercise the evaluator with models that have no trainable
 parameters.
+
+All three also participate in the two-tier scoring API: ItemPop factorizes as
+a rank-1 product, ItemKNN's neighbourhood sum is one sparse-history × dense
+matmul, and Random derives its scores from a counter-based hash of the
+``(seed, user, item)`` triple so the pairwise and catalogue-matrix paths
+agree on every pair.
 """
 
 from __future__ import annotations
@@ -14,13 +20,12 @@ import scipy.sparse as sp
 
 from repro.autograd.tensor import Tensor
 from repro.graph.bipartite import UserItemBipartiteGraph
-from repro.models.base import Recommender
-from repro.utils.rng import new_rng
+from repro.models.base import FactorizedRecommender, FactorizedRepresentations, Recommender
 
 __all__ = ["ItemPop", "RandomRecommender", "ItemKNN"]
 
 
-class ItemPop(Recommender):
+class ItemPop(FactorizedRecommender):
     """Score every item by its training interaction count."""
 
     name = "ItemPop"
@@ -31,26 +36,55 @@ class ItemPop(Recommender):
         counts = np.zeros(bipartite.num_items, dtype=np.float64)
         for item in bipartite.interactions[:, 1]:
             counts[item] += 1.0
+        self.num_users = bipartite.num_users
+        self.num_items = bipartite.num_items
         self._popularity = counts
 
     def predict_pairs(self, users: np.ndarray, items: np.ndarray) -> Tensor:
         users, items = self._check_index_arrays(users, items)
         return Tensor(self._popularity[items])
 
+    def factorized_representations(self) -> FactorizedRepresentations:
+        """Rank-1 factorization: every user shares the popularity vector."""
+        return FactorizedRepresentations(
+            users=np.ones((self.num_users, 1), dtype=np.float64),
+            items=self._popularity[:, None],
+        )
+
+
+def _splitmix64(values: np.ndarray) -> np.ndarray:
+    """The splitmix64 finalizer, vectorised over a uint64 array."""
+    x = values.copy()
+    x ^= x >> np.uint64(30)
+    x *= np.uint64(0xBF58476D1CE4E5B9)
+    x ^= x >> np.uint64(27)
+    x *= np.uint64(0x94D049BB133111EB)
+    x ^= x >> np.uint64(31)
+    return x
+
 
 class RandomRecommender(Recommender):
-    """Uniformly random scores; the floor every model must clear."""
+    """Uniformly-distributed scores; the floor every model must clear.
+
+    Scores are a counter-based hash of ``(seed, user, item)`` rather than
+    draws from a stateful generator, so the same pair always receives the same
+    score no matter how the evaluation batches its queries — a requirement for
+    the pairwise and catalogue-matrix scoring paths to rank identically.
+    """
 
     name = "Random"
     trainable = False
 
     def __init__(self, seed: int = 0) -> None:
         super().__init__()
-        self._rng = new_rng(seed)
+        self._seed_mix = _splitmix64(np.array([np.uint64(seed) + np.uint64(0x9E3779B97F4A7C15)]))[0]
 
     def predict_pairs(self, users: np.ndarray, items: np.ndarray) -> Tensor:
         users, items = self._check_index_arrays(users, items)
-        return Tensor(self._rng.random(items.shape[0]))
+        with np.errstate(over="ignore"):
+            key = (users.astype(np.uint64) << np.uint64(32)) ^ items.astype(np.uint64)
+            hashed = _splitmix64(key ^ self._seed_mix)
+        return Tensor(hashed.astype(np.float64) / float(2**64))
 
 
 class ItemKNN(Recommender):
@@ -69,6 +103,8 @@ class ItemKNN(Recommender):
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
         self.k = k
+        self.num_users = bipartite.num_users
+        self.num_items = bipartite.num_items
         rating = bipartite.interaction_matrix()  # users × items
         norms = np.sqrt(np.asarray(rating.power(2).sum(axis=0)).reshape(-1)) + 1e-12
         normalized = rating @ sp.diags(1.0 / norms)
@@ -91,3 +127,20 @@ class ItemKNN(Recommender):
             history = self._user_items[int(user)]
             scores[position] = float(self._similarity[int(item), history].sum()) if history.size else 0.0
         return Tensor(scores)
+
+    def score_matrix(
+        self,
+        users: np.ndarray,
+        num_items: int | None = None,
+        item_batch: int = 8192,
+    ) -> np.ndarray:
+        """``score(u, ·) = Σ_{h ∈ history(u)} S[·, h]`` as one matmul per batch."""
+        users = np.asarray(users, dtype=np.int64).reshape(-1)
+        if num_items is not None and int(num_items) != self.num_items:
+            raise ValueError(
+                f"model covers {self.num_items} items, but num_items={num_items} was requested"
+            )
+        histories = np.zeros((users.size, self.num_items), dtype=np.float64)
+        for row, user in enumerate(users):
+            histories[row, self._user_items[int(user)]] = 1.0
+        return histories @ self._similarity.T

@@ -26,10 +26,38 @@ from repro.models.baselines.simple import ItemKNN, ItemPop, RandomRecommender
 from repro.models.scenerec import SceneRec, SceneRecConfig
 from repro.models.scenerec_variants import SceneRecNoAttention, SceneRecNoItem, SceneRecNoScene
 
-__all__ = ["MODEL_REGISTRY", "build_model", "list_model_names"]
+__all__ = ["MODEL_REGISTRY", "build_model", "list_model_names", "register_model"]
 
 #: Factory signature: (bipartite graph, scene graph, embedding dim, seed) → model.
 ModelFactory = Callable[[UserItemBipartiteGraph, SceneBasedGraph, int, int], Recommender]
+
+
+def register_model(name: str) -> Callable[[ModelFactory], ModelFactory]:
+    """Register a model factory under ``name`` without editing this module.
+
+    Downstream scenarios plug their models into the experiment harness with::
+
+        @register_model("MyModel")
+        def build_my_model(bipartite, scene_graph, embedding_dim, seed):
+            return MyModel(bipartite, embedding_dim, seed=seed)
+
+    The factory is returned unchanged so the decorator stacks freely.  A
+    duplicate name raises :class:`ValueError` rather than silently shadowing
+    an existing registration.
+    """
+    if not isinstance(name, str) or not name.strip():
+        raise ValueError(f"model name must be a non-empty string, got {name!r}")
+
+    def decorator(factory: ModelFactory) -> ModelFactory:
+        if name in MODEL_REGISTRY:
+            raise ValueError(
+                f"model {name!r} is already registered; "
+                "unregister it from MODEL_REGISTRY first to replace it"
+            )
+        MODEL_REGISTRY[name] = factory
+        return factory
+
+    return decorator
 
 
 def _scenerec_config(embedding_dim: int, seed: int, **overrides: object) -> SceneRecConfig:

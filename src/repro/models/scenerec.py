@@ -25,7 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.autograd.functional import concat, cosine_similarity, masked_softmax
-from repro.autograd.tensor import Tensor
+from repro.autograd.tensor import Tensor, no_grad
 from repro.graph.bipartite import UserItemBipartiteGraph
 from repro.graph.sampling import NeighborTable
 from repro.graph.scene_graph import SceneBasedGraph
@@ -311,6 +311,46 @@ class SceneRec(Recommender):
         user_repr = self.user_representation(users)
         item_repr = self.item_representation(items)
         return self.predict_from_representations(user_repr, item_repr)
+
+    def score_matrix(
+        self,
+        users: np.ndarray,
+        num_items: int | None = None,
+        item_batch: int = 8192,
+    ) -> np.ndarray:
+        """Catalogue-wide scores with each representation computed exactly once.
+
+        The pairwise path recomputes the (expensive) scene-based item
+        representation for every ``(user, item_chunk)`` tile; here the user
+        batch and the full item catalogue are each encoded once and only the
+        cheap rating MLP (Eq. 14) runs over the cross product.  Call
+        :meth:`eval` first when dropout is enabled, as with any scoring path.
+        """
+        users = np.asarray(users, dtype=np.int64).reshape(-1)
+        total_items = self.bipartite.num_items
+        if num_items is not None and int(num_items) != total_items:
+            raise ValueError(
+                f"model covers {total_items} items, but num_items={num_items} was requested"
+            )
+        if item_batch <= 0:
+            raise ValueError(f"item_batch must be positive, got {item_batch}")
+        all_items = np.arange(total_items, dtype=np.int64)
+        scores = np.empty((users.size, total_items), dtype=np.float64)
+        with no_grad():
+            user_repr = self.user_representation(users).data  # (U, d)
+            item_repr = np.concatenate(
+                [
+                    self.item_representation(all_items[start : start + item_batch]).data
+                    for start in range(0, total_items, item_batch)
+                ],
+                axis=0,
+            )  # (I, d)
+            for row in range(users.size):
+                tiled = np.broadcast_to(user_repr[row], item_repr.shape)
+                scores[row] = self.predict_from_representations(
+                    Tensor(tiled), Tensor(item_repr)
+                ).data.reshape(-1)
+        return scores
 
     def bpr_scores(
         self, users: np.ndarray, positive_items: np.ndarray, negative_items: np.ndarray

@@ -1,52 +1,34 @@
-"""Top-K recommendation service on top of any trained recommender.
+"""Deprecated top-K wrapper; superseded by :mod:`repro.serving`.
 
-The benchmark code evaluates models on held-out ranking tasks; a downstream
-application instead wants "give me the K best items for this user, excluding
-what they already bought, and tell me why".  :class:`TopKRecommender` wraps a
-trained model plus its training graph and provides exactly that, including a
-scene-based explanation when the underlying model is SceneRec.
+:class:`TopKRecommender` predates the serving subsystem and is kept as a thin
+compatibility shim over :class:`repro.serving.RecommendationService` — same
+constructor, same per-user results — so existing notebooks keep working.  New
+code should construct the service directly: it adds batched multi-user
+requests, composable candidate filters and a precomputed representation
+cache.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 
 import numpy as np
 
-from repro.autograd.tensor import no_grad
 from repro.graph.bipartite import UserItemBipartiteGraph
 from repro.graph.scene_graph import SceneBasedGraph
 from repro.models.base import Recommender
-from repro.models.scenerec import SceneRec
+from repro.serving import Recommendation, RecommendationService
 
 __all__ = ["Recommendation", "TopKRecommender"]
 
 
-@dataclass(frozen=True)
-class Recommendation:
-    """One recommended item with its score and optional explanation."""
-
-    item: int
-    score: float
-    #: category of the item (when a scene-based graph is attached)
-    category: int | None = None
-    #: average scene-attention against the user's history (SceneRec only)
-    scene_affinity: float | None = None
-
-
 class TopKRecommender:
-    """Serve ranked recommendations from a trained model.
+    """Deprecated: use :class:`repro.serving.RecommendationService`.
 
-    Parameters
-    ----------
-    model:
-        any trained :class:`~repro.models.base.Recommender`.
-    bipartite:
-        the training interaction graph, used to exclude already-seen items
-        and to fetch user histories for explanations.
-    scene_graph:
-        optional; enables category annotations and, for SceneRec models,
-        scene-affinity explanations.
+    The constructor signature and the behaviour of :meth:`top_k` /
+    :meth:`score_all_items` / :meth:`recommend_batch` are unchanged; every
+    call is delegated to a wrapped service, which also means this shim
+    silently inherits the vectorized scoring fast paths.
     """
 
     def __init__(
@@ -55,29 +37,30 @@ class TopKRecommender:
         bipartite: UserItemBipartiteGraph,
         scene_graph: SceneBasedGraph | None = None,
     ) -> None:
+        warnings.warn(
+            "TopKRecommender is deprecated; use repro.serving.RecommendationService",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        # The legacy class always scored the live model, so the shim must not
+        # serve cached representations that could go stale after further
+        # training; a real service owner opts into caching plus refresh().
+        self._service = RecommendationService(model, bipartite, scene_graph, cache_representations=False)
         self.model = model
         self.bipartite = bipartite
         self.scene_graph = scene_graph
-        if scene_graph is not None and scene_graph.num_items != bipartite.num_items:
-            raise ValueError("scene graph and bipartite graph disagree on the number of items")
+
+    @property
+    def service(self) -> RecommendationService:
+        """The wrapped service, for callers migrating incrementally."""
+        return self._service
 
     # ------------------------------------------------------------------ #
     def score_all_items(self, user: int, item_batch: int = 4096) -> np.ndarray:
         """Model scores for every item in the catalogue, as a NumPy array."""
         if not 0 <= user < self.bipartite.num_users:
             raise IndexError(f"user {user} out of range [0, {self.bipartite.num_users})")
-        if item_batch <= 0:
-            raise ValueError(f"item_batch must be positive, got {item_batch}")
-        num_items = self.bipartite.num_items
-        scores = np.empty(num_items, dtype=np.float64)
-        if hasattr(self.model, "eval"):
-            self.model.eval()
-        with no_grad():
-            for start in range(0, num_items, item_batch):
-                items = np.arange(start, min(start + item_batch, num_items), dtype=np.int64)
-                users = np.full(items.size, user, dtype=np.int64)
-                scores[start : start + items.size] = np.asarray(self.model.score(users, items)).reshape(-1)
-        return scores
+        return self._service.score_matrix(np.array([user], dtype=np.int64), item_batch=item_batch)[0]
 
     def top_k(
         self,
@@ -86,47 +69,17 @@ class TopKRecommender:
         exclude_seen: bool = True,
         explain: bool = False,
     ) -> list[Recommendation]:
-        """The ``k`` highest-scoring items for ``user``.
+        """The ``k`` highest-scoring items for ``user``."""
+        if not 0 <= user < self.bipartite.num_users:
+            raise IndexError(f"user {user} out of range [0, {self.bipartite.num_users})")
+        return self._service.top_k(user, k=k, exclude_seen=exclude_seen, explain=explain)
 
-        ``exclude_seen`` removes the user's training items (the usual serving
-        behaviour); ``explain`` adds the scene-affinity explanation when the
-        model supports it.
-        """
-        if k <= 0:
-            raise ValueError(f"k must be positive, got {k}")
-        scores = self.score_all_items(user)
-        candidates = np.argsort(-scores, kind="stable")
-        seen = set(self.bipartite.user_items(user).tolist()) if exclude_seen else set()
-        history = self.bipartite.user_items(user)
-
-        recommendations: list[Recommendation] = []
-        for item in candidates:
-            item = int(item)
-            if item in seen:
-                continue
-            recommendations.append(self._build_recommendation(item, float(scores[item]), history, explain))
-            if len(recommendations) == k:
-                break
-        return recommendations
-
-    def recommend_batch(self, users: "np.ndarray | list[int]", k: int = 10) -> dict[int, list[Recommendation]]:
+    def recommend_batch(
+        self,
+        users: "np.ndarray | list[int]",
+        k: int = 10,
+        exclude_seen: bool = True,
+        explain: bool = False,
+    ) -> dict[int, list[Recommendation]]:
         """Top-K lists for several users (a small serving convenience)."""
-        return {int(user): self.top_k(int(user), k=k) for user in users}
-
-    # ------------------------------------------------------------------ #
-    def _build_recommendation(
-        self, item: int, score: float, history: np.ndarray, explain: bool
-    ) -> Recommendation:
-        category = self.scene_graph.category_of(item) if self.scene_graph is not None else None
-        scene_affinity = None
-        if (
-            explain
-            and isinstance(self.model, SceneRec)
-            and self.model.config.use_scene_hierarchy
-            and history.size
-        ):
-            with no_grad():
-                scene_affinity = float(
-                    np.mean([self.model.scene_attention_score(item, int(other)) for other in history])
-                )
-        return Recommendation(item=item, score=score, category=category, scene_affinity=scene_affinity)
+        return self._service.recommend_batch(users, k=k, exclude_seen=exclude_seen, explain=explain)

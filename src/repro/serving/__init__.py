@@ -1,0 +1,50 @@
+"""Serving layer: vectorized full-catalogue top-K recommendation.
+
+Built on the two-tier scoring API of :mod:`repro.models.base`:
+
+* :class:`RecommendationService` — batched, filtered, explained top-K over
+  any trained recommender, answered from one catalogue matmul for factorized
+  models and from each model's fastest ``score_matrix`` path otherwise.
+* :class:`RecommendRequest` / :class:`RecommendResponse` — the typed request
+  and response envelopes.
+* :mod:`~repro.serving.filters` — composable candidate filters
+  (exclude-seen, category/scene allowlists, item denylists).
+* :class:`~repro.serving.cache.ItemRepresentationCache` — precomputed item
+  representations with explicit ``refresh()`` invalidation.
+
+Quickstart::
+
+    from repro.serving import RecommendationService, RecommendRequest
+
+    service = RecommendationService(model, train_graph, scene_graph)
+    response = service.recommend(RecommendRequest(users=(0, 1, 2), k=10))
+    for user, items in response.as_dict().items():
+        print(user, [(r.item, round(r.score, 3)) for r in items])
+"""
+
+from repro.serving.cache import ItemRepresentationCache
+from repro.serving.explanations import SceneAffinityExplainer
+from repro.serving.filters import (
+    CandidateFilter,
+    CategoryAllowlistFilter,
+    ExcludeItemsFilter,
+    ExcludeSeenFilter,
+    SceneAllowlistFilter,
+)
+from repro.serving.service import RecommendationService, batch_top_k
+from repro.serving.types import Recommendation, RecommendRequest, RecommendResponse
+
+__all__ = [
+    "CandidateFilter",
+    "CategoryAllowlistFilter",
+    "ExcludeItemsFilter",
+    "ExcludeSeenFilter",
+    "ItemRepresentationCache",
+    "Recommendation",
+    "RecommendRequest",
+    "RecommendResponse",
+    "RecommendationService",
+    "SceneAffinityExplainer",
+    "SceneAllowlistFilter",
+    "batch_top_k",
+]

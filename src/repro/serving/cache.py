@@ -1,0 +1,54 @@
+"""Precomputed representation cache with explicit invalidation.
+
+Factorized models can answer every request from two dense matrices; the cache
+computes them once (lazily, in eval mode, without gradient bookkeeping) and
+hands them out until :meth:`ItemRepresentationCache.refresh` is called —
+which the owner must do after further training or any parameter mutation.
+"""
+
+from __future__ import annotations
+
+from repro.models.base import FactorizedRecommender, FactorizedRepresentations
+
+__all__ = ["ItemRepresentationCache"]
+
+
+class ItemRepresentationCache:
+    """Lazy cache of a factorized model's user/item representation matrices."""
+
+    def __init__(self, model: object) -> None:
+        self._model = model
+        self._representations: FactorizedRepresentations | None = None
+
+    @property
+    def supported(self) -> bool:
+        """Whether the wrapped model exposes factorized representations."""
+        return isinstance(self._model, FactorizedRecommender)
+
+    @property
+    def is_warm(self) -> bool:
+        """Whether a subsequent :meth:`get` will be answered from memory."""
+        return self._representations is not None
+
+    def get(self) -> FactorizedRepresentations:
+        """The cached representations, computing them on first use."""
+        if not self.supported:
+            raise TypeError(
+                f"{type(self._model).__name__} is not a FactorizedRecommender; "
+                "there is nothing to cache"
+            )
+        if self._representations is None:
+            model = self._model
+            was_training = getattr(model, "training", False)
+            if hasattr(model, "eval"):
+                model.eval()
+            try:
+                self._representations = model.factorized_representations()
+            finally:
+                if was_training and hasattr(model, "train"):
+                    model.train()
+        return self._representations
+
+    def refresh(self) -> None:
+        """Invalidate: the next :meth:`get` recomputes from the live model."""
+        self._representations = None

@@ -1,0 +1,109 @@
+"""Composable candidate filters for the serving layer.
+
+A filter narrows the ``(users, items)`` candidate mask before the top-K
+selection: entries set to ``False`` can never be recommended.  Filters
+compose by sequential application, so a service can stack e.g. an
+exclude-seen filter with a per-request category allowlist.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.graph.bipartite import UserItemBipartiteGraph
+from repro.graph.scene_graph import SceneBasedGraph
+
+__all__ = [
+    "CandidateFilter",
+    "CategoryAllowlistFilter",
+    "ExcludeItemsFilter",
+    "ExcludeSeenFilter",
+    "SceneAllowlistFilter",
+]
+
+
+class CandidateFilter:
+    """Base class: narrow a boolean ``(len(users), num_items)`` candidate mask."""
+
+    def apply(self, users: np.ndarray, allowed: np.ndarray) -> np.ndarray:
+        """Return the narrowed mask (may mutate and return ``allowed``)."""
+        raise NotImplementedError(f"{type(self).__name__} does not implement apply()")
+
+
+class ExcludeSeenFilter(CandidateFilter):
+    """Remove each user's training items — the usual serving behaviour."""
+
+    def __init__(self, bipartite: UserItemBipartiteGraph) -> None:
+        self._bipartite = bipartite
+
+    def apply(self, users: np.ndarray, allowed: np.ndarray) -> np.ndarray:
+        for row, user in enumerate(np.asarray(users, dtype=np.int64).reshape(-1)):
+            allowed[row, self._bipartite.user_items(int(user))] = False
+        return allowed
+
+
+class _ItemMaskFilter(CandidateFilter):
+    """Shared machinery for filters that reduce to a per-item boolean mask."""
+
+    def __init__(self, item_mask: np.ndarray) -> None:
+        self._item_mask = np.asarray(item_mask, dtype=bool).reshape(-1)
+
+    def apply(self, users: np.ndarray, allowed: np.ndarray) -> np.ndarray:
+        if allowed.shape[1] != self._item_mask.size:
+            raise ValueError(
+                f"filter covers {self._item_mask.size} items, "
+                f"but the candidate mask has {allowed.shape[1]}"
+            )
+        allowed &= self._item_mask[None, :]
+        return allowed
+
+
+class ExcludeItemsFilter(_ItemMaskFilter):
+    """Denylist: never recommend the given item ids (e.g. out-of-stock)."""
+
+    def __init__(self, items: Iterable[int], num_items: int) -> None:
+        if num_items <= 0:
+            raise ValueError(f"num_items must be positive, got {num_items}")
+        banned = np.asarray(list(items), dtype=np.int64)
+        if banned.size and (banned.min() < 0 or banned.max() >= num_items):
+            raise ValueError(
+                f"item ids must lie in [0, {num_items}), got range "
+                f"[{banned.min()}, {banned.max()}]"
+            )
+        mask = np.ones(num_items, dtype=bool)
+        mask[banned] = False
+        super().__init__(mask)
+
+
+class CategoryAllowlistFilter(_ItemMaskFilter):
+    """Only recommend items whose category is in the allowlist."""
+
+    def __init__(self, scene_graph: SceneBasedGraph, categories: Iterable[int]) -> None:
+        allowed_categories = np.asarray(sorted({int(c) for c in categories}), dtype=np.int64)
+        if allowed_categories.size == 0:
+            raise ValueError("the category allowlist is empty")
+        super().__init__(np.isin(scene_graph.item_category, allowed_categories))
+
+
+class SceneAllowlistFilter(_ItemMaskFilter):
+    """Only recommend items reachable from the allowed scenes.
+
+    An item qualifies when its category participates in at least one of the
+    allowed scenes — the scene → category → item path of the paper's
+    hierarchy.
+    """
+
+    def __init__(self, scene_graph: SceneBasedGraph, scenes: Iterable[int]) -> None:
+        allowed_scenes = {int(s) for s in scenes}
+        if not allowed_scenes:
+            raise ValueError("the scene allowlist is empty")
+        mask = np.array(
+            [
+                bool(allowed_scenes.intersection(scene_graph.item_scenes(item).tolist()))
+                for item in range(scene_graph.num_items)
+            ],
+            dtype=bool,
+        )
+        super().__init__(mask)

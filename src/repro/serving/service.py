@@ -1,0 +1,234 @@
+"""The recommendation service: vectorized multi-user top-K on any model.
+
+The service is the serving-side consumer of the two-tier scoring API
+(:mod:`repro.models.base`): factorized models are answered from a precomputed
+representation cache with one matmul per request, models with a bespoke
+catalogue path (e.g. SceneRec) go through their ``score_matrix`` override,
+and everything else falls back to batched pairwise scoring — same results,
+different speed.
+
+Top-K selection uses :func:`numpy.argpartition` (O(I) per user) instead of a
+full sort, with ties broken by ascending item id so rankings are reproducible
+and identical to a stable full sort.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import no_grad
+from repro.graph.bipartite import UserItemBipartiteGraph
+from repro.graph.scene_graph import SceneBasedGraph
+from repro.models.base import compute_score_matrix
+from repro.serving.cache import ItemRepresentationCache
+from repro.serving.explanations import SceneAffinityExplainer
+from repro.serving.filters import CandidateFilter, ExcludeSeenFilter
+from repro.serving.types import Recommendation, RecommendRequest, RecommendResponse
+
+__all__ = ["RecommendationService", "batch_top_k"]
+
+
+def batch_top_k(scores: np.ndarray, allowed: np.ndarray, k: int) -> list[np.ndarray]:
+    """Indices of the ``k`` best allowed items per row, best first.
+
+    Selection is by partial sort (``np.argpartition``) so the cost per row is
+    O(num_items + k log k) rather than O(num_items log num_items); the result
+    order is exactly that of a stable full sort on descending score (ties
+    resolved by ascending item id).  Rows with fewer than ``k`` allowed items
+    return all of them.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if scores.shape != allowed.shape:
+        raise ValueError(f"scores {scores.shape} and allowed mask {allowed.shape} disagree")
+    results: list[np.ndarray] = []
+    for row in range(scores.shape[0]):
+        candidates = np.flatnonzero(allowed[row])
+        take = min(k, candidates.size)
+        if take == 0:
+            results.append(np.empty(0, dtype=np.int64))
+            continue
+        negated = -scores[row, candidates]
+        # Threshold = the take-th best value; everything strictly better is in,
+        # ties at the threshold fill the remaining slots in item-id order —
+        # exactly the prefix a stable argsort of -scores would produce.
+        threshold = np.partition(negated, take - 1)[take - 1] if take < candidates.size else np.inf
+        strict_mask = negated < threshold
+        strict = candidates[strict_mask]
+        strict = strict[np.argsort(negated[strict_mask], kind="stable")]
+        tied = candidates[negated == threshold][: take - strict.size]
+        results.append(np.concatenate([strict, tied]))
+    return results
+
+
+class RecommendationService:
+    """Serve ranked, filtered, explained recommendations from a trained model.
+
+    Parameters
+    ----------
+    model:
+        any trained :class:`~repro.models.base.Recommender` (or duck-typed
+        object with a ``score``/``score_matrix`` method).
+    bipartite:
+        the training interaction graph, used for the exclude-seen filter and
+        for explanation histories.
+    scene_graph:
+        optional; enables category annotations, scene filters and — for
+        SceneRec models — scene-affinity explanations.
+    base_filters:
+        filters applied to *every* request (e.g. a global denylist), before
+        any per-request filters.
+    item_batch:
+        pair budget per model call on the fallback scoring path.
+    cache_representations:
+        precompute factorized representations once and reuse them across
+        requests (the default).  Disable to score the live model on every
+        request, e.g. while it is still being trained.
+
+    After further training of ``model``, call :meth:`refresh` to invalidate
+    the precomputed representation and explanation caches.
+    """
+
+    def __init__(
+        self,
+        model: object,
+        bipartite: UserItemBipartiteGraph,
+        scene_graph: SceneBasedGraph | None = None,
+        base_filters: Sequence[CandidateFilter] = (),
+        item_batch: int = 8192,
+        cache_representations: bool = True,
+    ) -> None:
+        if scene_graph is not None and scene_graph.num_items != bipartite.num_items:
+            raise ValueError("scene graph and bipartite graph disagree on the number of items")
+        if item_batch <= 0:
+            raise ValueError(f"item_batch must be positive, got {item_batch}")
+        self.model = model
+        self.bipartite = bipartite
+        self.scene_graph = scene_graph
+        self.base_filters = tuple(base_filters)
+        self.item_batch = item_batch
+        self.cache_representations = bool(cache_representations)
+        self._exclude_seen = ExcludeSeenFilter(bipartite)
+        self._cache = ItemRepresentationCache(model)
+        self._explainer = SceneAffinityExplainer(model)
+
+    # ------------------------------------------------------------------ #
+    # Scoring
+    # ------------------------------------------------------------------ #
+    def score_matrix(self, users: "np.ndarray | Sequence[int]", item_batch: int | None = None) -> np.ndarray:
+        """``(len(users), num_items)`` model scores, via the fastest available path."""
+        users = self._check_users(users)
+        if item_batch is None:
+            item_batch = self.item_batch
+        elif item_batch <= 0:
+            raise ValueError(f"item_batch must be positive, got {item_batch}")
+        model = self.model
+        was_training = getattr(model, "training", False)
+        if hasattr(model, "eval"):
+            model.eval()
+        try:
+            with no_grad():
+                if self.cache_representations and self._cache.supported:
+                    return self._cache.get().score_matrix(users)
+                return compute_score_matrix(
+                    model, users, num_items=self.bipartite.num_items, item_batch=item_batch
+                )
+        finally:
+            if was_training and hasattr(model, "train"):
+                model.train()
+
+    def refresh(self) -> None:
+        """Drop all precomputed state; call after (re)training the model."""
+        self._cache.refresh()
+        self._explainer.refresh()
+
+    # ------------------------------------------------------------------ #
+    # Recommendation
+    # ------------------------------------------------------------------ #
+    def recommend(self, request: RecommendRequest) -> RecommendResponse:
+        """Answer a batched top-K request."""
+        users = self._check_users(request.users)
+        scores = self.score_matrix(users)
+        allowed = np.ones(scores.shape, dtype=bool)
+        for candidate_filter in (*self.base_filters, *request.filters):
+            allowed = candidate_filter.apply(users, allowed)
+        if request.exclude_seen:
+            allowed = self._exclude_seen.apply(users, allowed)
+        top_items = batch_top_k(scores, allowed, request.k)
+        results = tuple(
+            self._build_recommendations(int(user), items, scores[row], request.explain)
+            for row, (user, items) in enumerate(zip(users, top_items))
+        )
+        return RecommendResponse(users=tuple(int(u) for u in users), results=results)
+
+    def top_k(
+        self,
+        user: int,
+        k: int = 10,
+        exclude_seen: bool = True,
+        explain: bool = False,
+        filters: Sequence[CandidateFilter] = (),
+    ) -> list[Recommendation]:
+        """The ``k`` highest-scoring items for one user."""
+        request = RecommendRequest(
+            users=(int(user),), k=k, exclude_seen=exclude_seen, explain=explain, filters=tuple(filters)
+        )
+        return list(self.recommend(request).results[0])
+
+    def recommend_batch(
+        self,
+        users: "np.ndarray | Iterable[int]",
+        k: int = 10,
+        exclude_seen: bool = True,
+        explain: bool = False,
+        filters: Sequence[CandidateFilter] = (),
+    ) -> dict[int, list[Recommendation]]:
+        """Top-K lists for several users as a ``{user: list}`` mapping.
+
+        An empty user collection yields an empty mapping (unlike
+        :meth:`recommend`, whose request type insists on at least one user).
+        """
+        users = tuple(int(u) for u in users)
+        if not users:
+            return {}
+        request = RecommendRequest(
+            users=users,
+            k=k,
+            exclude_seen=exclude_seen,
+            explain=explain,
+            filters=tuple(filters),
+        )
+        return self.recommend(request).as_dict()
+
+    # ------------------------------------------------------------------ #
+    def _check_users(self, users: "np.ndarray | Sequence[int]") -> np.ndarray:
+        users = np.asarray(users, dtype=np.int64).reshape(-1)
+        if users.size == 0:
+            raise ValueError("at least one user is required")
+        if users.min() < 0 or users.max() >= self.bipartite.num_users:
+            raise IndexError(
+                f"user ids must lie in [0, {self.bipartite.num_users}), "
+                f"got range [{users.min()}, {users.max()}]"
+            )
+        return users
+
+    def _build_recommendations(
+        self, user: int, items: np.ndarray, scores: np.ndarray, explain: bool
+    ) -> tuple[Recommendation, ...]:
+        affinities = None
+        if explain and self._explainer.supported and items.size:
+            affinities = self._explainer.affinities(items, self.bipartite.user_items(user))
+        recommendations = []
+        for position, item in enumerate(items):
+            item = int(item)
+            recommendations.append(
+                Recommendation(
+                    item=item,
+                    score=float(scores[item]),
+                    category=self.scene_graph.category_of(item) if self.scene_graph is not None else None,
+                    scene_affinity=float(affinities[position]) if affinities is not None else None,
+                )
+            )
+        return tuple(recommendations)

@@ -1,0 +1,98 @@
+"""Typed request/response envelopes of the serving layer.
+
+A :class:`RecommendRequest` describes one batched serving call — which users,
+how many items, which candidate filters — and a :class:`RecommendResponse`
+carries the ranked :class:`Recommendation` lists back, aligned with the
+request's user order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from repro.serving.filters import CandidateFilter
+
+__all__ = ["Recommendation", "RecommendRequest", "RecommendResponse"]
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One recommended item with its score and optional explanation."""
+
+    item: int
+    score: float
+    #: category of the item (when a scene-based graph is attached)
+    category: int | None = None
+    #: average scene-attention against the user's history (SceneRec only)
+    scene_affinity: float | None = None
+
+
+@dataclass(frozen=True)
+class RecommendRequest:
+    """A batched top-K request.
+
+    ``filters`` are applied on top of the service's base filters;
+    ``exclude_seen`` toggles the built-in training-history filter, and
+    ``explain`` asks for scene-affinity explanations where the model
+    supports them.
+    """
+
+    users: tuple[int, ...]
+    k: int = 10
+    exclude_seen: bool = True
+    explain: bool = False
+    filters: tuple["CandidateFilter", ...] = ()
+
+    def __post_init__(self) -> None:
+        users = tuple(int(user) for user in self._iter_users(self.users))
+        if not users:
+            raise ValueError("a request needs at least one user")
+        if self.k <= 0:
+            raise ValueError(f"k must be positive, got {self.k}")
+        object.__setattr__(self, "users", users)
+        object.__setattr__(self, "filters", tuple(self.filters))
+
+    @staticmethod
+    def _iter_users(users: "Iterable[int] | int") -> Iterable[int]:
+        if isinstance(users, (int, np.integer)):
+            return (int(users),)
+        return users
+
+    @classmethod
+    def for_user(cls, user: int, **kwargs: object) -> "RecommendRequest":
+        """Convenience constructor for the single-user case."""
+        return cls(users=(int(user),), **kwargs)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class RecommendResponse:
+    """Ranked recommendation lists, positionally aligned with request users."""
+
+    users: tuple[int, ...]
+    results: tuple[tuple[Recommendation, ...], ...] = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if len(self.users) != len(self.results):
+            raise ValueError(
+                f"{len(self.users)} users but {len(self.results)} result lists"
+            )
+
+    def for_user(self, user: int) -> tuple[Recommendation, ...]:
+        """The ranked list of the first occurrence of ``user`` in the request."""
+        try:
+            position = self.users.index(int(user))
+        except ValueError as error:
+            raise KeyError(f"user {user} is not part of this response") from error
+        return self.results[position]
+
+    def as_dict(self) -> dict[int, list[Recommendation]]:
+        """``{user: ranked list}`` view (later duplicates of a user win)."""
+        return {user: list(items) for user, items in zip(self.users, self.results)}
+
+    def item_lists(self) -> list[list[int]]:
+        """Just the item ids, e.g. for the beyond-accuracy metrics."""
+        return [[rec.item for rec in items] for items in self.results]

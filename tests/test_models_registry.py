@@ -1,0 +1,68 @@
+"""Tests for the model registry and its public extension point."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models import MODEL_REGISTRY, BPRMF, build_model, list_model_names, register_model
+
+
+class TestRegisterModel:
+    def test_decorator_registers_and_builds(self, tiny_train_graph, tiny_scene_graph):
+        name = "test-only-bpr"
+        try:
+
+            @register_model(name)
+            def build_tiny_bpr(bipartite, scene_graph, embedding_dim, seed):
+                return BPRMF(bipartite.num_users, bipartite.num_items, embedding_dim, seed=seed)
+
+            assert name in MODEL_REGISTRY
+            model = build_model(name, tiny_train_graph, tiny_scene_graph, embedding_dim=8, seed=1)
+            assert isinstance(model, BPRMF)
+        finally:
+            MODEL_REGISTRY.pop(name, None)
+
+    def test_decorator_returns_factory_unchanged(self):
+        name = "test-only-passthrough"
+        try:
+
+            def factory(bipartite, scene_graph, embedding_dim, seed):  # pragma: no cover
+                raise AssertionError
+
+            assert register_model(name)(factory) is factory
+        finally:
+            MODEL_REGISTRY.pop(name, None)
+
+    def test_duplicate_name_raises(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_model("SceneRec")(lambda graph, scene, dim, seed: None)
+
+    def test_duplicate_of_dynamic_registration_raises(self):
+        name = "test-only-duplicate"
+        try:
+            register_model(name)(lambda graph, scene, dim, seed: None)
+            with pytest.raises(ValueError, match="already registered"):
+                register_model(name)(lambda graph, scene, dim, seed: None)
+        finally:
+            MODEL_REGISTRY.pop(name, None)
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(ValueError):
+            register_model("")
+        with pytest.raises(ValueError):
+            register_model("   ")
+        with pytest.raises(ValueError):
+            register_model(42)  # type: ignore[arg-type]
+
+    def test_dynamic_models_do_not_leak_into_table2_order(self):
+        name = "test-only-ordering"
+        try:
+            register_model(name)(lambda graph, scene, dim, seed: None)
+            assert name not in list_model_names(include_heuristics=True)
+        finally:
+            MODEL_REGISTRY.pop(name, None)
+
+
+def test_build_model_unknown_name_raises(tiny_train_graph, tiny_scene_graph):
+    with pytest.raises(KeyError, match="unknown model"):
+        build_model("no-such-model", tiny_train_graph, tiny_scene_graph)

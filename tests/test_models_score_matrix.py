@@ -1,0 +1,173 @@
+"""Parity tests for the two-tier scoring API.
+
+``score_matrix`` — whether answered by the factorized single-matmul fast
+path, a bespoke override (SceneRec, ItemKNN) or the batched pairwise
+fallback — must produce exactly the scores the pairwise ``score`` tier
+produces, for every registered model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    MODEL_REGISTRY,
+    FactorizedRecommender,
+    Recommender,
+    build_model,
+    compute_score_matrix,
+    has_matrix_fast_path,
+)
+
+#: Models whose score is a user·item dot product (+ bias); the issue's fast-path set.
+FACTORIZED_NAMES = ["BPR-MF", "LightGCN", "NGCF", "PinSAGE", "KGAT", "ItemPop"]
+
+
+@pytest.fixture(scope="module")
+def probe_users(tiny_train_graph):
+    return np.array([0, 1, 5, 11, tiny_train_graph.num_users - 1], dtype=np.int64)
+
+
+def _pairwise_reference(model, users, num_items):
+    """Catalogue scores via the pairwise tier only."""
+    all_items = np.arange(num_items, dtype=np.int64)
+    return np.stack(
+        [np.asarray(model.score(np.full(num_items, user, dtype=np.int64), all_items)) for user in users]
+    )
+
+
+@pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
+def test_score_matrix_matches_pairwise_scores(name, tiny_train_graph, tiny_scene_graph, probe_users):
+    model = build_model(name, tiny_train_graph, tiny_scene_graph, embedding_dim=8, seed=0)
+    if hasattr(model, "eval"):
+        model.eval()
+    num_items = tiny_train_graph.num_items
+    matrix = model.score_matrix(probe_users, num_items=num_items)
+    assert matrix.shape == (probe_users.size, num_items)
+    reference = _pairwise_reference(model, probe_users, num_items)
+    np.testing.assert_allclose(matrix, reference, atol=1e-9, rtol=1e-9)
+
+
+@pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
+def test_score_matrix_rankings_match_pairwise_rankings(name, tiny_train_graph, tiny_scene_graph, probe_users):
+    """The acceptance criterion: identical rankings, not just close scores."""
+    model = build_model(name, tiny_train_graph, tiny_scene_graph, embedding_dim=8, seed=0)
+    if hasattr(model, "eval"):
+        model.eval()
+    num_items = tiny_train_graph.num_items
+    matrix = model.score_matrix(probe_users, num_items=num_items)
+    reference = _pairwise_reference(model, probe_users, num_items)
+    for row in range(probe_users.size):
+        np.testing.assert_array_equal(
+            np.argsort(-matrix[row], kind="stable"), np.argsort(-reference[row], kind="stable")
+        )
+
+
+@pytest.mark.parametrize("name", FACTORIZED_NAMES)
+def test_factorized_models_expose_representations(name, tiny_train_graph, tiny_scene_graph):
+    model = build_model(name, tiny_train_graph, tiny_scene_graph, embedding_dim=8, seed=0)
+    assert isinstance(model, FactorizedRecommender)
+    assert has_matrix_fast_path(model)
+    users = model.user_representations()
+    items = model.item_representations()
+    assert users.shape[0] == tiny_train_graph.num_users
+    assert items.shape[0] == tiny_train_graph.num_items
+    assert users.shape[1] == items.shape[1]
+    biases = model.item_biases()
+    if biases is not None:
+        assert biases.shape == (tiny_train_graph.num_items,)
+
+
+def test_factorized_representations_reproduce_score_matrix(tiny_train_graph, tiny_scene_graph):
+    model = build_model("BPR-MF", tiny_train_graph, tiny_scene_graph, embedding_dim=8, seed=0)
+    representations = model.factorized_representations()
+    users = np.array([0, 2, 4])
+    np.testing.assert_allclose(
+        representations.score_matrix(users), model.score_matrix(users), atol=1e-12
+    )
+
+
+def test_fallback_models_have_no_fast_path(tiny_train_graph, tiny_scene_graph):
+    ncf = build_model("NCF", tiny_train_graph, tiny_scene_graph, embedding_dim=8, seed=0)
+    cmn = build_model("CMN", tiny_train_graph, tiny_scene_graph, embedding_dim=8, seed=0)
+    assert not has_matrix_fast_path(ncf)
+    assert not has_matrix_fast_path(cmn)
+    # ... but SceneRec and the factorized set do.
+    scenerec = build_model("SceneRec", tiny_train_graph, tiny_scene_graph, embedding_dim=8, seed=0)
+    assert has_matrix_fast_path(scenerec)
+
+
+def test_fallback_item_batching_does_not_change_scores(tiny_train_graph, tiny_scene_graph):
+    model = build_model("NCF", tiny_train_graph, tiny_scene_graph, embedding_dim=8, seed=0)
+    model.eval()
+    users = np.array([0, 3])
+    small = model.score_matrix(users, item_batch=7)
+    large = model.score_matrix(users, item_batch=100_000)
+    np.testing.assert_allclose(small, large)
+
+
+def test_score_matrix_requires_resolvable_num_items():
+    class Headless(Recommender):
+        def predict_pairs(self, users, items):  # pragma: no cover - never called
+            raise AssertionError
+
+    with pytest.raises(ValueError, match="num_items"):
+        Headless().score_matrix(np.array([0]))
+
+
+def test_score_matrix_rejects_bad_item_batch(tiny_train_graph, tiny_scene_graph):
+    model = build_model("NCF", tiny_train_graph, tiny_scene_graph, embedding_dim=8, seed=0)
+    with pytest.raises(ValueError):
+        model.score_matrix(np.array([0]), item_batch=0)
+
+
+def test_factorized_score_matrix_rejects_mismatched_num_items(tiny_train_graph, tiny_scene_graph):
+    model = build_model("BPR-MF", tiny_train_graph, tiny_scene_graph, embedding_dim=8, seed=0)
+    with pytest.raises(ValueError):
+        model.score_matrix(np.array([0]), num_items=tiny_train_graph.num_items + 1)
+
+
+class TestComputeScoreMatrix:
+    def test_dispatches_to_model_fast_path(self, tiny_train_graph, tiny_scene_graph):
+        model = build_model("BPR-MF", tiny_train_graph, tiny_scene_graph, embedding_dim=8, seed=0)
+        users = np.array([1, 3])
+        expected = model.score_matrix(users)
+        np.testing.assert_allclose(
+            compute_score_matrix(model, users, num_items=tiny_train_graph.num_items), expected
+        )
+
+    def test_tiles_duck_typed_models(self):
+        class ScoreOnly:
+            def score(self, users, items):
+                return users * 100.0 + items
+
+        matrix = compute_score_matrix(ScoreOnly(), np.array([0, 2]), num_items=5, item_batch=2)
+        expected = np.array([[0, 1, 2, 3, 4], [200, 201, 202, 203, 204]], dtype=np.float64)
+        np.testing.assert_allclose(matrix, expected)
+
+    def test_validates_arguments(self):
+        class ScoreOnly:
+            def score(self, users, items):
+                return np.zeros(len(items))
+
+        with pytest.raises(ValueError):
+            compute_score_matrix(ScoreOnly(), np.array([0]), num_items=0)
+        with pytest.raises(ValueError):
+            compute_score_matrix(ScoreOnly(), np.array([0]), num_items=5, item_batch=0)
+
+
+def test_random_recommender_is_deterministic_per_pair():
+    from repro.models import RandomRecommender
+
+    model = RandomRecommender(seed=3)
+    users = np.array([0, 1, 2, 0])
+    items = np.array([5, 5, 5, 5])
+    first = model.score(users, items)
+    second = model.score(users, items)
+    np.testing.assert_array_equal(first, second)
+    # Same (user, item) pair hashes identically regardless of batch shape.
+    assert model.score(np.array([0]), np.array([5]))[0] == first[0]
+    # Different seeds decorrelate.
+    assert not np.array_equal(RandomRecommender(seed=4).score(users, items), first)
+    assert np.all((first >= 0.0) & (first < 1.0))

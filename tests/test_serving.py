@@ -1,0 +1,345 @@
+"""Tests for the ``repro.serving`` subsystem.
+
+The key invariant: the vectorized batch top-K of
+:class:`~repro.serving.RecommendationService` must rank exactly like a
+stable full sort of the pairwise scores — for factorized models (cache +
+matmul path), SceneRec (bespoke catalogue path) and fallback models alike.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import MODEL_REGISTRY, SceneRec, SceneRecConfig, build_model
+from repro.serving import (
+    CategoryAllowlistFilter,
+    ExcludeItemsFilter,
+    ExcludeSeenFilter,
+    ItemRepresentationCache,
+    RecommendRequest,
+    RecommendResponse,
+    Recommendation,
+    RecommendationService,
+    SceneAffinityExplainer,
+    SceneAllowlistFilter,
+    batch_top_k,
+)
+from repro.training import TrainConfig, Trainer
+
+
+@pytest.fixture(scope="module")
+def bpr_service(tiny_train_graph, tiny_scene_graph):
+    model = build_model("BPR-MF", tiny_train_graph, tiny_scene_graph, embedding_dim=8, seed=0)
+    return RecommendationService(model, tiny_train_graph, tiny_scene_graph)
+
+
+@pytest.fixture(scope="module")
+def scenerec_service(tiny_train_graph, tiny_scene_graph, tiny_split):
+    model = SceneRec(
+        tiny_train_graph,
+        tiny_scene_graph,
+        SceneRecConfig(embedding_dim=8, item_item_cap=4, category_category_cap=3, category_scene_cap=3, seed=0),
+    )
+    Trainer(model, tiny_split, TrainConfig(epochs=1, batch_size=64, eval_every=0)).fit()
+    return RecommendationService(model, tiny_train_graph, tiny_scene_graph)
+
+
+def _reference_top_k(model, graph, user, k, exclude_seen=True):
+    """The seed TopKRecommender algorithm: full stable argsort + seen skip."""
+    num_items = graph.num_items
+    scores = np.asarray(
+        model.score(np.full(num_items, user, dtype=np.int64), np.arange(num_items, dtype=np.int64))
+    )
+    seen = set(graph.user_items(user).tolist()) if exclude_seen else set()
+    ranked = [int(i) for i in np.argsort(-scores, kind="stable") if int(i) not in seen]
+    return ranked[:k]
+
+
+class TestBatchTopK:
+    def test_matches_stable_argsort(self, rng):
+        scores = rng.random((6, 50))
+        allowed = rng.random((6, 50)) > 0.3
+        for row, items in enumerate(batch_top_k(scores, allowed, k=10)):
+            reference = [i for i in np.argsort(-scores[row], kind="stable") if allowed[row, i]][:10]
+            np.testing.assert_array_equal(items, reference)
+
+    def test_breaks_ties_by_item_id(self):
+        scores = np.array([[1.0, 2.0, 2.0, 2.0, 0.5]])
+        allowed = np.ones((1, 5), dtype=bool)
+        np.testing.assert_array_equal(batch_top_k(scores, allowed, k=2)[0], [1, 2])
+
+    def test_fewer_allowed_than_k(self):
+        scores = np.array([[3.0, 1.0, 2.0]])
+        allowed = np.array([[True, False, True]])
+        np.testing.assert_array_equal(batch_top_k(scores, allowed, k=10)[0], [0, 2])
+
+    def test_nothing_allowed(self):
+        result = batch_top_k(np.ones((1, 4)), np.zeros((1, 4), dtype=bool), k=3)
+        assert result[0].size == 0
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            batch_top_k(np.ones((1, 3)), np.ones((1, 3), dtype=bool), k=0)
+        with pytest.raises(ValueError):
+            batch_top_k(np.ones((1, 3)), np.ones((2, 3), dtype=bool), k=1)
+
+
+class TestRecommendationServiceParity:
+    @pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
+    def test_batch_top_k_matches_per_user_reference(self, name, tiny_train_graph, tiny_scene_graph):
+        """Acceptance criterion: the service ranks exactly like the pairwise path."""
+        model = build_model(name, tiny_train_graph, tiny_scene_graph, embedding_dim=8, seed=0)
+        if hasattr(model, "eval"):
+            model.eval()
+        service = RecommendationService(model, tiny_train_graph, tiny_scene_graph)
+        users = (0, 3, 9)
+        response = service.recommend(RecommendRequest(users=users, k=7))
+        for user, items in zip(users, response.results):
+            expected = _reference_top_k(model, tiny_train_graph, user, k=7)
+            assert [rec.item for rec in items] == expected
+
+    def test_include_seen_parity(self, bpr_service, tiny_train_graph):
+        user = 2
+        got = [rec.item for rec in bpr_service.top_k(user, k=6, exclude_seen=False)]
+        assert got == _reference_top_k(bpr_service.model, tiny_train_graph, user, k=6, exclude_seen=False)
+
+
+class TestRecommendationService:
+    def test_scores_sorted_descending(self, bpr_service):
+        scores = [rec.score for rec in bpr_service.top_k(1, k=8)]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_seen_items_excluded_by_default(self, bpr_service, tiny_train_graph):
+        seen = set(tiny_train_graph.user_items(0).tolist())
+        recommended = {rec.item for rec in bpr_service.top_k(0, k=10)}
+        assert not recommended & seen
+
+    def test_categories_annotated(self, bpr_service, tiny_scene_graph):
+        for rec in bpr_service.top_k(2, k=4):
+            assert rec.category == tiny_scene_graph.category_of(rec.item)
+
+    def test_response_alignment_and_accessors(self, bpr_service):
+        response = bpr_service.recommend(RecommendRequest(users=(4, 1), k=3))
+        assert response.users == (4, 1)
+        assert response.for_user(1) == response.results[1]
+        assert set(response.as_dict()) == {4, 1}
+        assert response.item_lists() == [[rec.item for rec in items] for items in response.results]
+        with pytest.raises(KeyError):
+            response.for_user(23)
+
+    def test_invalid_requests(self, bpr_service):
+        with pytest.raises(ValueError):
+            RecommendRequest(users=(), k=3)
+        with pytest.raises(ValueError):
+            RecommendRequest(users=(0,), k=0)
+        with pytest.raises(IndexError):
+            bpr_service.top_k(10_000, k=3)
+        with pytest.raises(ValueError):
+            bpr_service.score_matrix(np.array([0]), item_batch=0)
+
+    def test_mismatched_graphs_rejected(self, bpr_service, tiny_train_graph):
+        from repro.graph import SceneBasedGraph
+
+        wrong = SceneBasedGraph(2, 2, 1, item_category=[0, 1], scene_category_edges=[(0, 0)])
+        with pytest.raises(ValueError):
+            RecommendationService(bpr_service.model, tiny_train_graph, wrong)
+
+    def test_score_matrix_shape_and_parity(self, bpr_service, tiny_train_graph):
+        users = np.array([0, 5])
+        matrix = bpr_service.score_matrix(users)
+        assert matrix.shape == (2, tiny_train_graph.num_items)
+        model = bpr_service.model
+        all_items = np.arange(tiny_train_graph.num_items)
+        for row, user in enumerate(users):
+            np.testing.assert_allclose(
+                matrix[row], model.score(np.full(all_items.size, user), all_items), atol=1e-9
+            )
+
+
+class TestFilters:
+    def test_category_allowlist(self, bpr_service, tiny_scene_graph):
+        categories = {0, 1}
+        recs = bpr_service.top_k(0, k=10, filters=[CategoryAllowlistFilter(tiny_scene_graph, categories)])
+        assert recs and all(rec.category in categories for rec in recs)
+
+    def test_scene_allowlist(self, bpr_service, tiny_scene_graph):
+        scenes = {0}
+        recs = bpr_service.top_k(0, k=10, filters=[SceneAllowlistFilter(tiny_scene_graph, scenes)])
+        assert recs
+        for rec in recs:
+            assert 0 in tiny_scene_graph.item_scenes(rec.item).tolist()
+
+    def test_exclude_items(self, bpr_service, tiny_train_graph):
+        banned = {rec.item for rec in bpr_service.top_k(0, k=3)}
+        recs = bpr_service.top_k(
+            0, k=5, filters=[ExcludeItemsFilter(banned, tiny_train_graph.num_items)]
+        )
+        assert banned.isdisjoint(rec.item for rec in recs)
+
+    def test_base_filters_apply_to_every_request(self, tiny_train_graph, tiny_scene_graph):
+        model = build_model("ItemPop", tiny_train_graph, tiny_scene_graph, embedding_dim=8, seed=0)
+        banned = ExcludeItemsFilter([0, 1, 2], tiny_train_graph.num_items)
+        service = RecommendationService(model, tiny_train_graph, tiny_scene_graph, base_filters=[banned])
+        for items in service.recommend(RecommendRequest(users=(0, 1), k=10)).results:
+            assert {0, 1, 2}.isdisjoint(rec.item for rec in items)
+
+    def test_exclude_seen_filter_standalone(self, tiny_train_graph):
+        users = np.array([0, 1])
+        allowed = np.ones((2, tiny_train_graph.num_items), dtype=bool)
+        ExcludeSeenFilter(tiny_train_graph).apply(users, allowed)
+        assert not allowed[0, tiny_train_graph.user_items(0)].any()
+        assert not allowed[1, tiny_train_graph.user_items(1)].any()
+
+    def test_filter_validation(self, tiny_scene_graph):
+        with pytest.raises(ValueError):
+            CategoryAllowlistFilter(tiny_scene_graph, [])
+        with pytest.raises(ValueError):
+            SceneAllowlistFilter(tiny_scene_graph, [])
+        with pytest.raises(ValueError):
+            ExcludeItemsFilter([0], num_items=0)
+        # Out-of-range ids are rejected rather than wrapping via negative indexing.
+        with pytest.raises(ValueError):
+            ExcludeItemsFilter([-1], num_items=10)
+        with pytest.raises(ValueError):
+            ExcludeItemsFilter([10], num_items=10)
+        # A mask built for the wrong catalogue is rejected at apply time.
+        mismatched = ExcludeItemsFilter([0], num_items=3)
+        with pytest.raises(ValueError):
+            mismatched.apply(np.array([0]), np.ones((1, 5), dtype=bool))
+
+
+class TestRepresentationCache:
+    def test_cache_warms_lazily_and_refreshes(self, tiny_train_graph, tiny_scene_graph):
+        model = build_model("BPR-MF", tiny_train_graph, tiny_scene_graph, embedding_dim=8, seed=0)
+        cache = ItemRepresentationCache(model)
+        assert cache.supported and not cache.is_warm
+        first = cache.get()
+        assert cache.is_warm
+        assert cache.get() is first  # served from memory
+        cache.refresh()
+        assert not cache.is_warm
+        assert cache.get() is not first
+
+    def test_stale_cache_is_invalidated_by_service_refresh(self, tiny_train_graph, tiny_scene_graph, tiny_split):
+        model = build_model("BPR-MF", tiny_train_graph, tiny_scene_graph, embedding_dim=8, seed=0)
+        service = RecommendationService(model, tiny_train_graph, tiny_scene_graph)
+        before = service.score_matrix(np.array([0])).copy()
+        Trainer(model, tiny_split, TrainConfig(epochs=1, batch_size=64, eval_every=0)).fit()
+        # Without refresh the precomputed representations still answer.
+        np.testing.assert_allclose(service.score_matrix(np.array([0])), before)
+        service.refresh()
+        after = service.score_matrix(np.array([0]))
+        assert not np.allclose(after, before)
+        # And the refreshed scores agree with the live pairwise path.
+        all_items = np.arange(tiny_train_graph.num_items)
+        np.testing.assert_allclose(after[0], model.score(np.full(all_items.size, 0), all_items), atol=1e-9)
+
+    def test_unsupported_model_raises(self, tiny_train_graph, tiny_scene_graph):
+        model = build_model("NCF", tiny_train_graph, tiny_scene_graph, embedding_dim=8, seed=0)
+        cache = ItemRepresentationCache(model)
+        assert not cache.supported
+        with pytest.raises(TypeError):
+            cache.get()
+
+    def test_caching_can_be_disabled(self, tiny_train_graph, tiny_scene_graph, tiny_split):
+        model = build_model("BPR-MF", tiny_train_graph, tiny_scene_graph, embedding_dim=8, seed=0)
+        service = RecommendationService(
+            model, tiny_train_graph, tiny_scene_graph, cache_representations=False
+        )
+        before = service.score_matrix(np.array([0])).copy()
+        Trainer(model, tiny_split, TrainConfig(epochs=1, batch_size=64, eval_every=0)).fit()
+        # No refresh() needed: every request scores the live model.
+        assert not np.allclose(service.score_matrix(np.array([0])), before)
+
+
+class TestExplanations:
+    def test_affinities_match_pairwise_helper(self, scenerec_service, tiny_train_graph):
+        model = scenerec_service.model
+        explainer = SceneAffinityExplainer(model)
+        history = tiny_train_graph.user_items(0)
+        items = np.array([3, 17, 50])
+        batched = explainer.affinities(items, history)
+        for position, item in enumerate(items):
+            expected = np.mean([model.scene_attention_score(int(item), int(h)) for h in history])
+            assert batched[position] == pytest.approx(expected, abs=1e-9)
+
+    def test_service_attaches_explanations(self, scenerec_service):
+        recommendations = scenerec_service.top_k(0, k=3, explain=True)
+        assert all(rec.scene_affinity is not None for rec in recommendations)
+        assert all(-1.0 - 1e-9 <= rec.scene_affinity <= 1.0 + 1e-9 for rec in recommendations)
+
+    def test_non_scenerec_models_do_not_explain(self, bpr_service):
+        assert all(rec.scene_affinity is None for rec in bpr_service.top_k(0, k=3, explain=True))
+
+    def test_unsupported_explainer_returns_none(self, bpr_service):
+        explainer = SceneAffinityExplainer(bpr_service.model)
+        assert not explainer.supported
+        assert explainer.affinities(np.array([0]), np.array([1])) is None
+
+
+class TestDeprecatedShim:
+    def test_topk_recommender_warns_and_delegates(self, tiny_train_graph, tiny_scene_graph):
+        from repro.models import TopKRecommender
+
+        model = build_model("BPR-MF", tiny_train_graph, tiny_scene_graph, embedding_dim=8, seed=0)
+        with pytest.warns(DeprecationWarning):
+            shim = TopKRecommender(model, tiny_train_graph, tiny_scene_graph)
+        service = RecommendationService(model, tiny_train_graph, tiny_scene_graph)
+        assert [rec.item for rec in shim.top_k(0, k=5)] == [rec.item for rec in service.top_k(0, k=5)]
+
+    def test_recommend_batch_passes_options_through(self, tiny_train_graph, tiny_scene_graph):
+        """Regression: the seed shim dropped exclude_seen/explain in batch mode."""
+        from repro.models import ItemPop, TopKRecommender
+
+        model = ItemPop(tiny_train_graph)
+        with pytest.warns(DeprecationWarning):
+            shim = TopKRecommender(model, tiny_train_graph, tiny_scene_graph)
+        heavy_user = max(range(tiny_train_graph.num_users), key=tiny_train_graph.user_degree)
+        seen = set(tiny_train_graph.user_items(heavy_user).tolist())
+        with_seen = shim.recommend_batch([heavy_user], k=10, exclude_seen=False)
+        without_seen = shim.recommend_batch([heavy_user], k=10)
+        assert {rec.item for rec in with_seen[heavy_user]} & seen
+        assert not {rec.item for rec in without_seen[heavy_user]} & seen
+
+    def test_recommend_batch_explain_passes_through(self, scenerec_service, tiny_train_graph, tiny_scene_graph):
+        from repro.models import TopKRecommender
+
+        with pytest.warns(DeprecationWarning):
+            shim = TopKRecommender(scenerec_service.model, tiny_train_graph, tiny_scene_graph)
+        batch = shim.recommend_batch([0, 1], k=3, explain=True)
+        assert all(rec.scene_affinity is not None for recs in batch.values() for rec in recs)
+
+    def test_recommend_batch_empty_users_returns_empty_dict(self, tiny_train_graph, tiny_scene_graph):
+        """Legacy contract: an empty user list yields {}, not an error."""
+        from repro.models import ItemPop, TopKRecommender
+
+        with pytest.warns(DeprecationWarning):
+            shim = TopKRecommender(ItemPop(tiny_train_graph), tiny_train_graph)
+        assert shim.recommend_batch([]) == {}
+
+    def test_shim_scores_live_model_after_training(self, tiny_train_graph, tiny_scene_graph, tiny_split):
+        """Legacy contract: no refresh() step existed, so no staleness allowed."""
+        from repro.models import TopKRecommender
+
+        model = build_model("BPR-MF", tiny_train_graph, tiny_scene_graph, embedding_dim=8, seed=0)
+        with pytest.warns(DeprecationWarning):
+            shim = TopKRecommender(model, tiny_train_graph, tiny_scene_graph)
+        before = shim.score_all_items(0).copy()
+        Trainer(model, tiny_split, TrainConfig(epochs=1, batch_size=64, eval_every=0)).fit()
+        after = shim.score_all_items(0)
+        assert not np.allclose(after, before)
+        all_items = np.arange(tiny_train_graph.num_items)
+        np.testing.assert_allclose(after, model.score(np.full(all_items.size, 0), all_items), atol=1e-9)
+
+
+def test_recommendation_type_is_shared():
+    """serving and the legacy models.service expose the same dataclass."""
+    from repro.models.service import Recommendation as LegacyRecommendation
+
+    assert LegacyRecommendation is Recommendation
+
+
+def test_response_rejects_misaligned_results():
+    with pytest.raises(ValueError):
+        RecommendResponse(users=(0, 1), results=((),))
