@@ -30,9 +30,11 @@ from repro.autograd.functional import (
     where,
 )
 from repro.autograd.grad_check import gradient_check, numerical_gradient
+from repro.autograd.sparse import RowSparseGrad
 from repro.autograd.tensor import Tensor, no_grad
 
 __all__ = [
+    "RowSparseGrad",
     "Tensor",
     "concat",
     "dropout_mask",

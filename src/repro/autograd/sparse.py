@@ -1,0 +1,97 @@
+"""Row-sparse gradients for embedding-style parameters.
+
+A BPR mini-batch touches a few hundred rows of a ``(num_entities, dim)``
+embedding table, yet a dense gradient is the full table.  When a tensor has
+row-sparse recording enabled (see :meth:`Tensor.enable_sparse_grad`), the
+embedding-gather backward stores its contribution as ``(row indices, gradient
+rows)`` pairs instead of scattering into a dense array, and the optimisers'
+sparse paths update only the touched rows.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["RowSparseGrad"]
+
+
+class RowSparseGrad:
+    """A gradient that is non-zero on a subset of rows of a dense shape.
+
+    Contributions are appended as ``(indices, rows)`` chunks (duplicates
+    allowed, accumulation order preserved); :meth:`coalesced` merges them
+    into duplicate-free ``(unique_indices, summed_rows)`` form, which is what
+    the optimisers and gradient clipping consume.  The coalesced form is
+    cached until the next :meth:`append`.
+    """
+
+    __slots__ = ("shape", "_index_chunks", "_row_chunks", "_coalesced")
+
+    def __init__(self, shape: tuple[int, ...], indices: np.ndarray, rows: np.ndarray) -> None:
+        if not shape:
+            raise ValueError("RowSparseGrad needs a non-scalar dense shape")
+        self.shape = tuple(int(dim) for dim in shape)
+        self._index_chunks: list[np.ndarray] = []
+        self._row_chunks: list[np.ndarray] = []
+        self._coalesced: tuple[np.ndarray, np.ndarray] | None = None
+        self.append(indices, rows)
+
+    def append(self, indices: np.ndarray, rows: np.ndarray) -> None:
+        """Record one more sparse contribution (invalidates the cache)."""
+        indices = np.asarray(indices, dtype=np.int64).reshape(-1)
+        rows = np.asarray(rows, dtype=np.float64).reshape((indices.size,) + self.shape[1:])
+        self._index_chunks.append(indices)
+        self._row_chunks.append(rows)
+        self._coalesced = None
+
+    @property
+    def nnz(self) -> int:
+        """Number of recorded (index, row) pairs before coalescing."""
+        return int(sum(chunk.size for chunk in self._index_chunks))
+
+    def coalesced(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(unique_row_indices, summed_rows)``, cached until changed."""
+        if self._coalesced is None:
+            indices = np.concatenate(self._index_chunks)
+            rows = np.concatenate(self._row_chunks)
+            unique, inverse = np.unique(indices, return_inverse=True)
+            summed = np.zeros((unique.size,) + self.shape[1:], dtype=np.float64)
+            if unique.size == indices.size:
+                summed[inverse] = rows
+            else:
+                np.add.at(summed, inverse, rows)
+            self._coalesced = (unique, summed)
+        return self._coalesced
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise the full dense gradient array."""
+        dense = np.zeros(self.shape, dtype=np.float64)
+        indices, rows = self.coalesced()
+        dense[indices] = rows
+        return dense
+
+    def apply_(self, func: Callable[[np.ndarray], np.ndarray]) -> None:
+        """Replace the (coalesced) gradient rows with ``func(rows)``.
+
+        Used by gradient clipping; the stored chunks collapse to the
+        transformed coalesced form.
+        """
+        indices, rows = self.coalesced()
+        rows = np.asarray(func(rows), dtype=np.float64).reshape(rows.shape)
+        self._index_chunks = [indices]
+        self._row_chunks = [rows]
+        self._coalesced = (indices, rows)
+
+    def scale_(self, factor: float) -> None:
+        """Multiply every gradient row by ``factor`` in coalesced form."""
+        self.apply_(lambda rows: rows * factor)
+
+    def sq_norm(self) -> float:
+        """Sum of squared entries of the (coalesced) gradient."""
+        _, rows = self.coalesced()
+        return float((rows**2).sum())
+
+    def __repr__(self) -> str:
+        return f"RowSparseGrad(shape={self.shape}, nnz={self.nnz})"

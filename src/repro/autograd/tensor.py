@@ -20,6 +20,8 @@ from typing import Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro.autograd.sparse import RowSparseGrad
+
 __all__ = ["Tensor", "no_grad", "is_grad_enabled", "unbroadcast"]
 
 _GRAD_ENABLED = True
@@ -76,7 +78,16 @@ def _as_array(value: "Tensor | np.ndarray | float | int | Sequence") -> np.ndarr
 class Tensor:
     """A NumPy array with an optional gradient and a recorded backward rule."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = (
+        "data",
+        "grad",
+        "sparse_grad",
+        "requires_grad",
+        "_backward",
+        "_parents",
+        "_sparse_rows_enabled",
+        "name",
+    )
     # Make ``np.ndarray.__mul__`` etc. defer to the Tensor reflected operators.
     __array_priority__ = 100
 
@@ -93,8 +104,10 @@ class Tensor:
         self.data = np.asarray(data, dtype=np.float64)
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self.grad: np.ndarray | None = None
+        self.sparse_grad: RowSparseGrad | None = None
         self._parents: tuple[Tensor, ...] = parents if self.requires_grad else ()
         self._backward = backward if self.requires_grad else None
+        self._sparse_rows_enabled = False
         self.name = name
 
     # ------------------------------------------------------------------ #
@@ -152,16 +165,55 @@ class Tensor:
         requires_grad = _GRAD_ENABLED and any(parent.requires_grad for parent in parents)
         return Tensor(data, requires_grad=requires_grad, parents=parents, backward=backward)
 
+    def enable_sparse_grad(self, enabled: bool = True) -> "Tensor":
+        """Opt this tensor into row-sparse gradient recording.
+
+        When enabled, row gathers (:meth:`take_rows` — the embedding lookup
+        primitive) accumulate their backward contribution as a
+        :class:`~repro.autograd.sparse.RowSparseGrad` in ``sparse_grad``
+        instead of scattering into a dense ``grad`` array.  At most one of
+        ``grad`` / ``sparse_grad`` is ever set: a dense contribution folds
+        any pending sparse gradient into ``grad``, and sparse contributions
+        scatter into ``grad`` once it exists — so mixed dense/sparse graphs
+        stay exact and optimisers see exactly one gradient form.
+        """
+        self._sparse_rows_enabled = bool(enabled)
+        return self
+
     def _accumulate(self, grad: np.ndarray) -> None:
         grad = unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if self.sparse_grad is not None:
+            dense = self.sparse_grad.to_dense()
+            self.grad = dense if self.grad is None else self.grad + dense
+            self.sparse_grad = None
         if self.grad is None:
             self.grad = grad.copy()
         else:
             self.grad = self.grad + grad
 
+    def _accumulate_rows(self, indices: np.ndarray, rows: np.ndarray) -> None:
+        """Accumulate a row-sparse contribution (see :meth:`enable_sparse_grad`)."""
+        if self.grad is not None:
+            # Rebind rather than mutate: like _accumulate, never modify a
+            # grad array a caller may still hold a reference to.
+            grad = self.grad.copy()
+            np.add.at(grad, indices, rows)
+            self.grad = grad
+            return
+        if not self._sparse_rows_enabled:
+            full = np.zeros_like(self.data)
+            np.add.at(full, indices, rows)
+            self._accumulate(full)
+            return
+        if self.sparse_grad is None:
+            self.sparse_grad = RowSparseGrad(self.data.shape, indices, rows)
+        else:
+            self.sparse_grad.append(indices, rows)
+
     def zero_grad(self) -> None:
-        """Clear the accumulated gradient."""
+        """Clear the accumulated gradient (dense and row-sparse)."""
         self.grad = None
+        self.sparse_grad = None
 
     def backward(self, grad: np.ndarray | float | None = None) -> None:
         """Run reverse-mode autodiff from this tensor.
@@ -506,8 +558,8 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                full = np.zeros_like(self.data)
-                np.add.at(full, indices.reshape(-1), grad.reshape(-1, *self.data.shape[1:]))
-                self._accumulate(full)
+                self._accumulate_rows(
+                    indices.reshape(-1), grad.reshape(-1, *self.data.shape[1:])
+                )
 
         return Tensor._make(out_data, (self,), backward)

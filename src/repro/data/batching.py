@@ -73,12 +73,19 @@ class BprBatcher:
         return int(np.ceil(self.num_interactions / self.batch_size))
 
     def epoch(self) -> Iterator[BprBatch]:
-        """Yield every training interaction once, in random order, with negatives."""
+        """Yield every training interaction once, in random order, with negatives.
+
+        The whole epoch's negatives are presampled in one vectorized
+        :meth:`UniformNegativeSampler.sample_for_users` call, so per-batch
+        work is pure slicing.
+        """
         order = self._rng.permutation(self.num_interactions)
         shuffled = self.train_interactions[order]
+        negatives = self._negative_sampler.sample_for_users(shuffled[:, 0])
         for start in range(0, self.num_interactions, self.batch_size):
             chunk = shuffled[start : start + self.batch_size]
-            users = chunk[:, 0]
-            positives = chunk[:, 1]
-            negatives = self._negative_sampler.sample_for_users(users)
-            yield BprBatch(users=users, positive_items=positives, negative_items=negatives)
+            yield BprBatch(
+                users=chunk[:, 0],
+                positive_items=chunk[:, 1],
+                negative_items=negatives[start : start + self.batch_size],
+            )

@@ -21,6 +21,9 @@ def sample_negatives(
 
     When fewer than ``count`` unobserved items exist, all of them are
     returned (shuffled); the evaluator copes with shorter candidate lists.
+    The result is always returned in random order: candidate lists feed a
+    stable top-k ranker, so a sorted list would bias tied-score models
+    (ItemPop on unseen items, cold-start rows) toward low item ids.
     """
     if count <= 0:
         raise ValueError(f"count must be positive, got {count}")
@@ -44,15 +47,26 @@ def sample_negatives(
                 chosen.add(item)
                 if len(chosen) == count:
                     break
-    return np.array(sorted(chosen), dtype=np.int64)
+    negatives = np.fromiter(chosen, dtype=np.int64, count=len(chosen))
+    rng.shuffle(negatives)
+    return negatives
 
 
 class UniformNegativeSampler:
     """Draw BPR negatives uniformly from the items a user never clicked.
 
     Used by the trainer: for every observed ``(user, positive)`` pair it
-    produces one (or ``k``) negative item(s) per epoch, resampled each time
-    so the model sees fresh contrast pairs.
+    produces one negative item per epoch, resampled each time so the model
+    sees fresh contrast pairs.
+
+    Membership is stored in CSR form: one flat array of per-user sorted
+    positives (``_indptr`` delimiting the per-user segments) encoded as
+    ``user * num_items + item`` keys, which makes the flat array globally
+    sorted.  :meth:`sample_for_users` then runs *vectorized* rejection
+    sampling: draw one candidate per slot, test all slots against the
+    positives with a single :func:`numpy.searchsorted`, and redraw only the
+    rejected slots.  The per-pair distribution is identical to the scalar
+    rejection loop (uniform over the user's non-positive items).
     """
 
     def __init__(
@@ -64,19 +78,73 @@ class UniformNegativeSampler:
         if num_items <= 0:
             raise ValueError(f"num_items must be positive, got {num_items}")
         self.num_items = num_items
-        self._positives = [set(int(i) for i in items) for items in user_positive_items]
+        per_user = [
+            np.unique(
+                np.asarray(
+                    items if isinstance(items, np.ndarray) else list(items), dtype=np.int64
+                )
+            )
+            for items in user_positive_items
+        ]
+        sizes = np.array([items.size for items in per_user], dtype=np.int64)
+        self._indptr = np.concatenate(([0], np.cumsum(sizes)))
+        flat_items = np.concatenate(per_user) if per_user else np.empty(0, dtype=np.int64)
+        flat_users = np.repeat(np.arange(len(per_user), dtype=np.int64), sizes)
+        # Globally sorted because entries are grouped by ascending user and
+        # sorted within each user's segment.
+        self._keys = flat_users * num_items + flat_items
+        self._num_positives = sizes
         self._rng = rng if isinstance(rng, np.random.Generator) else new_rng(rng)
+
+    @property
+    def num_users(self) -> int:
+        return int(self._num_positives.size)
+
+    def user_positives(self, user: int) -> np.ndarray:
+        """The sorted positive items of ``user`` (a read-only view)."""
+        if not 0 <= user < self.num_users:
+            raise IndexError(f"user {user} out of range [0, {self.num_users})")
+        segment = self._keys[self._indptr[user] : self._indptr[user + 1]]
+        return segment - user * self.num_items
+
+    def _is_positive(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized membership test for ``user * num_items + item`` keys."""
+        if self._keys.size == 0:
+            return np.zeros(keys.shape, dtype=bool)
+        pos = np.searchsorted(self._keys, keys)
+        clipped = np.minimum(pos, self._keys.size - 1)
+        return (pos < self._keys.size) & (self._keys[clipped] == keys)
 
     def sample(self, user: int) -> int:
         """One negative item for ``user``."""
-        positives = self._positives[user]
-        if len(positives) >= self.num_items:
-            raise ValueError(f"user {user} has interacted with every item; cannot sample a negative")
-        while True:
-            item = int(self._rng.integers(0, self.num_items))
-            if item not in positives:
-                return item
+        return int(self.sample_for_users(np.array([user], dtype=np.int64))[0])
 
     def sample_for_users(self, users: np.ndarray) -> np.ndarray:
-        """Vectorised convenience: one negative per entry of ``users``."""
-        return np.array([self.sample(int(user)) for user in users], dtype=np.int64)
+        """One negative per entry of ``users``, drawn by vectorized rejection.
+
+        Draw one candidate per slot, mask the slots that hit a positive with
+        a single :func:`numpy.searchsorted` over the CSR keys, then redraw
+        only the rejected slots until every slot holds a true negative.
+        """
+        users = np.asarray(users, dtype=np.int64).reshape(-1)
+        if users.size == 0:
+            return np.empty(0, dtype=np.int64)
+        if users.min() < 0 or users.max() >= self.num_users:
+            raise IndexError(
+                f"user index out of range [0, {self.num_users}): "
+                f"min={users.min()}, max={users.max()}"
+            )
+        saturated = self._num_positives[users] >= self.num_items
+        if saturated.any():
+            offender = int(users[int(np.argmax(saturated))])
+            raise ValueError(
+                f"user {offender} has interacted with every item; cannot sample a negative"
+            )
+        negatives = self._rng.integers(0, self.num_items, size=users.size, dtype=np.int64)
+        pending = np.flatnonzero(self._is_positive(users * self.num_items + negatives))
+        while pending.size:
+            draws = self._rng.integers(0, self.num_items, size=pending.size, dtype=np.int64)
+            negatives[pending] = draws
+            rejected = self._is_positive(users[pending] * self.num_items + draws)
+            pending = pending[rejected]
+        return negatives

@@ -19,6 +19,11 @@ class Embedding(Module):
     ``forward`` accepts an integer array of any shape and returns a tensor of
     shape ``indices.shape + (dim,)``; gradients are scatter-added so repeated
     indices within a batch accumulate correctly.
+
+    With :meth:`Module.enable_sparse_grad` the table records lookup
+    gradients in row-sparse form instead, and an optimiser constructed with
+    ``sparse=True`` updates only the touched rows — the update cost then
+    scales with the batch instead of ``num_embeddings``.
     """
 
     def __init__(

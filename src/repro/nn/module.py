@@ -102,6 +102,19 @@ class Module:
         for parameter in self.parameters():
             parameter.zero_grad()
 
+    def enable_sparse_grad(self, enabled: bool = True) -> "Module":
+        """Opt every parameter into row-sparse gradient recording.
+
+        Parameters that only receive gradient through embedding-style row
+        gathers then accumulate ``(row indices, gradient rows)`` instead of
+        dense arrays, which the optimisers' sparse paths turn into row-wise
+        updates.  Parameters reached by dense operations are unaffected —
+        they keep producing dense gradients.
+        """
+        for parameter in self.parameters():
+            parameter.enable_sparse_grad(enabled)
+        return self
+
     # ------------------------------------------------------------------ #
     # State persistence
     # ------------------------------------------------------------------ #

@@ -6,7 +6,7 @@ helper can sweep over them.
 """
 
 from repro.optim.adam import Adam
-from repro.optim.clip import clip_grad_norm, clip_grad_value
+from repro.optim.clip import clip_grad_norm, clip_grad_value, grad_norm
 from repro.optim.optimizer import Optimizer
 from repro.optim.rmsprop import RMSProp
 from repro.optim.schedulers import ConstantLR, ExponentialDecayLR, StepLR
@@ -22,4 +22,5 @@ __all__ = [
     "StepLR",
     "clip_grad_norm",
     "clip_grad_value",
+    "grad_norm",
 ]

@@ -13,7 +13,18 @@ __all__ = ["Adam"]
 
 
 class Adam(Optimizer):
-    """Adam with bias-corrected first and second moment estimates."""
+    """Adam with bias-corrected first and second moment estimates.
+
+    Bias correction uses *per-parameter* step counts: a parameter whose
+    gradient is ``None`` on some steps (frozen heads, module subsets) is
+    corrected by the number of updates it actually received, not by the
+    optimiser-global step count.
+
+    The sparse path (``sparse=True``) is "lazy Adam": moment buffers stay
+    full-size but only the rows touched by the batch decay and update, and
+    bias correction runs on *per-row* step counts, so a rarely-sampled
+    embedding row is corrected as if it were on its own schedule.
+    """
 
     def __init__(
         self,
@@ -22,8 +33,9 @@ class Adam(Optimizer):
         betas: tuple[float, float] = (0.9, 0.999),
         epsilon: float = 1e-8,
         weight_decay: float = 0.0,
+        sparse: bool = False,
     ) -> None:
-        super().__init__(parameters, lr, weight_decay)
+        super().__init__(parameters, lr, weight_decay, sparse=sparse)
         beta1, beta2 = betas
         if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
             raise ValueError(f"betas must be in [0, 1), got {betas}")
@@ -32,6 +44,7 @@ class Adam(Optimizer):
         self.epsilon = epsilon
         self._moment1: dict[int, np.ndarray] = {}
         self._moment2: dict[int, np.ndarray] = {}
+        self._row_steps: dict[int, np.ndarray] = {}
 
     def _update(self, index: int, parameter: Parameter, grad: np.ndarray) -> None:
         moment1 = self._moment1.get(index)
@@ -43,7 +56,28 @@ class Adam(Optimizer):
         moment2 = self.beta2 * moment2 + (1.0 - self.beta2) * grad**2
         self._moment1[index] = moment1
         self._moment2[index] = moment2
-        step = self._step_count + 1
+        step = self.parameter_step_count(index)
         corrected1 = moment1 / (1.0 - self.beta1**step)
         corrected2 = moment2 / (1.0 - self.beta2**step)
         parameter.data = parameter.data - self.lr * corrected1 / (np.sqrt(corrected2) + self.epsilon)
+
+    def _update_sparse(
+        self, index: int, parameter: Parameter, indices: np.ndarray, rows: np.ndarray
+    ) -> None:
+        moment1 = self._moment1.get(index)
+        if moment1 is None:
+            moment1 = self._moment1[index] = np.zeros_like(parameter.data)
+            self._moment2[index] = np.zeros_like(parameter.data)
+        moment2 = self._moment2[index]
+        steps = self._row_steps.get(index)
+        if steps is None:
+            steps = self._row_steps[index] = np.zeros(parameter.data.shape[0], dtype=np.int64)
+        steps[indices] += 1
+        m1 = self.beta1 * moment1[indices] + (1.0 - self.beta1) * rows
+        m2 = self.beta2 * moment2[indices] + (1.0 - self.beta2) * rows**2
+        moment1[indices] = m1
+        moment2[indices] = m2
+        t = steps[indices].reshape((-1,) + (1,) * (parameter.data.ndim - 1))
+        corrected1 = m1 / (1.0 - self.beta1**t)
+        corrected2 = m2 / (1.0 - self.beta2**t)
+        parameter.data[indices] -= self.lr * corrected1 / (np.sqrt(corrected2) + self.epsilon)

@@ -8,7 +8,23 @@ import numpy as np
 
 from repro.nn.module import Parameter
 
-__all__ = ["clip_grad_norm", "clip_grad_value"]
+__all__ = ["grad_norm", "clip_grad_norm", "clip_grad_value"]
+
+
+def grad_norm(parameters: Iterable[Parameter]) -> float:
+    """The joint L2 norm of all gradients, dense and row-sparse alike.
+
+    Row-sparse gradients are coalesced first (duplicate row contributions
+    summed), so the result equals the norm of the equivalent dense
+    gradients.  Nothing is modified.
+    """
+    total = 0.0
+    for parameter in parameters:
+        if parameter.grad is not None:
+            total += float((parameter.grad**2).sum())
+        elif parameter.sparse_grad is not None:
+            total += parameter.sparse_grad.sq_norm()
+    return float(np.sqrt(total))
 
 
 def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
@@ -19,14 +35,19 @@ def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
     """
     if max_norm <= 0:
         raise ValueError(f"max_norm must be positive, got {max_norm}")
-    parameters = [p for p in parameters if p.grad is not None]
+    parameters = [
+        p for p in parameters if p.grad is not None or p.sparse_grad is not None
+    ]
     if not parameters:
         return 0.0
-    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in parameters)))
+    total = grad_norm(parameters)
     if total > max_norm:
         scale = max_norm / (total + 1e-12)
         for parameter in parameters:
-            parameter.grad = parameter.grad * scale
+            if parameter.grad is not None:
+                parameter.grad = parameter.grad * scale
+            else:
+                parameter.sparse_grad.scale_(scale)
     return total
 
 
@@ -37,3 +58,5 @@ def clip_grad_value(parameters: Iterable[Parameter], max_value: float) -> None:
     for parameter in parameters:
         if parameter.grad is not None:
             parameter.grad = np.clip(parameter.grad, -max_value, max_value)
+        elif parameter.sparse_grad is not None:
+            parameter.sparse_grad.apply_(lambda rows: np.clip(rows, -max_value, max_value))

@@ -18,9 +18,30 @@ class Optimizer:
     ``weight_decay * parameter`` to the gradient before the update, which
     matches the ``λ‖Θ‖²`` term of the paper's loss (Eq. 15) up to the factor
     of two absorbed into the coefficient.
+
+    Sparse updates
+    --------------
+    With ``sparse=True``, parameters whose gradient arrived purely in
+    row-sparse form (see :meth:`Tensor.enable_sparse_grad`) are updated
+    through the subclass's ``_update_sparse`` hook, which touches only the
+    rows that received gradient instead of rewriting the full table.  Weight
+    decay is then applied *lazily* — only to the touched rows — matching the
+    usual sparse-optimiser semantics (untouched rows are not decayed).
+    Dense behaviour is unchanged by default (``sparse=False`` densifies any
+    row-sparse gradient before the ordinary update).
+
+    Step counts are tracked per parameter: a parameter whose gradient is
+    ``None`` on some steps (frozen heads, module subsets) does not advance
+    its own count, so bias-correction terms in subclasses stay exact.
     """
 
-    def __init__(self, parameters: Iterable[Parameter], lr: float, weight_decay: float = 0.0) -> None:
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float,
+        weight_decay: float = 0.0,
+        sparse: bool = False,
+    ) -> None:
         self.parameters: Sequence[Parameter] = list(parameters)
         if not self.parameters:
             raise ValueError("optimizer received no parameters")
@@ -30,7 +51,9 @@ class Optimizer:
             raise ValueError(f"weight_decay must be non-negative, got {weight_decay}")
         self.lr = float(lr)
         self.weight_decay = float(weight_decay)
+        self.sparse = bool(sparse)
         self._step_count = 0
+        self._param_steps: dict[int, int] = {}
 
     # ------------------------------------------------------------------ #
     def zero_grad(self) -> None:
@@ -39,25 +62,45 @@ class Optimizer:
             parameter.zero_grad()
 
     def _effective_grad(self, parameter: Parameter) -> np.ndarray | None:
-        if parameter.grad is None:
-            return None
         grad = parameter.grad
+        if grad is None and parameter.sparse_grad is not None:
+            grad = parameter.sparse_grad.to_dense()
+        if grad is None:
+            return None
         if self.weight_decay:
             grad = grad + self.weight_decay * parameter.data
         return grad
 
     def step(self) -> None:
-        """Apply one update; subclasses implement :meth:`_update`."""
+        """Apply one update; subclasses implement :meth:`_update` (dense) and
+        optionally :meth:`_update_sparse` (row-wise)."""
         for index, parameter in enumerate(self.parameters):
+            if self.sparse and parameter.grad is None and parameter.sparse_grad is not None:
+                indices, rows = parameter.sparse_grad.coalesced()
+                if self.weight_decay:
+                    rows = rows + self.weight_decay * parameter.data[indices]
+                self._param_steps[index] = self._param_steps.get(index, 0) + 1
+                self._update_sparse(index, parameter, indices, rows)
+                continue
             grad = self._effective_grad(parameter)
             if grad is None:
                 continue
+            self._param_steps[index] = self._param_steps.get(index, 0) + 1
             self._update(index, parameter, grad)
         self._step_count += 1
 
     def _update(self, index: int, parameter: Parameter, grad: np.ndarray) -> None:
         raise NotImplementedError
 
+    def _update_sparse(
+        self, index: int, parameter: Parameter, indices: np.ndarray, rows: np.ndarray
+    ) -> None:
+        raise NotImplementedError(f"{type(self).__name__} has no sparse update path")
+
     @property
     def step_count(self) -> int:
         return self._step_count
+
+    def parameter_step_count(self, index: int) -> int:
+        """How many updates parameter ``index`` has actually received."""
+        return self._param_steps.get(index, 0)

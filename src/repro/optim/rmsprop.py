@@ -13,7 +13,13 @@ __all__ = ["RMSProp"]
 
 
 class RMSProp(Optimizer):
-    """RMSProp with exponentially decaying squared-gradient average."""
+    """RMSProp with exponentially decaying squared-gradient average.
+
+    The sparse path (``sparse=True``) keeps the squared-gradient average
+    full-size but decays and updates only the rows touched by the batch
+    (lazy moments) — untouched rows keep their accumulated statistics
+    instead of decaying toward zero on every step.
+    """
 
     def __init__(
         self,
@@ -22,8 +28,9 @@ class RMSProp(Optimizer):
         decay: float = 0.9,
         epsilon: float = 1e-8,
         weight_decay: float = 0.0,
+        sparse: bool = False,
     ) -> None:
-        super().__init__(parameters, lr, weight_decay)
+        super().__init__(parameters, lr, weight_decay, sparse=sparse)
         if not 0.0 < decay < 1.0:
             raise ValueError(f"decay must be in (0, 1), got {decay}")
         if epsilon <= 0:
@@ -39,3 +46,13 @@ class RMSProp(Optimizer):
         square_avg = self.decay * square_avg + (1.0 - self.decay) * grad**2
         self._square_avg[index] = square_avg
         parameter.data = parameter.data - self.lr * grad / (np.sqrt(square_avg) + self.epsilon)
+
+    def _update_sparse(
+        self, index: int, parameter: Parameter, indices: np.ndarray, rows: np.ndarray
+    ) -> None:
+        square_avg = self._square_avg.get(index)
+        if square_avg is None:
+            square_avg = self._square_avg[index] = np.zeros_like(parameter.data)
+        updated = self.decay * square_avg[indices] + (1.0 - self.decay) * rows**2
+        square_avg[indices] = updated
+        parameter.data[indices] -= self.lr * rows / (np.sqrt(updated) + self.epsilon)

@@ -13,7 +13,15 @@ __all__ = ["SGD"]
 
 
 class SGD(Optimizer):
-    """Vanilla SGD, optionally with classical momentum."""
+    """Vanilla SGD, optionally with classical momentum.
+
+    The sparse path (``sparse=True``) subtracts ``lr * grad_row`` from
+    exactly the rows that received gradient — with zero weight decay this
+    matches the dense update bit-for-bit, since untouched rows have zero
+    gradient.  Momentum is incompatible with sparse updates (a dense
+    velocity keeps moving rows the batch never touched), so the combination
+    is rejected.
+    """
 
     def __init__(
         self,
@@ -21,10 +29,13 @@ class SGD(Optimizer):
         lr: float = 0.01,
         momentum: float = 0.0,
         weight_decay: float = 0.0,
+        sparse: bool = False,
     ) -> None:
-        super().__init__(parameters, lr, weight_decay)
+        super().__init__(parameters, lr, weight_decay, sparse=sparse)
         if not 0.0 <= momentum < 1.0:
             raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if sparse and momentum:
+            raise ValueError("sparse SGD does not support momentum")
         self.momentum = momentum
         self._velocity: dict[int, np.ndarray] = {}
 
@@ -38,3 +49,8 @@ class SGD(Optimizer):
             parameter.data = parameter.data - self.lr * velocity
         else:
             parameter.data = parameter.data - self.lr * grad
+
+    def _update_sparse(
+        self, index: int, parameter: Parameter, indices: np.ndarray, rows: np.ndarray
+    ) -> None:
+        parameter.data[indices] -= self.lr * rows

@@ -8,6 +8,8 @@ which the owner must do after further training or any parameter mutation.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.models.base import FactorizedRecommender, FactorizedRepresentations
 
 __all__ = ["ItemRepresentationCache"]
@@ -43,7 +45,19 @@ class ItemRepresentationCache:
             if hasattr(model, "eval"):
                 model.eval()
             try:
-                self._representations = model.factorized_representations()
+                # Snapshot with copies: models may hand out live views of
+                # their weight tables, and row-sparse optimisers mutate
+                # those in place — a cache must stay stale until refresh().
+                representations = model.factorized_representations()
+                self._representations = FactorizedRepresentations(
+                    users=np.array(representations.users, dtype=np.float64, copy=True),
+                    items=np.array(representations.items, dtype=np.float64, copy=True),
+                    item_biases=(
+                        None
+                        if representations.item_biases is None
+                        else np.array(representations.item_biases, dtype=np.float64, copy=True)
+                    ),
+                )
             finally:
                 if was_training and hasattr(model, "train"):
                     model.train()

@@ -28,6 +28,11 @@ class TrainConfig:
     early_stopping_patience: int = 0
     #: clip the global gradient norm (0 disables)
     grad_clip_norm: float = 5.0
+    #: row-sparse optimiser updates for embedding-style parameters: the
+    #: update cost per step scales with the batch instead of the catalogue.
+    #: Weight decay is then applied lazily (touched rows only) and Adam bias
+    #: correction runs on per-row step counts.
+    sparse_updates: bool = True
     #: cutoff K of the validation metrics
     k: int = 10
     seed: int = 0

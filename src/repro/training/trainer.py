@@ -16,7 +16,7 @@ from repro.data.splits import LeaveOneOutSplit
 from repro.evaluation.evaluator import EvaluationResult, RankingEvaluator
 from repro.models.base import Recommender
 from repro.optim.adam import Adam
-from repro.optim.clip import clip_grad_norm
+from repro.optim.clip import clip_grad_norm, grad_norm
 from repro.optim.optimizer import Optimizer
 from repro.optim.rmsprop import RMSProp
 from repro.optim.sgd import SGD
@@ -34,7 +34,11 @@ _LOGGER = get_logger("training.trainer")
 
 @dataclass(frozen=True)
 class EpochStats:
-    """Loss and (optional) validation metrics of one epoch."""
+    """Loss and (optional) validation metrics of one epoch.
+
+    ``grad_norm`` is the epoch mean of the per-batch pre-clipping global
+    gradient norm (reported whether or not clipping is enabled).
+    """
 
     epoch: int
     loss: float
@@ -70,11 +74,18 @@ class TrainingHistory:
 def _build_optimizer(model: Recommender, config: TrainConfig) -> Optimizer:
     parameters = model.parameters()
     name = config.optimizer.lower()
+    sparse = config.sparse_updates
     if name == "rmsprop":
-        return RMSProp(parameters, lr=config.learning_rate, weight_decay=config.l2_coefficient)
+        return RMSProp(
+            parameters, lr=config.learning_rate, weight_decay=config.l2_coefficient, sparse=sparse
+        )
     if name == "adam":
-        return Adam(parameters, lr=config.learning_rate, weight_decay=config.l2_coefficient)
-    return SGD(parameters, lr=config.learning_rate, weight_decay=config.l2_coefficient)
+        return Adam(
+            parameters, lr=config.learning_rate, weight_decay=config.l2_coefficient, sparse=sparse
+        )
+    return SGD(
+        parameters, lr=config.learning_rate, weight_decay=config.l2_coefficient, sparse=sparse
+    )
 
 
 class Trainer:
@@ -108,6 +119,8 @@ class Trainer:
             history.append(EpochStats(epoch=0, loss=float("nan"), grad_norm=0.0, seconds=0.0, validation=validation))
             return history
 
+        if self.config.sparse_updates:
+            self.model.enable_sparse_grad()
         optimizer = _build_optimizer(self.model, self.config)
         batcher = BprBatcher(
             self.split.train_interactions,
@@ -150,9 +163,11 @@ class Trainer:
     # ------------------------------------------------------------------ #
     def _train_one_epoch(self, batcher: BprBatcher, optimizer: Optimizer) -> tuple[float, float]:
         self.model.train()
+        parameters = self.model.parameters()
         total_loss = 0.0
         total_examples = 0
-        last_grad_norm = 0.0
+        norm_total = 0.0
+        num_batches = 0
         for batch in batcher.epoch():
             optimizer.zero_grad()
             positive_scores, negative_scores = self.model.bpr_scores(
@@ -160,12 +175,18 @@ class Trainer:
             )
             loss = bpr_loss(positive_scores, negative_scores)
             loss.backward()
+            # The true (pre-clipping) norm of every batch feeds the epoch
+            # mean, whether or not clipping is enabled.
             if self.config.grad_clip_norm > 0:
-                last_grad_norm = clip_grad_norm(self.model.parameters(), self.config.grad_clip_norm)
+                batch_norm = clip_grad_norm(parameters, self.config.grad_clip_norm)
+            else:
+                batch_norm = grad_norm(parameters)
             optimizer.step()
             total_loss += float(loss.data) * len(batch)
             total_examples += len(batch)
-        return total_loss / max(total_examples, 1), last_grad_norm
+            norm_total += batch_norm
+            num_batches += 1
+        return total_loss / max(total_examples, 1), norm_total / max(num_batches, 1)
 
     def _maybe_validate(self, epoch: int = 0, force: bool = False) -> EvaluationResult | None:
         if self._validation_evaluator is None:

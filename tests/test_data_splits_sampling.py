@@ -118,6 +118,29 @@ class TestSampleNegatives:
         with pytest.raises(ValueError):
             sample_negatives(set(), num_items=5, count=0, rng=rng)
 
+    def test_not_returned_in_sorted_order(self):
+        """Regression: sorted candidate lists bias stable top-k toward low ids.
+
+        With tied scores (ItemPop on unseen items, cold-start rows) a stable
+        ranker keeps candidate order, so ascending lists systematically
+        favour low item ids.  The sampler must return a shuffled list.
+        """
+        unsorted_seen = 0
+        for seed in range(20):
+            negatives = sample_negatives({0, 1}, num_items=200, count=20, rng=np.random.default_rng(seed))
+            assert not set(negatives.tolist()) & {0, 1}
+            if negatives.tolist() != sorted(negatives.tolist()):
+                unsorted_seen += 1
+        assert unsorted_seen > 0
+
+    def test_small_pool_also_shuffled(self):
+        orders = {
+            tuple(sample_negatives({0}, num_items=10, count=20, rng=np.random.default_rng(seed)).tolist())
+            for seed in range(20)
+        }
+        assert all(set(order) == set(range(1, 10)) for order in orders)
+        assert len(orders) > 1
+
 
 class TestUniformNegativeSampler:
     def test_never_returns_positive(self):
@@ -139,6 +162,77 @@ class TestUniformNegativeSampler:
     def test_invalid_num_items(self):
         with pytest.raises(ValueError):
             UniformNegativeSampler([], num_items=0)
+
+    def test_batched_never_emits_a_positive(self):
+        """Exactness: vectorized rejection must mask *every* positive."""
+        rng = np.random.default_rng(0)
+        num_items = 30
+        per_user = [
+            np.sort(rng.choice(num_items, size=rng.integers(1, 25), replace=False))
+            for _ in range(12)
+        ]
+        sampler = UniformNegativeSampler(per_user, num_items=num_items, rng=1)
+        users = np.repeat(np.arange(12), 500)
+        negatives = sampler.sample_for_users(users)
+        assert negatives.shape == users.shape
+        for user in range(12):
+            drawn = set(negatives[users == user].tolist())
+            assert not drawn & set(per_user[user].tolist())
+
+    def test_batched_raises_when_a_user_saturates(self):
+        sampler = UniformNegativeSampler([np.arange(3), np.array([0])], num_items=3, rng=0)
+        with pytest.raises(ValueError):
+            sampler.sample_for_users(np.array([1, 0]))
+
+    def test_empty_users_gives_empty(self):
+        sampler = UniformNegativeSampler([np.array([0])], num_items=5, rng=0)
+        assert sampler.sample_for_users(np.empty(0, dtype=np.int64)).size == 0
+
+    def test_out_of_range_user_rejected(self):
+        sampler = UniformNegativeSampler([np.array([0])], num_items=5, rng=0)
+        with pytest.raises(IndexError):
+            sampler.sample_for_users(np.array([1]))
+        with pytest.raises(IndexError):
+            sampler.sample_for_users(np.array([-1]))
+
+    def test_user_positives_accessor(self):
+        sampler = UniformNegativeSampler([np.array([4, 1, 1]), np.array([2])], num_items=5, rng=0)
+        assert sampler.user_positives(0).tolist() == [1, 4]
+        assert sampler.user_positives(1).tolist() == [2]
+
+    def test_accepts_sets_and_lists(self):
+        """The seed API took any iterable of ints per user; keep that."""
+        sampler = UniformNegativeSampler([{0, 2}, [1, 1, 3]], num_items=5, rng=0)
+        assert sampler.user_positives(0).tolist() == [0, 2]
+        assert sampler.user_positives(1).tolist() == [1, 3]
+        assert sampler.sample(0) in {1, 3, 4}
+
+    @pytest.mark.parametrize("path", ["scalar", "batched"])
+    def test_uniform_over_non_positives(self, path):
+        """Chi-square-style uniformity check for both sampling paths.
+
+        Each non-positive item should be drawn with probability
+        ``1 / num_negative_pool``; the statistic ``sum((obs-exp)^2/exp)``
+        is compared against a generous critical value for the pool's
+        degrees of freedom, with a fixed seed so the test is deterministic.
+        """
+        num_items = 40
+        positives = np.array([0, 7, 13, 21, 34])
+        pool = [item for item in range(num_items) if item not in set(positives.tolist())]
+        draws_total = 200 * len(pool)
+        sampler = UniformNegativeSampler([positives], num_items=num_items, rng=123)
+        if path == "scalar":
+            drawn = np.array([sampler.sample(0) for _ in range(draws_total)])
+        else:
+            drawn = sampler.sample_for_users(np.zeros(draws_total, dtype=np.int64))
+        counts = np.bincount(drawn, minlength=num_items)
+        assert counts[positives].sum() == 0
+        expected = draws_total / len(pool)
+        chi_square = float(((counts[pool] - expected) ** 2 / expected).sum())
+        # df = 34; the 99.9th percentile of chi2(34) is ~65.2.  Anything
+        # wildly above signals a non-uniform path (e.g. modulo bias or a
+        # broken rejection mask).
+        assert chi_square < 66.0, chi_square
 
 
 class TestBprBatcher:

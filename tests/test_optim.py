@@ -7,7 +7,17 @@ import pytest
 
 from repro.autograd import Tensor
 from repro.nn import Parameter
-from repro.optim import SGD, Adam, ConstantLR, ExponentialDecayLR, RMSProp, StepLR, clip_grad_norm, clip_grad_value
+from repro.optim import (
+    SGD,
+    Adam,
+    ConstantLR,
+    ExponentialDecayLR,
+    RMSProp,
+    StepLR,
+    clip_grad_norm,
+    clip_grad_value,
+    grad_norm,
+)
 
 
 def _quadratic_loss(parameter: Parameter) -> Tensor:
@@ -152,6 +162,174 @@ class TestClipping:
     def test_clip_grad_value_invalid(self):
         with pytest.raises(ValueError):
             clip_grad_value([], max_value=0.0)
+
+
+def _lookup_loss(parameter: Parameter, indices: np.ndarray, targets: np.ndarray) -> Tensor:
+    """Squared error of gathered rows against targets — touches only ``indices``."""
+    gathered = parameter.take_rows(indices)
+    return ((gathered - Tensor(targets)) ** 2).sum()
+
+
+class TestPerParameterStepCounts:
+    def test_bias_correction_uses_parameter_local_steps(self):
+        """Regression: a parameter first updated at global step N must be
+        bias-corrected as if it were at its own step 1 (first Adam update has
+        magnitude ~lr), not over-corrected by the optimizer-global count."""
+        active = Parameter(np.zeros(2))
+        frozen = Parameter(np.zeros(2))
+        optimizer = Adam([active, frozen], lr=0.01)
+        for _ in range(4):  # frozen has no grad for four steps
+            active.grad = np.array([1.0, -1.0])
+            frozen.grad = None
+            optimizer.step()
+        frozen.grad = np.array([123.0, -123.0])
+        active.grad = None
+        before = frozen.data.copy()
+        optimizer.step()
+        delta = frozen.data - before
+        assert np.allclose(np.abs(delta), 0.01, rtol=1e-4)
+        assert optimizer.parameter_step_count(0) == 4
+        assert optimizer.parameter_step_count(1) == 1
+        assert optimizer.step_count == 5
+
+    def test_sgd_tracks_counts_too(self):
+        parameter = Parameter(np.zeros(1))
+        optimizer = SGD([parameter], lr=0.1)
+        optimizer.step()  # no grad: count must not advance
+        parameter.grad = np.ones(1)
+        optimizer.step()
+        assert optimizer.parameter_step_count(0) == 1
+        assert optimizer.step_count == 2
+
+
+class TestSparseUpdates:
+    def _sparse_parameter(self, rows: int = 10, dim: int = 4) -> Parameter:
+        parameter = Parameter(np.ones((rows, dim)))
+        parameter.enable_sparse_grad()
+        return parameter
+
+    def test_sparse_sgd_touches_only_gathered_rows(self):
+        parameter = self._sparse_parameter()
+        before = parameter.data.copy()
+        loss = parameter.take_rows(np.array([2, 5, 2])).sum()
+        loss.backward()
+        assert parameter.grad is None and parameter.sparse_grad is not None
+        SGD([parameter], lr=0.1, sparse=True).step()
+        untouched = [row for row in range(10) if row not in (2, 5)]
+        assert np.array_equal(parameter.data[untouched], before[untouched])
+        # Row 2 was gathered twice: its (coalesced) gradient is 2.
+        assert np.allclose(parameter.data[2], 1.0 - 0.1 * 2.0)
+        assert np.allclose(parameter.data[5], 1.0 - 0.1 * 1.0)
+
+    def test_sparse_matches_dense_sgd_update(self):
+        indices = np.array([0, 3, 3, 7])
+        targets = np.zeros((4, 4))
+        sparse_parameter = self._sparse_parameter()
+        _lookup_loss(sparse_parameter, indices, targets).backward()
+        SGD([sparse_parameter], lr=0.05, sparse=True).step()
+
+        dense_parameter = Parameter(np.ones((10, 4)))
+        _lookup_loss(dense_parameter, indices, targets).backward()
+        SGD([dense_parameter], lr=0.05).step()
+        assert np.allclose(sparse_parameter.data, dense_parameter.data)
+
+    def test_sparse_adam_lazy_moments(self):
+        """Rows sampled on disjoint steps are corrected on their own schedule:
+        each row's first update has the characteristic ~lr magnitude."""
+        parameter = self._sparse_parameter()
+        optimizer = Adam([parameter], lr=0.01, sparse=True)
+        before = parameter.data.copy()
+        _lookup_loss(parameter, np.array([1]), np.zeros((1, 4))).backward()
+        optimizer.step()
+        parameter.zero_grad()
+        _lookup_loss(parameter, np.array([8]), np.zeros((1, 4))).backward()
+        optimizer.step()
+        for row in (1, 8):
+            assert np.allclose(np.abs(parameter.data[row] - before[row]), 0.01, rtol=1e-4)
+
+    def test_sparse_rmsprop_preserves_untouched_statistics(self):
+        parameter = self._sparse_parameter()
+        optimizer = RMSProp([parameter], lr=0.01, decay=0.9, sparse=True)
+        _lookup_loss(parameter, np.array([4]), np.zeros((1, 4))).backward()
+        optimizer.step()
+        square_avg = optimizer._square_avg[0]
+        assert square_avg[4].sum() > 0
+        assert np.allclose(np.delete(square_avg, 4, axis=0), 0.0)
+
+    def test_sparse_weight_decay_is_lazy(self):
+        parameter = self._sparse_parameter()
+        before = parameter.data.copy()
+        parameter.take_rows(np.array([3])).sum().backward()
+        SGD([parameter], lr=0.1, weight_decay=0.5, sparse=True).step()
+        untouched = [row for row in range(10) if row != 3]
+        assert np.array_equal(parameter.data[untouched], before[untouched])
+        assert np.allclose(parameter.data[3], 1.0 - 0.1 * (1.0 + 0.5 * 1.0))
+
+    def test_dense_optimizer_densifies_sparse_grads(self):
+        """sparse recording + sparse=False optimizer: behaviour matches dense."""
+        indices = np.array([1, 1, 6])
+        targets = np.zeros((3, 4))
+        recorded = self._sparse_parameter()
+        _lookup_loss(recorded, indices, targets).backward()
+        RMSProp([recorded], lr=0.01).step()
+
+        plain = Parameter(np.ones((10, 4)))
+        _lookup_loss(plain, indices, targets).backward()
+        RMSProp([plain], lr=0.01).step()
+        assert np.allclose(recorded.data, plain.data)
+
+    def test_mixed_dense_and_sparse_contributions_stay_exact(self):
+        """A dense op on the same parameter folds the sparse grad into a
+        dense one, so totals match the fully dense graph."""
+        recorded = self._sparse_parameter()
+        loss = recorded.take_rows(np.array([0, 2])).sum() + (recorded * recorded).sum()
+        loss.backward()
+        assert recorded.grad is not None and recorded.sparse_grad is None
+
+        plain = Parameter(np.ones((10, 4)))
+        loss = plain.take_rows(np.array([0, 2])).sum() + (plain * plain).sum()
+        loss.backward()
+        assert np.allclose(recorded.grad, plain.grad)
+
+    def test_sparse_sgd_rejects_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros((2, 2)))], lr=0.1, momentum=0.5, sparse=True)
+
+    def test_base_optimizer_has_no_sparse_path(self):
+        from repro.optim import Optimizer
+
+        parameter = self._sparse_parameter()
+        parameter.take_rows(np.array([0])).sum().backward()
+        with pytest.raises(NotImplementedError):
+            Optimizer([parameter], lr=0.1, sparse=True).step()
+
+
+class TestSparseClipping:
+    def _graded(self) -> Parameter:
+        parameter = Parameter(np.zeros((6, 2)))
+        parameter.enable_sparse_grad()
+        parameter.take_rows(np.array([1, 4, 1])).sum().backward()
+        return parameter
+
+    def test_grad_norm_counts_coalesced_sparse_rows(self):
+        sparse_parameter = self._graded()
+        dense_parameter = Parameter(np.zeros((6, 2)))
+        dense_parameter.take_rows(np.array([1, 4, 1])).sum().backward()
+        assert grad_norm([sparse_parameter]) == pytest.approx(grad_norm([dense_parameter]))
+        # row 1 twice -> grad 2 per entry; row 4 once -> grad 1 per entry
+        assert grad_norm([sparse_parameter]) == pytest.approx(np.sqrt(2 * 4.0 + 2 * 1.0))
+
+    def test_clip_grad_norm_scales_sparse_rows(self):
+        parameter = self._graded()
+        norm = clip_grad_norm([parameter], max_norm=1.0)
+        assert norm == pytest.approx(np.sqrt(10.0))
+        assert grad_norm([parameter]) == pytest.approx(1.0, rel=1e-6)
+
+    def test_clip_grad_value_clamps_sparse_rows(self):
+        parameter = self._graded()
+        clip_grad_value([parameter], max_value=1.5)
+        _, rows = parameter.sparse_grad.coalesced()
+        assert rows.max() == pytest.approx(1.5)  # the duplicated row was 2.0
 
 
 class TestSchedulers:

@@ -167,6 +167,60 @@ class TestTrainerWithBprMf:
         _, history = self._train(tiny_split, epochs=1)
         assert history.epochs[0].grad_norm >= 0.0
 
+    def test_grad_norm_reported_with_clipping_disabled(self, tiny_split):
+        """Regression: grad_norm used to read 0.0 whenever clipping was off."""
+        _, history = self._train(tiny_split, epochs=2, grad_clip_norm=0.0)
+        for stats in history.epochs:
+            assert np.isfinite(stats.grad_norm)
+            assert stats.grad_norm > 0.0
+
+    def test_grad_norm_is_clip_independent(self, tiny_split):
+        """The reported norm is the pre-clipping epoch mean, so a (large
+        enough) clip threshold must not change it."""
+        _, unclipped = self._train(tiny_split, epochs=1, grad_clip_norm=0.0)
+        _, clipped = self._train(tiny_split, epochs=1, grad_clip_norm=1e9)
+        assert clipped.epochs[0].grad_norm == pytest.approx(unclipped.epochs[0].grad_norm)
+
+
+class TestSparseDenseParity:
+    """Sparse row-wise updates must track the dense trajectories.
+
+    SGD without momentum is exact (untouched rows have zero gradient);
+    Adam/RMSProp differ only through lazy moments / per-row bias correction,
+    so short trajectories must agree within tolerance.  Weight decay is kept
+    at zero because the sparse path intentionally decays only touched rows.
+    """
+
+    def _losses(self, tiny_split, optimizer: str, sparse: bool, epochs: int = 3) -> list[float]:
+        model = BPRMF(tiny_split.num_users, tiny_split.num_items, embedding_dim=8, seed=0)
+        config = TrainConfig(
+            epochs=epochs,
+            batch_size=64,
+            learning_rate=0.01,
+            optimizer=optimizer,
+            l2_coefficient=0.0,
+            eval_every=0,
+            grad_clip_norm=0.0,
+            sparse_updates=sparse,
+            seed=0,
+        )
+        return Trainer(model, tiny_split, config).fit().losses
+
+    def test_sgd_exact(self, tiny_split):
+        dense = self._losses(tiny_split, "sgd", sparse=False)
+        sparse = self._losses(tiny_split, "sgd", sparse=True)
+        assert np.allclose(sparse, dense, rtol=1e-12)
+
+    def test_adam_within_tolerance(self, tiny_split):
+        dense = self._losses(tiny_split, "adam", sparse=False)
+        sparse = self._losses(tiny_split, "adam", sparse=True)
+        assert np.allclose(sparse, dense, rtol=2e-2)
+
+    def test_rmsprop_within_tolerance(self, tiny_split):
+        dense = self._losses(tiny_split, "rmsprop", sparse=False)
+        sparse = self._losses(tiny_split, "rmsprop", sparse=True)
+        assert np.allclose(sparse, dense, rtol=2e-2)
+
 
 class TestTrainerWithHeuristics:
     def test_itempop_skips_optimisation(self, tiny_split, tiny_train_graph):
