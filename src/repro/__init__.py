@@ -36,7 +36,9 @@ Models are scored through a two-tier API (:mod:`repro.models.base`):
 pairwise ``score(users, items)`` for training-time protocols, and a
 catalogue-wide ``score_matrix(users)`` that factorized models answer with a
 single matmul — the serving layer and the full-ranking evaluator ride on the
-fast tier automatically.
+fast tier automatically.  At catalogue scale, :mod:`repro.index` adds an ANN
+candidate-retrieval stage (exact / IVF / LSH backends) in front of exact
+rescoring — pass ``index="ivf"`` to the service.
 """
 
 from repro import (
@@ -45,6 +47,7 @@ from repro import (
     evaluation,
     experiments,
     graph,
+    index,
     models,
     nn,
     optim,
@@ -54,7 +57,7 @@ from repro import (
     utils,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "autograd",
@@ -62,6 +65,7 @@ __all__ = [
     "evaluation",
     "experiments",
     "graph",
+    "index",
     "models",
     "nn",
     "optim",

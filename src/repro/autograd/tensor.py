@@ -169,7 +169,8 @@ class Tensor:
         """Opt this tensor into row-sparse gradient recording.
 
         When enabled, row gathers (:meth:`take_rows` — the embedding lookup
-        primitive) accumulate their backward contribution as a
+        primitive — and equivalently indexing with a non-negative integer
+        array, ``table[idx]``) accumulate their backward contribution as a
         :class:`~repro.autograd.sparse.RowSparseGrad` in ``sparse_grad``
         instead of scattering into a dense ``grad`` array.  At most one of
         ``grad`` / ``sparse_grad`` is ever set: a dense contribution folds
@@ -536,6 +537,16 @@ class Tensor:
         return Tensor._make(out_data, (self,), backward)
 
     def __getitem__(self, index: object) -> "Tensor":
+        # A plain integer-array index is an axis-0 row gather — exactly
+        # take_rows — so route it there: the backward then records row-sparse
+        # contributions when enable_sparse_grad() is on, instead of always
+        # scattering into a dense zeros_like(self.data) table.  Negative
+        # indices stay on the dense path (row -1 and row n-1 must coalesce
+        # to the same row, which the sparse form does not normalise).
+        if isinstance(index, (np.ndarray, list)):
+            gather = np.asarray(index)
+            if gather.dtype.kind in "iu" and (gather.size == 0 or gather.min() >= 0):
+                return self.take_rows(gather)
         out_data = self.data[index]
 
         def backward(grad: np.ndarray) -> None:

@@ -1,0 +1,56 @@
+"""Candidate retrieval: approximate nearest-neighbour indexes over the catalogue.
+
+Full-catalogue scoring is O(users × items × dim) per request; at serving
+scale a retrieval stage first narrows each user to ``candidate_k`` plausible
+items and only those are exactly rescored, filtered and ranked.  This package
+provides that stage as three interchangeable backends behind one interface:
+
+* :class:`~repro.index.exact.ExactIndex` — brute-force matmul scan; exact,
+  and the correctness oracle for everything else.
+* :class:`~repro.index.ivf.IVFIndex` — k-means inverted file with
+  ``nprobe``-cell probing; the workhorse latency win (scan a few percent of
+  the catalogue per query).
+* :class:`~repro.index.lsh.LSHIndex` — multi-table random-hyperplane
+  signatures with Hamming-ball probing; build is cheap and
+  data-independent, good under frequent rebuilds.
+
+All backends speak dot-product and cosine metrics, fold optional item biases
+into the dot metric, pad with ``-1`` / ``-inf`` when a query reaches fewer
+than ``k`` items, and break score ties by ascending item id — the library's
+universal ranking convention.  Pick one by name through
+:func:`~repro.index.registry.build_index`, measure it with
+:func:`~repro.index.recall.recall_at_k`, and hand it to
+:class:`~repro.serving.RecommendationService` via ``index=``::
+
+    from repro.index import ExactIndex, IVFIndex, build_index, recall_at_k
+
+    index = IVFIndex(nprobe=16).build(model.factorized_representations())
+    ids, scores = index.search(queries, k=100)
+    print(recall_at_k(index, ExactIndex().build(model.factorized_representations()),
+                      queries, k=100))
+"""
+
+from repro.index.base import METRICS, ItemIndex
+from repro.index.exact import ExactIndex
+from repro.index.ivf import IVFIndex
+from repro.index.lsh import LSHIndex
+from repro.index.recall import recall_at_k
+from repro.index.registry import INDEX_REGISTRY, build_index, list_index_names, register_index
+from repro.index.topk import PAD_ID, PAD_SCORE, dense_top_k, padded_top_k
+
+__all__ = [
+    "ExactIndex",
+    "INDEX_REGISTRY",
+    "IVFIndex",
+    "ItemIndex",
+    "LSHIndex",
+    "METRICS",
+    "PAD_ID",
+    "PAD_SCORE",
+    "build_index",
+    "dense_top_k",
+    "list_index_names",
+    "padded_top_k",
+    "recall_at_k",
+    "register_index",
+]

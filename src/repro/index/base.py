@@ -1,0 +1,174 @@
+"""The common interface of the candidate-retrieval index backends.
+
+An :class:`ItemIndex` is built once from the catalogue's item representations
+(a plain ``(num_items, d)`` matrix, or a serving-layer
+:class:`~repro.models.base.FactorizedRepresentations` whose item side it
+takes) and then answers batched ``search(queries, k)`` calls with the ids and
+scores of each query's best items.  Two metrics are supported:
+
+* ``"dot"`` — the raw inner product ``q · x (+ b_x)``, the score every
+  factorized recommender in the library ranks by.  Optional additive item
+  biases are folded in by augmenting the item vectors with a bias coordinate
+  and the queries with a constant ``1``, so *every* backend handles them
+  uniformly.
+* ``"cosine"`` — the angle between query and item; item and query vectors
+  are normalized once, zero vectors score ``0`` against everything.  Biases
+  have no cosine interpretation and are rejected.
+
+The contract shared by all backends: ``search`` returns ``(ids, scores)``
+matrices of shape ``(num_queries, k)``, best first, score ties broken by
+ascending item id, padded with ``-1`` ids / ``-inf`` scores when a query has
+fewer than ``k`` reachable items.  :class:`~repro.index.exact.ExactIndex`
+reaches the whole catalogue and is the correctness oracle the approximate
+backends are measured against (:func:`repro.index.recall.recall_at_k`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import FactorizedRepresentations
+
+__all__ = ["ItemIndex", "METRICS"]
+
+#: Similarity metrics every backend must support.
+METRICS = ("dot", "cosine")
+
+
+class ItemIndex:
+    """Base class of the candidate-retrieval backends.
+
+    Subclasses implement :meth:`_build` (construct internal structures from
+    the prepared ``vectors`` matrix) and :meth:`_search` (answer prepared
+    queries); metric handling, bias augmentation, validation and the
+    build/rebuild lifecycle live here.
+    """
+
+    #: registry name; subclasses override (see :mod:`repro.index.registry`)
+    name: str = "item-index"
+
+    def __init__(self, metric: str = "dot") -> None:
+        if metric not in METRICS:
+            raise ValueError(f"unknown metric {metric!r}; choose from {METRICS}")
+        self.metric = metric
+        self._vectors: np.ndarray | None = None
+        self._has_bias = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def is_built(self) -> bool:
+        """Whether :meth:`build` has been called."""
+        return self._vectors is not None
+
+    @property
+    def num_items(self) -> int:
+        """Catalogue size of the last :meth:`build` (0 before any build)."""
+        return 0 if self._vectors is None else int(self._vectors.shape[0])
+
+    def build(
+        self,
+        items: "np.ndarray | FactorizedRepresentations",
+        item_biases: np.ndarray | None = None,
+    ) -> "ItemIndex":
+        """(Re)build the index over an item-representation matrix.
+
+        ``items`` is either a ``(num_items, d)`` array or a
+        :class:`~repro.models.base.FactorizedRepresentations` (whose item
+        matrix and biases are used; an explicit ``item_biases`` argument is
+        then disallowed).  The matrix is snapshotted — later in-place updates
+        of the model do not leak into the index until the next build.
+        """
+        if isinstance(items, FactorizedRepresentations):
+            if item_biases is not None:
+                raise ValueError("pass biases either inside the representations or explicitly, not both")
+            item_biases = items.item_biases
+            items = items.items
+        items = np.asarray(items, dtype=np.float64)
+        if items.ndim != 2 or items.shape[0] == 0:
+            raise ValueError(f"expected a non-empty (num_items, d) matrix, got shape {items.shape}")
+        if item_biases is not None:
+            if self.metric == "cosine":
+                raise ValueError("item biases have no cosine interpretation; use metric='dot'")
+            item_biases = np.asarray(item_biases, dtype=np.float64).reshape(-1)
+            if item_biases.size != items.shape[0]:
+                raise ValueError(
+                    f"{item_biases.size} biases for {items.shape[0]} items"
+                )
+            items = np.hstack([items, item_biases[:, None]])
+            self._has_bias = True
+        else:
+            items = items.copy()
+            self._has_bias = False
+        if self.metric == "cosine":
+            items = _normalize_rows(items)
+        self._vectors = items
+        self._build()
+        return self
+
+    def rebuild(self) -> "ItemIndex":
+        """Re-run the internal construction over the last built vectors.
+
+        Deterministic: backends seed their stochastic parts (k-means
+        initialisation, hash tables) from their fixed ``seed``, so a rebuild
+        reproduces the same structures — change ``seed`` to re-draw them.
+        Refreshing after a *model* change goes through :meth:`build`.
+        """
+        self._require_built()
+        self._build()
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Search
+    # ------------------------------------------------------------------ #
+    def search(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Ids and scores of the ``k`` best items per query, best first.
+
+        ``queries`` is ``(num_queries, d)`` (one query may be passed as a
+        bare ``(d,)`` vector).  Returns ``(ids, scores)`` of shape
+        ``(num_queries, k)`` with ``-1`` / ``-inf`` padding for queries that
+        reach fewer than ``k`` items.
+        """
+        self._require_built()
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim == 1:
+            queries = queries[None, :]
+        if queries.ndim != 2:
+            raise ValueError(f"expected (num_queries, d) queries, got shape {queries.shape}")
+        expected_dim = self._vectors.shape[1] - (1 if self._has_bias else 0)
+        if queries.shape[1] != expected_dim:
+            raise ValueError(
+                f"index was built over {expected_dim}-dimensional items, "
+                f"got {queries.shape[1]}-dimensional queries"
+            )
+        if self._has_bias:
+            queries = np.hstack([queries, np.ones((queries.shape[0], 1))])
+        elif self.metric == "cosine":
+            queries = _normalize_rows(queries)
+        return self._search(queries, int(k))
+
+    # ------------------------------------------------------------------ #
+    # Backend hooks
+    # ------------------------------------------------------------------ #
+    def _build(self) -> None:
+        """Construct internal structures over ``self._vectors`` (optional)."""
+
+    def _search(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        raise NotImplementedError(f"{type(self).__name__} does not implement _search()")
+
+    def _require_built(self) -> None:
+        if self._vectors is None:
+            raise RuntimeError(f"{type(self).__name__} has not been built; call build() first")
+
+    def __repr__(self) -> str:
+        built = f"items={self.num_items}" if self.is_built else "unbuilt"
+        return f"{type(self).__name__}(metric={self.metric!r}, {built})"
+
+
+def _normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    """Unit-normalize rows; all-zero rows stay zero (cosine 0 to everything)."""
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    return np.divide(matrix, norms, out=np.zeros_like(matrix), where=norms > 0)

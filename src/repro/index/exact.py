@@ -1,0 +1,38 @@
+"""Brute-force retrieval: the correctness oracle of the index family.
+
+:class:`ExactIndex` scores every query against the whole catalogue with one
+matmul and selects top-K with the library's deterministic tie-break.  It is
+the reference the approximate backends are measured against
+(:func:`repro.index.recall.recall_at_k`), and — wired into the serving layer
+— reproduces the full-catalogue ranking path byte for byte while speaking
+the same ``search`` interface as IVF/LSH.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.index.base import ItemIndex
+from repro.index.registry import register_index
+from repro.index.topk import PAD_ID, PAD_SCORE, dense_top_k
+
+__all__ = ["ExactIndex"]
+
+
+@register_index("exact")
+class ExactIndex(ItemIndex):
+    """Exhaustive dot/cosine scan over the catalogue; exact by construction."""
+
+    name = "exact"
+
+    def _search(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        scores = queries @ self._vectors.T
+        top = dense_top_k(scores, k)
+        top_scores = np.take_along_axis(scores, top, axis=1)
+        if top.shape[1] == k:
+            return top, top_scores
+        ids = np.full((queries.shape[0], k), PAD_ID, dtype=np.int64)
+        padded_scores = np.full((queries.shape[0], k), PAD_SCORE, dtype=np.float64)
+        ids[:, : top.shape[1]] = top
+        padded_scores[:, : top.shape[1]] = top_scores
+        return ids, padded_scores

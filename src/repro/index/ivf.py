@@ -1,0 +1,147 @@
+"""IVF-Flat: a k-means coarse quantizer with ``nprobe``-list probing.
+
+The catalogue is partitioned into ``nlist`` Voronoi cells by a small NumPy
+k-means (Lloyd iterations, seeded, chunked distance computation, empty cells
+re-seeded).  A query scores the cell centroids, keeps its best ``nprobe``
+cells and exhaustively rescans only their members — with ``nprobe/nlist`` at
+a few percent that is a 10–30× reduction in scored items, which is where the
+serving-latency win over full-catalogue scoring comes from.
+
+The search path is vectorized across the whole query batch: probed lists are
+processed grouped *by cell* (one matmul per touched cell against all queries
+probing it), candidates land in a padded ``(num_queries, max_candidates)``
+matrix, and the final selection is one :func:`~repro.index.topk.padded_top_k`
+call.  Cells are disjoint, so no per-row dedup is needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.index.base import ItemIndex, _normalize_rows
+from repro.index.registry import register_index
+from repro.index.topk import PAD_ID, PAD_SCORE, dense_top_k, padded_top_k
+from repro.utils.rng import new_rng
+
+__all__ = ["IVFIndex"]
+
+
+@register_index("ivf")
+class IVFIndex(ItemIndex):
+    """Inverted-file index over a k-means coarse quantizer.
+
+    Parameters
+    ----------
+    metric:
+        ``"dot"`` or ``"cosine"`` (see :class:`~repro.index.base.ItemIndex`).
+    nlist:
+        number of k-means cells; defaults to ``round(sqrt(num_items))`` at
+        build time, the usual IVF sizing rule.
+    nprobe:
+        cells scanned per query.  Recall and cost both grow with it;
+        ``nprobe == nlist`` degenerates to an exact scan.
+    kmeans_iters:
+        Lloyd iterations of the coarse quantizer.
+    seed:
+        seed of the k-means initialisation (and empty-cell re-seeding).
+    """
+
+    name = "ivf"
+
+    def __init__(
+        self,
+        metric: str = "dot",
+        nlist: int | None = None,
+        nprobe: int = 8,
+        kmeans_iters: int = 10,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(metric=metric)
+        if nlist is not None and nlist <= 0:
+            raise ValueError(f"nlist must be positive, got {nlist}")
+        if nprobe <= 0:
+            raise ValueError(f"nprobe must be positive, got {nprobe}")
+        if kmeans_iters <= 0:
+            raise ValueError(f"kmeans_iters must be positive, got {kmeans_iters}")
+        self.nlist = nlist
+        self.nprobe = nprobe
+        self.kmeans_iters = kmeans_iters
+        self.seed = seed
+        self._centroids: np.ndarray | None = None
+        self._member_items: np.ndarray | None = None  # item ids grouped by cell
+        self._offsets: np.ndarray | None = None  # CSR offsets into _member_items
+
+    # ------------------------------------------------------------------ #
+    @property
+    def effective_nlist(self) -> int:
+        """Number of cells actually built (0 before any build)."""
+        return 0 if self._centroids is None else int(self._centroids.shape[0])
+
+    def _build(self) -> None:
+        vectors = self._vectors
+        num_items = vectors.shape[0]
+        nlist = self.nlist if self.nlist is not None else max(1, int(round(np.sqrt(num_items))))
+        nlist = min(nlist, num_items)
+        rng = new_rng(self.seed)
+        centroids = vectors[rng.choice(num_items, size=nlist, replace=False)].copy()
+        for _ in range(self.kmeans_iters):
+            assign = _nearest_centroid(vectors, centroids)
+            # Scatter-mean in one pass: group members by cell (stable sort)
+            # and segment-sum with reduceat — no per-cell full-length masks.
+            counts = np.bincount(assign, minlength=nlist)
+            offsets = np.zeros(nlist, dtype=np.int64)
+            np.cumsum(counts[:-1], out=offsets[1:])
+            nonempty = np.flatnonzero(counts)
+            sums = np.add.reduceat(vectors[np.argsort(assign, kind="stable")], offsets[nonempty], axis=0)
+            centroids[nonempty] = sums / counts[nonempty, None]
+            for cell in np.flatnonzero(counts == 0):
+                centroids[cell] = vectors[rng.integers(num_items)]
+        assign = _nearest_centroid(vectors, centroids)
+        order = np.argsort(assign, kind="stable")
+        self._member_items = order.astype(np.int64, copy=False)
+        self._offsets = np.zeros(nlist + 1, dtype=np.int64)
+        counts = np.bincount(assign, minlength=nlist)
+        np.cumsum(counts, out=self._offsets[1:])
+        self._centroids = centroids
+
+    def _search(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        num_queries = queries.shape[0]
+        nlist = self.effective_nlist
+        nprobe = min(self.nprobe, nlist)
+        # Rank cells by the query↔centroid score under the index metric; for
+        # cosine the item vectors are already normalized, so centroid scores
+        # are compared on normalized centroids too.
+        centroids = self._centroids
+        if self.metric == "cosine":
+            centroids = _normalize_rows(centroids)
+        probe = dense_top_k(queries @ centroids.T, nprobe)
+        list_sizes = np.diff(self._offsets)
+        probe_sizes = list_sizes[probe]  # (num_queries, nprobe)
+        ends = np.cumsum(probe_sizes, axis=1)
+        starts = ends - probe_sizes
+        max_candidates = int(ends[:, -1].max()) if num_queries else 0
+        candidate_ids = np.full((num_queries, max_candidates), PAD_ID, dtype=np.int64)
+        candidate_scores = np.full((num_queries, max_candidates), PAD_SCORE, dtype=np.float64)
+        for cell in np.unique(probe):
+            size = int(list_sizes[cell])
+            if size == 0:
+                continue
+            query_rows, probe_cols = np.nonzero(probe == cell)
+            members = self._member_items[self._offsets[cell] : self._offsets[cell + 1]]
+            block = queries[query_rows] @ self._vectors[members].T
+            columns = starts[query_rows, probe_cols][:, None] + np.arange(size)[None, :]
+            candidate_ids[query_rows[:, None], columns] = members[None, :]
+            candidate_scores[query_rows[:, None], columns] = block
+        return padded_top_k(candidate_ids, candidate_scores, k)
+
+
+def _nearest_centroid(vectors: np.ndarray, centroids: np.ndarray, chunk: int = 8192) -> np.ndarray:
+    """Index of the closest (squared-Euclidean) centroid per vector, chunked."""
+    centroid_sq = (centroids**2).sum(axis=1)
+    assign = np.empty(vectors.shape[0], dtype=np.int64)
+    for start in range(0, vectors.shape[0], chunk):
+        block = vectors[start : start + chunk]
+        # ||x - c||² = ||x||² - 2 x·c + ||c||²; ||x||² is constant per row.
+        distances = centroid_sq[None, :] - 2.0 * (block @ centroids.T)
+        assign[start : start + chunk] = np.argmin(distances, axis=1)
+    return assign

@@ -1,0 +1,60 @@
+"""Recall harness: measure any backend against the exact oracle.
+
+``recall@k`` of an approximate index is the fraction of the *true* top-``k``
+(as ranked by :class:`~repro.index.exact.ExactIndex` over the same vectors)
+that the backend retrieves.  This is the standard ANN quality metric and the
+quantity the index benchmark (``benchmarks/test_bench_index.py``) floors:
+trading it off against search latency is exactly the knob ``nprobe`` /
+``hamming_radius`` expose.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.index.base import ItemIndex
+from repro.index.topk import PAD_ID
+
+__all__ = ["recall_at_k"]
+
+
+def recall_at_k(
+    index: ItemIndex,
+    reference: "ItemIndex | np.ndarray",
+    queries: np.ndarray,
+    k: int,
+    per_query: bool = False,
+) -> "float | np.ndarray":
+    """Fraction of the reference top-``k`` that ``index`` retrieves.
+
+    ``reference`` is either an index to query (normally an
+    :class:`~repro.index.exact.ExactIndex` built over the same vectors) or a
+    precomputed ``(num_queries, k)`` id matrix of true neighbours (``-1``
+    padding ignored).  Queries with an empty reference set count as recall 1.
+
+    Returns the mean recall, or the per-query vector with ``per_query=True``.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if isinstance(reference, ItemIndex):
+        reference_ids = reference.search(queries, k)[0]
+    else:
+        reference_ids = np.asarray(reference, dtype=np.int64)
+        if reference_ids.ndim != 2:
+            raise ValueError(f"expected a (num_queries, k) id matrix, got shape {reference_ids.shape}")
+    retrieved_ids = index.search(queries, k)[0]
+    if retrieved_ids.shape[0] != reference_ids.shape[0]:
+        raise ValueError(
+            f"{retrieved_ids.shape[0]} retrieved rows vs {reference_ids.shape[0]} reference rows"
+        )
+    recalls = np.ones(reference_ids.shape[0], dtype=np.float64)
+    for row in range(reference_ids.shape[0]):
+        truth = reference_ids[row]
+        truth = truth[truth != PAD_ID]
+        if truth.size == 0:
+            continue
+        found = retrieved_ids[row]
+        recalls[row] = np.isin(truth, found[found != PAD_ID]).mean()
+    if per_query:
+        return recalls
+    return float(recalls.mean())

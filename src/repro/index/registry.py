@@ -1,0 +1,63 @@
+"""Name → backend registry so index backends are selectable from config.
+
+Mirrors :mod:`repro.models.registry`: backends self-register with the
+:func:`register_index` decorator, and consumers (the serving layer, the
+benchmark harness, user config files) construct them by name through
+:func:`build_index` without importing backend modules directly::
+
+    from repro.index import build_index
+
+    index = build_index("ivf", metric="dot", nprobe=16)
+    service = RecommendationService(model, graph, index=index)
+
+``RecommendationService`` also accepts the bare name (``index="ivf"``) and
+resolves it through this registry with default parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Type
+
+from repro.index.base import ItemIndex
+
+__all__ = ["INDEX_REGISTRY", "build_index", "list_index_names", "register_index"]
+
+#: Registered backends; values are classes (or zero-config factories).
+INDEX_REGISTRY: dict[str, Callable[..., ItemIndex]] = {}
+
+
+def register_index(name: str) -> Callable[[Type[ItemIndex]], Type[ItemIndex]]:
+    """Class decorator registering an :class:`ItemIndex` backend under ``name``.
+
+    A duplicate name raises :class:`ValueError` rather than silently
+    shadowing an existing backend; the class is returned unchanged.
+    """
+    if not isinstance(name, str) or not name.strip():
+        raise ValueError(f"index name must be a non-empty string, got {name!r}")
+
+    def decorator(cls: Type[ItemIndex]) -> Type[ItemIndex]:
+        if name in INDEX_REGISTRY:
+            raise ValueError(
+                f"index backend {name!r} is already registered; "
+                "remove it from INDEX_REGISTRY first to replace it"
+            )
+        INDEX_REGISTRY[name] = cls
+        return cls
+
+    return decorator
+
+
+def build_index(name: str, **kwargs: object) -> ItemIndex:
+    """Construct a registered backend by name, passing ``kwargs`` through."""
+    try:
+        factory = INDEX_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown index backend {name!r}; registered: {list_index_names()}"
+        ) from None
+    return factory(**kwargs)
+
+
+def list_index_names() -> list[str]:
+    """Registered backend names, sorted for stable display."""
+    return sorted(INDEX_REGISTRY)

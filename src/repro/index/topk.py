@@ -1,0 +1,133 @@
+"""Deterministic vectorized top-K selection shared by the index backends.
+
+Every ranking surface in the library breaks score ties by ascending item id,
+so results are reproducible and identical to a stable full sort on the
+negated scores.  The helpers here provide that ordering *vectorized*: one
+matrix-level :func:`numpy.argpartition` plus a stable within-prefix sort,
+with an explicit repair pass for the (rare) rows whose tie group straddles
+the partition boundary — ``argpartition`` picks arbitrary members of such a
+group, the repair re-picks them by ascending id.
+
+Two entry points:
+
+* :func:`dense_top_k` — full-width score matrices (the exact index, the
+  serving layer's unfiltered fast path);
+* :func:`padded_top_k` — ragged per-row candidate lists padded with
+  ``id == -1`` / ``score == -inf`` (the IVF and LSH backends, the serving
+  layer's candidate rescoring), where the tie-break key is the candidate's
+  *item id* rather than its column position.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PAD_ID", "PAD_SCORE", "dense_top_k", "padded_top_k"]
+
+#: Padding marker for "no candidate in this slot" in padded id matrices.
+PAD_ID = -1
+#: Score paired with :data:`PAD_ID` slots; sorts after every finite score.
+PAD_SCORE = -np.inf
+
+
+def _check_matrix(scores: np.ndarray, k: int) -> np.ndarray:
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 2:
+        raise ValueError(f"expected a 2-D score matrix, got shape {scores.shape}")
+    return scores
+
+
+def dense_top_k(scores: np.ndarray, k: int) -> np.ndarray:
+    """Per-row indices of the ``min(k, num_cols)`` best scores, best first.
+
+    Exactly ``np.argsort(-scores[row], kind="stable")[:k]`` for every row —
+    ties resolved by ascending column index — but computed with one
+    matrix-level partial sort instead of a per-row full sort.
+    """
+    scores = _check_matrix(scores, k)
+    num_rows, num_cols = scores.shape
+    take = min(k, num_cols)
+    if num_rows == 0 or num_cols == 0:
+        return np.empty((num_rows, 0), dtype=np.int64)
+    negated = -scores
+    if take == num_cols:
+        return np.argsort(negated, axis=1, kind="stable").astype(np.int64, copy=False)
+    prefix = np.argpartition(negated, take - 1, axis=1)[:, :take]
+    # Ascending column index first, then a stable value sort: equal values
+    # keep ascending-index order, which is the required tie-break.
+    prefix.sort(axis=1)
+    values = np.take_along_axis(negated, prefix, axis=1)
+    order = np.argsort(values, axis=1, kind="stable")
+    result = np.take_along_axis(prefix, order, axis=1).astype(np.int64, copy=False)
+    values = np.take_along_axis(values, order, axis=1)
+    # Repair rows whose threshold tie group extends beyond the prefix: there
+    # argpartition's choice of tie members is arbitrary, so re-pick them as
+    # the smallest column indices among *all* threshold-valued entries.
+    threshold = values[:, -1]
+    total_ties = (negated == threshold[:, None]).sum(axis=1)
+    prefix_ties = (values == threshold[:, None]).sum(axis=1)
+    for row in np.flatnonzero(total_ties > prefix_ties):
+        num_strict = int((values[row] < threshold[row]).sum())
+        ties = np.flatnonzero(negated[row] == threshold[row])[: take - num_strict]
+        result[row, num_strict:] = ties
+    return result
+
+
+def padded_top_k(
+    ids: np.ndarray, scores: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Top-``k`` of per-row candidate lists, by descending score then item id.
+
+    ``ids`` and ``scores`` are aligned ``(rows, num_candidates)`` matrices;
+    slots with ``ids == PAD_ID`` (whose score must be :data:`PAD_SCORE`) are
+    absent candidates.  Duplicate ids within a row must carry equal scores
+    (the caller dedups); rows are treated independently.
+
+    Returns ``(top_ids, top_scores)`` of shape ``(rows, k)``, best first,
+    padded with ``PAD_ID`` / :data:`PAD_SCORE` where a row has fewer than
+    ``k`` candidates.
+    """
+    scores = _check_matrix(scores, k)
+    ids = np.asarray(ids, dtype=np.int64)
+    if ids.shape != scores.shape:
+        raise ValueError(f"ids {ids.shape} and scores {scores.shape} disagree")
+    num_rows, num_candidates = ids.shape
+    out_ids = np.full((num_rows, k), PAD_ID, dtype=np.int64)
+    out_scores = np.full((num_rows, k), PAD_SCORE, dtype=np.float64)
+    if num_rows == 0 or num_candidates == 0:
+        return out_ids, out_scores
+    take = min(k, num_candidates)
+    negated = np.where(ids == PAD_ID, -PAD_SCORE, -scores)
+    if take < num_candidates:
+        columns = np.argpartition(negated, take - 1, axis=1)[:, :take]
+    else:
+        columns = np.broadcast_to(np.arange(take), (num_rows, take)).copy()
+    pref_ids = np.take_along_axis(ids, columns, axis=1)
+    pref_vals = np.take_along_axis(negated, columns, axis=1)
+    # Sort the prefix by item id first so the stable value sort breaks score
+    # ties by ascending id (padding slots all share PAD_ID and +inf, so their
+    # relative order is irrelevant — they sort last by value).
+    id_order = np.argsort(pref_ids, axis=1, kind="stable")
+    pref_ids = np.take_along_axis(pref_ids, id_order, axis=1)
+    pref_vals = np.take_along_axis(pref_vals, id_order, axis=1)
+    val_order = np.argsort(pref_vals, axis=1, kind="stable")
+    pref_ids = np.take_along_axis(pref_ids, val_order, axis=1)
+    pref_vals = np.take_along_axis(pref_vals, val_order, axis=1)
+    if take < num_candidates:
+        # Same boundary-tie repair as dense_top_k, keyed on item id.
+        threshold = pref_vals[:, -1]
+        total_ties = (negated == threshold[:, None]).sum(axis=1)
+        prefix_ties = (pref_vals == threshold[:, None]).sum(axis=1)
+        for row in np.flatnonzero((total_ties > prefix_ties) & np.isfinite(threshold)):
+            num_strict = int((pref_vals[row] < threshold[row]).sum())
+            tie_columns = np.flatnonzero(negated[row] == threshold[row])
+            tie_ids = np.sort(ids[row, tie_columns])[: take - num_strict]
+            pref_ids[row, num_strict:] = tie_ids
+    out_ids[:, :take] = pref_ids
+    out_scores[:, :take] = -pref_vals
+    # Restore the canonical padding score for empty slots (-(+inf) is -inf
+    # already, but make the id/score pairing explicit).
+    out_scores[out_ids == PAD_ID] = PAD_SCORE
+    return out_ids, out_scores

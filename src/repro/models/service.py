@@ -4,8 +4,10 @@
 compatibility shim over :class:`repro.serving.RecommendationService` — same
 constructor, same per-user results — so existing notebooks keep working.  New
 code should construct the service directly: it adds batched multi-user
-requests, composable candidate filters and a precomputed representation
-cache.
+requests, composable candidate filters, a precomputed representation cache
+and an optional ANN candidate-retrieval stage (``index=`` with the
+:mod:`repro.index` backends) that the shim's live-scoring contract cannot
+use.
 """
 
 from __future__ import annotations
@@ -54,6 +56,15 @@ class TopKRecommender:
     def service(self) -> RecommendationService:
         """The wrapped service, for callers migrating incrementally."""
         return self._service
+
+    def refresh(self) -> None:
+        """Drop the wrapped service's precomputed state.
+
+        The shim scores the live model (no representation cache), so this is
+        only needed for the explanation cache — but callers migrating to the
+        real service can start calling it after retraining today.
+        """
+        self._service.refresh()
 
     # ------------------------------------------------------------------ #
     def score_all_items(self, user: int, item_batch: int = 4096) -> np.ndarray:

@@ -4,9 +4,17 @@ Factorized models can answer every request from two dense matrices; the cache
 computes them once (lazily, in eval mode, without gradient bookkeeping) and
 hands them out until :meth:`ItemRepresentationCache.refresh` is called —
 which the owner must do after further training or any parameter mutation.
+
+Downstream state derived from the cached matrices (most importantly a
+candidate-retrieval index built over the item side) must go stale in the same
+breath: such consumers register a callback via
+:meth:`ItemRepresentationCache.subscribe`, and every ``refresh()`` notifies
+them after dropping the cached representations.
 """
 
 from __future__ import annotations
+
+from typing import Callable
 
 import numpy as np
 
@@ -21,6 +29,7 @@ class ItemRepresentationCache:
     def __init__(self, model: object) -> None:
         self._model = model
         self._representations: FactorizedRepresentations | None = None
+        self._refresh_listeners: list[Callable[[], None]] = []
 
     @property
     def supported(self) -> bool:
@@ -63,6 +72,23 @@ class ItemRepresentationCache:
                     model.train()
         return self._representations
 
+    def subscribe(self, listener: Callable[[], None]) -> None:
+        """Register a callback invoked on every :meth:`refresh`.
+
+        Consumers that derive state from the cached matrices (e.g. an ANN
+        index over the item representations) use this to invalidate — or
+        rebuild — in lockstep with the cache.
+        """
+        if not callable(listener):
+            raise TypeError(f"refresh listener must be callable, got {type(listener).__name__}")
+        self._refresh_listeners.append(listener)
+
     def refresh(self) -> None:
-        """Invalidate: the next :meth:`get` recomputes from the live model."""
+        """Invalidate: the next :meth:`get` recomputes from the live model.
+
+        Subscribed listeners are notified after the cached representations
+        are dropped, so a listener that re-reads the cache sees fresh state.
+        """
         self._representations = None
+        for listener in self._refresh_listeners:
+            listener()

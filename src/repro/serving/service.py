@@ -7,6 +7,14 @@ catalogue path (e.g. SceneRec) go through their ``score_matrix`` override,
 and everything else falls back to batched pairwise scoring — same results,
 different speed.
 
+On top of that, a service over a factorized model can take a candidate-
+retrieval **index** (:mod:`repro.index`): each request then first retrieves
+``candidate_k`` items per user from the index and only those are exactly
+rescored, filtered and ranked — O(users × candidate_k × dim) instead of
+O(users × items × dim), the accuracy-vs-latency axis of ANN serving.  The
+index is (re)built lazily from the representation cache and goes stale with
+it: ``refresh()`` (or any cache refresh) triggers a rebuild on next use.
+
 Top-K selection uses :func:`numpy.argpartition` (O(I) per user) instead of a
 full sort, with ties broken by ascending item id so rankings are reproducible
 and identical to a stable full sort.
@@ -21,6 +29,8 @@ import numpy as np
 from repro.autograd.tensor import no_grad
 from repro.graph.bipartite import UserItemBipartiteGraph
 from repro.graph.scene_graph import SceneBasedGraph
+from repro.index import ItemIndex, build_index
+from repro.index.topk import PAD_ID, PAD_SCORE, dense_top_k, padded_top_k
 from repro.models.base import compute_score_matrix
 from repro.serving.cache import ItemRepresentationCache
 from repro.serving.explanations import SceneAffinityExplainer
@@ -28,6 +38,17 @@ from repro.serving.filters import CandidateFilter, ExcludeSeenFilter
 from repro.serving.types import Recommendation, RecommendRequest, RecommendResponse
 
 __all__ = ["RecommendationService", "batch_top_k"]
+
+#: Default candidate budget when neither the request nor the service set one:
+#: a few multiples of ``k`` so filters (exclude-seen, allowlists) cannot
+#: starve the final ranking, with an absolute floor for tiny ``k``.
+DEFAULT_CANDIDATE_MULTIPLE = 4
+MIN_CANDIDATE_K = 64
+#: Element budget of one candidate-rescoring gather chunk: the
+#: ``(rows, candidate_k, dim)`` item gather is processed in row chunks of at
+#: most this many float64 elements (~32 MB), so peak memory stays flat even
+#: when ``candidate_k`` approaches the catalogue size.
+RESCORE_CHUNK_ELEMENTS = 1 << 22
 
 
 def batch_top_k(scores: np.ndarray, allowed: np.ndarray, k: int) -> list[np.ndarray]:
@@ -43,6 +64,10 @@ def batch_top_k(scores: np.ndarray, allowed: np.ndarray, k: int) -> list[np.ndar
         raise ValueError(f"k must be positive, got {k}")
     if scores.shape != allowed.shape:
         raise ValueError(f"scores {scores.shape} and allowed mask {allowed.shape} disagree")
+    if scores.size and bool(allowed.all()):
+        # No filtering anywhere: one matrix-level argpartition with a stable
+        # within-prefix tie-break replaces the per-row Python loop.
+        return list(dense_top_k(np.asarray(scores, dtype=np.float64), k))
     results: list[np.ndarray] = []
     for row in range(scores.shape[0]):
         candidates = np.flatnonzero(allowed[row])
@@ -86,9 +111,20 @@ class RecommendationService:
         precompute factorized representations once and reuse them across
         requests (the default).  Disable to score the live model on every
         request, e.g. while it is still being trained.
+    index:
+        optional candidate-retrieval backend (:mod:`repro.index`): an
+        :class:`~repro.index.ItemIndex` instance, or a registered backend
+        name (``"exact"``, ``"ivf"``, ``"lsh"``) built with defaults.
+        Requires a factorized model with representation caching enabled.
+        The index is built lazily over the cached item representations and
+        rebuilt automatically after every :meth:`refresh`.
+    candidate_k:
+        service-wide default for how many items the index retrieves per
+        user before exact rescoring; a request's ``candidate_k`` overrides
+        it.  When neither is set, ``max(4 * k, 64)`` is used.
 
     After further training of ``model``, call :meth:`refresh` to invalidate
-    the precomputed representation and explanation caches.
+    the precomputed representation and explanation caches (and the index).
     """
 
     def __init__(
@@ -99,11 +135,15 @@ class RecommendationService:
         base_filters: Sequence[CandidateFilter] = (),
         item_batch: int = 8192,
         cache_representations: bool = True,
+        index: "ItemIndex | str | None" = None,
+        candidate_k: int | None = None,
     ) -> None:
         if scene_graph is not None and scene_graph.num_items != bipartite.num_items:
             raise ValueError("scene graph and bipartite graph disagree on the number of items")
         if item_batch <= 0:
             raise ValueError(f"item_batch must be positive, got {item_batch}")
+        if candidate_k is not None and candidate_k <= 0:
+            raise ValueError(f"candidate_k must be positive, got {candidate_k}")
         self.model = model
         self.bipartite = bipartite
         self.scene_graph = scene_graph
@@ -113,6 +153,23 @@ class RecommendationService:
         self._exclude_seen = ExcludeSeenFilter(bipartite)
         self._cache = ItemRepresentationCache(model)
         self._explainer = SceneAffinityExplainer(model)
+        if isinstance(index, str):
+            index = build_index(index)
+        if index is not None:
+            if not self._cache.supported:
+                raise TypeError(
+                    f"candidate retrieval needs a FactorizedRecommender, "
+                    f"got {type(model).__name__}; drop index= or use a factorized model"
+                )
+            if not self.cache_representations:
+                raise ValueError(
+                    "candidate retrieval builds on the representation cache; "
+                    "index= requires cache_representations=True"
+                )
+            self._cache.subscribe(self._invalidate_index)
+        self.index = index
+        self.candidate_k = candidate_k
+        self._index_fresh = False
 
     # ------------------------------------------------------------------ #
     # Scoring
@@ -140,28 +197,147 @@ class RecommendationService:
                 model.train()
 
     def refresh(self) -> None:
-        """Drop all precomputed state; call after (re)training the model."""
+        """Drop all precomputed state; call after (re)training the model.
+
+        Invalidates the representation cache (which in turn marks the
+        candidate-retrieval index stale, rebuilding it on next use) and the
+        explanation cache.
+        """
         self._cache.refresh()
         self._explainer.refresh()
+
+    # ------------------------------------------------------------------ #
+    # Candidate retrieval
+    # ------------------------------------------------------------------ #
+    def _invalidate_index(self) -> None:
+        self._index_fresh = False
+
+    def _ensure_index(self):
+        """Warm cache + index together; returns the live representations."""
+        representations = self._cache.get()
+        if not self._index_fresh:
+            if self.index.metric == "cosine":
+                # Cosine retrieval is angle-only by design: build over the
+                # bare item vectors (biases are restored by the exact
+                # rescoring pass in _recommend_from_candidates).
+                self.index.build(np.asarray(representations.items, dtype=np.float64))
+            else:
+                self.index.build(representations)
+            self._index_fresh = True
+        return representations
+
+    def retrieve(self, users: "np.ndarray | Sequence[int]", candidate_k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Raw index candidates per user: ``(ids, index scores)``.
+
+        Both are ``(len(users), candidate_k)``, padded with ``-1`` / ``-inf``
+        where the index reaches fewer items.  The scores are in the *index's*
+        metric: for a dot-metric index they are the exact biased dot products
+        the service ranks by; for a cosine-metric index they are cosine
+        similarities in ``[-1, 1]`` (biases excluded), which the serving path
+        replaces with true model scores before ranking.
+        """
+        if self.index is None:
+            raise RuntimeError("this service has no candidate-retrieval index; pass index= at construction")
+        users = self._check_users(users)
+        representations = self._ensure_index()
+        queries = np.asarray(representations.users, dtype=np.float64)[users]
+        return self.index.search(queries, candidate_k)
+
+    def _effective_candidate_k(self, request: RecommendRequest) -> int:
+        candidate_k = request.candidate_k if request.candidate_k is not None else self.candidate_k
+        if candidate_k is None:
+            candidate_k = max(DEFAULT_CANDIDATE_MULTIPLE * request.k, MIN_CANDIDATE_K)
+        return int(min(max(candidate_k, request.k), self.bipartite.num_items))
 
     # ------------------------------------------------------------------ #
     # Recommendation
     # ------------------------------------------------------------------ #
     def recommend(self, request: RecommendRequest) -> RecommendResponse:
-        """Answer a batched top-K request."""
+        """Answer a batched top-K request.
+
+        With a candidate-retrieval index configured, the request flows
+        through retrieve → exact rescore → filter → rank over
+        ``candidate_k`` candidates per user; otherwise the whole catalogue
+        is scored.
+        """
         users = self._check_users(request.users)
+        if self.index is not None:
+            return self._recommend_from_candidates(request, users)
         scores = self.score_matrix(users)
-        allowed = np.ones(scores.shape, dtype=bool)
+        allowed = self._allowed_mask(users, request)
+        top_items = batch_top_k(scores, allowed, request.k)
+        results = tuple(
+            self._build_recommendations(int(user), items, scores[row, items], request.explain)
+            for row, (user, items) in enumerate(zip(users, top_items))
+        )
+        return RecommendResponse(users=tuple(int(u) for u in users), results=results)
+
+    def _recommend_from_candidates(self, request: RecommendRequest, users: np.ndarray) -> RecommendResponse:
+        """The ANN path: index retrieval, then exact rescoring of candidates."""
+        representations = self._ensure_index()
+        candidate_k = self._effective_candidate_k(request)
+        user_matrix = np.asarray(representations.users, dtype=np.float64)
+        item_matrix = np.asarray(representations.items, dtype=np.float64)
+        queries = user_matrix[users]
+        candidate_ids, candidate_scores = self.index.search(queries, candidate_k)
+        safe_ids = np.where(candidate_ids == PAD_ID, 0, candidate_ids)
+        if self.index.metric != "dot":
+            # A cosine index retrieves by angle, but the final ranking must be
+            # by the model's true score — exact-rescore the candidates only:
+            # gather their item vectors (in row chunks so peak memory stays
+            # flat) and take per-row biased dot products.
+            biases = (
+                None
+                if representations.item_biases is None
+                else np.asarray(representations.item_biases, dtype=np.float64)
+            )
+            candidate_scores = np.empty(candidate_ids.shape, dtype=np.float64)
+            rows_per_chunk = max(
+                1, RESCORE_CHUNK_ELEMENTS // max(1, candidate_k * item_matrix.shape[1])
+            )
+            for start in range(0, users.size, rows_per_chunk):
+                block = slice(start, start + rows_per_chunk)
+                candidate_scores[block] = np.einsum(
+                    "ud,ucd->uc", queries[block], item_matrix[safe_ids[block]]
+                )
+                if biases is not None:
+                    candidate_scores[block] += biases[safe_ids[block]]
+        # A dot-metric index already returned the exact biased dot products
+        # over the same representation snapshot (it is rebuilt in lockstep
+        # with the cache), so those scores are reused as-is.
+        keep = candidate_ids != PAD_ID
+        if self.base_filters or request.filters:
+            # General filters only speak the full (users, num_items) mask
+            # contract, so materialise it and gather the candidate columns.
+            allowed = self._allowed_mask(users, request)
+            keep &= np.take_along_axis(allowed, safe_ids, axis=1)
+        elif request.exclude_seen:
+            # The common serving shape (exclude-seen only) stays
+            # O(users × candidate_k): membership tests against each user's
+            # history instead of a full-catalogue boolean mask.
+            for row, user in enumerate(users):
+                keep[row] &= ~np.isin(candidate_ids[row], self.bipartite.user_items(int(user)))
+        candidate_ids = np.where(keep, candidate_ids, PAD_ID)
+        candidate_scores = np.where(keep, candidate_scores, PAD_SCORE)
+        top_ids, top_scores = padded_top_k(candidate_ids, candidate_scores, request.k)
+        results = []
+        for row, user in enumerate(users):
+            valid = top_ids[row] != PAD_ID
+            results.append(
+                self._build_recommendations(
+                    int(user), top_ids[row][valid], top_scores[row][valid], request.explain
+                )
+            )
+        return RecommendResponse(users=tuple(int(u) for u in users), results=tuple(results))
+
+    def _allowed_mask(self, users: np.ndarray, request: RecommendRequest) -> np.ndarray:
+        """The composed ``(len(users), num_items)`` candidate mask of a request."""
+        allowed = np.ones((users.size, self.bipartite.num_items), dtype=bool)
         for candidate_filter in (*self.base_filters, *request.filters):
             allowed = candidate_filter.apply(users, allowed)
         if request.exclude_seen:
             allowed = self._exclude_seen.apply(users, allowed)
-        top_items = batch_top_k(scores, allowed, request.k)
-        results = tuple(
-            self._build_recommendations(int(user), items, scores[row], request.explain)
-            for row, (user, items) in enumerate(zip(users, top_items))
-        )
-        return RecommendResponse(users=tuple(int(u) for u in users), results=results)
+        return allowed
 
     def top_k(
         self,
@@ -170,10 +346,16 @@ class RecommendationService:
         exclude_seen: bool = True,
         explain: bool = False,
         filters: Sequence[CandidateFilter] = (),
+        candidate_k: int | None = None,
     ) -> list[Recommendation]:
         """The ``k`` highest-scoring items for one user."""
         request = RecommendRequest(
-            users=(int(user),), k=k, exclude_seen=exclude_seen, explain=explain, filters=tuple(filters)
+            users=(int(user),),
+            k=k,
+            exclude_seen=exclude_seen,
+            explain=explain,
+            filters=tuple(filters),
+            candidate_k=candidate_k,
         )
         return list(self.recommend(request).results[0])
 
@@ -184,6 +366,7 @@ class RecommendationService:
         exclude_seen: bool = True,
         explain: bool = False,
         filters: Sequence[CandidateFilter] = (),
+        candidate_k: int | None = None,
     ) -> dict[int, list[Recommendation]]:
         """Top-K lists for several users as a ``{user: list}`` mapping.
 
@@ -199,6 +382,7 @@ class RecommendationService:
             exclude_seen=exclude_seen,
             explain=explain,
             filters=tuple(filters),
+            candidate_k=candidate_k,
         )
         return self.recommend(request).as_dict()
 
@@ -215,7 +399,7 @@ class RecommendationService:
         return users
 
     def _build_recommendations(
-        self, user: int, items: np.ndarray, scores: np.ndarray, explain: bool
+        self, user: int, items: np.ndarray, item_scores: np.ndarray, explain: bool
     ) -> tuple[Recommendation, ...]:
         affinities = None
         if explain and self._explainer.supported and items.size:
@@ -226,7 +410,7 @@ class RecommendationService:
             recommendations.append(
                 Recommendation(
                     item=item,
-                    score=float(scores[item]),
+                    score=float(item_scores[position]),
                     category=self.scene_graph.category_of(item) if self.scene_graph is not None else None,
                     scene_affinity=float(affinities[position]) if affinities is not None else None,
                 )

@@ -39,6 +39,12 @@ class RecommendRequest:
     ``exclude_seen`` toggles the built-in training-history filter, and
     ``explain`` asks for scene-affinity explanations where the model
     supports them.
+
+    ``candidate_k`` only matters on a service configured with a candidate-
+    retrieval index: it overrides, for this request, how many items the
+    index retrieves per user before exact rescoring — the per-request
+    accuracy-vs-latency knob.  ``None`` defers to the service default, and
+    services without an index ignore it.
     """
 
     users: tuple[int, ...]
@@ -46,6 +52,7 @@ class RecommendRequest:
     exclude_seen: bool = True
     explain: bool = False
     filters: tuple["CandidateFilter", ...] = ()
+    candidate_k: int | None = None
 
     def __post_init__(self) -> None:
         users = tuple(int(user) for user in self._iter_users(self.users))
@@ -53,6 +60,10 @@ class RecommendRequest:
             raise ValueError("a request needs at least one user")
         if self.k <= 0:
             raise ValueError(f"k must be positive, got {self.k}")
+        if self.candidate_k is not None and self.candidate_k < self.k:
+            raise ValueError(
+                f"candidate_k must be at least k ({self.k}), got {self.candidate_k}"
+            )
         object.__setattr__(self, "users", users)
         object.__setattr__(self, "filters", tuple(self.filters))
 

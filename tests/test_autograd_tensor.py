@@ -354,6 +354,36 @@ class TestShapeOps:
         out.sum().backward()
         assert np.allclose(x.grad, np.ones((4, 2)))
 
+    def test_getitem_integer_array_records_sparse_grad(self):
+        x = Tensor(np.arange(10.0).reshape(5, 2), requires_grad=True).enable_sparse_grad()
+        out = x[np.array([1, 1, 3])]
+        assert np.allclose(out.data, x.data[[1, 1, 3]])
+        out.sum().backward()
+        assert x.grad is None and x.sparse_grad is not None
+        indices, rows = x.sparse_grad.coalesced()
+        np.testing.assert_array_equal(indices, [1, 3])
+        assert np.allclose(rows, [[2.0, 2.0], [1.0, 1.0]])
+
+    def test_getitem_integer_array_sparse_matches_dense(self):
+        indices = [4, 0, 4, 2]
+        dense = Tensor(np.arange(10.0).reshape(5, 2), requires_grad=True)
+        (dense[np.array(indices)] * 3.0).sum().backward()
+        sparse = Tensor(np.arange(10.0).reshape(5, 2), requires_grad=True).enable_sparse_grad()
+        (sparse[indices] * 3.0).sum().backward()  # list indexing gathers too
+        assert np.allclose(sparse.sparse_grad.to_dense(), dense.grad)
+
+    def test_getitem_negative_indices_stay_dense(self):
+        x = Tensor(np.arange(6.0).reshape(3, 2), requires_grad=True).enable_sparse_grad()
+        x[np.array([-1, 0])].sum().backward()
+        assert x.sparse_grad is None
+        assert np.allclose(x.grad, [[1.0, 1.0], [0.0, 0.0], [1.0, 1.0]])
+
+    def test_getitem_boolean_mask_unaffected(self):
+        x = Tensor(np.arange(6.0).reshape(3, 2), requires_grad=True).enable_sparse_grad()
+        x[np.array([True, False, True])].sum().backward()
+        assert x.sparse_grad is None
+        assert np.allclose(x.grad, [[1.0, 1.0], [0.0, 0.0], [1.0, 1.0]])
+
 
 class TestNoGrad:
     def test_no_grad_disables_graph(self):

@@ -1,0 +1,356 @@
+"""Tests for the ``repro.index`` candidate-retrieval subsystem.
+
+Three invariant families:
+
+* the deterministic top-K helpers must rank exactly like a stable full sort
+  with the library's ascending-id tie-break (fuzzed against the reference);
+* ``ExactIndex`` must be a byte-exact brute-force oracle under both metrics
+  and with item biases;
+* the approximate backends (IVF, LSH) must honour the search contract
+  (shape, padding, ordering, scores are true dot products) and reach a high
+  recall on clustered embeddings, as measured by the recall harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.index import (
+    INDEX_REGISTRY,
+    ExactIndex,
+    IVFIndex,
+    ItemIndex,
+    LSHIndex,
+    PAD_ID,
+    PAD_SCORE,
+    build_index,
+    dense_top_k,
+    list_index_names,
+    padded_top_k,
+    recall_at_k,
+    register_index,
+)
+from repro.models.base import FactorizedRepresentations
+
+
+def clustered_embeddings(
+    num_items: int = 2000,
+    num_queries: int = 32,
+    dim: int = 16,
+    num_clusters: int = 12,
+    spread: float = 0.25,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Unit-norm items and queries drawn around shared cluster centres."""
+    rng = np.random.default_rng(seed)
+    centres = rng.normal(size=(num_clusters, dim))
+    items = centres[rng.integers(0, num_clusters, size=num_items)]
+    items = items + spread * rng.normal(size=items.shape)
+    queries = centres[rng.integers(0, num_clusters, size=num_queries)]
+    queries = queries + spread * rng.normal(size=queries.shape)
+    items /= np.linalg.norm(items, axis=1, keepdims=True)
+    queries /= np.linalg.norm(queries, axis=1, keepdims=True)
+    return items, queries
+
+
+def reference_top_k(scores: np.ndarray, k: int) -> np.ndarray:
+    """The per-row stable-argsort reference every ranking must match."""
+    return np.argsort(-scores, axis=1, kind="stable")[:, :k]
+
+
+class TestDenseTopK:
+    def test_matches_stable_argsort_under_heavy_ties(self):
+        for trial in range(100):
+            rng = np.random.default_rng(trial)
+            scores = rng.integers(0, 5, size=(6, 30)).astype(np.float64)
+            k = int(rng.integers(1, 35))
+            np.testing.assert_array_equal(dense_top_k(scores, k), reference_top_k(scores, k))
+
+    def test_k_larger_than_width_returns_full_ordering(self):
+        scores = np.array([[1.0, 3.0, 2.0]])
+        np.testing.assert_array_equal(dense_top_k(scores, 10), [[1, 2, 0]])
+
+    def test_boundary_tie_group_is_repicked_by_id(self):
+        # Four items tied at the threshold, two slots left: ids 1 and 2 must
+        # win regardless of which members argpartition happened to keep.
+        scores = np.array([[5.0, 2.0, 2.0, 2.0, 2.0]])
+        np.testing.assert_array_equal(dense_top_k(scores, 3), [[0, 1, 2]])
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError, match="k must be positive"):
+            dense_top_k(np.ones((2, 3)), 0)
+        with pytest.raises(ValueError, match="2-D"):
+            dense_top_k(np.ones(3), 2)
+
+
+class TestPaddedTopK:
+    def test_matches_reference_with_padding_and_ties(self):
+        for trial in range(100):
+            rng = np.random.default_rng(1000 + trial)
+            num_rows, width = 4, 20
+            ids = np.full((num_rows, width), PAD_ID, dtype=np.int64)
+            scores = np.full((num_rows, width), PAD_SCORE)
+            for row in range(num_rows):
+                count = int(rng.integers(0, width + 1))
+                ids[row, :count] = rng.choice(500, size=count, replace=False)
+                scores[row, :count] = rng.integers(0, 4, size=count).astype(np.float64)
+            k = int(rng.integers(1, 25))
+            top_ids, top_scores = padded_top_k(ids, scores, k)
+            assert top_ids.shape == top_scores.shape == (num_rows, k)
+            for row in range(num_rows):
+                valid = ids[row] != PAD_ID
+                expected = sorted(zip(-scores[row][valid], ids[row][valid]))[:k]
+                got = top_ids[row][top_ids[row] != PAD_ID]
+                np.testing.assert_array_equal(got, [item for _, item in expected])
+                np.testing.assert_array_equal(
+                    top_scores[row][: got.size], [-negated for negated, _ in expected]
+                )
+                assert (top_scores[row][got.size :] == PAD_SCORE).all()
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="disagree"):
+            padded_top_k(np.zeros((2, 3), dtype=np.int64), np.zeros((2, 4)), 2)
+
+
+class TestItemIndexContract:
+    def test_search_before_build_raises(self):
+        with pytest.raises(RuntimeError, match="not been built"):
+            ExactIndex().search(np.ones((1, 4)), 3)
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            ExactIndex(metric="euclid")
+
+    def test_dimension_mismatch_rejected(self):
+        index = ExactIndex().build(np.ones((5, 4)))
+        with pytest.raises(ValueError, match="4-dimensional"):
+            index.search(np.ones((1, 3)), 2)
+
+    def test_cosine_with_biases_rejected(self):
+        with pytest.raises(ValueError, match="cosine"):
+            ExactIndex(metric="cosine").build(np.ones((4, 2)), item_biases=np.ones(4))
+
+    def test_build_snapshots_the_item_matrix(self):
+        items = np.eye(3)
+        index = ExactIndex().build(items)
+        items[0] = -10.0  # later in-place mutation must not leak in
+        ids, _ = index.search(np.array([[1.0, 0.0, 0.0]]), 1)
+        assert ids[0, 0] == 0
+
+    def test_build_accepts_factorized_representations(self):
+        rng = np.random.default_rng(3)
+        representations = FactorizedRepresentations(
+            users=rng.normal(size=(6, 5)),
+            items=rng.normal(size=(40, 5)),
+            item_biases=rng.normal(size=40),
+        )
+        index = ExactIndex().build(representations)
+        queries = representations.users
+        expected = reference_top_k(representations.score_matrix(np.arange(6)), 7)
+        np.testing.assert_array_equal(index.search(queries, 7)[0], expected)
+        with pytest.raises(ValueError, match="not both"):
+            ExactIndex().build(representations, item_biases=np.zeros(40))
+
+    def test_single_query_vector_accepted(self):
+        index = ExactIndex().build(np.eye(4))
+        ids, scores = index.search(np.array([0.0, 1.0, 0.0, 0.0]), 2)
+        assert ids.shape == (1, 2) and ids[0, 0] == 1 and scores[0, 0] == 1.0
+
+
+class TestExactIndex:
+    def test_matches_brute_force_dot(self):
+        items, queries = clustered_embeddings(num_items=300, num_queries=10)
+        index = ExactIndex().build(items)
+        ids, scores = index.search(queries, 20)
+        full = queries @ items.T
+        np.testing.assert_array_equal(ids, reference_top_k(full, 20))
+        np.testing.assert_array_equal(scores, np.take_along_axis(full, ids, axis=1))
+
+    def test_cosine_is_scale_invariant(self):
+        items, queries = clustered_embeddings(num_items=200, num_queries=8)
+        scaled = ExactIndex(metric="cosine").build(items * 7.5)
+        plain = ExactIndex(metric="cosine").build(items)
+        np.testing.assert_array_equal(
+            scaled.search(queries * 0.2, 15)[0], plain.search(queries, 15)[0]
+        )
+
+    def test_biases_shift_the_ranking(self):
+        rng = np.random.default_rng(5)
+        items = rng.normal(size=(50, 6))
+        biases = rng.normal(size=50) * 10.0
+        queries = rng.normal(size=(4, 6))
+        index = ExactIndex().build(items, item_biases=biases)
+        expected = reference_top_k(queries @ items.T + biases[None, :], 5)
+        np.testing.assert_array_equal(index.search(queries, 5)[0], expected)
+
+    def test_pads_when_k_exceeds_catalogue(self):
+        index = ExactIndex().build(np.eye(3))
+        ids, scores = index.search(np.ones((2, 3)), 5)
+        assert ids.shape == (2, 5)
+        assert (ids[:, 3:] == PAD_ID).all() and (scores[:, 3:] == PAD_SCORE).all()
+        assert set(ids[0, :3].tolist()) == {0, 1, 2}
+
+
+@pytest.mark.parametrize("backend", ["ivf", "lsh"])
+class TestApproximateBackends:
+    def _build(self, backend: str, items: np.ndarray, metric: str = "dot") -> ItemIndex:
+        if backend == "ivf":
+            return IVFIndex(metric=metric, nlist=12, nprobe=6, seed=1).build(items)
+        return LSHIndex(metric=metric, num_tables=10, num_bits=8, seed=1).build(items)
+
+    def test_scores_are_true_dot_products(self, backend):
+        items, queries = clustered_embeddings(num_items=400, num_queries=6)
+        index = self._build(backend, items)
+        ids, scores = index.search(queries, 10)
+        for row in range(queries.shape[0]):
+            valid = ids[row] != PAD_ID
+            np.testing.assert_allclose(
+                scores[row][valid], items[ids[row][valid]] @ queries[row], atol=1e-12
+            )
+            # ranked best-first with the deterministic tie-break
+            pairs = list(zip(-scores[row][valid], ids[row][valid]))
+            assert pairs == sorted(pairs)
+
+    def test_high_recall_on_clustered_embeddings(self, backend):
+        items, queries = clustered_embeddings()
+        index = self._build(backend, items)
+        exact = ExactIndex().build(items)
+        assert recall_at_k(index, exact, queries, 50) >= 0.9
+
+    def test_rebuild_is_deterministic_for_fixed_seed(self, backend):
+        items, queries = clustered_embeddings(num_items=300, num_queries=5)
+        index = self._build(backend, items)
+        before = index.search(queries, 10)[0].copy()
+        index.rebuild()
+        np.testing.assert_array_equal(index.search(queries, 10)[0], before)
+
+    def test_cosine_metric_supported(self, backend):
+        items, queries = clustered_embeddings(num_items=300, num_queries=8)
+        index = self._build(backend, items * 4.0, metric="cosine")
+        exact = ExactIndex(metric="cosine").build(items)
+        assert recall_at_k(index, exact, queries, 30) >= 0.8
+
+    def test_no_duplicate_ids_per_row(self, backend):
+        items, queries = clustered_embeddings(num_items=500, num_queries=10)
+        ids, _ = self._build(backend, items).search(queries, 40)
+        for row in ids:
+            real = row[row != PAD_ID]
+            assert real.size == np.unique(real).size
+
+
+class TestIVFSpecifics:
+    def test_nprobe_equal_nlist_is_exact(self):
+        items, queries = clustered_embeddings(num_items=350, num_queries=12)
+        index = IVFIndex(nlist=10, nprobe=10, seed=0).build(items)
+        exact = ExactIndex().build(items)
+        np.testing.assert_array_equal(index.search(queries, 25)[0], exact.search(queries, 25)[0])
+
+    def test_recall_grows_with_nprobe(self):
+        items, queries = clustered_embeddings(spread=0.6, seed=4)
+        exact = ExactIndex().build(items)
+        recalls = [
+            recall_at_k(IVFIndex(nlist=16, nprobe=nprobe, seed=0).build(items), exact, queries, 50)
+            for nprobe in (1, 4, 16)
+        ]
+        assert recalls[0] <= recalls[1] <= recalls[2]
+        assert recalls[2] == 1.0
+
+    def test_default_nlist_is_sqrt_items(self):
+        items, _ = clustered_embeddings(num_items=400, num_queries=1)
+        index = IVFIndex().build(items)
+        assert index.effective_nlist == 20
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="nprobe"):
+            IVFIndex(nprobe=0)
+        with pytest.raises(ValueError, match="nlist"):
+            IVFIndex(nlist=-1)
+
+
+class TestLSHSpecifics:
+    def test_hamming_radius_expands_candidates(self):
+        items, queries = clustered_embeddings(spread=0.6, seed=9)
+        exact = ExactIndex().build(items)
+        narrow = LSHIndex(num_tables=2, num_bits=14, hamming_radius=0, seed=0).build(items)
+        wide = LSHIndex(num_tables=2, num_bits=14, hamming_radius=2, seed=0).build(items)
+        assert recall_at_k(wide, exact, queries, 50) >= recall_at_k(narrow, exact, queries, 50)
+
+    def test_empty_buckets_yield_padding_not_errors(self):
+        # One item far away from the queries: buckets may well be empty.
+        items = np.ones((4, 8))
+        queries = -np.ones((3, 8))
+        index = LSHIndex(num_tables=2, num_bits=10, hamming_radius=0, seed=0).build(items)
+        ids, scores = index.search(queries, 5)
+        assert ids.shape == (3, 5)
+        assert ((ids == PAD_ID) == (scores == PAD_SCORE)).all()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="num_bits"):
+            LSHIndex(num_bits=0)
+        with pytest.raises(ValueError, match="num_tables"):
+            LSHIndex(num_tables=0)
+        with pytest.raises(ValueError, match="hamming_radius"):
+            LSHIndex(hamming_radius=-1)
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert {"exact", "ivf", "lsh"} <= set(list_index_names())
+
+    def test_build_index_passes_kwargs(self):
+        index = build_index("ivf", metric="cosine", nprobe=3)
+        assert isinstance(index, IVFIndex) and index.nprobe == 3 and index.metric == "cosine"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown index backend"):
+            build_index("faiss")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_index("exact")(ExactIndex)
+
+    def test_custom_backend_registers_and_builds(self):
+        @register_index("test-null")
+        class NullIndex(ExactIndex):
+            name = "test-null"
+
+        try:
+            assert isinstance(build_index("test-null"), NullIndex)
+        finally:
+            del INDEX_REGISTRY["test-null"]
+
+
+class TestRecallHarness:
+    def test_exact_vs_itself_is_one(self):
+        items, queries = clustered_embeddings(num_items=200, num_queries=6)
+        exact = ExactIndex().build(items)
+        assert recall_at_k(exact, exact, queries, 25) == 1.0
+
+    def test_accepts_precomputed_reference_ids(self):
+        items, queries = clustered_embeddings(num_items=200, num_queries=6)
+        exact = ExactIndex().build(items)
+        truth = exact.search(queries, 10)[0]
+        assert recall_at_k(exact, truth, queries, 10) == 1.0
+
+    def test_per_query_vector(self):
+        items, queries = clustered_embeddings(num_items=200, num_queries=6)
+        exact = ExactIndex().build(items)
+        per_query = recall_at_k(exact, exact, queries, 10, per_query=True)
+        assert per_query.shape == (6,) and (per_query == 1.0).all()
+
+    def test_partial_recall_measured(self):
+        items = np.diag([3.0, 2.0, 1.0])  # distinct, known ranking
+        queries = np.ones((1, 3))
+        exact = ExactIndex().build(items)
+
+        class FixedIndex(ExactIndex):
+            def _search(self, queries, k):  # returns only item 0
+                ids = np.full((queries.shape[0], k), PAD_ID, dtype=np.int64)
+                scores = np.full((queries.shape[0], k), PAD_SCORE)
+                ids[:, 0] = 0
+                scores[:, 0] = 3.0
+                return ids, scores
+
+        fixed = FixedIndex().build(items)
+        assert recall_at_k(fixed, exact, queries, 2) == pytest.approx(0.5)

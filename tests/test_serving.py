@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.index import PAD_ID, ExactIndex, IVFIndex, LSHIndex
 from repro.models import MODEL_REGISTRY, SceneRec, SceneRecConfig, build_model
 from repro.serving import (
     CategoryAllowlistFilter,
@@ -207,6 +208,197 @@ class TestFilters:
         mismatched = ExcludeItemsFilter([0], num_items=3)
         with pytest.raises(ValueError):
             mismatched.apply(np.array([0]), np.ones((1, 5), dtype=bool))
+
+
+class TestBatchTopKFastPath:
+    """The satellite invariant: the all-allowed matrix fast path must return
+    exactly what the per-row masked loop returns."""
+
+    def test_fast_path_matches_stable_argsort_with_ties(self, rng):
+        scores = rng.integers(0, 4, size=(8, 60)).astype(np.float64)
+        for row, items in enumerate(batch_top_k(scores, np.ones(scores.shape, dtype=bool), k=12)):
+            np.testing.assert_array_equal(items, np.argsort(-scores[row], kind="stable")[:12])
+
+    def test_fast_path_identical_to_masked_loop(self, rng):
+        scores = rng.integers(0, 5, size=(6, 40)).astype(np.float64)
+        fast = batch_top_k(scores, np.ones(scores.shape, dtype=bool), k=9)
+        # Appending one disallowed phantom item forces the masked per-row
+        # fallback without changing any answer — both paths must agree.
+        padded_scores = np.hstack([scores, np.full((scores.shape[0], 1), 1e9)])
+        padded_allowed = np.ones(padded_scores.shape, dtype=bool)
+        padded_allowed[:, -1] = False
+        slow = batch_top_k(padded_scores, padded_allowed, k=9)
+        for fast_row, slow_row in zip(fast, slow):
+            np.testing.assert_array_equal(fast_row, slow_row)
+
+    def test_fast_path_k_exceeding_catalogue(self):
+        scores = np.array([[2.0, 1.0, 3.0]])
+        np.testing.assert_array_equal(
+            batch_top_k(scores, np.ones((1, 3), dtype=bool), k=10)[0], [2, 0, 1]
+        )
+
+
+class TestServiceCandidateRetrieval:
+    @pytest.fixture()
+    def model(self, tiny_train_graph, tiny_scene_graph):
+        return build_model("BPR-MF", tiny_train_graph, tiny_scene_graph, embedding_dim=8, seed=1)
+
+    @pytest.fixture()
+    def plain_service(self, model, tiny_train_graph, tiny_scene_graph):
+        return RecommendationService(model, tiny_train_graph, tiny_scene_graph)
+
+    @pytest.fixture()
+    def exact_service(self, model, tiny_train_graph, tiny_scene_graph):
+        return RecommendationService(
+            model,
+            tiny_train_graph,
+            tiny_scene_graph,
+            index=ExactIndex(),
+            candidate_k=tiny_train_graph.num_items,
+        )
+
+    def test_exact_index_is_byte_identical_to_full_path(self, plain_service, exact_service):
+        """Acceptance criterion: ExactIndex + full candidate budget reproduces
+        the full-catalogue ranking exactly — items AND scores."""
+        request = RecommendRequest(users=tuple(range(12)), k=10)
+        full = plain_service.recommend(request)
+        candidate = exact_service.recommend(request)
+        assert full.users == candidate.users
+        for full_items, candidate_items in zip(full.results, candidate.results):
+            assert [rec.item for rec in full_items] == [rec.item for rec in candidate_items]
+            # Scores agree to the last few ulps (the candidate path sums the
+            # dot products in gather order rather than BLAS-matmul order).
+            np.testing.assert_allclose(
+                [rec.score for rec in full_items],
+                [rec.score for rec in candidate_items],
+                rtol=1e-12,
+                atol=0,
+            )
+            assert [rec.category for rec in full_items] == [rec.category for rec in candidate_items]
+
+    def test_exact_index_parity_with_filters(self, plain_service, exact_service, tiny_scene_graph):
+        request = RecommendRequest(
+            users=(1, 4, 7),
+            k=6,
+            exclude_seen=True,
+            filters=(CategoryAllowlistFilter(tiny_scene_graph, [0, 1, 2, 3]),),
+        )
+        full = plain_service.recommend(request)
+        candidate = exact_service.recommend(request)
+        assert full.item_lists() == candidate.item_lists()
+
+    def test_cosine_index_rescores_by_true_model_score(self, model, tiny_train_graph, tiny_scene_graph):
+        # A cosine index retrieves by angle, but the served ranking must be by
+        # the model's dot score: with a full candidate budget (every item
+        # retrieved) the exact-rescore branch must reproduce the full path.
+        service = RecommendationService(
+            model,
+            tiny_train_graph,
+            tiny_scene_graph,
+            index=ExactIndex(metric="cosine"),
+            candidate_k=tiny_train_graph.num_items,
+        )
+        full = RecommendationService(model, tiny_train_graph, tiny_scene_graph)
+        request = RecommendRequest(users=(0, 3, 6), k=7)
+        assert service.recommend(request).item_lists() == full.recommend(request).item_lists()
+
+    def test_string_backend_resolution(self, model, tiny_train_graph, tiny_scene_graph):
+        for name, cls in (("exact", ExactIndex), ("ivf", IVFIndex), ("lsh", LSHIndex)):
+            service = RecommendationService(model, tiny_train_graph, tiny_scene_graph, index=name)
+            assert isinstance(service.index, cls)
+
+    def test_recommendations_come_from_retrieved_candidates(self, model, tiny_train_graph, tiny_scene_graph):
+        service = RecommendationService(
+            model, tiny_train_graph, tiny_scene_graph, index=IVFIndex(nlist=6, nprobe=2, seed=0)
+        )
+        users = np.array([0, 2, 5])
+        candidate_ids, _ = service.retrieve(users, 30)
+        response = service.recommend(
+            RecommendRequest(users=tuple(users), k=10, candidate_k=30)
+        )
+        for row, items in enumerate(response.item_lists()):
+            retrieved = set(candidate_ids[row][candidate_ids[row] != PAD_ID].tolist())
+            assert set(items) <= retrieved
+
+    def test_request_candidate_k_overrides_service_default(self, model, tiny_train_graph, tiny_scene_graph):
+        service = RecommendationService(
+            model, tiny_train_graph, tiny_scene_graph, index=ExactIndex(), candidate_k=5
+        )
+        # Budget 5 with exclude_seen can leave fewer than k items...
+        narrow = service.recommend(RecommendRequest(users=(0,), k=5))
+        # ...while a per-request full budget always fills the list.
+        wide = service.recommend(
+            RecommendRequest(users=(0,), k=5, candidate_k=tiny_train_graph.num_items)
+        )
+        assert len(wide.results[0]) == 5
+        assert len(narrow.results[0]) <= len(wide.results[0])
+        assert service._effective_candidate_k(RecommendRequest(users=(0,), k=5)) == 5
+
+    def test_candidate_k_validation(self, exact_service):
+        with pytest.raises(ValueError, match="candidate_k"):
+            RecommendRequest(users=(0,), k=10, candidate_k=5)
+        with pytest.raises(ValueError, match="candidate_k"):
+            RecommendationService(
+                exact_service.model, exact_service.bipartite, index=ExactIndex(), candidate_k=0
+            )
+
+    def test_non_factorized_model_rejected(self, tiny_train_graph, tiny_scene_graph):
+        model = build_model("ItemKNN", tiny_train_graph, tiny_scene_graph, embedding_dim=8, seed=0)
+        with pytest.raises(TypeError, match="FactorizedRecommender"):
+            RecommendationService(model, tiny_train_graph, tiny_scene_graph, index="exact")
+
+    def test_index_requires_representation_cache(self, model, tiny_train_graph, tiny_scene_graph):
+        with pytest.raises(ValueError, match="cache_representations"):
+            RecommendationService(
+                model, tiny_train_graph, tiny_scene_graph, index="exact", cache_representations=False
+            )
+
+    def test_retrieve_requires_an_index(self, plain_service):
+        with pytest.raises(RuntimeError, match="no candidate-retrieval index"):
+            plain_service.retrieve(np.array([0]), 10)
+
+    def test_refresh_rebuilds_index_after_inplace_update(self, tiny_train_graph, tiny_scene_graph):
+        """Satellite invariant: an in-place embedding update leaves cache AND
+        index stale together; refresh() restores parity with a fresh pipeline."""
+        model = build_model("BPR-MF", tiny_train_graph, tiny_scene_graph, embedding_dim=8, seed=2)
+        service = RecommendationService(
+            model,
+            tiny_train_graph,
+            tiny_scene_graph,
+            index=ExactIndex(),
+            candidate_k=tiny_train_graph.num_items,
+        )
+        request = RecommendRequest(users=(0, 1, 2), k=8)
+        before = service.recommend(request)
+        # A sparse-optimizer-style in-place mutation of the item table.
+        rng = np.random.default_rng(0)
+        model.item_embedding.weight.data += rng.normal(size=model.item_embedding.weight.data.shape)
+        # Cache and index are both snapshots: results must NOT move yet.
+        assert service.recommend(request).item_lists() == before.item_lists()
+        service.refresh()
+        refreshed = service.recommend(request)
+        fresh_service = RecommendationService(
+            model,
+            tiny_train_graph,
+            tiny_scene_graph,
+            index=ExactIndex(),
+            candidate_k=tiny_train_graph.num_items,
+        )
+        fresh = fresh_service.recommend(request)
+        assert refreshed.item_lists() == fresh.item_lists()
+        for refreshed_items, fresh_items in zip(refreshed.results, fresh.results):
+            assert [rec.score for rec in refreshed_items] == [rec.score for rec in fresh_items]
+        assert refreshed.item_lists() != before.item_lists()
+
+    def test_cache_refresh_notifies_subscribers(self, model):
+        cache = ItemRepresentationCache(model)
+        calls = []
+        cache.subscribe(lambda: calls.append(True))
+        with pytest.raises(TypeError):
+            cache.subscribe("not callable")
+        cache.refresh()
+        cache.refresh()
+        assert len(calls) == 2
 
 
 class TestRepresentationCache:
