@@ -38,7 +38,11 @@ catalogue-wide ``score_matrix(users)`` that factorized models answer with a
 single matmul — the serving layer and the full-ranking evaluator ride on the
 fast tier automatically.  At catalogue scale, :mod:`repro.index` adds an ANN
 candidate-retrieval stage (exact / IVF / LSH backends) in front of exact
-rescoring — pass ``index="ivf"`` to the service.
+rescoring — pass ``index="ivf"`` to the service.  The indexes absorb
+catalogue churn online (``upsert``/``delete``, surfaced as
+``service.refresh_items``/``delete_items``) and a
+:class:`~repro.index.RecallMonitor` tracks retrieval quality on served
+traffic through ``service.stats()``.
 """
 
 from repro import (
@@ -57,7 +61,7 @@ from repro import (
     utils,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "autograd",

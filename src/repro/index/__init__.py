@@ -17,7 +17,13 @@ provides that stage as three interchangeable backends behind one interface:
 All backends speak dot-product and cosine metrics, fold optional item biases
 into the dot metric, pad with ``-1`` / ``-inf`` when a query reaches fewer
 than ``k`` items, and break score ties by ascending item id — the library's
-universal ranking convention.  Pick one by name through
+universal ranking convention.  They also absorb catalogue churn online:
+``upsert``/``delete`` edit the built structures in place (nearest-cell
+inserts and tombstones for IVF, signature splices for LSH, row swaps for
+the exact scan) instead of paying a full rebuild per change, and
+:class:`~repro.index.monitor.RecallMonitor` shadow-rescores a sample of
+served traffic against the exact oracle so retrieval-quality drift is
+measured, not assumed.  Pick one by name through
 :func:`~repro.index.registry.build_index`, measure it with
 :func:`~repro.index.recall.recall_at_k`, and hand it to
 :class:`~repro.serving.RecommendationService` via ``index=``::
@@ -34,6 +40,7 @@ from repro.index.base import METRICS, ItemIndex
 from repro.index.exact import ExactIndex
 from repro.index.ivf import IVFIndex
 from repro.index.lsh import LSHIndex
+from repro.index.monitor import MonitorStats, RecallMonitor
 from repro.index.recall import recall_at_k
 from repro.index.registry import INDEX_REGISTRY, build_index, list_index_names, register_index
 from repro.index.topk import PAD_ID, PAD_SCORE, dense_top_k, padded_top_k
@@ -45,8 +52,10 @@ __all__ = [
     "ItemIndex",
     "LSHIndex",
     "METRICS",
+    "MonitorStats",
     "PAD_ID",
     "PAD_SCORE",
+    "RecallMonitor",
     "build_index",
     "dense_top_k",
     "list_index_names",

@@ -21,12 +21,21 @@ ascending item id, padded with ``-1`` ids / ``-inf`` scores when a query has
 fewer than ``k`` reachable items.  :class:`~repro.index.exact.ExactIndex`
 reaches the whole catalogue and is the correctness oracle the approximate
 backends are measured against (:func:`repro.index.recall.recall_at_k`).
+
+Besides the build-once lifecycle, an index absorbs catalogue churn online:
+:meth:`ItemIndex.upsert` replaces the vectors of existing items (or appends
+new ids that extend the id space contiguously) and :meth:`ItemIndex.delete`
+retires items so they are never returned again — both without a full
+rebuild.  The base class owns the shared bookkeeping (validation, bias
+folding, cosine normalization, the live-item mask); backends implement the
+structural edits in ``_apply_upsert`` / ``_apply_delete``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.index.topk import PAD_ID, PAD_SCORE
 from repro.models.base import FactorizedRepresentations
 
 __all__ = ["ItemIndex", "METRICS"]
@@ -52,6 +61,7 @@ class ItemIndex:
             raise ValueError(f"unknown metric {metric!r}; choose from {METRICS}")
         self.metric = metric
         self._vectors: np.ndarray | None = None
+        self._active: np.ndarray | None = None  # live-item mask over the id space
         self._has_bias = False
 
     # ------------------------------------------------------------------ #
@@ -64,8 +74,17 @@ class ItemIndex:
 
     @property
     def num_items(self) -> int:
-        """Catalogue size of the last :meth:`build` (0 before any build)."""
+        """Size of the id space ``[0, num_items)`` (0 before any build).
+
+        Grows with appending :meth:`upsert` calls; :meth:`delete` does *not*
+        shrink it — deleted ids stay reserved (see :attr:`num_active`).
+        """
         return 0 if self._vectors is None else int(self._vectors.shape[0])
+
+    @property
+    def num_active(self) -> int:
+        """Number of live (searchable) items: built or upserted, not deleted."""
+        return 0 if self._active is None else int(self._active.sum())
 
     def build(
         self,
@@ -104,6 +123,7 @@ class ItemIndex:
         if self.metric == "cosine":
             items = _normalize_rows(items)
         self._vectors = items
+        self._active = np.ones(items.shape[0], dtype=bool)
         self._build()
         return self
 
@@ -117,6 +137,100 @@ class ItemIndex:
         """
         self._require_built()
         self._build()
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Online maintenance
+    # ------------------------------------------------------------------ #
+    def upsert(
+        self,
+        item_ids: "np.ndarray | list[int]",
+        vectors: np.ndarray,
+        item_biases: np.ndarray | None = None,
+    ) -> "ItemIndex":
+        """Replace (or add) item vectors without rebuilding the index.
+
+        ``item_ids`` may name existing items (their vectors are replaced,
+        deleted ids are revived) or new ids — new ids must extend the id
+        space contiguously, i.e. together they fill
+        ``[num_items, num_items + #new)``.  ``vectors`` is the aligned
+        ``(len(item_ids), d)`` matrix (a bare ``(d,)`` vector for a single
+        id); when the index was built with item biases, ``item_biases`` must
+        supply one bias per upserted row (and must be omitted otherwise).
+        """
+        self._require_built()
+        ids = np.asarray(item_ids, dtype=np.int64).reshape(-1)
+        if ids.size == 0:
+            return self
+        if np.unique(ids).size != ids.size:
+            raise ValueError("duplicate item ids in one upsert batch")
+        if ids.min() < 0:
+            raise ValueError(f"item ids must be non-negative, got {ids.min()}")
+        rows = np.asarray(vectors, dtype=np.float64)
+        if rows.ndim == 1:
+            rows = rows[None, :]
+        expected_dim = self._vectors.shape[1] - (1 if self._has_bias else 0)
+        if rows.shape != (ids.size, expected_dim):
+            raise ValueError(
+                f"expected ({ids.size}, {expected_dim}) vectors for {ids.size} "
+                f"upserted items, got shape {rows.shape}"
+            )
+        if self._has_bias:
+            if item_biases is None:
+                raise ValueError("this index folds item biases; upsert needs item_biases")
+            biases = np.asarray(item_biases, dtype=np.float64).reshape(-1)
+            if biases.size != ids.size:
+                raise ValueError(f"{biases.size} biases for {ids.size} upserted items")
+            rows = np.hstack([rows, biases[:, None]])
+        elif item_biases is not None:
+            raise ValueError("this index was built without item biases; drop item_biases")
+        else:
+            rows = rows.copy()
+        if self.metric == "cosine":
+            rows = _normalize_rows(rows)
+        size = self._vectors.shape[0]
+        new_ids = ids[ids >= size]
+        if new_ids.size:
+            expected_new = np.arange(size, size + new_ids.size)
+            if not np.array_equal(np.sort(new_ids), expected_new):
+                raise ValueError(
+                    f"new item ids must extend the id space contiguously "
+                    f"(expected exactly {{{size}..{size + new_ids.size - 1}}}, "
+                    f"got {np.sort(new_ids).tolist()})"
+                )
+            self._vectors = np.vstack(
+                [self._vectors, np.zeros((new_ids.size, self._vectors.shape[1]))]
+            )
+            self._active = np.concatenate([self._active, np.zeros(new_ids.size, dtype=bool)])
+            self._apply_growth(size + new_ids.size)
+        was_active = self._active[ids].copy()
+        self._vectors[ids] = rows
+        self._active[ids] = True
+        self._apply_upsert(ids, rows, was_active)
+        return self
+
+    def delete(self, item_ids: "np.ndarray | list[int]") -> "ItemIndex":
+        """Retire items: they are never returned by :meth:`search` again.
+
+        Deleting an id that was never inserted — or was already deleted —
+        raises :class:`KeyError`.  Deleted ids stay reserved in the id space
+        and can be revived by a later :meth:`upsert`.
+        """
+        self._require_built()
+        ids = np.asarray(item_ids, dtype=np.int64).reshape(-1)
+        if ids.size == 0:
+            return self
+        if np.unique(ids).size != ids.size:
+            raise ValueError("duplicate item ids in one delete batch")
+        dead = (ids < 0) | (ids >= self._vectors.shape[0])
+        dead[~dead] = ~self._active[ids[~dead]]
+        if dead.any():
+            raise KeyError(
+                f"items {ids[dead].tolist()} are not in the index "
+                "(never inserted or already deleted)"
+            )
+        self._active[ids] = False
+        self._apply_delete(ids)
         return self
 
     # ------------------------------------------------------------------ #
@@ -148,6 +262,10 @@ class ItemIndex:
             queries = np.hstack([queries, np.ones((queries.shape[0], 1))])
         elif self.metric == "cosine":
             queries = _normalize_rows(queries)
+        if not self._active.any():
+            # Every item deleted: pure padding, no backend involvement.
+            ids = np.full((queries.shape[0], int(k)), PAD_ID, dtype=np.int64)
+            return ids, np.full(ids.shape, PAD_SCORE, dtype=np.float64)
         return self._search(queries, int(k))
 
     # ------------------------------------------------------------------ #
@@ -158,6 +276,34 @@ class ItemIndex:
 
     def _search(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
         raise NotImplementedError(f"{type(self).__name__} does not implement _search()")
+
+    def _apply_growth(self, new_size: int) -> None:
+        """Grow per-id auxiliary arrays after the id space was extended.
+
+        Called by :meth:`upsert` right after ``self._vectors``/``self._active``
+        grew to ``new_size`` rows and before :meth:`_apply_upsert` sees the
+        new ids.  The default is a no-op for backends without per-id state.
+        """
+
+    def _apply_upsert(self, item_ids: np.ndarray, rows: np.ndarray, was_active: np.ndarray) -> None:
+        """Apply prepared row updates to the backend's internal structures.
+
+        ``rows`` are already bias-folded / normalized and written into
+        ``self._vectors``; ``was_active`` flags which ids were live before
+        the call (``False`` = brand new or revived).  Backends without an
+        incremental path must override or fall back to :meth:`build`.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement incremental upserts; "
+            "rebuild via build() instead"
+        )
+
+    def _apply_delete(self, item_ids: np.ndarray) -> None:
+        """Remove ids (already marked inactive) from the backend's structures."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement incremental deletes; "
+            "rebuild via build() instead"
+        )
 
     def _require_built(self) -> None:
         if self._vectors is None:

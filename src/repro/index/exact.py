@@ -6,6 +6,14 @@ the reference the approximate backends are measured against
 (:func:`repro.index.recall.recall_at_k`), and — wired into the serving layer
 — reproduces the full-catalogue ranking path byte for byte while speaking
 the same ``search`` interface as IVF/LSH.
+
+Online maintenance keeps the scan proportional to the *live* catalogue: item
+vectors live in a compact dense block, an update overwrites its row in
+place, and a delete swaps the victim row with the last live row and shrinks
+the block (the classic O(1) row-swap delete).  Row order therefore diverges
+from id order after churn, so the mutated search path carries an explicit
+row → id map and selects through :func:`~repro.index.topk.padded_top_k`,
+which keys ties on the item id — rankings stay identical to a fresh build.
 """
 
 from __future__ import annotations
@@ -14,19 +22,77 @@ import numpy as np
 
 from repro.index.base import ItemIndex
 from repro.index.registry import register_index
-from repro.index.topk import PAD_ID, PAD_SCORE, dense_top_k
+from repro.index.topk import PAD_ID, PAD_SCORE, dense_top_k, padded_top_k
 
 __all__ = ["ExactIndex"]
 
 
 @register_index("exact")
 class ExactIndex(ItemIndex):
-    """Exhaustive dot/cosine scan over the catalogue; exact by construction."""
+    """Exhaustive dot/cosine scan over the live catalogue; exact by construction."""
 
     name = "exact"
 
+    def _build(self) -> None:
+        live = np.flatnonzero(self._active)
+        self._count = int(live.size)
+        self._dense = self._vectors[live]
+        self._dense_ids = live.astype(np.int64, copy=True)
+        self._id_to_row = np.full(self._vectors.shape[0], -1, dtype=np.int64)
+        self._id_to_row[live] = np.arange(live.size)
+        # Fast path: after a clean build row r holds item r, so column indices
+        # from dense_top_k ARE item ids.  Any structural mutation clears it.
+        self._columns_are_ids = live.size == self._vectors.shape[0]
+
+    def _apply_growth(self, new_size: int) -> None:
+        grown = np.full(new_size, -1, dtype=np.int64)
+        grown[: self._id_to_row.size] = self._id_to_row
+        self._id_to_row = grown
+
+    def _apply_upsert(self, item_ids: np.ndarray, rows: np.ndarray, was_active: np.ndarray) -> None:
+        existing = item_ids[was_active]
+        if existing.size:
+            self._dense[self._id_to_row[existing]] = rows[was_active]
+        added = item_ids[~was_active]
+        if added.size:
+            self._reserve(self._count + added.size)
+            block = slice(self._count, self._count + added.size)
+            self._dense[block] = rows[~was_active]
+            self._dense_ids[block] = added
+            self._id_to_row[added] = np.arange(self._count, self._count + added.size)
+            self._count += int(added.size)
+            self._columns_are_ids = False
+
+    def _apply_delete(self, item_ids: np.ndarray) -> None:
+        for item in item_ids:
+            row = int(self._id_to_row[item])
+            last = self._count - 1
+            last_id = int(self._dense_ids[last])
+            self._dense[row] = self._dense[last]
+            self._dense_ids[row] = last_id
+            self._id_to_row[last_id] = row
+            self._id_to_row[item] = -1
+            self._count = last
+        self._columns_are_ids = False
+
+    def _reserve(self, rows_needed: int) -> None:
+        """Grow the dense block geometrically so appends stay amortized O(1)."""
+        capacity = self._dense.shape[0]
+        if rows_needed <= capacity:
+            return
+        capacity = max(2 * capacity, rows_needed)
+        dense = np.zeros((capacity, self._dense.shape[1]))
+        dense[: self._count] = self._dense[: self._count]
+        self._dense = dense
+        ids = np.full(capacity, -1, dtype=np.int64)
+        ids[: self._count] = self._dense_ids[: self._count]
+        self._dense_ids = ids
+
     def _search(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
-        scores = queries @ self._vectors.T
+        scores = queries @ self._dense[: self._count].T
+        if not self._columns_are_ids:
+            ids = np.broadcast_to(self._dense_ids[: self._count], scores.shape)
+            return padded_top_k(ids, scores, k)
         top = dense_top_k(scores, k)
         top_scores = np.take_along_axis(scores, top, axis=1)
         if top.shape[1] == k:

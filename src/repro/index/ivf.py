@@ -12,6 +12,17 @@ processed grouped *by cell* (one matmul per touched cell against all queries
 probing it), candidates land in a padded ``(num_queries, max_candidates)``
 matrix, and the final selection is one :func:`~repro.index.topk.padded_top_k`
 call.  Cells are disjoint, so no per-row dedup is needed.
+
+Online maintenance (:meth:`~repro.index.base.ItemIndex.upsert` /
+:meth:`~repro.index.base.ItemIndex.delete`) avoids the k-means rebuild:
+an insert is assigned to its nearest existing cell, a delete becomes a
+tombstone (the id is unlinked from its cell; list slots are reclaimed
+lazily), and a vector update that crosses a cell boundary moves the id.
+Every churned row bumps a drift counter, and once the churned fraction of
+the live catalogue passes ``rebuild_threshold`` the quantizer re-clusters
+in the background of the mutating call — warm-started from the current
+centroids and bounded to ``recluster_iters`` Lloyd iterations, so the cost
+stays a small multiple of one assignment pass rather than a full build.
 """
 
 from __future__ import annotations
@@ -42,6 +53,13 @@ class IVFIndex(ItemIndex):
         ``nprobe == nlist`` degenerates to an exact scan.
     kmeans_iters:
         Lloyd iterations of the coarse quantizer.
+    rebuild_threshold:
+        fraction of the live catalogue that may churn (upserts + deletes)
+        before the quantizer re-clusters itself; the re-cluster runs inside
+        the mutating call, warm-started and bounded to ``recluster_iters``
+        Lloyd iterations.
+    recluster_iters:
+        Lloyd iteration budget of one incremental re-cluster.
     seed:
         seed of the k-means initialisation (and empty-cell re-seeding).
     """
@@ -54,6 +72,8 @@ class IVFIndex(ItemIndex):
         nlist: int | None = None,
         nprobe: int = 8,
         kmeans_iters: int = 10,
+        rebuild_threshold: float = 0.25,
+        recluster_iters: int = 2,
         seed: int = 0,
     ) -> None:
         super().__init__(metric=metric)
@@ -63,13 +83,24 @@ class IVFIndex(ItemIndex):
             raise ValueError(f"nprobe must be positive, got {nprobe}")
         if kmeans_iters <= 0:
             raise ValueError(f"kmeans_iters must be positive, got {kmeans_iters}")
+        if not 0.0 < rebuild_threshold <= 1.0:
+            raise ValueError(f"rebuild_threshold must lie in (0, 1], got {rebuild_threshold}")
+        if recluster_iters <= 0:
+            raise ValueError(f"recluster_iters must be positive, got {recluster_iters}")
         self.nlist = nlist
         self.nprobe = nprobe
         self.kmeans_iters = kmeans_iters
+        self.rebuild_threshold = rebuild_threshold
+        self.recluster_iters = recluster_iters
         self.seed = seed
         self._centroids: np.ndarray | None = None
         self._member_items: np.ndarray | None = None  # item ids grouped by cell
         self._offsets: np.ndarray | None = None  # CSR offsets into _member_items
+        self._extras: list[list[int]] | None = None  # post-build appends per cell
+        self._id_cell: np.ndarray | None = None  # id → live cell (-1 = deleted)
+        self._churn = 0  # rows churned since the last (re-)cluster
+        self._num_reclusters = 0
+        self._dirty = False  # any structural mutation since the last cluster
 
     # ------------------------------------------------------------------ #
     @property
@@ -77,14 +108,36 @@ class IVFIndex(ItemIndex):
         """Number of cells actually built (0 before any build)."""
         return 0 if self._centroids is None else int(self._centroids.shape[0])
 
+    @property
+    def churn_fraction(self) -> float:
+        """Churned rows since the last clustering, relative to the live size."""
+        return self._churn / max(1, self.num_active)
+
+    @property
+    def num_reclusters(self) -> int:
+        """How many threshold-triggered incremental re-clusters have run."""
+        return self._num_reclusters
+
+    def _target_nlist(self, num_live: int) -> int:
+        """Requested cell count, defaulting to the ``sqrt(n)`` IVF sizing rule."""
+        nlist = self.nlist if self.nlist is not None else max(1, int(round(np.sqrt(num_live))))
+        return min(nlist, num_live)
+
     def _build(self) -> None:
-        vectors = self._vectors
-        num_items = vectors.shape[0]
-        nlist = self.nlist if self.nlist is not None else max(1, int(round(np.sqrt(num_items))))
-        nlist = min(nlist, num_items)
+        live = np.flatnonzero(self._active)
+        vectors = self._vectors[live]
+        nlist = self._target_nlist(vectors.shape[0])
         rng = new_rng(self.seed)
-        centroids = vectors[rng.choice(num_items, size=nlist, replace=False)].copy()
-        for _ in range(self.kmeans_iters):
+        centroids = vectors[rng.choice(vectors.shape[0], size=nlist, replace=False)].copy()
+        self._lloyd(vectors, centroids, self.kmeans_iters, rng)
+        self._centroids = centroids
+        self._relink(live, vectors)
+
+    def _lloyd(self, vectors: np.ndarray, centroids: np.ndarray, iters: int, rng) -> None:
+        """In-place Lloyd iterations; empty cells are re-seeded from the data."""
+        nlist = centroids.shape[0]
+        num_rows = vectors.shape[0]
+        for _ in range(iters):
             assign = _nearest_centroid(vectors, centroids)
             # Scatter-mean in one pass: group members by cell (stable sort)
             # and segment-sum with reduceat — no per-cell full-length masks.
@@ -95,14 +148,91 @@ class IVFIndex(ItemIndex):
             sums = np.add.reduceat(vectors[np.argsort(assign, kind="stable")], offsets[nonempty], axis=0)
             centroids[nonempty] = sums / counts[nonempty, None]
             for cell in np.flatnonzero(counts == 0):
-                centroids[cell] = vectors[rng.integers(num_items)]
-        assign = _nearest_centroid(vectors, centroids)
+                centroids[cell] = vectors[rng.integers(num_rows)]
+
+    def _relink(self, live: np.ndarray, vectors: np.ndarray) -> None:
+        """Rebuild the cell membership (CSR + maps) from a final assignment."""
+        nlist = self._centroids.shape[0]
+        assign = _nearest_centroid(vectors, self._centroids)
         order = np.argsort(assign, kind="stable")
-        self._member_items = order.astype(np.int64, copy=False)
+        # Stable sort keeps ascending position within a cell, and ``live`` is
+        # ascending, so every cell's member list is ascending by item id —
+        # the invariant the O(log n) membership test below relies on.
+        self._member_items = live[order].astype(np.int64, copy=False)
         self._offsets = np.zeros(nlist + 1, dtype=np.int64)
         counts = np.bincount(assign, minlength=nlist)
         np.cumsum(counts, out=self._offsets[1:])
-        self._centroids = centroids
+        self._extras = [[] for _ in range(nlist)]
+        self._id_cell = np.full(self._vectors.shape[0], -1, dtype=np.int64)
+        self._id_cell[live] = assign
+        self._churn = 0
+        self._dirty = False
+
+    # ------------------------------------------------------------------ #
+    # Online maintenance
+    # ------------------------------------------------------------------ #
+    def _apply_growth(self, new_size: int) -> None:
+        grown = np.full(new_size, -1, dtype=np.int64)
+        grown[: self._id_cell.size] = self._id_cell
+        self._id_cell = grown
+
+    def _apply_upsert(self, item_ids: np.ndarray, rows: np.ndarray, was_active: np.ndarray) -> None:
+        cells = _nearest_centroid(rows, self._centroids)
+        for item, cell in zip(item_ids.tolist(), cells.tolist()):
+            if self._id_cell[item] != cell:
+                if not self._cell_contains(cell, item):
+                    self._extras[cell].append(item)
+                self._id_cell[item] = cell
+        self._churn += int(item_ids.size)
+        self._dirty = True
+        self._maybe_recluster()
+
+    def _apply_delete(self, item_ids: np.ndarray) -> None:
+        # Tombstone: the id keeps its slot in the member list, the liveness
+        # filter (``_id_cell`` mismatch) hides it until the next re-cluster.
+        self._id_cell[item_ids] = -1
+        self._churn += int(item_ids.size)
+        self._dirty = True
+        self._maybe_recluster()
+
+    def _cell_contains(self, cell: int, item: int) -> bool:
+        members = self._member_items[self._offsets[cell] : self._offsets[cell + 1]]
+        position = int(np.searchsorted(members, item))
+        if position < members.size and members[position] == item:
+            return True
+        return item in self._extras[cell]
+
+    def _maybe_recluster(self) -> None:
+        if self.num_active == 0 or self._churn < self.rebuild_threshold * self.num_active:
+            return
+        live = np.flatnonzero(self._active)
+        vectors = self._vectors[live]
+        self._num_reclusters += 1
+        # Seed varies per re-cluster (still a pure function of the op history)
+        # so repeated empty-cell re-seeds do not pick the same row every time.
+        rng = new_rng(self.seed + self._num_reclusters)
+        if live.size < self.effective_nlist:
+            # The live catalogue shrank below the cell count: fall back to a
+            # fresh clustering at the clamped size instead of dragging empty
+            # cells along.
+            nlist = self._target_nlist(live.size)
+            self._centroids = vectors[rng.choice(live.size, size=nlist, replace=False)].copy()
+        self._lloyd(vectors, self._centroids, self.recluster_iters, rng)
+        self._relink(live, vectors)
+
+    # ------------------------------------------------------------------ #
+    def _live_members(self, cell: int) -> np.ndarray:
+        """The live item ids of one cell (tombstones and movers filtered)."""
+        members = self._member_items[self._offsets[cell] : self._offsets[cell + 1]]
+        if not self._dirty:
+            return members
+        members = members[self._id_cell[members] == cell]
+        extras = self._extras[cell]
+        if extras:
+            appended = np.asarray(extras, dtype=np.int64)
+            appended = appended[self._id_cell[appended] == cell]
+            members = np.concatenate([members, appended])
+        return members
 
     def _search(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
         num_queries = queries.shape[0]
@@ -115,19 +245,23 @@ class IVFIndex(ItemIndex):
         if self.metric == "cosine":
             centroids = _normalize_rows(centroids)
         probe = dense_top_k(queries @ centroids.T, nprobe)
-        list_sizes = np.diff(self._offsets)
+        touched = np.unique(probe)
+        members_by_cell = {int(cell): self._live_members(int(cell)) for cell in touched}
+        list_sizes = np.zeros(nlist, dtype=np.int64)
+        for cell, members in members_by_cell.items():
+            list_sizes[cell] = members.size
         probe_sizes = list_sizes[probe]  # (num_queries, nprobe)
         ends = np.cumsum(probe_sizes, axis=1)
         starts = ends - probe_sizes
         max_candidates = int(ends[:, -1].max()) if num_queries else 0
         candidate_ids = np.full((num_queries, max_candidates), PAD_ID, dtype=np.int64)
         candidate_scores = np.full((num_queries, max_candidates), PAD_SCORE, dtype=np.float64)
-        for cell in np.unique(probe):
-            size = int(list_sizes[cell])
+        for cell in touched:
+            members = members_by_cell[int(cell)]
+            size = int(members.size)
             if size == 0:
                 continue
             query_rows, probe_cols = np.nonzero(probe == cell)
-            members = self._member_items[self._offsets[cell] : self._offsets[cell + 1]]
             block = queries[query_rows] @ self._vectors[members].T
             columns = starts[query_rows, probe_cols][:, None] + np.arange(size)[None, :]
             candidate_ids[query_rows[:, None], columns] = members[None, :]

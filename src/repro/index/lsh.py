@@ -14,6 +14,15 @@ hyperplane — dedups the union, rescans the survivors exactly, and selects
 top-K with the library's deterministic tie-break.  Buckets are stored as a
 signature-sorted permutation per table, so a bucket lookup is one
 ``searchsorted`` range, vectorized across every (query, probe) pair.
+
+Online maintenance recomputes only the touched signatures: an upsert hashes
+the new rows against the fixed hyperplanes and splices each table's sorted
+arrays (one ``np.delete`` for replaced entries, one ``np.insert`` for the
+new ones — O(table size) memmoves, versus re-hashing the whole catalogue on
+a rebuild), and a delete removes the ids' entries outright, so a bucket
+emptied by deletes is simply a zero-width ``searchsorted`` range that
+Hamming-ball probing skips.  The hyperplanes themselves never move, so
+retrieval quality is unaffected by churn.
 """
 
 from __future__ import annotations
@@ -74,8 +83,8 @@ class LSHIndex(ItemIndex):
         self.hamming_radius = min(hamming_radius, num_bits)
         self.seed = seed
         self._planes: np.ndarray | None = None  # (num_tables, d, num_bits)
-        self._sorted_signatures: np.ndarray | None = None  # (num_tables, num_items)
-        self._permutations: np.ndarray | None = None  # (num_tables, num_items)
+        self._sorted_signatures: list[np.ndarray] | None = None  # per table
+        self._permutations: list[np.ndarray] | None = None  # per table
         self._probe_masks: np.ndarray | None = None  # XOR masks of the Hamming ball
 
     @property
@@ -90,21 +99,64 @@ class LSHIndex(ItemIndex):
         return 0 if self._planes is None else int(self._planes.shape[2])
 
     def _build(self) -> None:
-        vectors = self._vectors
+        live = np.flatnonzero(self._active)
         rng = new_rng(self.seed)
-        num_bits = min(self.num_bits, max(1, int(np.log2(max(vectors.shape[0], 2) / 4.0))))
-        self._planes = rng.normal(size=(self.num_tables, vectors.shape[1], num_bits))
-        signatures = np.stack(
-            [_pack_signs(vectors @ self._planes[table]) for table in range(self.num_tables)]
-        )
-        self._permutations = np.argsort(signatures, axis=1, kind="stable").astype(np.int64)
-        self._sorted_signatures = np.take_along_axis(signatures, self._permutations, axis=1)
+        num_bits = min(self.num_bits, max(1, int(np.log2(max(live.size, 2) / 4.0))))
+        self._planes = rng.normal(size=(self.num_tables, self._vectors.shape[1], num_bits))
+        self._sorted_signatures = []
+        self._permutations = []
+        vectors = self._vectors[live]
+        for table in range(self.num_tables):
+            signatures = _pack_signs(vectors @ self._planes[table])
+            order = np.argsort(signatures, kind="stable")
+            self._permutations.append(live[order].astype(np.int64, copy=False))
+            self._sorted_signatures.append(signatures[order])
         masks = [np.int64(0)]
         for radius in range(1, min(self.hamming_radius, num_bits) + 1):
             for bits in combinations(range(num_bits), radius):
                 masks.append(np.int64(sum(1 << bit for bit in bits)))
         self._probe_masks = np.array(masks, dtype=np.int64)
 
+    # ------------------------------------------------------------------ #
+    # Online maintenance
+    # ------------------------------------------------------------------ #
+    def _apply_upsert(self, item_ids: np.ndarray, rows: np.ndarray, was_active: np.ndarray) -> None:
+        replaced = item_ids[was_active]
+        for table in range(self.num_tables):
+            new_signatures = _pack_signs(rows @ self._planes[table])
+            sorted_signatures = self._sorted_signatures[table]
+            permutation = self._permutations[table]
+            if replaced.size:
+                positions = self._entry_positions(table, replaced)
+                sorted_signatures = np.delete(sorted_signatures, positions)
+                permutation = np.delete(permutation, positions)
+            # Equal-position inserts land in batch order, so the batch itself
+            # must be signature-sorted for the spliced array to stay sorted.
+            batch_order = np.argsort(new_signatures, kind="stable")
+            batch_signatures = new_signatures[batch_order]
+            insert_at = np.searchsorted(sorted_signatures, batch_signatures, side="left")
+            self._sorted_signatures[table] = np.insert(sorted_signatures, insert_at, batch_signatures)
+            self._permutations[table] = np.insert(permutation, insert_at, item_ids[batch_order])
+
+    def _apply_delete(self, item_ids: np.ndarray) -> None:
+        for table in range(self.num_tables):
+            positions = self._entry_positions(table, item_ids)
+            self._sorted_signatures[table] = np.delete(self._sorted_signatures[table], positions)
+            self._permutations[table] = np.delete(self._permutations[table], positions)
+
+    def _entry_positions(self, table: int, item_ids: np.ndarray) -> np.ndarray:
+        """Positions of the given (live) ids in one table's sorted arrays.
+
+        Every live id appears exactly once per table, so inverting the
+        permutation with one scatter answers the whole batch — O(table)
+        vectorized work instead of a per-id bucket scan.
+        """
+        permutation = self._permutations[table]
+        position_of = np.empty(self._vectors.shape[0], dtype=np.int64)
+        position_of[permutation] = np.arange(permutation.size, dtype=np.int64)
+        return position_of[item_ids]
+
+    # ------------------------------------------------------------------ #
     def _search(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
         num_queries = queries.shape[0]
         # Probe signatures for every (query, table, mask) triple at once.
@@ -121,7 +173,7 @@ class LSHIndex(ItemIndex):
         per_query_ids: list[np.ndarray] = []
         for query in range(num_queries):
             chunks = [
-                self._permutations[table, starts[table, query, probe] : ends[table, query, probe]]
+                self._permutations[table][starts[table, query, probe] : ends[table, query, probe]]
                 for table in range(self.num_tables)
                 for probe in range(self._probe_masks.size)
             ]

@@ -1,0 +1,184 @@
+"""Served-traffic recall monitoring: does ANN quality hold up in production?
+
+Offline recall benchmarks measure an index against the query distribution
+the operator *imagined*; :class:`RecallMonitor` measures it against the
+queries actually served.  A configurable sample of serving requests is
+shadow-rescored against an :class:`~repro.index.exact.ExactIndex` kept in
+lockstep with the primary index (same representation snapshot, same
+upserts/deletes), and two windowed statistics summarize the drift:
+
+* **recall@k** — the fraction of the exact top-``k`` that survived into the
+  top-``k`` of the exactly-rescored candidates (the list the service ranks
+  and filters from);
+* **candidate hit rate** — the fraction of the exact top-``k`` present
+  anywhere in the retrieved candidate set, i.e. the retrieval stage's
+  recall before the ``k`` truncation.
+
+Sampling is two-level so the overhead stays bounded: each *request* is
+sampled with probability ``sample_rate``, and within a sampled request at
+most ``max_users_per_request`` user rows are shadow-rescored — one small
+extra matmul per sampled request, independent of the request's batch size.
+:meth:`RecommendationService.stats() <repro.serving.RecommendationService.stats>`
+exposes the windowed numbers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.index.exact import ExactIndex
+from repro.index.topk import PAD_ID, padded_top_k
+from repro.utils.rng import new_rng
+
+__all__ = ["MonitorStats", "RecallMonitor"]
+
+
+@dataclass(frozen=True)
+class MonitorStats:
+    """Windowed shadow-scoring statistics of a :class:`RecallMonitor`."""
+
+    sample_rate: float
+    window: int
+    #: requests / user rows shadow-rescored since construction (lifetime)
+    sampled_requests: int
+    sampled_users: int
+    #: windowed means; ``None`` until the first sample lands
+    recall_at_k: float | None
+    candidate_hit_rate: float | None
+
+
+class RecallMonitor:
+    """Shadow-rescore a sample of served requests against the exact oracle.
+
+    Parameters
+    ----------
+    sample_rate:
+        probability that a request is shadow-rescored (``0`` disables
+        sampling, ``1`` monitors every request).
+    window:
+        number of most-recent sampled user rows the statistics average over.
+    max_users_per_request:
+        cap on shadow-rescored user rows per sampled request; keeps the
+        overhead of monitoring a huge batch request bounded.
+    seed:
+        seed of the sampling RNG (deterministic monitoring for tests).
+
+    The monitor owns its oracle (:attr:`exact`, a dot-metric
+    :class:`~repro.index.exact.ExactIndex` — ground truth is always the
+    model's true biased dot score, whatever metric the primary index uses).
+    The owner keeps it in lockstep with the served representations via
+    :meth:`rebuild` / :meth:`upsert` / :meth:`delete`;
+    :class:`~repro.serving.RecommendationService` does this automatically.
+    """
+
+    def __init__(
+        self,
+        sample_rate: float = 0.1,
+        window: int = 512,
+        max_users_per_request: int = 8,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(f"sample_rate must lie in [0, 1], got {sample_rate}")
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        if max_users_per_request <= 0:
+            raise ValueError(f"max_users_per_request must be positive, got {max_users_per_request}")
+        self.sample_rate = sample_rate
+        self.window = window
+        self.max_users_per_request = max_users_per_request
+        self.exact = ExactIndex(metric="dot")
+        self._rng = new_rng(seed)
+        self._recalls: deque[float] = deque(maxlen=window)
+        self._hit_rates: deque[float] = deque(maxlen=window)
+        self._sampled_requests = 0
+        self._sampled_users = 0
+
+    # ------------------------------------------------------------------ #
+    # Oracle lifecycle (driven by the owning service)
+    # ------------------------------------------------------------------ #
+    def rebuild(self, items: np.ndarray, item_biases: np.ndarray | None = None) -> None:
+        """(Re)build the shadow oracle over a representation snapshot."""
+        self.exact.build(items, item_biases=item_biases)
+
+    def upsert(self, item_ids: np.ndarray, vectors: np.ndarray, item_biases: np.ndarray | None = None) -> None:
+        """Mirror a row-level update of the served representations."""
+        self.exact.upsert(item_ids, vectors, item_biases=item_biases)
+
+    def delete(self, item_ids: np.ndarray) -> None:
+        """Mirror a catalogue deletion."""
+        self.exact.delete(item_ids)
+
+    # ------------------------------------------------------------------ #
+    # Sampling & observation
+    # ------------------------------------------------------------------ #
+    def sample(self, num_rows: int) -> np.ndarray:
+        """Row indices of a request to shadow-rescore (often empty).
+
+        One Bernoulli draw decides whether this request is sampled at all;
+        a sampled request contributes at most ``max_users_per_request``
+        distinct rows, drawn uniformly.
+        """
+        if num_rows <= 0 or self.sample_rate <= 0.0 or self._rng.random() >= self.sample_rate:
+            return np.empty(0, dtype=np.int64)
+        take = min(self.max_users_per_request, num_rows)
+        rows = self._rng.choice(num_rows, size=take, replace=False)
+        rows.sort()
+        return rows.astype(np.int64, copy=False)
+
+    def observe(
+        self,
+        queries: np.ndarray,
+        candidate_ids: np.ndarray,
+        candidate_scores: np.ndarray,
+        k: int,
+    ) -> None:
+        """Record one sampled batch of served rows.
+
+        ``queries`` are the sampled rows' query vectors (pre bias
+        augmentation), ``candidate_ids`` / ``candidate_scores`` their
+        retrieved candidates with *exact model scores* (pre filtering), and
+        ``k`` the request's ranking depth.
+        """
+        if not self.exact.is_built:
+            raise RuntimeError("RecallMonitor oracle is not built; call rebuild() first")
+        exact_ids, _ = self.exact.search(queries, k)
+        served_ids, _ = padded_top_k(candidate_ids, candidate_scores, k)
+        self._sampled_requests += 1
+        for row in range(queries.shape[0]):
+            truth = exact_ids[row]
+            truth = truth[truth != PAD_ID]
+            candidates = candidate_ids[row]
+            candidates = candidates[candidates != PAD_ID]
+            served = served_ids[row]
+            served = served[served != PAD_ID]
+            if truth.size == 0:
+                recall = hit_rate = 1.0
+            else:
+                recall = float(np.isin(truth, served).mean())
+                hit_rate = float(np.isin(truth, candidates).mean())
+            self._recalls.append(recall)
+            self._hit_rates.append(hit_rate)
+            self._sampled_users += 1
+
+    def stats(self) -> MonitorStats:
+        """The windowed statistics as an immutable snapshot."""
+        return MonitorStats(
+            sample_rate=self.sample_rate,
+            window=self.window,
+            sampled_requests=self._sampled_requests,
+            sampled_users=self._sampled_users,
+            recall_at_k=float(np.mean(self._recalls)) if self._recalls else None,
+            candidate_hit_rate=float(np.mean(self._hit_rates)) if self._hit_rates else None,
+        )
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        recall = "n/a" if stats.recall_at_k is None else f"{stats.recall_at_k:.3f}"
+        return (
+            f"RecallMonitor(sample_rate={self.sample_rate}, window={self.window}, "
+            f"sampled_users={stats.sampled_users}, recall_at_k={recall})"
+        )

@@ -29,6 +29,10 @@ PAD_ID = -1
 #: Score paired with :data:`PAD_ID` slots; sorts after every finite score.
 PAD_SCORE = -np.inf
 
+#: Internal stand-in for PAD_ID in id-order sorts: padding must lose every
+#: tie against a real id, but PAD_ID (-1) would win them.
+_SENTINEL_ID = np.iinfo(np.int64).max
+
 
 def _check_matrix(scores: np.ndarray, k: int) -> np.ndarray:
     if k <= 0:
@@ -50,7 +54,7 @@ def dense_top_k(scores: np.ndarray, k: int) -> np.ndarray:
     num_rows, num_cols = scores.shape
     take = min(k, num_cols)
     if num_rows == 0 or num_cols == 0:
-        return np.empty((num_rows, 0), dtype=np.int64)
+        return np.empty((num_rows, take), dtype=np.int64)
     negated = -scores
     if take == num_cols:
         return np.argsort(negated, axis=1, kind="stable").astype(np.int64, copy=False)
@@ -107,24 +111,30 @@ def padded_top_k(
     pref_ids = np.take_along_axis(ids, columns, axis=1)
     pref_vals = np.take_along_axis(negated, columns, axis=1)
     # Sort the prefix by item id first so the stable value sort breaks score
-    # ties by ascending id (padding slots all share PAD_ID and +inf, so their
-    # relative order is irrelevant — they sort last by value).
-    id_order = np.argsort(pref_ids, axis=1, kind="stable")
+    # ties by ascending id.  PAD_ID (-1) would win every id tie, so padding
+    # slots sort under a +inf sentinel id instead: a real candidate whose
+    # score is -inf still ranks ahead of the padding it ties with.
+    sort_ids = np.where(pref_ids == PAD_ID, _SENTINEL_ID, pref_ids)
+    id_order = np.argsort(sort_ids, axis=1, kind="stable")
     pref_ids = np.take_along_axis(pref_ids, id_order, axis=1)
     pref_vals = np.take_along_axis(pref_vals, id_order, axis=1)
     val_order = np.argsort(pref_vals, axis=1, kind="stable")
     pref_ids = np.take_along_axis(pref_ids, val_order, axis=1)
     pref_vals = np.take_along_axis(pref_vals, val_order, axis=1)
     if take < num_candidates:
-        # Same boundary-tie repair as dense_top_k, keyed on item id.
+        # Same boundary-tie repair as dense_top_k, keyed on item id; at an
+        # infinite threshold PAD slots tie with real -inf candidates, and the
+        # sentinel keeps them last there too.
         threshold = pref_vals[:, -1]
         total_ties = (negated == threshold[:, None]).sum(axis=1)
         prefix_ties = (pref_vals == threshold[:, None]).sum(axis=1)
-        for row in np.flatnonzero((total_ties > prefix_ties) & np.isfinite(threshold)):
+        for row in np.flatnonzero(total_ties > prefix_ties):
             num_strict = int((pref_vals[row] < threshold[row]).sum())
             tie_columns = np.flatnonzero(negated[row] == threshold[row])
-            tie_ids = np.sort(ids[row, tie_columns])[: take - num_strict]
-            pref_ids[row, num_strict:] = tie_ids
+            tie_ids = ids[row, tie_columns]
+            tie_ids = np.sort(np.where(tie_ids == PAD_ID, _SENTINEL_ID, tie_ids))
+            tie_ids = tie_ids[: take - num_strict]
+            pref_ids[row, num_strict:] = np.where(tie_ids == _SENTINEL_ID, PAD_ID, tie_ids)
     out_ids[:, :take] = pref_ids
     out_scores[:, :take] = -pref_vals
     # Restore the canonical padding score for empty slots (-(+inf) is -inf

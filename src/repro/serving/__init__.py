@@ -13,7 +13,11 @@ Built on the two-tier scoring API of :mod:`repro.models.base`:
 * :mod:`~repro.serving.filters` — composable candidate filters
   (exclude-seen, category/scene allowlists, item denylists).
 * :class:`~repro.serving.cache.ItemRepresentationCache` — precomputed item
-  representations with explicit ``refresh()`` invalidation.
+  representations with explicit ``refresh()`` invalidation and row-level
+  ``refresh_items()`` partial updates that keep a built index warm.
+* :class:`ServiceStats` — the ``service.stats()`` snapshot: serving
+  counters plus, with a :class:`~repro.index.RecallMonitor` attached, the
+  windowed recall of real served traffic against the exact oracle.
 
 Quickstart::
 
@@ -35,7 +39,7 @@ from repro.serving.filters import (
     SceneAllowlistFilter,
 )
 from repro.serving.service import RecommendationService, batch_top_k
-from repro.serving.types import Recommendation, RecommendRequest, RecommendResponse
+from repro.serving.types import Recommendation, RecommendRequest, RecommendResponse, ServiceStats
 
 __all__ = [
     "CandidateFilter",
@@ -49,5 +53,6 @@ __all__ = [
     "RecommendationService",
     "SceneAffinityExplainer",
     "SceneAllowlistFilter",
+    "ServiceStats",
     "batch_top_k",
 ]

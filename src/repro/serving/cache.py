@@ -10,6 +10,13 @@ candidate-retrieval index built over the item side) must go stale in the same
 breath: such consumers register a callback via
 :meth:`ItemRepresentationCache.subscribe`, and every ``refresh()`` notifies
 them after dropping the cached representations.
+
+When only a handful of items changed — an online catalogue update, a
+row-sparse fine-tuning step — dropping everything is wasteful:
+:meth:`ItemRepresentationCache.refresh_items` patches just those rows of the
+warm snapshot and notifies :meth:`ItemRepresentationCache.subscribe_partial`
+listeners with the affected ``(ids, vectors, biases)``, so an index can
+``upsert`` the rows instead of rebuilding.
 """
 
 from __future__ import annotations
@@ -22,6 +29,9 @@ from repro.models.base import FactorizedRecommender, FactorizedRepresentations
 
 __all__ = ["ItemRepresentationCache"]
 
+#: A partial-refresh listener: ``(item_ids, item_vectors, item_biases)``.
+PartialRefreshListener = Callable[[np.ndarray, np.ndarray, "np.ndarray | None"], None]
+
 
 class ItemRepresentationCache:
     """Lazy cache of a factorized model's user/item representation matrices."""
@@ -30,6 +40,7 @@ class ItemRepresentationCache:
         self._model = model
         self._representations: FactorizedRepresentations | None = None
         self._refresh_listeners: list[Callable[[], None]] = []
+        self._partial_listeners: list[PartialRefreshListener] = []
 
     @property
     def supported(self) -> bool:
@@ -49,28 +60,32 @@ class ItemRepresentationCache:
                 "there is nothing to cache"
             )
         if self._representations is None:
-            model = self._model
-            was_training = getattr(model, "training", False)
-            if hasattr(model, "eval"):
-                model.eval()
-            try:
-                # Snapshot with copies: models may hand out live views of
-                # their weight tables, and row-sparse optimisers mutate
-                # those in place — a cache must stay stale until refresh().
-                representations = model.factorized_representations()
-                self._representations = FactorizedRepresentations(
-                    users=np.array(representations.users, dtype=np.float64, copy=True),
-                    items=np.array(representations.items, dtype=np.float64, copy=True),
-                    item_biases=(
-                        None
-                        if representations.item_biases is None
-                        else np.array(representations.item_biases, dtype=np.float64, copy=True)
-                    ),
-                )
-            finally:
-                if was_training and hasattr(model, "train"):
-                    model.train()
+            representations = self._compute_live()
+            # Snapshot with copies: models may hand out live views of
+            # their weight tables, and row-sparse optimisers mutate
+            # those in place — a cache must stay stale until refresh().
+            self._representations = FactorizedRepresentations(
+                users=np.array(representations.users, dtype=np.float64, copy=True),
+                items=np.array(representations.items, dtype=np.float64, copy=True),
+                item_biases=(
+                    None
+                    if representations.item_biases is None
+                    else np.array(representations.item_biases, dtype=np.float64, copy=True)
+                ),
+            )
         return self._representations
+
+    def _compute_live(self) -> FactorizedRepresentations:
+        """Evaluate the live model's representations (eval mode, restored)."""
+        model = self._model
+        was_training = getattr(model, "training", False)
+        if hasattr(model, "eval"):
+            model.eval()
+        try:
+            return model.factorized_representations()
+        finally:
+            if was_training and hasattr(model, "train"):
+                model.train()
 
     def subscribe(self, listener: Callable[[], None]) -> None:
         """Register a callback invoked on every :meth:`refresh`.
@@ -83,6 +98,18 @@ class ItemRepresentationCache:
             raise TypeError(f"refresh listener must be callable, got {type(listener).__name__}")
         self._refresh_listeners.append(listener)
 
+    def subscribe_partial(self, listener: PartialRefreshListener) -> None:
+        """Register a callback invoked on every :meth:`refresh_items`.
+
+        The listener receives ``(item_ids, item_vectors, item_biases)`` —
+        the rows just patched into the warm snapshot — so derived state can
+        apply the same row-level update (``index.upsert``) instead of
+        rebuilding from scratch.
+        """
+        if not callable(listener):
+            raise TypeError(f"partial-refresh listener must be callable, got {type(listener).__name__}")
+        self._partial_listeners.append(listener)
+
     def refresh(self) -> None:
         """Invalidate: the next :meth:`get` recomputes from the live model.
 
@@ -92,3 +119,108 @@ class ItemRepresentationCache:
         self._representations = None
         for listener in self._refresh_listeners:
             listener()
+
+    def refresh_items(
+        self,
+        item_ids: "np.ndarray | list[int]",
+        items: np.ndarray | None = None,
+        item_biases: np.ndarray | None = None,
+    ) -> None:
+        """Patch the given item rows of the warm snapshot in place.
+
+        ``items`` (and ``item_biases``, when the model has biases) may supply
+        the new rows directly — the caller thereby asserts these are the
+        *only* rows that changed; when omitted they are pulled from the live
+        model, which makes this the cheap invalidation path after a
+        row-sparse model update: the snapshot stays warm, only the named
+        rows move, and :meth:`subscribe_partial` listeners receive them.
+        If the pulled representations turn out to differ *outside* the named
+        rows (propagation models spread any parameter change across
+        neighbours and the user side), the patch would be unsound and a full
+        :meth:`refresh` runs instead.
+
+        A cold cache is a no-op — the next :meth:`get` recomputes everything
+        from the live model anyway, and derived state was invalidated with
+        it.  Only existing item ids are accepted; growing the catalogue
+        needs a full :meth:`refresh` cycle.
+        """
+        ids = np.asarray(item_ids, dtype=np.int64).reshape(-1)
+        if ids.size == 0:
+            return
+        if np.unique(ids).size != ids.size:
+            raise ValueError("duplicate item ids in one refresh_items batch")
+        if self._representations is None:
+            return
+        cached = self._representations
+        if ids.min() < 0 or ids.max() >= cached.num_items:
+            raise IndexError(
+                f"item ids must lie in [0, {cached.num_items}), "
+                f"got range [{ids.min()}, {ids.max()}]"
+            )
+        if items is None:
+            if item_biases is not None:
+                raise ValueError("item_biases without items: pass both or neither")
+            live = self._compute_live()
+            live_items = np.asarray(live.items, dtype=np.float64)
+            if not self._change_confined_to(live, cached, ids):
+                # Propagation models (LightGCN, NGCF, …) mix nodes: an item
+                # update moves neighbouring rows and the user side too, so a
+                # row-level patch would silently corrupt the snapshot.  Fall
+                # back to a full refresh — correctness over cheapness.
+                self.refresh()
+                return
+            rows = live_items[ids]
+            biases = (
+                None
+                if live.item_biases is None or cached.item_biases is None
+                else np.asarray(live.item_biases, dtype=np.float64)[ids]
+            )
+        else:
+            rows = np.asarray(items, dtype=np.float64)
+            if rows.ndim == 1:
+                rows = rows[None, :]
+            if rows.shape != (ids.size, cached.items.shape[1]):
+                raise ValueError(
+                    f"expected ({ids.size}, {cached.items.shape[1]}) item rows, "
+                    f"got shape {rows.shape}"
+                )
+            biases = None
+            if cached.item_biases is not None:
+                if item_biases is None:
+                    raise ValueError("this model has item biases; refresh_items needs item_biases")
+                biases = np.asarray(item_biases, dtype=np.float64).reshape(-1)
+                if biases.size != ids.size:
+                    raise ValueError(f"{biases.size} biases for {ids.size} refreshed items")
+            elif item_biases is not None:
+                raise ValueError("this model has no item biases; drop item_biases")
+        cached.items[ids] = rows
+        if biases is not None:
+            cached.item_biases[ids] = biases
+        for listener in self._partial_listeners:
+            listener(ids, rows, biases)
+
+    @staticmethod
+    def _change_confined_to(
+        live: FactorizedRepresentations, cached: FactorizedRepresentations, ids: np.ndarray
+    ) -> bool:
+        """Whether the live model differs from the snapshot only in ``ids``.
+
+        True for raw-embedding-table models (the rows a parameter update
+        touched are exactly the rows that moved); false whenever a shared
+        computation spread the change — recomputing unchanged parameters is
+        deterministic, so any divergence outside ``ids`` is a real change.
+        """
+        if not np.array_equal(np.asarray(live.users, dtype=np.float64), cached.users):
+            return False
+        untouched = np.ones(cached.num_items, dtype=bool)
+        untouched[ids] = False
+        live_items = np.asarray(live.items, dtype=np.float64)
+        if live_items.shape != cached.items.shape or not np.array_equal(
+            live_items[untouched], cached.items[untouched]
+        ):
+            return False
+        if cached.item_biases is not None and live.item_biases is not None:
+            live_biases = np.asarray(live.item_biases, dtype=np.float64).reshape(-1)
+            if not np.array_equal(live_biases[untouched], cached.item_biases[untouched]):
+                return False
+        return True

@@ -15,6 +15,16 @@ O(users × items × dim), the accuracy-vs-latency axis of ANN serving.  The
 index is (re)built lazily from the representation cache and goes stale with
 it: ``refresh()`` (or any cache refresh) triggers a rebuild on next use.
 
+Catalogue churn does not pay that rebuild:
+:meth:`RecommendationService.refresh_items` patches the changed rows of the
+warm representation cache, whose partial-refresh notification applies a
+row-level ``upsert`` to the index (and the recall monitor's oracle) in
+place, and :meth:`RecommendationService.delete_items` retires items
+everywhere at once.  An attached :class:`~repro.index.RecallMonitor` shadow-rescores a
+sample of served requests against the exact oracle;
+:meth:`RecommendationService.stats` exposes its windowed recall@k /
+candidate-hit-rate numbers next to the plain serving counters.
+
 Top-K selection uses :func:`numpy.argpartition` (O(I) per user) instead of a
 full sort, with ties broken by ascending item id so rankings are reproducible
 and identical to a stable full sort.
@@ -29,13 +39,13 @@ import numpy as np
 from repro.autograd.tensor import no_grad
 from repro.graph.bipartite import UserItemBipartiteGraph
 from repro.graph.scene_graph import SceneBasedGraph
-from repro.index import ItemIndex, build_index
+from repro.index import ItemIndex, RecallMonitor, build_index
 from repro.index.topk import PAD_ID, PAD_SCORE, dense_top_k, padded_top_k
 from repro.models.base import compute_score_matrix
 from repro.serving.cache import ItemRepresentationCache
 from repro.serving.explanations import SceneAffinityExplainer
 from repro.serving.filters import CandidateFilter, ExcludeSeenFilter
-from repro.serving.types import Recommendation, RecommendRequest, RecommendResponse
+from repro.serving.types import Recommendation, RecommendRequest, RecommendResponse, ServiceStats
 
 __all__ = ["RecommendationService", "batch_top_k"]
 
@@ -122,9 +132,16 @@ class RecommendationService:
         service-wide default for how many items the index retrieves per
         user before exact rescoring; a request's ``candidate_k`` overrides
         it.  When neither is set, ``max(4 * k, 64)`` is used.
+    monitor:
+        optional :class:`~repro.index.RecallMonitor`; requires an index.
+        A sample of requests is shadow-rescored against an exact oracle
+        kept in lockstep with the index, and :meth:`stats` reports the
+        windowed recall@k / candidate-hit-rate of real served traffic.
 
     After further training of ``model``, call :meth:`refresh` to invalidate
     the precomputed representation and explanation caches (and the index).
+    When only a few item rows changed, :meth:`refresh_items` propagates them
+    everywhere — cache, index, monitor oracle — without any rebuild.
     """
 
     def __init__(
@@ -137,6 +154,7 @@ class RecommendationService:
         cache_representations: bool = True,
         index: "ItemIndex | str | None" = None,
         candidate_k: int | None = None,
+        monitor: RecallMonitor | None = None,
     ) -> None:
         if scene_graph is not None and scene_graph.num_items != bipartite.num_items:
             raise ValueError("scene graph and bipartite graph disagree on the number of items")
@@ -167,9 +185,16 @@ class RecommendationService:
                     "index= requires cache_representations=True"
                 )
             self._cache.subscribe(self._invalidate_index)
+            self._cache.subscribe_partial(self._apply_partial_update)
+        if monitor is not None and index is None:
+            raise ValueError("a recall monitor shadow-scores the index path; pass index= as well")
         self.index = index
+        self.monitor = monitor
         self.candidate_k = candidate_k
         self._index_fresh = False
+        self._unavailable = np.zeros(bipartite.num_items, dtype=bool)
+        self._requests_served = 0
+        self._users_served = 0
 
     # ------------------------------------------------------------------ #
     # Scoring
@@ -206,11 +231,110 @@ class RecommendationService:
         self._cache.refresh()
         self._explainer.refresh()
 
+    def refresh_items(
+        self,
+        item_ids: "np.ndarray | Sequence[int]",
+        items: np.ndarray | None = None,
+        item_biases: np.ndarray | None = None,
+    ) -> None:
+        """Propagate a row-level item update without rebuilding anything.
+
+        Call after an in-place model change that touched only the given
+        items (an online fine-tuning step, a catalogue metadata recompute).
+        The warm representation cache is patched for just those rows —
+        pulled from the live model, or taken from ``items``/``item_biases``
+        when supplied — and its partial-refresh notification ``upsert``\\ s
+        the same rows into the candidate-retrieval index and the recall
+        monitor's oracle.  A cold cache needs no patching: the next request
+        recomputes everything anyway.
+
+        Row-level patching is only sound when the change really is confined
+        to the named rows.  For propagation models (LightGCN, NGCF, …) a
+        parameter update moves neighbouring items and the user side too;
+        the cache detects that and falls back to a full refresh, so results
+        stay correct either way — the row-level fast path simply does not
+        apply.  Explanation caches are dropped in both cases.
+
+        Items retired via :meth:`delete_items` are rejected — deletion is
+        permanent for this service instance.
+        """
+        ids = np.asarray(item_ids, dtype=np.int64).reshape(-1)
+        if ids.size and (ids.min() < 0 or ids.max() >= self.bipartite.num_items):
+            raise IndexError(
+                f"item ids must lie in [0, {self.bipartite.num_items}), "
+                f"got range [{ids.min()}, {ids.max()}]"
+            )
+        if ids.size and self._unavailable[ids].any():
+            raise KeyError(
+                f"items {ids[self._unavailable[ids]].tolist()} were deleted from this service"
+            )
+        self._cache.refresh_items(ids, items=items, item_biases=item_biases)
+        # Scene-affinity explanations are derived from the same model state;
+        # drop their cache so explain=True answers match the new rows.
+        self._explainer.refresh()
+
+    def delete_items(self, item_ids: "np.ndarray | Sequence[int]") -> None:
+        """Retire items from serving: they are never recommended again.
+
+        Applies everywhere at once — the candidate-retrieval index and the
+        monitor oracle drop the rows (no rebuild), and the full-catalogue
+        path masks them like a base filter.  Deleting an id twice raises
+        :class:`KeyError`, mirroring :meth:`ItemIndex.delete
+        <repro.index.ItemIndex.delete>`.
+        """
+        ids = np.asarray(item_ids, dtype=np.int64).reshape(-1)
+        if ids.size == 0:
+            return
+        if ids.min() < 0 or ids.max() >= self.bipartite.num_items:
+            raise IndexError(
+                f"item ids must lie in [0, {self.bipartite.num_items}), "
+                f"got range [{ids.min()}, {ids.max()}]"
+            )
+        if self._unavailable[ids].any():
+            raise KeyError(
+                f"items {ids[self._unavailable[ids]].tolist()} are already deleted"
+            )
+        self._unavailable[ids] = True
+        if self.index is not None and self._index_fresh:
+            self.index.delete(ids)
+            if self.monitor is not None:
+                self.monitor.delete(ids)
+
+    def stats(self) -> ServiceStats:
+        """Serving counters plus the monitor's windowed quality numbers."""
+        live_items = None
+        if self.index is not None:
+            # Computed from the service's own deletion ledger rather than
+            # the index: a stale index may not have absorbed recent
+            # delete_items() calls yet, but those items are already
+            # unservable.
+            live_items = int(self.bipartite.num_items - self._unavailable.sum())
+        return ServiceStats(
+            requests=self._requests_served,
+            users=self._users_served,
+            index=None if self.index is None else self.index.name,
+            live_items=live_items,
+            monitor=None if self.monitor is None else self.monitor.stats(),
+        )
+
     # ------------------------------------------------------------------ #
     # Candidate retrieval
     # ------------------------------------------------------------------ #
     def _invalidate_index(self) -> None:
         self._index_fresh = False
+
+    def _apply_partial_update(
+        self, item_ids: np.ndarray, rows: np.ndarray, biases: np.ndarray | None
+    ) -> None:
+        """Cache partial-refresh listener: row-level upsert instead of rebuild."""
+        if self.index is None or not self._index_fresh:
+            return  # a stale index rebuilds from the patched cache on next use
+        if self.index.metric == "cosine":
+            self.index.upsert(item_ids, rows)  # cosine indexes carry no biases
+        else:
+            self.index.upsert(item_ids, rows, item_biases=biases)
+        if self.monitor is not None:
+            self.monitor.upsert(item_ids, rows, item_biases=biases)
 
     def _ensure_index(self):
         """Warm cache + index together; returns the live representations."""
@@ -223,6 +347,17 @@ class RecommendationService:
                 self.index.build(np.asarray(representations.items, dtype=np.float64))
             else:
                 self.index.build(representations)
+            deleted = np.flatnonzero(self._unavailable)
+            if deleted.size:
+                # A rebuild resurrects every row; re-retire the deleted ones.
+                self.index.delete(deleted)
+            if self.monitor is not None:
+                self.monitor.rebuild(
+                    np.asarray(representations.items, dtype=np.float64),
+                    item_biases=representations.item_biases,
+                )
+                if deleted.size:
+                    self.monitor.delete(deleted)
             self._index_fresh = True
         return representations
 
@@ -261,6 +396,8 @@ class RecommendationService:
         is scored.
         """
         users = self._check_users(request.users)
+        self._requests_served += 1
+        self._users_served += int(users.size)
         if self.index is not None:
             return self._recommend_from_candidates(request, users)
         scores = self.score_matrix(users)
@@ -305,6 +442,18 @@ class RecommendationService:
         # A dot-metric index already returned the exact biased dot products
         # over the same representation snapshot (it is rebuilt in lockstep
         # with the cache), so those scores are reused as-is.
+        if self.monitor is not None:
+            # Shadow-rescore a sample of this request's rows against the
+            # exact oracle — before filtering, so the numbers measure the
+            # retrieval stage rather than the request's filter set.
+            sampled_rows = self.monitor.sample(users.size)
+            if sampled_rows.size:
+                self.monitor.observe(
+                    queries[sampled_rows],
+                    candidate_ids[sampled_rows],
+                    candidate_scores[sampled_rows],
+                    request.k,
+                )
         keep = candidate_ids != PAD_ID
         if self.base_filters or request.filters:
             # General filters only speak the full (users, num_items) mask
@@ -333,6 +482,8 @@ class RecommendationService:
     def _allowed_mask(self, users: np.ndarray, request: RecommendRequest) -> np.ndarray:
         """The composed ``(len(users), num_items)`` candidate mask of a request."""
         allowed = np.ones((users.size, self.bipartite.num_items), dtype=bool)
+        if self._unavailable.any():
+            allowed &= ~self._unavailable[None, :]
         for candidate_filter in (*self.base_filters, *request.filters):
             allowed = candidate_filter.apply(users, allowed)
         if request.exclude_seen:

@@ -3,7 +3,11 @@
 A :class:`RecommendRequest` describes one batched serving call — which users,
 how many items, which candidate filters — and a :class:`RecommendResponse`
 carries the ranked :class:`Recommendation` lists back, aligned with the
-request's user order.
+request's user order.  :class:`ServiceStats` is the snapshot a
+:meth:`RecommendationService.stats()
+<repro.serving.RecommendationService.stats>` call returns — serving counters
+plus, when a :class:`~repro.index.monitor.RecallMonitor` is attached, its
+windowed served-traffic quality numbers.
 """
 
 from __future__ import annotations
@@ -13,10 +17,12 @@ from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
+from repro.index.monitor import MonitorStats
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
     from repro.serving.filters import CandidateFilter
 
-__all__ = ["Recommendation", "RecommendRequest", "RecommendResponse"]
+__all__ = ["Recommendation", "RecommendRequest", "RecommendResponse", "ServiceStats"]
 
 
 @dataclass(frozen=True)
@@ -77,6 +83,26 @@ class RecommendRequest:
     def for_user(cls, user: int, **kwargs: object) -> "RecommendRequest":
         """Convenience constructor for the single-user case."""
         return cls(users=(int(user),), **kwargs)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """A point-in-time snapshot of a service's serving counters.
+
+    ``index`` is the registry name of the candidate-retrieval backend
+    (``None`` for full-catalogue services) and ``live_items`` the number of
+    items currently servable through it — the catalogue minus everything
+    retired via ``delete_items`` (``None`` without an index).  ``monitor``
+    carries the attached
+    :class:`~repro.index.monitor.RecallMonitor`'s windowed recall numbers,
+    or ``None`` when no monitor is configured.
+    """
+
+    requests: int
+    users: int
+    index: str | None = None
+    live_items: int | None = None
+    monitor: MonitorStats | None = None
 
 
 @dataclass(frozen=True)

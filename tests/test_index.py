@@ -239,6 +239,188 @@ class TestApproximateBackends:
             assert real.size == np.unique(real).size
 
 
+@pytest.mark.parametrize("backend", ["exact", "ivf", "lsh"])
+class TestOnlineMaintenance:
+    """upsert/delete edit the built structures instead of rebuilding."""
+
+    def _build(self, backend: str, items: np.ndarray, **kwargs) -> ItemIndex:
+        if backend == "ivf":
+            return IVFIndex(nlist=8, nprobe=8, seed=1, **kwargs).build(items)
+        if backend == "lsh":
+            return LSHIndex(num_tables=8, num_bits=6, hamming_radius=1, seed=1, **kwargs).build(items)
+        return ExactIndex(**kwargs).build(items)
+
+    def test_upsert_moves_an_item_into_the_top(self, backend):
+        items, queries = clustered_embeddings(num_items=300, num_queries=4)
+        index = self._build(backend, items)
+        boosted = queries[0] * 10.0  # item 42 becomes query 0's best match
+        index.upsert([42], boosted[None, :])
+        ids, scores = index.search(queries[:1], 1)
+        assert ids[0, 0] == 42
+        np.testing.assert_allclose(scores[0, 0], boosted @ queries[0], atol=1e-12)
+
+    def test_delete_removes_items_from_results(self, backend):
+        items, queries = clustered_embeddings(num_items=300, num_queries=6)
+        index = self._build(backend, items)
+        victims = index.search(queries, 3)[0]
+        victims = np.unique(victims[victims != PAD_ID])
+        index.delete(victims)
+        survivors, _ = index.search(queries, 50)
+        assert not np.isin(survivors[survivors != PAD_ID], victims).any()
+        assert index.num_active == 300 - victims.size
+        assert index.num_items == 300  # id space keeps the slots reserved
+
+    def test_deleted_item_can_be_revived(self, backend):
+        items, queries = clustered_embeddings(num_items=200, num_queries=3)
+        index = self._build(backend, items)
+        index.delete([17])
+        index.upsert([17], queries[0][None, :] * 10.0)
+        ids, _ = index.search(queries[:1], 1)
+        assert ids[0, 0] == 17 and index.num_active == 200
+
+    def test_new_ids_extend_the_catalogue(self, backend):
+        items, queries = clustered_embeddings(num_items=150, num_queries=3)
+        index = self._build(backend, items)
+        appended = np.stack([queries[0] * 10.0, queries[1] * 10.0])
+        index.upsert([150, 151], appended)
+        assert index.num_items == 152 and index.num_active == 152
+        ids, _ = index.search(queries[:2], 1)
+        assert ids[0, 0] == 150 and ids[1, 0] == 151
+
+    def test_non_contiguous_new_ids_rejected(self, backend):
+        items, _ = clustered_embeddings(num_items=100, num_queries=1)
+        index = self._build(backend, items)
+        with pytest.raises(ValueError, match="contiguous"):
+            index.upsert([105], np.ones((1, items.shape[1])))
+
+    def test_delete_unknown_or_dead_id_raises(self, backend):
+        items, _ = clustered_embeddings(num_items=100, num_queries=1)
+        index = self._build(backend, items)
+        with pytest.raises(KeyError):
+            index.delete([100])
+        index.delete([5])
+        with pytest.raises(KeyError, match=r"\[5\]"):
+            index.delete([5])
+
+    def test_upsert_validation(self, backend):
+        items, _ = clustered_embeddings(num_items=100, num_queries=1)
+        index = self._build(backend, items)
+        with pytest.raises(ValueError, match="duplicate"):
+            index.upsert([3, 3], np.ones((2, items.shape[1])))
+        with pytest.raises(ValueError, match="vectors"):
+            index.upsert([3], np.ones((1, items.shape[1] + 2)))
+        with pytest.raises(ValueError, match="without item biases"):
+            index.upsert([3], np.ones((1, items.shape[1])), item_biases=np.ones(1))
+        with pytest.raises(RuntimeError, match="not been built"):
+            type(index)().upsert([0], np.ones((1, 4)))
+
+    def test_bias_contract_on_upsert(self, backend):
+        rng = np.random.default_rng(11)
+        items = rng.normal(size=(120, 6))
+        biases = rng.normal(size=120)
+        index = self._build(backend, items)
+        index.build(items, item_biases=biases)
+        with pytest.raises(ValueError, match="needs item_biases"):
+            index.upsert([4], np.ones((1, 6)))
+        queries = rng.normal(size=(3, 6))
+        index.upsert([4], queries[0][None, :] * 10.0, item_biases=[50.0])
+        ids, scores = index.search(queries[:1], 1)
+        assert ids[0, 0] == 4
+        np.testing.assert_allclose(scores[0, 0], 10.0 * queries[0] @ queries[0] + 50.0, atol=1e-10)
+
+    def test_cosine_upsert_normalizes(self, backend):
+        items, queries = clustered_embeddings(num_items=200, num_queries=2)
+        index = self._build(backend, items * 3.0)
+        index.metric = "cosine"
+        index.build(items * 3.0)
+        index.upsert([7], queries[0][None, :] * 42.0)  # scale must not matter
+        ids, scores = index.search(queries[:1], 1)
+        assert ids[0, 0] == 7
+        np.testing.assert_allclose(scores[0, 0], 1.0, atol=1e-12)
+
+    def test_delete_everything_yields_pure_padding(self, backend):
+        items, queries = clustered_embeddings(num_items=50, num_queries=3)
+        index = self._build(backend, items)
+        index.delete(np.arange(50))
+        ids, scores = index.search(queries, 7)
+        assert ids.shape == (3, 7)
+        assert (ids == PAD_ID).all() and (scores == PAD_SCORE).all()
+
+    def test_empty_batches_are_noops(self, backend):
+        items, queries = clustered_embeddings(num_items=80, num_queries=2)
+        index = self._build(backend, items)
+        before = index.search(queries, 5)[0].copy()
+        index.upsert(np.empty(0, dtype=np.int64), np.empty((0, items.shape[1])))
+        index.delete([])
+        np.testing.assert_array_equal(index.search(queries, 5)[0], before)
+
+
+class TestIVFMaintenanceSpecifics:
+    def test_churn_counters_and_threshold_recluster(self):
+        items, _ = clustered_embeddings(num_items=400, num_queries=1)
+        index = IVFIndex(nlist=8, nprobe=4, rebuild_threshold=0.25, seed=0).build(items)
+        assert index.num_reclusters == 0 and index.churn_fraction == 0.0
+        rng = np.random.default_rng(0)
+        index.upsert(np.arange(50), rng.normal(size=(50, items.shape[1])))
+        assert index.num_reclusters == 0
+        assert index.churn_fraction == pytest.approx(50 / 400)
+        index.delete(np.arange(50, 100))  # churn hits 100/400 = threshold
+        assert index.num_reclusters == 1
+        assert index.churn_fraction == 0.0  # counters reset by the re-cluster
+
+    def test_recluster_handles_catalogue_shrinking_below_nlist(self):
+        items, queries = clustered_embeddings(num_items=60, num_queries=3)
+        index = IVFIndex(nlist=16, nprobe=16, rebuild_threshold=0.1, seed=0).build(items)
+        index.delete(np.arange(50))  # 10 items left, far below nlist
+        assert index.effective_nlist <= 10
+        ids, _ = index.search(queries, 20)
+        assert set(ids[ids != PAD_ID].tolist()) <= set(range(50, 60))
+
+    def test_maintenance_parameter_validation(self):
+        with pytest.raises(ValueError, match="rebuild_threshold"):
+            IVFIndex(rebuild_threshold=0.0)
+        with pytest.raises(ValueError, match="recluster_iters"):
+            IVFIndex(recluster_iters=0)
+
+
+def lsh_signatures(index: LSHIndex, table: int, item_ids: np.ndarray) -> np.ndarray:
+    """Recompute the given items' signatures from the fixed hyperplanes."""
+    from repro.index.lsh import _pack_signs
+
+    return _pack_signs(index._vectors[item_ids] @ index._planes[table])
+
+
+class TestLSHMaintenanceSpecifics:
+    def test_emptied_bucket_is_skipped_by_hamming_probing(self):
+        """Regression (satellite): deleting every item of a bucket leaves an
+        empty signature range that radius-probing must skip without error."""
+        items, queries = clustered_embeddings(num_items=200, num_queries=5)
+        index = LSHIndex(num_tables=3, num_bits=5, hamming_radius=2, seed=0).build(items)
+        live = np.flatnonzero(index._active)
+        signatures = lsh_signatures(index, 0, live)
+        bucket = live[signatures == signatures[0]]  # every member of one bucket
+        index.delete(bucket)
+        ids, scores = index.search(queries, 10)
+        assert ids.shape == (5, 10)
+        assert not np.isin(ids[ids != PAD_ID], bucket).any()
+        assert ((ids == PAD_ID) == (scores == PAD_SCORE)).all()
+
+    def test_tables_stay_sorted_and_complete_under_churn(self):
+        rng = np.random.default_rng(4)
+        items = rng.normal(size=(300, 8))
+        index = LSHIndex(num_tables=4, num_bits=6, seed=0).build(items)
+        index.upsert(np.arange(40), rng.normal(size=(40, 8)))
+        index.delete(np.arange(200, 230))
+        index.upsert(np.arange(300, 320), rng.normal(size=(20, 8)))
+        live = np.flatnonzero(index._active)
+        for table in range(index.num_tables):
+            permutation = index._permutations[table]
+            signatures = index._sorted_signatures[table]
+            assert np.array_equal(np.sort(permutation), live)
+            assert (np.diff(signatures) >= 0).all()
+            assert np.array_equal(signatures, lsh_signatures(index, table, permutation))
+
+
 class TestIVFSpecifics:
     def test_nprobe_equal_nlist_is_exact(self):
         items, queries = clustered_embeddings(num_items=350, num_queries=12)

@@ -1,0 +1,368 @@
+"""Property/oracle harness for the index subsystem's mutation paths.
+
+Approximate structures fail silently, and incremental maintenance multiplies
+the states they can be in: any interleaving of build → upsert → delete →
+search must stay correct, not just the handful an example-based test
+happens to pick.  Three oracle families pin that down:
+
+* **ExactIndex vs brute force** — after *any* randomized op sequence, a
+  search must return exactly what a stable argsort over the live ``(id,
+  vector)`` map returns (ids *and* scores), and a pure-upsert history must
+  be search-identical to an index freshly built from the final matrix.
+* **IVF/LSH contract + churn floors** — after heavy randomized churn the
+  approximate backends must still honour the search contract (no deleted
+  ids, no duplicates, true dot-product scores, deterministic ordering) and
+  hold recall@100 ≥ 0.9 against the exact oracle on clustered embeddings —
+  the same floor their static builds are held to.
+* **Top-K helpers vs ``np.argsort``** — :func:`~repro.index.topk.dense_top_k`
+  and :func:`~repro.index.topk.padded_top_k` against the plain stable-sort
+  reference across adversarial shapes: ``k ≥ n``, all-padding rows,
+  constant rows, ``±inf`` scores, heavy ties, duplicate vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index import (
+    ExactIndex,
+    IVFIndex,
+    LSHIndex,
+    PAD_ID,
+    PAD_SCORE,
+    dense_top_k,
+    padded_top_k,
+    recall_at_k,
+)
+
+DIM = 8
+
+
+# --------------------------------------------------------------------- #
+# Oracle: a plain {id: vector} map scored by brute force.
+# --------------------------------------------------------------------- #
+class BruteForceOracle:
+    """Reference semantics of an index: a dict of live vectors."""
+
+    def __init__(self, items: np.ndarray) -> None:
+        self.vectors = {i: items[i].copy() for i in range(items.shape[0])}
+        self.deleted: set[int] = set()
+        self.next_id = items.shape[0]
+
+    def upsert(self, ids: np.ndarray, rows: np.ndarray) -> None:
+        for item, row in zip(ids.tolist(), rows):
+            self.vectors[item] = row.copy()
+            self.deleted.discard(item)
+            self.next_id = max(self.next_id, item + 1)
+
+    def delete(self, ids: np.ndarray) -> None:
+        for item in ids.tolist():
+            del self.vectors[item]
+            self.deleted.add(item)
+
+    @property
+    def live_ids(self) -> np.ndarray:
+        return np.array(sorted(self.vectors), dtype=np.int64)
+
+    def search(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        live = self.live_ids
+        ids = np.full((queries.shape[0], k), PAD_ID, dtype=np.int64)
+        scores = np.full((queries.shape[0], k), PAD_SCORE, dtype=np.float64)
+        if live.size == 0:
+            return ids, scores
+        matrix = np.stack([self.vectors[i] for i in live.tolist()])
+        all_scores = queries @ matrix.T
+        take = min(k, live.size)
+        # Stable argsort over ascending ids == descending score, id tie-break.
+        order = np.argsort(-all_scores, axis=1, kind="stable")[:, :take]
+        ids[:, :take] = live[order]
+        scores[:, :take] = np.take_along_axis(all_scores, order, axis=1)
+        return ids, scores
+
+
+def random_ops(rng: np.random.Generator, oracle: BruteForceOracle, tie_heavy: bool):
+    """One randomized mutation batch: (kind, ids, rows) against the oracle."""
+    kind = rng.choice(["update", "insert", "delete", "revive"])
+    if kind == "delete" and len(oracle.vectors) > 5:
+        count = int(rng.integers(1, min(20, len(oracle.vectors) - 4)))
+        ids = rng.choice(oracle.live_ids, size=count, replace=False)
+        return "delete", ids, None
+    if kind == "revive" and oracle.deleted:
+        count = int(rng.integers(1, len(oracle.deleted) + 1))
+        ids = rng.choice(sorted(oracle.deleted), size=count, replace=False)
+        return "upsert", ids, draw_vectors(rng, count, tie_heavy)
+    if kind == "insert":
+        count = int(rng.integers(1, 15))
+        ids = np.arange(oracle.next_id, oracle.next_id + count)
+        return "upsert", ids, draw_vectors(rng, count, tie_heavy)
+    count = int(rng.integers(1, min(20, len(oracle.vectors) + 1)))
+    ids = rng.choice(oracle.live_ids, size=count, replace=False)
+    return "upsert", ids, draw_vectors(rng, count, tie_heavy)
+
+
+def draw_vectors(rng: np.random.Generator, count: int, tie_heavy: bool) -> np.ndarray:
+    if tie_heavy:
+        # Small integer grid: massive score ties and exact duplicate vectors.
+        return rng.integers(-2, 3, size=(count, DIM)).astype(np.float64)
+    return rng.normal(size=(count, DIM))
+
+
+class TestExactIndexOpSequences:
+    """Any op sequence on ExactIndex is search-identical to brute force."""
+
+    @pytest.mark.parametrize("tie_heavy", [False, True], ids=["gaussian", "tie-heavy"])
+    @pytest.mark.parametrize("trial", range(8))
+    def test_random_op_sequences_match_oracle(self, trial, tie_heavy):
+        rng = np.random.default_rng(100 * trial + tie_heavy)
+        items = draw_vectors(rng, 60, tie_heavy)
+        index = ExactIndex().build(items)
+        oracle = BruteForceOracle(items)
+        for _ in range(12):
+            kind, ids, rows = random_ops(rng, oracle, tie_heavy)
+            if kind == "delete":
+                index.delete(ids)
+                oracle.delete(ids)
+            else:
+                index.upsert(ids, rows)
+                oracle.upsert(ids, rows)
+            queries = draw_vectors(rng, 5, tie_heavy)
+            k = int(rng.integers(1, len(oracle.vectors) + 10))
+            got_ids, got_scores = index.search(queries, k)
+            want_ids, want_scores = oracle.search(queries, k)
+            np.testing.assert_array_equal(got_ids, want_ids)
+            np.testing.assert_allclose(got_scores, want_scores, rtol=1e-12, atol=0)
+            assert index.num_active == len(oracle.vectors)
+
+    @pytest.mark.parametrize("tie_heavy", [False, True], ids=["gaussian", "tie-heavy"])
+    def test_pure_upsert_history_equals_fresh_build(self, tie_heavy):
+        """No deletes → the mutated index must equal a fresh build exactly."""
+        rng = np.random.default_rng(42 + tie_heavy)
+        items = draw_vectors(rng, 50, tie_heavy)
+        index = ExactIndex().build(items)
+        current = items.copy()
+        for _ in range(6):
+            count = int(rng.integers(1, 12))
+            if rng.random() < 0.4:  # append new ids
+                ids = np.arange(current.shape[0], current.shape[0] + count)
+                rows = draw_vectors(rng, count, tie_heavy)
+                current = np.vstack([current, rows])
+            else:
+                ids = rng.choice(current.shape[0], size=count, replace=False)
+                rows = draw_vectors(rng, count, tie_heavy)
+                current[ids] = rows
+            index.upsert(ids, rows)
+        fresh = ExactIndex().build(current)
+        queries = draw_vectors(rng, 8, tie_heavy)
+        got_ids, got_scores = index.search(queries, 17)
+        want_ids, want_scores = fresh.search(queries, 17)
+        np.testing.assert_array_equal(got_ids, want_ids)
+        np.testing.assert_allclose(got_scores, want_scores, rtol=1e-12, atol=0)
+
+    def test_delete_everything_then_rebuild_from_upserts(self):
+        rng = np.random.default_rng(3)
+        index = ExactIndex().build(rng.normal(size=(20, DIM)))
+        index.delete(np.arange(20))
+        assert index.num_active == 0
+        ids, scores = index.search(rng.normal(size=(3, DIM)), 4)
+        assert (ids == PAD_ID).all() and (scores == PAD_SCORE).all()
+        revived = rng.normal(size=(5, DIM))
+        index.upsert(np.arange(5), revived)
+        got_ids, _ = index.search(revived[0], 2)
+        want_ids, _ = ExactIndex().build(revived).search(revived[0], 2)
+        np.testing.assert_array_equal(got_ids, want_ids)
+
+
+def clustered(rng: np.random.Generator, centres: np.ndarray, count: int) -> np.ndarray:
+    rows = centres[rng.integers(0, centres.shape[0], size=count)]
+    rows = rows + 0.25 * rng.normal(size=rows.shape)
+    return rows / np.linalg.norm(rows, axis=1, keepdims=True)
+
+
+@pytest.mark.parametrize("backend", ["ivf", "lsh"])
+class TestApproximateChurnFloors:
+    """IVF/LSH keep their static-build recall floor under ≥ 20% churn."""
+
+    def _build(self, backend: str, items: np.ndarray):
+        if backend == "ivf":
+            return IVFIndex(nlist=16, nprobe=8, seed=1).build(items)
+        return LSHIndex(num_tables=10, num_bits=8, seed=1).build(items)
+
+    @pytest.mark.parametrize("trial", range(3))
+    def test_recall_floor_after_heavy_churn(self, backend, trial):
+        rng = np.random.default_rng(500 + trial)
+        centres = rng.normal(size=(12, 16))
+        num_items = 1500
+
+        def draw(count):
+            return clustered(rng, centres, count)
+
+        items = draw(num_items)
+        index = self._build(backend, items)
+        exact = ExactIndex().build(items)
+        queries = draw(24)
+        static_recall = recall_at_k(index, exact, queries, 100)
+        assert static_recall >= 0.9
+        # ≥ 20% churn: a mix of in-place updates, deletes and appends.
+        updated = rng.choice(num_items, size=150, replace=False)
+        new_rows = draw(updated.size)
+        deleted = np.setdiff1d(np.arange(num_items), updated)[:100]
+        appended = np.arange(num_items, num_items + 80)
+        appended_rows = draw(appended.size)
+        for live_index in (index, exact):
+            live_index.upsert(updated, new_rows)
+            live_index.delete(deleted)
+            live_index.upsert(appended, appended_rows)
+        churned = updated.size + deleted.size + appended.size
+        assert churned / index.num_active >= 0.2
+        recall = recall_at_k(index, exact, queries, 100)
+        assert recall >= 0.9, f"{backend} recall@100 fell to {recall:.3f} after churn"
+
+    @pytest.mark.parametrize("tie_heavy", [False, True], ids=["gaussian", "tie-heavy"])
+    def test_search_contract_after_random_ops(self, backend, tie_heavy):
+        """No deleted ids, no duplicates, true scores, deterministic order."""
+        rng = np.random.default_rng(hash((backend, tie_heavy)) % 2**32)
+        items = draw_vectors(rng, 300, tie_heavy)
+        index = self._build(backend, items)
+        oracle = BruteForceOracle(items)
+        for _ in range(8):
+            kind, ids, rows = random_ops(rng, oracle, tie_heavy)
+            if kind == "delete":
+                index.delete(ids)
+                oracle.delete(ids)
+            else:
+                index.upsert(ids, rows)
+                oracle.upsert(ids, rows)
+        queries = draw_vectors(rng, 6, tie_heavy)
+        got_ids, got_scores = index.search(queries, 40)
+        live = set(oracle.live_ids.tolist())
+        for row in range(queries.shape[0]):
+            valid = got_ids[row] != PAD_ID
+            real = got_ids[row][valid]
+            assert real.size == np.unique(real).size, "duplicate ids in one row"
+            assert set(real.tolist()) <= live, "returned a deleted id"
+            np.testing.assert_allclose(
+                got_scores[row][valid],
+                np.stack([oracle.vectors[i] for i in real.tolist()]) @ queries[row]
+                if real.size
+                else np.empty(0),
+                atol=1e-12,
+            )
+            pairs = list(zip(-got_scores[row][valid], real))
+            assert pairs == sorted(pairs), "not (score desc, id asc) ordered"
+            assert (got_scores[row][~valid] == PAD_SCORE).all()
+
+    def test_rebuild_after_churn_is_equivalent_to_fresh(self, backend):
+        """rebuild() over a churned index serves exactly the live catalogue."""
+        rng = np.random.default_rng(9)
+        items = rng.normal(size=(400, DIM))
+        index = self._build(backend, items)
+        index.delete(np.arange(0, 400, 3))
+        index.rebuild()
+        queries = rng.normal(size=(4, DIM))
+        ids, _ = index.search(queries, 50)
+        assert not np.isin(ids[ids != PAD_ID], np.arange(0, 400, 3)).any()
+        assert index.num_active == 400 - len(range(0, 400, 3))
+
+
+# --------------------------------------------------------------------- #
+# Top-K helpers vs the plain stable-argsort reference.
+# --------------------------------------------------------------------- #
+def reference_dense(scores: np.ndarray, k: int) -> np.ndarray:
+    return np.argsort(-scores, axis=1, kind="stable")[:, :k]
+
+
+score_strategies = st.one_of(
+    st.integers(min_value=-3, max_value=3).map(float),  # tie-heavy grid
+    st.floats(min_value=-100, max_value=100, allow_nan=False),
+    st.sampled_from([np.inf, -np.inf, 0.0, 0.0]),  # adversarial ±inf, constants
+)
+
+
+class TestDenseTopKOracleParity:
+    @given(
+        rows=st.integers(min_value=0, max_value=6),
+        cols=st.integers(min_value=1, max_value=24),
+        k=st.integers(min_value=1, max_value=30),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        mode=st.sampled_from(["ties", "gaussian", "constant", "inf"]),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_matches_stable_argsort(self, rows, cols, k, seed, mode):
+        rng = np.random.default_rng(seed)
+        if mode == "ties":
+            scores = rng.integers(0, 4, size=(rows, cols)).astype(np.float64)
+        elif mode == "constant":
+            scores = np.full((rows, cols), float(rng.integers(-2, 3)))
+        elif mode == "inf":
+            scores = rng.integers(-2, 3, size=(rows, cols)).astype(np.float64)
+            scores[rng.random(scores.shape) < 0.3] = np.inf
+            scores[rng.random(scores.shape) < 0.3] = -np.inf
+        else:
+            scores = rng.normal(size=(rows, cols))
+        np.testing.assert_array_equal(dense_top_k(scores, k), reference_dense(scores, k))
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_explicit_value_lists(self, data):
+        row = data.draw(st.lists(score_strategies, min_size=1, max_size=20))
+        k = data.draw(st.integers(min_value=1, max_value=len(row) + 5))
+        scores = np.array([row], dtype=np.float64)
+        np.testing.assert_array_equal(dense_top_k(scores, k), reference_dense(scores, k))
+
+
+def reference_padded(ids: np.ndarray, scores: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row (score desc, id asc) sort of the valid slots, PAD-filled."""
+    num_rows = ids.shape[0]
+    out_ids = np.full((num_rows, k), PAD_ID, dtype=np.int64)
+    out_scores = np.full((num_rows, k), PAD_SCORE, dtype=np.float64)
+    for row in range(num_rows):
+        valid = ids[row] != PAD_ID
+        ranked = sorted(zip(-scores[row][valid], ids[row][valid]))[:k]
+        for position, (negated, item) in enumerate(ranked):
+            out_ids[row, position] = item
+            out_scores[row, position] = -negated
+    return out_ids, out_scores
+
+
+class TestPaddedTopKOracleParity:
+    @given(
+        num_rows=st.integers(min_value=0, max_value=5),
+        width=st.integers(min_value=1, max_value=18),
+        k=st.integers(min_value=1, max_value=24),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        with_inf=st.booleans(),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_matches_reference(self, num_rows, width, k, seed, with_inf):
+        rng = np.random.default_rng(seed)
+        ids = np.full((num_rows, width), PAD_ID, dtype=np.int64)
+        scores = np.full((num_rows, width), PAD_SCORE)
+        for row in range(num_rows):
+            count = int(rng.integers(0, width + 1))  # 0 → an all-masked row
+            ids[row, :count] = rng.choice(200, size=count, replace=False)
+            values = rng.integers(-2, 3, size=count).astype(np.float64)
+            if with_inf:
+                values[rng.random(count) < 0.25] = np.inf
+                values[rng.random(count) < 0.25] = -np.inf
+            scores[row, :count] = values
+        got_ids, got_scores = padded_top_k(ids, scores, k)
+        want_ids, want_scores = reference_padded(ids, scores, k)
+        np.testing.assert_array_equal(got_ids, want_ids)
+        np.testing.assert_array_equal(got_scores, want_scores)
+
+    def test_valid_minus_inf_candidate_beats_padding(self):
+        """Regression: a real candidate scored -inf must outrank PAD slots."""
+        ids = np.array([[7, PAD_ID, 3]])
+        scores = np.array([[-np.inf, PAD_SCORE, -np.inf]])
+        top_ids, top_scores = padded_top_k(ids, scores, 3)
+        np.testing.assert_array_equal(top_ids, [[3, 7, PAD_ID]])
+        assert top_scores[0, 0] == -np.inf and top_scores[0, 2] == PAD_SCORE
+
+    def test_boundary_ties_at_infinity_repick_by_id(self):
+        ids = np.array([[9, 4, 6, 1]])
+        scores = np.array([[np.inf, np.inf, np.inf, 5.0]])
+        top_ids, _ = padded_top_k(ids, scores, 2)
+        np.testing.assert_array_equal(top_ids, [[4, 6]])

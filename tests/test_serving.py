@@ -401,6 +401,237 @@ class TestServiceCandidateRetrieval:
         assert len(calls) == 2
 
 
+class TestOnlineUpdatesAndMonitoring:
+    """The PR-4 invariants: row-level updates flow cache → index → oracle
+    without a rebuild, deletions stick everywhere, and the recall monitor
+    measures served traffic against the exact oracle."""
+
+    @pytest.fixture()
+    def model(self, tiny_train_graph, tiny_scene_graph):
+        return build_model("BPR-MF", tiny_train_graph, tiny_scene_graph, embedding_dim=8, seed=3)
+
+    def _exact_service(self, model, graph, scene, **kwargs):
+        return RecommendationService(
+            model, graph, scene, index=ExactIndex(), candidate_k=graph.num_items, **kwargs
+        )
+
+    def test_refresh_items_matches_fresh_pipeline_without_rebuild(
+        self, model, tiny_train_graph, tiny_scene_graph
+    ):
+        service = self._exact_service(model, tiny_train_graph, tiny_scene_graph)
+        request = RecommendRequest(users=(0, 1, 2), k=8)
+        service.recommend(request)  # warm cache + index
+        build_calls = []
+        original_build = service.index.build
+
+        def counting_build(*args, **kwargs):
+            build_calls.append(True)
+            return original_build(*args, **kwargs)
+
+        service.index.build = counting_build
+        touched = np.array([4, 9, 57])
+        rng = np.random.default_rng(1)
+        model.item_embedding.weight.data[touched] += rng.normal(size=(3, 8))
+        service.refresh_items(touched)
+        refreshed = service.recommend(request)
+        assert not build_calls, "refresh_items must not rebuild the index"
+        fresh = self._exact_service(model, tiny_train_graph, tiny_scene_graph)
+        fresh_response = fresh.recommend(request)
+        assert refreshed.item_lists() == fresh_response.item_lists()
+        for got, want in zip(refreshed.results, fresh_response.results):
+            np.testing.assert_allclose(
+                [rec.score for rec in got], [rec.score for rec in want], rtol=1e-12
+            )
+
+    def test_refresh_items_with_explicit_rows(self, model, tiny_train_graph, tiny_scene_graph):
+        service = self._exact_service(model, tiny_train_graph, tiny_scene_graph)
+        representations = service._cache.get()
+        boost = np.asarray(representations.users[0], dtype=np.float64) * 10.0
+        kwargs = {} if representations.item_biases is None else {"item_biases": [100.0]}
+        service.refresh_items([33], items=boost[None, :], **kwargs)
+        top = service.top_k(0, k=1, exclude_seen=False)
+        assert top[0].item == 33
+
+    def test_refresh_items_falls_back_to_full_refresh_for_propagation_models(
+        self, tiny_train_graph, tiny_scene_graph
+    ):
+        """Regression: LightGCN spreads an item update across neighbours and
+        users, so a row-level patch would corrupt the snapshot — the cache
+        must detect the spill-over and refresh fully instead."""
+        model = build_model("LightGCN", tiny_train_graph, tiny_scene_graph, embedding_dim=8, seed=5)
+        service = self._exact_service(model, tiny_train_graph, tiny_scene_graph)
+        request = RecommendRequest(users=(0, 1, 2, 3, 4), k=8)
+        service.recommend(request)  # warm
+        touched = np.array([3, 7])
+        rng = np.random.default_rng(6)
+        # LightGCN keeps one joint (users + items) table; item rows are offset.
+        model.embedding.weight.data[tiny_train_graph.num_users + touched] += rng.normal(size=(2, 8))
+        service.refresh_items(touched)
+        fresh = self._exact_service(model, tiny_train_graph, tiny_scene_graph)
+        assert service.recommend(request).item_lists() == fresh.recommend(request).item_lists()
+
+    def test_refresh_items_drops_the_explanation_cache(
+        self, model, tiny_train_graph, tiny_scene_graph
+    ):
+        """Regression: explanations derive from the same model state, so a
+        row-level refresh must invalidate them like refresh() does."""
+        service = self._exact_service(model, tiny_train_graph, tiny_scene_graph)
+        service.recommend(RecommendRequest(users=(0,), k=3))
+        refreshes = []
+        original = service._explainer.refresh
+        service._explainer.refresh = lambda: (refreshes.append(True), original())[1]
+        service.refresh_items([4])
+        assert refreshes, "refresh_items left the explainer cache warm"
+
+    def test_refresh_items_validation(self, model, tiny_train_graph, tiny_scene_graph):
+        service = self._exact_service(model, tiny_train_graph, tiny_scene_graph)
+        with pytest.raises(IndexError):
+            service.refresh_items([tiny_train_graph.num_items])
+        service.recommend(RecommendRequest(users=(0,), k=3))
+        service.delete_items([5])
+        with pytest.raises(KeyError, match="deleted"):
+            service.refresh_items([5])
+
+    def test_delete_items_on_index_and_full_path(self, model, tiny_train_graph, tiny_scene_graph):
+        indexed = self._exact_service(model, tiny_train_graph, tiny_scene_graph)
+        plain = RecommendationService(model, tiny_train_graph, tiny_scene_graph)
+        victims = [rec.item for rec in plain.top_k(2, k=3)]
+        for service in (indexed, plain):
+            service.delete_items(victims)
+            survivors = {rec.item for rec in service.top_k(2, k=10)}
+            assert not survivors & set(victims)
+        # parity between the two paths after identical deletions
+        request = RecommendRequest(users=(2, 5), k=6)
+        assert indexed.recommend(request).item_lists() == plain.recommend(request).item_lists()
+        with pytest.raises(KeyError, match="already deleted"):
+            indexed.delete_items(victims[:1])
+        with pytest.raises(IndexError):
+            plain.delete_items([tiny_train_graph.num_items])
+
+    def test_deletions_survive_a_full_refresh_rebuild(self, model, tiny_train_graph, tiny_scene_graph):
+        service = self._exact_service(model, tiny_train_graph, tiny_scene_graph)
+        victims = [rec.item for rec in service.top_k(1, k=2)]
+        service.delete_items(victims)
+        service.refresh()  # index rebuilt lazily from scratch on next use
+        assert not {rec.item for rec in service.top_k(1, k=10)} & set(victims)
+        assert service.index.num_active == tiny_train_graph.num_items - len(victims)
+
+    def test_monitor_requires_an_index(self, model, tiny_train_graph, tiny_scene_graph):
+        from repro.index import RecallMonitor
+
+        with pytest.raises(ValueError, match="monitor"):
+            RecommendationService(
+                model, tiny_train_graph, tiny_scene_graph, monitor=RecallMonitor()
+            )
+
+    def test_monitor_reports_perfect_recall_for_exact_index(
+        self, model, tiny_train_graph, tiny_scene_graph
+    ):
+        from repro.index import RecallMonitor
+
+        monitor = RecallMonitor(sample_rate=1.0, window=32, max_users_per_request=4, seed=0)
+        service = self._exact_service(
+            model, tiny_train_graph, tiny_scene_graph, monitor=monitor
+        )
+        service.recommend(RecommendRequest(users=tuple(range(10)), k=5))
+        stats = service.stats()
+        assert stats.monitor.sampled_requests == 1
+        assert stats.monitor.sampled_users == 4
+        assert stats.monitor.recall_at_k == 1.0
+        assert stats.monitor.candidate_hit_rate == 1.0
+
+    def test_monitor_tracks_partial_updates_and_deletes(
+        self, model, tiny_train_graph, tiny_scene_graph
+    ):
+        from repro.index import RecallMonitor
+
+        monitor = RecallMonitor(sample_rate=1.0, window=64, max_users_per_request=8, seed=1)
+        service = self._exact_service(
+            model, tiny_train_graph, tiny_scene_graph, monitor=monitor
+        )
+        request = RecommendRequest(users=tuple(range(8)), k=5)
+        service.recommend(request)
+        touched = np.array([3, 11])
+        rng = np.random.default_rng(2)
+        model.item_embedding.weight.data[touched] += rng.normal(size=(2, 8))
+        service.refresh_items(touched)
+        service.delete_items([40, 41])
+        service.recommend(request)
+        stats = service.stats().monitor
+        # The oracle mirrored every mutation, so ExactIndex recall stays 1.
+        assert stats.recall_at_k == 1.0
+        assert monitor.exact.num_active == tiny_train_graph.num_items - 2
+
+    def test_monitor_sampling_rate_zero_observes_nothing(
+        self, model, tiny_train_graph, tiny_scene_graph
+    ):
+        from repro.index import RecallMonitor
+
+        monitor = RecallMonitor(sample_rate=0.0, seed=0)
+        service = self._exact_service(
+            model, tiny_train_graph, tiny_scene_graph, monitor=monitor
+        )
+        service.recommend(RecommendRequest(users=(0, 1), k=3))
+        stats = service.stats().monitor
+        assert stats.sampled_requests == 0 and stats.recall_at_k is None
+
+    def test_monitor_parameter_validation(self):
+        from repro.index import RecallMonitor
+
+        with pytest.raises(ValueError, match="sample_rate"):
+            RecallMonitor(sample_rate=1.5)
+        with pytest.raises(ValueError, match="window"):
+            RecallMonitor(window=0)
+        with pytest.raises(ValueError, match="max_users_per_request"):
+            RecallMonitor(max_users_per_request=0)
+        with pytest.raises(RuntimeError, match="not built"):
+            RecallMonitor().observe(np.ones((1, 4)), np.ones((1, 2), dtype=np.int64), np.ones((1, 2)), 2)
+
+    def test_service_stats_counters(self, model, tiny_train_graph, tiny_scene_graph):
+        service = RecommendationService(model, tiny_train_graph, tiny_scene_graph)
+        stats = service.stats()
+        assert stats.requests == 0 and stats.users == 0
+        assert stats.index is None and stats.monitor is None and stats.live_items is None
+        service.recommend(RecommendRequest(users=(0, 1, 2), k=3))
+        service.top_k(4, k=2)
+        stats = service.stats()
+        assert stats.requests == 2 and stats.users == 4
+
+    def test_cache_partial_refresh_notifies_with_rows(self, model):
+        cache = ItemRepresentationCache(model)
+        received = []
+        cache.subscribe_partial(lambda ids, rows, biases: received.append((ids, rows, biases)))
+        with pytest.raises(TypeError):
+            cache.subscribe_partial("not callable")
+        cache.refresh_items([1, 2])  # cold cache: a no-op, nothing to patch
+        assert not received
+        warm = cache.get()
+        before = warm.items.copy()
+        cache.refresh_items([1, 2])
+        assert len(received) == 1
+        ids, rows, biases = received[0]
+        np.testing.assert_array_equal(ids, [1, 2])
+        assert rows.shape == (2, warm.items.shape[1])
+        np.testing.assert_allclose(warm.items, before)  # unchanged live model
+        with pytest.raises(ValueError, match="duplicate"):
+            cache.refresh_items([3, 3])
+        with pytest.raises(IndexError):
+            cache.refresh_items([warm.num_items])
+
+    def test_cache_partial_refresh_patches_rows_in_place(self, model):
+        cache = ItemRepresentationCache(model)
+        warm = cache.get()
+        new_row = np.full((1, warm.items.shape[1]), 3.25)
+        kwargs = {}
+        if warm.item_biases is not None:
+            kwargs["item_biases"] = np.array([1.5])
+        cache.refresh_items([7], items=new_row, **kwargs)
+        assert cache.is_warm and cache.get() is warm  # still the same snapshot
+        np.testing.assert_allclose(warm.items[7], 3.25)
+        if warm.item_biases is not None:
+            assert warm.item_biases[7] == 1.5
+
+
 class TestRepresentationCache:
     def test_cache_warms_lazily_and_refreshes(self, tiny_train_graph, tiny_scene_graph):
         model = build_model("BPR-MF", tiny_train_graph, tiny_scene_graph, embedding_dim=8, seed=0)
