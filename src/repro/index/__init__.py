@@ -13,6 +13,10 @@ provides that stage as three interchangeable backends behind one interface:
 * :class:`~repro.index.lsh.LSHIndex` — multi-table random-hyperplane
   signatures with Hamming-ball probing; build is cheap and
   data-independent, good under frequent rebuilds.
+* :class:`~repro.index.pq.IVFPQIndex` — product-quantized inverted lists
+  (uint8 codes, per-query ADC lookup tables, exact re-ranking); the
+  memory-bound-catalogue backend, scanning ~8×dim/num_subspaces less
+  memory per probed item than the flat IVF scan.
 
 All backends speak dot-product and cosine metrics, fold optional item biases
 into the dot metric, pad with ``-1`` / ``-inf`` when a query reaches fewer
@@ -41,6 +45,7 @@ from repro.index.exact import ExactIndex
 from repro.index.ivf import IVFIndex
 from repro.index.lsh import LSHIndex
 from repro.index.monitor import MonitorStats, RecallMonitor
+from repro.index.pq import IVFPQIndex, PQCodec
 from repro.index.recall import recall_at_k
 from repro.index.registry import INDEX_REGISTRY, build_index, list_index_names, register_index
 from repro.index.topk import PAD_ID, PAD_SCORE, dense_top_k, padded_top_k
@@ -49,12 +54,14 @@ __all__ = [
     "ExactIndex",
     "INDEX_REGISTRY",
     "IVFIndex",
+    "IVFPQIndex",
     "ItemIndex",
     "LSHIndex",
     "METRICS",
     "MonitorStats",
     "PAD_ID",
     "PAD_SCORE",
+    "PQCodec",
     "RecallMonitor",
     "build_index",
     "dense_top_k",

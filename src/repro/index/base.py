@@ -28,7 +28,16 @@ new ids that extend the id space contiguously) and :meth:`ItemIndex.delete`
 retires items so they are never returned again — both without a full
 rebuild.  The base class owns the shared bookkeeping (validation, bias
 folding, cosine normalization, the live-item mask); backends implement the
-structural edits in ``_apply_upsert`` / ``_apply_delete``.
+structural edits in ``_apply_upsert`` / ``_apply_delete``.  Structural
+maintenance a backend *defers* off the mutation path (e.g. the IVF drift
+re-cluster) runs at the next explicit :meth:`ItemIndex.maintain` call.
+
+Storage precision is a knob: ``dtype`` pins the working dtype of the stored
+vectors and every search matmul to ``float32`` (the serving default — halves
+the memory traffic of the scan) or ``float64``; when omitted, the build
+input's precision is inherited (float32 stays float32, everything else is
+snapshotted at float64).  Returned *scores* are always float64 — top-k
+selection widens once so tie-breaking is identical across storage dtypes.
 """
 
 from __future__ import annotations
@@ -43,6 +52,9 @@ __all__ = ["ItemIndex", "METRICS"]
 #: Similarity metrics every backend must support.
 METRICS = ("dot", "cosine")
 
+#: Working dtypes an index may store vectors in.
+_WORK_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
 
 class ItemIndex:
     """Base class of the candidate-retrieval backends.
@@ -56,10 +68,15 @@ class ItemIndex:
     #: registry name; subclasses override (see :mod:`repro.index.registry`)
     name: str = "item-index"
 
-    def __init__(self, metric: str = "dot") -> None:
+    def __init__(self, metric: str = "dot", dtype: "str | np.dtype | None" = None) -> None:
         if metric not in METRICS:
             raise ValueError(f"unknown metric {metric!r}; choose from {METRICS}")
+        if dtype is not None:
+            dtype = np.dtype(dtype)
+            if dtype not in _WORK_DTYPES:
+                raise ValueError(f"dtype must be float32 or float64, got {dtype}")
         self.metric = metric
+        self.dtype = dtype
         self._vectors: np.ndarray | None = None
         self._active: np.ndarray | None = None  # live-item mask over the id space
         self._has_bias = False
@@ -86,6 +103,29 @@ class ItemIndex:
         """Number of live (searchable) items: built or upserted, not deleted."""
         return 0 if self._active is None else int(self._active.sum())
 
+    @property
+    def work_dtype(self) -> np.dtype | None:
+        """The dtype vectors are stored (and matmuls run) in; None before build."""
+        return None if self._vectors is None else self._vectors.dtype
+
+    @property
+    def returns_exact_scores(self) -> bool:
+        """Whether :meth:`search` scores ARE the model's ranking scores.
+
+        True for dot-metric backends that rescore their candidates against
+        the stored full-precision vectors (exact, IVF, LSH, refined IVF-PQ):
+        the serving layer can rank the returned scores directly.  False for
+        cosine retrieval (angle ≠ biased dot score) and for quantized scans
+        that return approximate distances — the serving layer then exactly
+        rescores the candidates before ranking.
+        """
+        return self.metric == "dot"
+
+    def _resolve_work_dtype(self, items: np.ndarray) -> np.dtype:
+        if self.dtype is not None:
+            return self.dtype
+        return np.dtype(np.float32) if items.dtype == np.float32 else np.dtype(np.float64)
+
     def build(
         self,
         items: "np.ndarray | FactorizedRepresentations",
@@ -104,13 +144,15 @@ class ItemIndex:
                 raise ValueError("pass biases either inside the representations or explicitly, not both")
             item_biases = items.item_biases
             items = items.items
-        items = np.asarray(items, dtype=np.float64)
+        items = np.asarray(items)
+        work = self._resolve_work_dtype(items)
+        items = np.asarray(items, dtype=work)
         if items.ndim != 2 or items.shape[0] == 0:
             raise ValueError(f"expected a non-empty (num_items, d) matrix, got shape {items.shape}")
         if item_biases is not None:
             if self.metric == "cosine":
                 raise ValueError("item biases have no cosine interpretation; use metric='dot'")
-            item_biases = np.asarray(item_biases, dtype=np.float64).reshape(-1)
+            item_biases = np.asarray(item_biases, dtype=work).reshape(-1)
             if item_biases.size != items.shape[0]:
                 raise ValueError(
                     f"{item_biases.size} biases for {items.shape[0]} items"
@@ -139,6 +181,20 @@ class ItemIndex:
         self._build()
         return self
 
+    def maintain(self, force: bool = False) -> bool:
+        """Run structural maintenance the backend deferred off the mutation path.
+
+        Backends that re-organize themselves under churn (the IVF/IVF-PQ
+        drift re-cluster) only *queue* that work inside ``upsert``/``delete``
+        so the mutation latency stays flat; calling ``maintain()`` — e.g.
+        from a background thread or a cron-style job — executes whatever is
+        pending.  ``force=True`` runs the maintenance even when no threshold
+        has tripped.  Returns whether any work ran; the base implementation
+        (backends without deferred work) does nothing and returns False.
+        """
+        self._require_built()
+        return False
+
     # ------------------------------------------------------------------ #
     # Online maintenance
     # ------------------------------------------------------------------ #
@@ -166,7 +222,7 @@ class ItemIndex:
             raise ValueError("duplicate item ids in one upsert batch")
         if ids.min() < 0:
             raise ValueError(f"item ids must be non-negative, got {ids.min()}")
-        rows = np.asarray(vectors, dtype=np.float64)
+        rows = np.asarray(vectors, dtype=self._vectors.dtype)
         if rows.ndim == 1:
             rows = rows[None, :]
         expected_dim = self._vectors.shape[1] - (1 if self._has_bias else 0)
@@ -178,7 +234,7 @@ class ItemIndex:
         if self._has_bias:
             if item_biases is None:
                 raise ValueError("this index folds item biases; upsert needs item_biases")
-            biases = np.asarray(item_biases, dtype=np.float64).reshape(-1)
+            biases = np.asarray(item_biases, dtype=self._vectors.dtype).reshape(-1)
             if biases.size != ids.size:
                 raise ValueError(f"{biases.size} biases for {ids.size} upserted items")
             rows = np.hstack([rows, biases[:, None]])
@@ -199,7 +255,7 @@ class ItemIndex:
                     f"got {np.sort(new_ids).tolist()})"
                 )
             self._vectors = np.vstack(
-                [self._vectors, np.zeros((new_ids.size, self._vectors.shape[1]))]
+                [self._vectors, np.zeros((new_ids.size, self._vectors.shape[1]), dtype=self._vectors.dtype)]
             )
             self._active = np.concatenate([self._active, np.zeros(new_ids.size, dtype=bool)])
             self._apply_growth(size + new_ids.size)
@@ -242,12 +298,25 @@ class ItemIndex:
         ``queries`` is ``(num_queries, d)`` (one query may be passed as a
         bare ``(d,)`` vector).  Returns ``(ids, scores)`` of shape
         ``(num_queries, k)`` with ``-1`` / ``-inf`` padding for queries that
-        reach fewer than ``k`` items.
+        reach fewer than ``k`` items.  Queries are scored in the index's
+        working dtype; scores always come back as float64.
         """
         self._require_built()
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
-        queries = np.asarray(queries, dtype=np.float64)
+        queries = self._prepare_queries(queries)
+        if not self._active.any():
+            # Every item deleted: pure padding, no backend involvement.
+            ids = np.full((queries.shape[0], int(k)), PAD_ID, dtype=np.int64)
+            return ids, np.full(ids.shape, PAD_SCORE, dtype=np.float64)
+        ids, scores = self._search(queries, int(k))
+        # Scores leave the index as float64 whatever the working dtype, so
+        # downstream consumers see one precision (tie-break determinism).
+        return ids, scores.astype(np.float64, copy=False)
+
+    def _prepare_queries(self, queries: np.ndarray) -> np.ndarray:
+        """Validate + cast queries, fold the bias coordinate / normalize."""
+        queries = np.asarray(queries, dtype=self._vectors.dtype)
         if queries.ndim == 1:
             queries = queries[None, :]
         if queries.ndim != 2:
@@ -259,14 +328,10 @@ class ItemIndex:
                 f"got {queries.shape[1]}-dimensional queries"
             )
         if self._has_bias:
-            queries = np.hstack([queries, np.ones((queries.shape[0], 1))])
+            queries = np.hstack([queries, np.ones((queries.shape[0], 1), dtype=queries.dtype)])
         elif self.metric == "cosine":
             queries = _normalize_rows(queries)
-        if not self._active.any():
-            # Every item deleted: pure padding, no backend involvement.
-            ids = np.full((queries.shape[0], int(k)), PAD_ID, dtype=np.int64)
-            return ids, np.full(ids.shape, PAD_SCORE, dtype=np.float64)
-        return self._search(queries, int(k))
+        return queries
 
     # ------------------------------------------------------------------ #
     # Backend hooks

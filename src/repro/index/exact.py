@@ -81,7 +81,7 @@ class ExactIndex(ItemIndex):
         if rows_needed <= capacity:
             return
         capacity = max(2 * capacity, rows_needed)
-        dense = np.zeros((capacity, self._dense.shape[1]))
+        dense = np.zeros((capacity, self._dense.shape[1]), dtype=self._dense.dtype)
         dense[: self._count] = self._dense[: self._count]
         self._dense = dense
         ids = np.full(capacity, -1, dtype=np.int64)

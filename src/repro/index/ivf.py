@@ -11,25 +11,33 @@ The search path is vectorized across the whole query batch: probed lists are
 processed grouped *by cell* (one matmul per touched cell against all queries
 probing it), candidates land in a padded ``(num_queries, max_candidates)``
 matrix, and the final selection is one :func:`~repro.index.topk.padded_top_k`
-call.  Cells are disjoint, so no per-row dedup is needed.
+call.  Cells are disjoint, so no per-row dedup is needed.  The cell-grouped
+assembly is shared with the quantized subclass
+(:class:`~repro.index.pq.IVFPQIndex`), which swaps the per-cell matmul for an
+ADC table scan.
 
 Online maintenance (:meth:`~repro.index.base.ItemIndex.upsert` /
 :meth:`~repro.index.base.ItemIndex.delete`) avoids the k-means rebuild:
 an insert is assigned to its nearest existing cell, a delete becomes a
 tombstone (the id is unlinked from its cell; list slots are reclaimed
 lazily), and a vector update that crosses a cell boundary moves the id.
-Every churned row bumps a drift counter, and once the churned fraction of
-the live catalogue passes ``rebuild_threshold`` the quantizer re-clusters
-in the background of the mutating call — warm-started from the current
-centroids and bounded to ``recluster_iters`` Lloyd iterations, so the cost
-stays a small multiple of one assignment pass rather than a full build.
+Every churned row bumps a drift counter; once the churned fraction of the
+live catalogue passes ``rebuild_threshold`` a re-cluster is *queued* — the
+mutating call itself stays flat-latency — and executed at the next explicit
+:meth:`~repro.index.base.ItemIndex.maintain` call (or immediately with
+``maintain(force=True)``), warm-started from the current centroids and
+bounded to ``recluster_iters`` Lloyd iterations, so the cost stays a small
+multiple of one assignment pass rather than a full build.
 """
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
 from repro.index.base import ItemIndex, _normalize_rows
+from repro.index.kmeans import lloyd, nearest_centroid
 from repro.index.registry import register_index
 from repro.index.topk import PAD_ID, PAD_SCORE, dense_top_k, padded_top_k
 from repro.utils.rng import new_rng
@@ -50,18 +58,22 @@ class IVFIndex(ItemIndex):
         build time, the usual IVF sizing rule.
     nprobe:
         cells scanned per query.  Recall and cost both grow with it;
-        ``nprobe == nlist`` degenerates to an exact scan.
+        ``nprobe == nlist`` degenerates to an exact scan.  Mutable between
+        searches — the monitor-driven auto-tuner adjusts it live.
     kmeans_iters:
         Lloyd iterations of the coarse quantizer.
     rebuild_threshold:
         fraction of the live catalogue that may churn (upserts + deletes)
-        before the quantizer re-clusters itself; the re-cluster runs inside
-        the mutating call, warm-started and bounded to ``recluster_iters``
-        Lloyd iterations.
+        before a quantizer re-cluster is queued; the re-cluster runs at the
+        next :meth:`~repro.index.base.ItemIndex.maintain` call, warm-started
+        and bounded to ``recluster_iters`` Lloyd iterations.
     recluster_iters:
         Lloyd iteration budget of one incremental re-cluster.
     seed:
         seed of the k-means initialisation (and empty-cell re-seeding).
+    dtype:
+        working dtype of the stored vectors / scan matmuls (see
+        :class:`~repro.index.base.ItemIndex`).
     """
 
     name = "ivf"
@@ -75,8 +87,9 @@ class IVFIndex(ItemIndex):
         rebuild_threshold: float = 0.25,
         recluster_iters: int = 2,
         seed: int = 0,
+        dtype: "str | np.dtype | None" = None,
     ) -> None:
-        super().__init__(metric=metric)
+        super().__init__(metric=metric, dtype=dtype)
         if nlist is not None and nlist <= 0:
             raise ValueError(f"nlist must be positive, got {nlist}")
         if nprobe <= 0:
@@ -101,6 +114,7 @@ class IVFIndex(ItemIndex):
         self._churn = 0  # rows churned since the last (re-)cluster
         self._num_reclusters = 0
         self._dirty = False  # any structural mutation since the last cluster
+        self._recluster_pending = False  # drift threshold tripped, work queued
 
     # ------------------------------------------------------------------ #
     @property
@@ -118,6 +132,11 @@ class IVFIndex(ItemIndex):
         """How many threshold-triggered incremental re-clusters have run."""
         return self._num_reclusters
 
+    @property
+    def recluster_pending(self) -> bool:
+        """Whether churn tripped the drift threshold and a re-cluster is queued."""
+        return self._recluster_pending
+
     def _target_nlist(self, num_live: int) -> int:
         """Requested cell count, defaulting to the ``sqrt(n)`` IVF sizing rule."""
         nlist = self.nlist if self.nlist is not None else max(1, int(round(np.sqrt(num_live))))
@@ -129,31 +148,14 @@ class IVFIndex(ItemIndex):
         nlist = self._target_nlist(vectors.shape[0])
         rng = new_rng(self.seed)
         centroids = vectors[rng.choice(vectors.shape[0], size=nlist, replace=False)].copy()
-        self._lloyd(vectors, centroids, self.kmeans_iters, rng)
+        lloyd(vectors, centroids, self.kmeans_iters, rng)
         self._centroids = centroids
         self._relink(live, vectors)
-
-    def _lloyd(self, vectors: np.ndarray, centroids: np.ndarray, iters: int, rng) -> None:
-        """In-place Lloyd iterations; empty cells are re-seeded from the data."""
-        nlist = centroids.shape[0]
-        num_rows = vectors.shape[0]
-        for _ in range(iters):
-            assign = _nearest_centroid(vectors, centroids)
-            # Scatter-mean in one pass: group members by cell (stable sort)
-            # and segment-sum with reduceat — no per-cell full-length masks.
-            counts = np.bincount(assign, minlength=nlist)
-            offsets = np.zeros(nlist, dtype=np.int64)
-            np.cumsum(counts[:-1], out=offsets[1:])
-            nonempty = np.flatnonzero(counts)
-            sums = np.add.reduceat(vectors[np.argsort(assign, kind="stable")], offsets[nonempty], axis=0)
-            centroids[nonempty] = sums / counts[nonempty, None]
-            for cell in np.flatnonzero(counts == 0):
-                centroids[cell] = vectors[rng.integers(num_rows)]
 
     def _relink(self, live: np.ndarray, vectors: np.ndarray) -> None:
         """Rebuild the cell membership (CSR + maps) from a final assignment."""
         nlist = self._centroids.shape[0]
-        assign = _nearest_centroid(vectors, self._centroids)
+        assign = nearest_centroid(vectors, self._centroids)
         order = np.argsort(assign, kind="stable")
         # Stable sort keeps ascending position within a cell, and ``live`` is
         # ascending, so every cell's member list is ascending by item id —
@@ -167,6 +169,7 @@ class IVFIndex(ItemIndex):
         self._id_cell[live] = assign
         self._churn = 0
         self._dirty = False
+        self._recluster_pending = False
 
     # ------------------------------------------------------------------ #
     # Online maintenance
@@ -177,23 +180,23 @@ class IVFIndex(ItemIndex):
         self._id_cell = grown
 
     def _apply_upsert(self, item_ids: np.ndarray, rows: np.ndarray, was_active: np.ndarray) -> None:
-        cells = _nearest_centroid(rows, self._centroids)
-        for item, cell in zip(item_ids.tolist(), cells.tolist()):
-            if self._id_cell[item] != cell:
-                if not self._cell_contains(cell, item):
-                    self._extras[cell].append(item)
-                self._id_cell[item] = cell
-        self._churn += int(item_ids.size)
-        self._dirty = True
-        self._maybe_recluster()
+        cells = nearest_centroid(rows, self._centroids)
+        self._place(item_ids, cells)
+        self._note_churn(item_ids.size)
 
     def _apply_delete(self, item_ids: np.ndarray) -> None:
         # Tombstone: the id keeps its slot in the member list, the liveness
         # filter (``_id_cell`` mismatch) hides it until the next re-cluster.
         self._id_cell[item_ids] = -1
-        self._churn += int(item_ids.size)
-        self._dirty = True
-        self._maybe_recluster()
+        self._note_churn(item_ids.size)
+
+    def _place(self, item_ids: np.ndarray, cells: np.ndarray) -> None:
+        """Link upserted ids to their (new) cells, appending movers to extras."""
+        for item, cell in zip(item_ids.tolist(), cells.tolist()):
+            if self._id_cell[item] != cell:
+                if not self._cell_contains(cell, item):
+                    self._extras[cell].append(item)
+                self._id_cell[item] = cell
 
     def _cell_contains(self, cell: int, item: int) -> bool:
         members = self._member_items[self._offsets[cell] : self._offsets[cell + 1]]
@@ -202,9 +205,22 @@ class IVFIndex(ItemIndex):
             return True
         return item in self._extras[cell]
 
-    def _maybe_recluster(self) -> None:
-        if self.num_active == 0 or self._churn < self.rebuild_threshold * self.num_active:
-            return
+    def _note_churn(self, count: int) -> None:
+        """Bump drift counters; queue (never run) the threshold re-cluster."""
+        self._churn += int(count)
+        self._dirty = True
+        if self.num_active > 0 and self._churn >= self.rebuild_threshold * self.num_active:
+            self._recluster_pending = True
+
+    def maintain(self, force: bool = False) -> bool:
+        """Run the queued drift re-cluster (or force one) off the mutation path."""
+        self._require_built()
+        if not (force or self._recluster_pending) or self.num_active == 0:
+            return False
+        self._run_recluster()
+        return True
+
+    def _run_recluster(self) -> None:
         live = np.flatnonzero(self._active)
         vectors = self._vectors[live]
         self._num_reclusters += 1
@@ -217,7 +233,7 @@ class IVFIndex(ItemIndex):
             # cells along.
             nlist = self._target_nlist(live.size)
             self._centroids = vectors[rng.choice(live.size, size=nlist, replace=False)].copy()
-        self._lloyd(vectors, self._centroids, self.recluster_iters, rng)
+        lloyd(vectors, self._centroids, self.recluster_iters, rng)
         self._relink(live, vectors)
 
     # ------------------------------------------------------------------ #
@@ -234,48 +250,98 @@ class IVFIndex(ItemIndex):
             members = np.concatenate([members, appended])
         return members
 
-    def _search(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
-        num_queries = queries.shape[0]
-        nlist = self.effective_nlist
-        nprobe = min(self.nprobe, nlist)
+    def _probe_cells(self, queries: np.ndarray) -> np.ndarray:
+        """The ``(num_queries, nprobe)`` best cells per query under the metric."""
+        nprobe = min(self.nprobe, self.effective_nlist)
         # Rank cells by the query↔centroid score under the index metric; for
         # cosine the item vectors are already normalized, so centroid scores
         # are compared on normalized centroids too.
         centroids = self._centroids
         if self.metric == "cosine":
             centroids = _normalize_rows(centroids)
-        probe = dense_top_k(queries @ centroids.T, nprobe)
-        touched = np.unique(probe)
-        members_by_cell = {int(cell): self._live_members(int(cell)) for cell in touched}
-        list_sizes = np.zeros(nlist, dtype=np.int64)
-        for cell, members in members_by_cell.items():
+        return dense_top_k(queries @ centroids.T, nprobe)
+
+    def _scan_cells(
+        self,
+        probe: np.ndarray,
+        score_block: Callable[[np.ndarray, np.ndarray, int], np.ndarray],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Assemble padded per-query candidates, processing probed lists by cell.
+
+        ``score_block(query_rows, members, cell)`` scores one touched cell's
+        live ``members`` against the queries probing it and returns the
+        ``(len(query_rows), len(members))`` block — a matmul for the flat
+        scan, an ADC gather+sum for the quantized one.
+
+        The (query, probe) pairs of every touched cell come from one shared
+        argsort of the probe matrix (instead of an O(nlist) sweep of
+        ``probe == cell`` scans), candidates land tightly packed in a
+        ``(num_queries, max_candidates)`` int32-id matrix, and scores stay
+        in the working dtype — the top-k selection widens both once at the
+        end.  Cells are disjoint, so no per-row dedup is needed.
+        """
+        num_queries, nprobe = probe.shape
+        if num_queries == 0 or nprobe == 0:
+            empty = np.empty((num_queries, 0))
+            return empty.astype(np.int32), empty.astype(self._vectors.dtype)
+        # Group the flat (query, probe) pairs by cell: one argsort, then a
+        # contiguous slice of pair indices per touched cell.
+        order = np.argsort(probe.ravel(), kind="stable")
+        sorted_cells = probe.ravel()[order]
+        group_starts = np.concatenate([[0], np.flatnonzero(np.diff(sorted_cells)) + 1])
+        touched = sorted_cells[group_starts]
+        group_ends = np.concatenate([group_starts[1:], [sorted_cells.size]])
+        members_by_cell = [self._live_members(int(cell)) for cell in touched]
+        list_sizes = np.zeros(self.effective_nlist, dtype=np.int32)
+        for cell, members in zip(touched, members_by_cell):
             list_sizes[cell] = members.size
         probe_sizes = list_sizes[probe]  # (num_queries, nprobe)
-        ends = np.cumsum(probe_sizes, axis=1)
+        ends = np.cumsum(probe_sizes, axis=1, dtype=np.int32)
         starts = ends - probe_sizes
-        max_candidates = int(ends[:, -1].max()) if num_queries else 0
-        candidate_ids = np.full((num_queries, max_candidates), PAD_ID, dtype=np.int64)
-        candidate_scores = np.full((num_queries, max_candidates), PAD_SCORE, dtype=np.float64)
-        for cell in touched:
-            members = members_by_cell[int(cell)]
+        max_candidates = int(ends[:, -1].max())
+        # int32 ids halve the scatter traffic of the id matrix; the top-k
+        # helpers widen them (with the scores) once at selection time.
+        candidate_ids = np.full((num_queries, max_candidates), PAD_ID, dtype=np.int32)
+        candidate_scores = np.full(
+            (num_queries, max_candidates), PAD_SCORE, dtype=self._vectors.dtype
+        )
+        for cell, members, start, end in zip(touched, members_by_cell, group_starts, group_ends):
             size = int(members.size)
             if size == 0:
                 continue
-            query_rows, probe_cols = np.nonzero(probe == cell)
-            block = queries[query_rows] @ self._vectors[members].T
-            columns = starts[query_rows, probe_cols][:, None] + np.arange(size)[None, :]
+            pairs = order[start:end]
+            query_rows = pairs // nprobe
+            probe_cols = pairs - query_rows * nprobe
+            block = score_block(query_rows, members, int(cell))
+            columns = starts[query_rows, probe_cols][:, None] + np.arange(size, dtype=np.int32)[None, :]
             candidate_ids[query_rows[:, None], columns] = members[None, :]
             candidate_scores[query_rows[:, None], columns] = block
+        return candidate_ids, candidate_scores
+
+    def scan(self, queries: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """The raw probed-cell scan: every candidate of every query, unranked.
+
+        Returns padded ``(ids, scores)`` of width ``max`` candidates per
+        query — the stream the top-k selection consumes.  Exposed so callers
+        (cascade rankers, benchmarks) can measure or re-rank the scan stage
+        itself; ids are int32, scores are in the working dtype and, for the
+        quantized subclass, are the raw ADC approximations (no re-ranking).
+        """
+        self._require_built()
+        queries = self._prepare_queries(queries)
+        if not self._active.any():
+            empty = np.empty((queries.shape[0], 0))
+            return empty.astype(np.int32), empty.astype(self._vectors.dtype)
+        return self._scan(queries)
+
+    def _scan(self, queries: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        probe = self._probe_cells(queries)
+
+        def flat_block(query_rows: np.ndarray, members: np.ndarray, cell: int) -> np.ndarray:
+            return queries[query_rows] @ self._vectors[members].T
+
+        return self._scan_cells(probe, flat_block)
+
+    def _search(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        candidate_ids, candidate_scores = self._scan(queries)
         return padded_top_k(candidate_ids, candidate_scores, k)
-
-
-def _nearest_centroid(vectors: np.ndarray, centroids: np.ndarray, chunk: int = 8192) -> np.ndarray:
-    """Index of the closest (squared-Euclidean) centroid per vector, chunked."""
-    centroid_sq = (centroids**2).sum(axis=1)
-    assign = np.empty(vectors.shape[0], dtype=np.int64)
-    for start in range(0, vectors.shape[0], chunk):
-        block = vectors[start : start + chunk]
-        # ||x - c||² = ||x||² - 2 x·c + ||c||²; ||x||² is constant per row.
-        distances = centroid_sq[None, :] - 2.0 * (block @ centroids.T)
-        assign[start : start + chunk] = np.argmin(distances, axis=1)
-    return assign

@@ -1,0 +1,50 @@
+"""Small shared k-means kernels for the index quantizers.
+
+Both quantizing backends are built on the same two primitives: the IVF
+coarse quantizer clusters whole item vectors into cells, and the product
+quantizer (:mod:`repro.index.pq`) clusters each subspace of the (residual)
+vectors into its own 256-entry codebook.  The kernels are deliberately
+plain NumPy — chunked distance computation so memory stays flat, stable
+empty-cell re-seeding, warm-startable (Lloyd iterates whatever centroids it
+is handed, so an incremental re-cluster can start from the current ones).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["lloyd", "nearest_centroid"]
+
+
+def nearest_centroid(vectors: np.ndarray, centroids: np.ndarray, chunk: int = 8192) -> np.ndarray:
+    """Index of the closest (squared-Euclidean) centroid per vector, chunked."""
+    centroid_sq = (centroids**2).sum(axis=1)
+    assign = np.empty(vectors.shape[0], dtype=np.int64)
+    for start in range(0, vectors.shape[0], chunk):
+        block = vectors[start : start + chunk]
+        # ||x - c||² = ||x||² - 2 x·c + ||c||²; ||x||² is constant per row.
+        distances = centroid_sq[None, :] - 2.0 * (block @ centroids.T)
+        assign[start : start + chunk] = np.argmin(distances, axis=1)
+    return assign
+
+
+def lloyd(vectors: np.ndarray, centroids: np.ndarray, iters: int, rng: np.random.Generator) -> None:
+    """In-place Lloyd iterations; empty cells are re-seeded from the data.
+
+    ``centroids`` is mutated — pass a copy of the initialisation (or the
+    previous clustering's centroids for a warm start).
+    """
+    nlist = centroids.shape[0]
+    num_rows = vectors.shape[0]
+    for _ in range(iters):
+        assign = nearest_centroid(vectors, centroids)
+        # Scatter-mean in one pass: group members by cell (stable sort)
+        # and segment-sum with reduceat — no per-cell full-length masks.
+        counts = np.bincount(assign, minlength=nlist)
+        offsets = np.zeros(nlist, dtype=np.int64)
+        np.cumsum(counts[:-1], out=offsets[1:])
+        nonempty = np.flatnonzero(counts)
+        sums = np.add.reduceat(vectors[np.argsort(assign, kind="stable")], offsets[nonempty], axis=0)
+        centroids[nonempty] = sums / counts[nonempty, None]
+        for cell in np.flatnonzero(counts == 0):
+            centroids[cell] = vectors[rng.integers(num_rows)]

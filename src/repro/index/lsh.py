@@ -23,6 +23,13 @@ a rebuild), and a delete removes the ids' entries outright, so a bucket
 emptied by deletes is simply a zero-width ``searchsorted`` range that
 Hamming-ball probing skips.  The hyperplanes themselves never move, so
 retrieval quality is unaffected by churn.
+
+The Hamming-ball XOR masks depend only on ``(num_bits, radius)``, so they
+are computed once per combination and shared process-wide
+(:func:`hamming_ball_masks`) instead of being re-enumerated on every
+rebuild; looking them up at search time also means ``hamming_radius`` can
+be raised or lowered between requests (the monitor-driven auto-tuner does)
+without touching the built tables.
 """
 
 from __future__ import annotations
@@ -36,7 +43,37 @@ from repro.index.registry import register_index
 from repro.index.topk import PAD_ID, PAD_SCORE, padded_top_k
 from repro.utils.rng import new_rng
 
-__all__ = ["LSHIndex"]
+__all__ = ["LSHIndex", "hamming_ball_masks"]
+
+#: Cache of Hamming-ball XOR masks keyed by ``(num_bits, radius)``; the
+#: arrays are marked read-only because every instance shares them.
+_PROBE_MASK_CACHE: dict[tuple[int, int], np.ndarray] = {}
+
+
+def hamming_ball_masks(num_bits: int, radius: int) -> np.ndarray:
+    """XOR masks of every signature within ``radius`` bit flips (cached).
+
+    The enumeration is ``sum_{r<=radius} C(num_bits, r)`` masks, identity
+    first; it depends only on the two integers, so rebuilt and re-spliced
+    indexes (and every table of every instance) reuse one shared, read-only
+    array per combination.
+    """
+    if not 1 <= num_bits <= 62:
+        raise ValueError(f"num_bits must lie in [1, 62], got {num_bits}")
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    radius = min(radius, num_bits)
+    key = (int(num_bits), int(radius))
+    cached = _PROBE_MASK_CACHE.get(key)
+    if cached is None:
+        masks = [np.int64(0)]
+        for r in range(1, radius + 1):
+            for bits in combinations(range(num_bits), r):
+                masks.append(np.int64(sum(1 << bit for bit in bits)))
+        cached = np.array(masks, dtype=np.int64)
+        cached.setflags(write=False)
+        _PROBE_MASK_CACHE[key] = cached
+    return cached
 
 
 @register_index("lsh")
@@ -56,9 +93,13 @@ class LSHIndex(ItemIndex):
     hamming_radius:
         probe every bucket within this Hamming distance of the query's
         signature (``0`` = only the exact bucket).  The number of probed
-        buckets per table is ``sum_{r<=radius} C(num_bits, r)``.
+        buckets per table is ``sum_{r<=radius} C(num_bits, r)``.  Mutable
+        between searches — the monitor-driven auto-tuner adjusts it live.
     seed:
         seed of the hyperplane draws.
+    dtype:
+        working dtype of the stored vectors / rescoring matmuls (see
+        :class:`~repro.index.base.ItemIndex`).
     """
 
     name = "lsh"
@@ -70,8 +111,9 @@ class LSHIndex(ItemIndex):
         num_bits: int = 12,
         hamming_radius: int = 1,
         seed: int = 0,
+        dtype: "str | np.dtype | None" = None,
     ) -> None:
-        super().__init__(metric=metric)
+        super().__init__(metric=metric, dtype=dtype)
         if num_tables <= 0:
             raise ValueError(f"num_tables must be positive, got {num_tables}")
         if not 1 <= num_bits <= 62:
@@ -85,7 +127,6 @@ class LSHIndex(ItemIndex):
         self._planes: np.ndarray | None = None  # (num_tables, d, num_bits)
         self._sorted_signatures: list[np.ndarray] | None = None  # per table
         self._permutations: list[np.ndarray] | None = None  # per table
-        self._probe_masks: np.ndarray | None = None  # XOR masks of the Hamming ball
 
     @property
     def effective_num_bits(self) -> int:
@@ -102,7 +143,10 @@ class LSHIndex(ItemIndex):
         live = np.flatnonzero(self._active)
         rng = new_rng(self.seed)
         num_bits = min(self.num_bits, max(1, int(np.log2(max(live.size, 2) / 4.0))))
-        self._planes = rng.normal(size=(self.num_tables, self._vectors.shape[1], num_bits))
+        # Planes in the working dtype so the projection matmul runs there too.
+        self._planes = rng.normal(size=(self.num_tables, self._vectors.shape[1], num_bits)).astype(
+            self._vectors.dtype, copy=False
+        )
         self._sorted_signatures = []
         self._permutations = []
         vectors = self._vectors[live]
@@ -111,11 +155,6 @@ class LSHIndex(ItemIndex):
             order = np.argsort(signatures, kind="stable")
             self._permutations.append(live[order].astype(np.int64, copy=False))
             self._sorted_signatures.append(signatures[order])
-        masks = [np.int64(0)]
-        for radius in range(1, min(self.hamming_radius, num_bits) + 1):
-            for bits in combinations(range(num_bits), radius):
-                masks.append(np.int64(sum(1 << bit for bit in bits)))
-        self._probe_masks = np.array(masks, dtype=np.int64)
 
     # ------------------------------------------------------------------ #
     # Online maintenance
@@ -159,11 +198,16 @@ class LSHIndex(ItemIndex):
     # ------------------------------------------------------------------ #
     def _search(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
         num_queries = queries.shape[0]
+        # Masks come from the shared per-(num_bits, radius) cache, looked up
+        # at search time so a live hamming_radius change takes effect now.
+        probe_masks = hamming_ball_masks(
+            self.effective_num_bits, min(self.hamming_radius, self.effective_num_bits)
+        )
         # Probe signatures for every (query, table, mask) triple at once.
         query_signatures = np.stack(
             [_pack_signs(queries @ self._planes[table]) for table in range(self.num_tables)]
         )  # (num_tables, num_queries)
-        probes = query_signatures[:, :, None] ^ self._probe_masks[None, None, :]
+        probes = query_signatures[:, :, None] ^ probe_masks[None, None, :]
         starts = np.empty_like(probes)
         ends = np.empty_like(probes)
         for table in range(self.num_tables):
@@ -175,7 +219,7 @@ class LSHIndex(ItemIndex):
             chunks = [
                 self._permutations[table][starts[table, query, probe] : ends[table, query, probe]]
                 for table in range(self.num_tables)
-                for probe in range(self._probe_masks.size)
+                for probe in range(probe_masks.size)
             ]
             union = np.unique(np.concatenate(chunks)) if chunks else np.empty(0, dtype=np.int64)
             per_query_ids.append(union)

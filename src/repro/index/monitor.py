@@ -48,6 +48,9 @@ class MonitorStats:
     #: windowed means; ``None`` until the first sample lands
     recall_at_k: float | None
     candidate_hit_rate: float | None
+    #: the operator's served-traffic recall target (None = not monitoring
+    #: against a target; auto-tuning needs one)
+    target_recall: float | None = None
 
 
 class RecallMonitor:
@@ -65,6 +68,15 @@ class RecallMonitor:
         overhead of monitoring a huge batch request bounded.
     seed:
         seed of the sampling RNG (deterministic monitoring for tests).
+    target_recall:
+        served-traffic recall@k the retrieval stage should hold.  With a
+        target set, :meth:`suggest_probe` maps the windowed recall onto a
+        suggested probe width (``nprobe`` / ``hamming_radius``) —
+        ``service.stats()`` surfaces it and ``auto_tune=True`` applies it.
+    hysteresis:
+        dead band above the target: the suggestion only *narrows* the probe
+        once windowed recall exceeds ``target_recall + hysteresis``, so a
+        system sitting right at the target cannot flap wider/narrower.
 
     The monitor owns its oracle (:attr:`exact`, a dot-metric
     :class:`~repro.index.exact.ExactIndex` — ground truth is always the
@@ -80,6 +92,8 @@ class RecallMonitor:
         window: int = 512,
         max_users_per_request: int = 8,
         seed: int = 0,
+        target_recall: float | None = None,
+        hysteresis: float = 0.05,
     ) -> None:
         if not 0.0 <= sample_rate <= 1.0:
             raise ValueError(f"sample_rate must lie in [0, 1], got {sample_rate}")
@@ -87,9 +101,15 @@ class RecallMonitor:
             raise ValueError(f"window must be positive, got {window}")
         if max_users_per_request <= 0:
             raise ValueError(f"max_users_per_request must be positive, got {max_users_per_request}")
+        if target_recall is not None and not 0.0 < target_recall <= 1.0:
+            raise ValueError(f"target_recall must lie in (0, 1], got {target_recall}")
+        if hysteresis <= 0.0:
+            raise ValueError(f"hysteresis must be positive, got {hysteresis}")
         self.sample_rate = sample_rate
         self.window = window
         self.max_users_per_request = max_users_per_request
+        self.target_recall = target_recall
+        self.hysteresis = hysteresis
         self.exact = ExactIndex(metric="dot")
         self._rng = new_rng(seed)
         self._recalls: deque[float] = deque(maxlen=window)
@@ -173,7 +193,47 @@ class RecallMonitor:
             sampled_users=self._sampled_users,
             recall_at_k=float(np.mean(self._recalls)) if self._recalls else None,
             candidate_hit_rate=float(np.mean(self._hit_rates)) if self._hit_rates else None,
+            target_recall=self.target_recall,
         )
+
+    # ------------------------------------------------------------------ #
+    # Target-driven tuning
+    # ------------------------------------------------------------------ #
+    def reset_window(self) -> None:
+        """Drop the windowed statistics (lifetime counters stay).
+
+        Call after changing the probed width of the monitored index: samples
+        collected under the old setting no longer describe the new one.
+        """
+        self._recalls.clear()
+        self._hit_rates.clear()
+
+    def suggest_probe(self, current: int, lower: int, upper: int) -> int:
+        """The probe width the windowed recall argues for, within bounds.
+
+        Maps the windowed recall@k against :attr:`target_recall`:
+
+        * below the target → widen (double, at least +1, capped at
+          ``upper``) — recall rises monotonically with probe width;
+        * above ``target + hysteresis`` → narrow by a quarter (floored at
+          ``lower``), reclaiming latency conservatively;
+        * inside the dead band (or no target / no samples yet) → keep
+          ``current``.
+
+        Pure function of the window — callers decide when to *apply* it
+        (``RecommendationService(auto_tune=True)`` does, with a cooldown).
+        """
+        if lower > upper:
+            raise ValueError(f"empty probe range [{lower}, {upper}]")
+        current = int(np.clip(current, lower, upper))
+        if self.target_recall is None or not self._recalls:
+            return current
+        recall = float(np.mean(self._recalls))
+        if recall < self.target_recall:
+            return min(upper, max(current + 1, 2 * current))
+        if recall >= self.target_recall + self.hysteresis and current > lower:
+            return max(lower, current - max(1, current // 4))
+        return current
 
     def __repr__(self) -> str:
         stats = self.stats()

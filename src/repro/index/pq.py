@@ -1,0 +1,445 @@
+"""IVF-PQ: product-quantized inverted lists with vectorized ADC scanning.
+
+At catalogue scale the flat IVF scan is memory-bound: every probed item
+drags ``d`` float entries through the cache just to take one dot product.
+Product quantization (Jégou et al.'s IVFADC design) compresses each stored
+vector to ``num_subspaces`` uint8 codes — the vector is split into
+subspaces, each subspace k-means-clustered into ≤256 centroids, and the
+vector replaced by the per-subspace centroid ids.  A 48-dim float64 row
+(384 bytes) becomes 8 bytes: the scan touches ~48× less memory.
+
+Searching uses **asymmetric distance computation** (ADC): the query stays
+full-precision, and one ``(num_subspaces, 256)`` lookup table per query —
+``table[m, j] = q_m · codebook[m][j]`` — turns each stored code into an
+approximate dot product, ``score(q, x) ≈ Σ_m table[m, code_m(x)]``, i.e.
+exactly ``q · decode(encode(x))``.  The probed cells are scanned with a
+single fancy-indexed gather + sum per cell batch (no per-item Python
+loops), riding the same grouped-by-cell assembly as the flat IVF scan.
+
+Two quality refinements close most of the quantization gap:
+
+* **residual encoding** (default) — codes store ``x - centroid(cell(x))``
+  rather than ``x``; residuals are small and centred so the same codebook
+  budget spends its resolution where the data actually is.  The coarse term
+  ``q · centroid`` is added back from the already-computed probe scores.
+* **exact re-ranking** — the ADC scan keeps the top
+  ``refine_factor × k`` candidates, which are rescored against the stored
+  full-precision vectors before the final top-k.  With it, returned scores
+  are exact (the serving layer ranks them directly); set
+  ``refine_factor=None`` for the raw ADC scores and let the serving rescore
+  path handle exactness.
+
+The full online-maintenance contract is inherited from
+:class:`~repro.index.ivf.IVFIndex`: upserts encode against the trained
+codebooks and link to the nearest cell, deletes tombstone, drift queues a
+warm-started re-cluster for :meth:`~repro.index.base.ItemIndex.maintain`,
+which also warm-retrains the codebooks on the new residuals and re-encodes
+the live catalogue (bounded Lloyd iterations — a small multiple of one
+assignment pass, run off the request path).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.index.ivf import IVFIndex
+from repro.index.kmeans import lloyd, nearest_centroid
+from repro.index.registry import register_index
+from repro.index.topk import PAD_ID, PAD_SCORE, dense_top_k, padded_top_k
+from repro.utils.rng import new_rng
+
+__all__ = ["IVFPQIndex", "PQCodec"]
+
+#: Centroids per subspace — one uint8 code, the standard PQ choice.
+CODEBOOK_SIZE = 256
+
+#: Training vectors are subsampled beyond this many rows per codebook
+#: centroid; k-means quality saturates long before the full catalogue.
+TRAIN_ROWS_PER_CENTROID = 64
+
+#: Element budget of one exact-re-ranking gather chunk (matches the serving
+#: rescore path): the (rows, rescore_k, dim) gather is processed in row
+#: chunks so peak memory stays flat.
+REFINE_CHUNK_ELEMENTS = 1 << 22
+
+
+class PQCodec:
+    """Per-subspace k-means codebooks with vectorized encode/decode/ADC.
+
+    The input dimension is split into ``num_subspaces`` contiguous blocks
+    (zero-padded up to an even split — zero padding is dot-product-neutral);
+    :meth:`train` clusters each block into ``min(256, num_training_rows)``
+    centroids, :meth:`encode` maps vectors to ``(n, num_subspaces)`` uint8
+    codes, :meth:`decode` reconstructs, and :meth:`lookup_tables` builds the
+    per-query ADC tables such that
+    ``tables[q, m, encode(x)[m]]`` summed over ``m`` equals
+    ``q · decode(encode(x))``.
+    """
+
+    def __init__(self, num_subspaces: int = 8, kmeans_iters: int = 10, seed: int = 0) -> None:
+        if num_subspaces <= 0:
+            raise ValueError(f"num_subspaces must be positive, got {num_subspaces}")
+        if kmeans_iters <= 0:
+            raise ValueError(f"kmeans_iters must be positive, got {kmeans_iters}")
+        self.num_subspaces = num_subspaces
+        self.kmeans_iters = kmeans_iters
+        self.seed = seed
+        self.codebooks: np.ndarray | None = None  # (m, ksub, dsub)
+        self.dim = 0  # input dimension the codec was trained for
+        self._subspaces = 0  # num_subspaces clamped to the dimension
+        self._dsub = 0  # padded width of one subspace
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_trained(self) -> bool:
+        return self.codebooks is not None
+
+    @property
+    def effective_subspaces(self) -> int:
+        """Subspaces actually used (``num_subspaces`` clamped to the dim)."""
+        return 0 if self.codebooks is None else int(self.codebooks.shape[0])
+
+    @property
+    def codebook_size(self) -> int:
+        """Centroids per subspace (≤ 256; clamped to the training size)."""
+        return 0 if self.codebooks is None else int(self.codebooks.shape[1])
+
+    def train(self, vectors: np.ndarray) -> "PQCodec":
+        """Fit the per-subspace codebooks to a training matrix."""
+        vectors = np.asarray(vectors)
+        if vectors.ndim != 2 or vectors.shape[0] == 0:
+            raise ValueError(f"expected a non-empty (n, d) training matrix, got shape {vectors.shape}")
+        num_rows, dim = vectors.shape
+        subspaces = min(self.num_subspaces, dim)
+        self.dim = int(dim)
+        self._subspaces = int(subspaces)
+        self._dsub = int(np.ceil(dim / subspaces))
+        ksub = min(CODEBOOK_SIZE, num_rows)
+        rng = new_rng(self.seed)
+        train_rows = min(num_rows, max(4096, TRAIN_ROWS_PER_CENTROID * ksub))
+        if train_rows < num_rows:
+            vectors = vectors[rng.choice(num_rows, size=train_rows, replace=False)]
+        blocks = self._split(vectors)
+        self.codebooks = np.empty((subspaces, ksub, self._dsub), dtype=vectors.dtype)
+        for sub in range(subspaces):
+            block = np.ascontiguousarray(blocks[:, sub])
+            centroids = block[rng.choice(block.shape[0], size=ksub, replace=False)].copy()
+            lloyd(block, centroids, self.kmeans_iters, rng)
+            self.codebooks[sub] = centroids
+        return self
+
+    def retrain(self, vectors: np.ndarray, iters: int, rng: np.random.Generator) -> "PQCodec":
+        """Warm-start the codebooks on fresh data (bounded Lloyd iterations).
+
+        Keeps the trained geometry (same subspace split, same codebook size)
+        and moves the existing centroids a few steps toward the new
+        distribution — the incremental-maintenance counterpart of
+        :meth:`train`, used by the IVF-PQ drift re-cluster.
+        """
+        self._require_trained()
+        vectors = np.asarray(vectors)
+        if vectors.ndim != 2 or vectors.shape[1] != self.dim:
+            raise ValueError(f"expected (n, {self.dim}) vectors, got shape {vectors.shape}")
+        if vectors.shape[0] == 0:
+            return self
+        blocks = self._split(vectors)
+        for sub in range(self.effective_subspaces):
+            lloyd(np.ascontiguousarray(blocks[:, sub]), self.codebooks[sub], iters, rng)
+        return self
+
+    # ------------------------------------------------------------------ #
+    def encode(self, vectors: np.ndarray) -> np.ndarray:
+        """``(n, num_subspaces)`` uint8 codes: nearest centroid per subspace."""
+        self._require_trained()
+        vectors = np.asarray(vectors)
+        if vectors.ndim != 2 or vectors.shape[1] != self.dim:
+            raise ValueError(f"expected (n, {self.dim}) vectors, got shape {vectors.shape}")
+        blocks = self._split(vectors)
+        codes = np.empty((vectors.shape[0], self.effective_subspaces), dtype=np.uint8)
+        for sub in range(self.effective_subspaces):
+            codes[:, sub] = nearest_centroid(np.ascontiguousarray(blocks[:, sub]), self.codebooks[sub])
+        return codes
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Reconstruct ``(n, dim)`` vectors from codes (centroid lookup)."""
+        self._require_trained()
+        codes = np.asarray(codes)
+        if codes.ndim != 2 or codes.shape[1] != self.effective_subspaces:
+            raise ValueError(
+                f"expected (n, {self.effective_subspaces}) codes, got shape {codes.shape}"
+            )
+        out = np.empty((codes.shape[0], self.effective_subspaces * self._dsub), dtype=self.codebooks.dtype)
+        for sub in range(self.effective_subspaces):
+            out[:, sub * self._dsub : (sub + 1) * self._dsub] = self.codebooks[sub][codes[:, sub]]
+        return out[:, : self.dim]
+
+    def lookup_tables(self, queries: np.ndarray) -> np.ndarray:
+        """Per-query ADC tables: ``(num_queries, num_subspaces, codebook_size)``.
+
+        ``tables[q, m, j] = queries[q]_m · codebooks[m][j]``, so summing
+        ``tables[q, m, codes[x, m]]`` over ``m`` is the ADC approximation of
+        ``queries[q] · x`` — exactly ``q · decode(encode(x))``.
+        """
+        self._require_trained()
+        queries = np.asarray(queries)
+        if queries.ndim != 2 or queries.shape[1] != self.dim:
+            raise ValueError(f"expected (n, {self.dim}) queries, got shape {queries.shape}")
+        blocks = self._split(queries)  # (n, m, dsub)
+        tables = np.empty(
+            (queries.shape[0], self._subspaces, self.codebook_size), dtype=self.codebooks.dtype
+        )
+        for sub in range(self._subspaces):
+            # One small BLAS matmul per subspace beats a generic einsum.
+            tables[:, sub] = np.ascontiguousarray(blocks[:, sub]) @ self.codebooks[sub].T
+        return tables
+
+    def reconstruction_error(self, vectors: np.ndarray) -> float:
+        """Mean squared reconstruction error of an encode/decode round trip."""
+        vectors = np.asarray(vectors)
+        residual = vectors - self.decode(self.encode(vectors))
+        return float(np.mean(residual.astype(np.float64) ** 2))
+
+    # ------------------------------------------------------------------ #
+    def _split(self, vectors: np.ndarray) -> np.ndarray:
+        """View ``(n, dim)`` rows as ``(n, m, dsub)`` zero-padded subspaces."""
+        padded_dim = self._subspaces * self._dsub
+        if vectors.shape[1] < padded_dim:
+            padded = np.zeros((vectors.shape[0], padded_dim), dtype=vectors.dtype)
+            padded[:, : vectors.shape[1]] = vectors
+            vectors = padded
+        return vectors.reshape(vectors.shape[0], self._subspaces, self._dsub)
+
+    def _require_trained(self) -> None:
+        if not self.is_trained:
+            raise RuntimeError("PQCodec is not trained; call train() first")
+
+    def __repr__(self) -> str:
+        if not self.is_trained:
+            return f"PQCodec(num_subspaces={self.num_subspaces}, untrained)"
+        return (
+            f"PQCodec(subspaces={self.effective_subspaces}, "
+            f"codebook={self.codebook_size}, dim={self.dim})"
+        )
+
+
+@register_index("ivfpq")
+class IVFPQIndex(IVFIndex):
+    """Inverted-file index over PQ codes with ADC scanning + exact re-ranking.
+
+    All :class:`~repro.index.ivf.IVFIndex` parameters apply; additionally:
+
+    Parameters
+    ----------
+    num_subspaces:
+        PQ subspaces, i.e. uint8 code bytes per stored item.  The scan-path
+        compression over float64 storage is ``8 × d / num_subspaces``.
+    pq_iters:
+        Lloyd iterations per subspace codebook at (re)build time.
+    residual:
+        encode residuals relative to the item's coarse centroid (default)
+        instead of the raw vectors; markedly lower quantization error for
+        the same code budget.
+    refine_factor:
+        the ADC scan keeps ``ceil(refine_factor × k)`` candidates per query
+        and exactly rescores them against the stored full-precision vectors,
+        so returned scores are exact and recall@k approaches the flat IVF
+        scan's.  ``None`` skips re-ranking and returns raw ADC scores (the
+        serving layer then rescores candidates itself).
+    """
+
+    name = "ivfpq"
+
+    def __init__(
+        self,
+        metric: str = "dot",
+        nlist: int | None = None,
+        nprobe: int = 8,
+        kmeans_iters: int = 10,
+        rebuild_threshold: float = 0.25,
+        recluster_iters: int = 2,
+        seed: int = 0,
+        dtype: "str | np.dtype | None" = None,
+        num_subspaces: int = 8,
+        pq_iters: int = 10,
+        residual: bool = True,
+        refine_factor: float | None = 4.0,
+    ) -> None:
+        super().__init__(
+            metric=metric,
+            nlist=nlist,
+            nprobe=nprobe,
+            kmeans_iters=kmeans_iters,
+            rebuild_threshold=rebuild_threshold,
+            recluster_iters=recluster_iters,
+            seed=seed,
+            dtype=dtype,
+        )
+        if num_subspaces <= 0:
+            raise ValueError(f"num_subspaces must be positive, got {num_subspaces}")
+        if pq_iters <= 0:
+            raise ValueError(f"pq_iters must be positive, got {pq_iters}")
+        if refine_factor is not None and refine_factor < 1.0:
+            raise ValueError(f"refine_factor must be ≥ 1 (or None), got {refine_factor}")
+        self.num_subspaces = num_subspaces
+        self.pq_iters = pq_iters
+        self.residual = residual
+        self.refine_factor = refine_factor
+        self._codec: PQCodec | None = None
+        self._codes: np.ndarray | None = None  # (id space, m) uint8
+
+    # ------------------------------------------------------------------ #
+    @property
+    def returns_exact_scores(self) -> bool:
+        """Exact only when re-ranking rescores against the stored vectors."""
+        return self.metric == "dot" and self.refine_factor is not None
+
+    @property
+    def codec(self) -> PQCodec | None:
+        """The trained codec (None before the first build)."""
+        return self._codec
+
+    @property
+    def code_bytes(self) -> int:
+        """Bytes of the quantized scan-path store (codes over the id space)."""
+        return 0 if self._codes is None else int(self._codes.nbytes)
+
+    @property
+    def compression_ratio(self) -> float:
+        """Per-item compression of the scan path vs. float64 vector storage.
+
+        The ADC scan reads ``num_subspaces`` uint8 codes per probed item
+        where the flat scan reads ``d`` float64 entries; the full-precision
+        rows are only touched for the small re-ranked candidate set (and for
+        maintenance), exactly as the serving cache keeps them anyway.
+        """
+        if self._codes is None or self._vectors is None:
+            return 0.0
+        return (self._vectors.shape[1] * 8.0) / self._codes.shape[1]
+
+    # ------------------------------------------------------------------ #
+    def _build(self) -> None:
+        super()._build()  # coarse quantizer + cell links (resets churn)
+        live = np.flatnonzero(self._active)
+        residuals = self._residuals(self._vectors[live], self._id_cell[live])
+        self._codec = PQCodec(
+            num_subspaces=self.num_subspaces, kmeans_iters=self.pq_iters, seed=self.seed + 1
+        ).train(residuals)
+        self._codes = np.zeros((self._vectors.shape[0], self._codec.effective_subspaces), dtype=np.uint8)
+        self._codes[live] = self._codec.encode(residuals)
+
+    def _residuals(self, rows: np.ndarray, cells: np.ndarray) -> np.ndarray:
+        """What the codec sees: cell residuals (default) or the raw rows."""
+        if not self.residual:
+            return rows
+        return rows - self._centroids[cells]
+
+    # ------------------------------------------------------------------ #
+    # Online maintenance
+    # ------------------------------------------------------------------ #
+    def _apply_growth(self, new_size: int) -> None:
+        super()._apply_growth(new_size)
+        grown = np.zeros((new_size, self._codes.shape[1]), dtype=np.uint8)
+        grown[: self._codes.shape[0]] = self._codes
+        self._codes = grown
+
+    def _apply_upsert(self, item_ids: np.ndarray, rows: np.ndarray, was_active: np.ndarray) -> None:
+        cells = nearest_centroid(rows, self._centroids)
+        self._codes[item_ids] = self._codec.encode(self._residuals(rows, cells))
+        self._place(item_ids, cells)
+        self._note_churn(item_ids.size)
+
+    def _run_recluster(self) -> None:
+        super()._run_recluster()  # move centroids, relink cells
+        live = np.flatnonzero(self._active)
+        residuals = self._residuals(self._vectors[live], self._id_cell[live])
+        # Codebooks warm-start from their current centroids: a bounded Lloyd
+        # polish on the fresh residual distribution, then one re-encode pass.
+        self._codec.retrain(
+            residuals, self.recluster_iters, new_rng(self.seed + 1 + self._num_reclusters)
+        )
+        self._codes[live] = self._codec.encode(residuals)
+
+    # ------------------------------------------------------------------ #
+    # Search
+    # ------------------------------------------------------------------ #
+    def _scan(self, queries: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        if self.metric == "cosine":
+            # Cosine ranks cells on normalized centroids; the raw-centroid
+            # coarse term is only needed under residual encoding.
+            probe = self._probe_cells(queries)
+            coarse = queries @ self._centroids.T if self.residual else None
+        else:
+            # Dot metric: the centroid scores serve double duty — cell
+            # ranking for the probe AND the coarse ADC term.
+            coarse = queries @ self._centroids.T
+            probe = dense_top_k(coarse, min(self.nprobe, self.effective_nlist))
+            if not self.residual:
+                coarse = None
+        # One flat (m · ksub) table per query: subspace s of code j lives at
+        # column s·ksub + j, so a member's whole ADC score is m row-gathers.
+        subspaces = self._codec.effective_subspaces
+        ksub = self._codec.codebook_size
+        flat_tables = np.ascontiguousarray(
+            self._codec.lookup_tables(queries).reshape(queries.shape[0], subspaces * ksub)
+        )
+        code_offsets = (np.arange(subspaces) * ksub).astype(np.int32)
+
+        def adc_block(query_rows: np.ndarray, members: np.ndarray, cell: int) -> np.ndarray:
+            # Gather the probing queries' tables once (a few KB each), offset
+            # the cell's uint8 codes into flat-table columns (work stays
+            # proportional to the members actually scanned), then one
+            # ``np.take`` + accumulate per subspace over the whole cell batch
+            # — vectorized across (queries × members), no per-item loops.
+            tables = flat_tables[query_rows]
+            codes = self._codes[members].astype(np.int32)
+            codes += code_offsets
+            block = np.take(tables, codes[:, 0], axis=1)
+            for sub in range(1, subspaces):
+                block += np.take(tables, codes[:, sub], axis=1)
+            if coarse is not None:
+                # q·x = q·centroid + q·residual.
+                block += coarse[query_rows, cell][:, None]
+            return block
+
+        return self._scan_cells(probe, adc_block)
+
+    def _search(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        candidate_ids, candidate_scores = self._scan(queries)
+        if self.refine_factor is None:
+            return padded_top_k(candidate_ids, candidate_scores, k)
+        rescore_ids = self._prune(candidate_ids, candidate_scores, int(np.ceil(self.refine_factor * k)))
+        exact_scores = self._exact_rescore(queries, rescore_ids)
+        return padded_top_k(rescore_ids, exact_scores, k)
+
+    @staticmethod
+    def _prune(candidate_ids: np.ndarray, candidate_scores: np.ndarray, rescore_k: int) -> np.ndarray:
+        """The ``rescore_k`` best candidates per row by ADC score (unordered).
+
+        A plain per-row ``argpartition``: the survivors are exactly rescored
+        and deterministically re-ranked right after, so the careful
+        (score, id) tie-breaking of :func:`~repro.index.topk.padded_top_k`
+        would be wasted work here — ADC scores are a means of *selection*,
+        never part of the returned ranking.
+        """
+        width = candidate_ids.shape[1]
+        if rescore_k >= width:
+            return candidate_ids
+        keep = np.argpartition(-candidate_scores, rescore_k - 1, axis=1)[:, :rescore_k]
+        return np.take_along_axis(candidate_ids, keep, axis=1)
+
+    def _exact_rescore(self, queries: np.ndarray, ids: np.ndarray) -> np.ndarray:
+        """True stored-vector scores for the re-ranked candidates (chunked)."""
+        scores = np.full(ids.shape, PAD_SCORE, dtype=np.float64)
+        safe_ids = np.where(ids == PAD_ID, 0, ids)
+        width = ids.shape[1]
+        if width == 0:
+            return scores
+        rows_per_chunk = max(1, REFINE_CHUNK_ELEMENTS // max(1, width * self._vectors.shape[1]))
+        for start in range(0, ids.shape[0], rows_per_chunk):
+            block = slice(start, start + rows_per_chunk)
+            # Gather the candidate rows, then a batched BLAS mat·vec — faster
+            # than a generic einsum over the gathered operand.
+            gathered = self._vectors[safe_ids[block]]
+            scores[block] = np.matmul(gathered, queries[block][:, :, None])[:, :, 0]
+        scores[ids == PAD_ID] = PAD_SCORE
+        return scores

@@ -13,9 +13,15 @@ Two entry points:
 * :func:`dense_top_k` — full-width score matrices (the exact index, the
   serving layer's unfiltered fast path);
 * :func:`padded_top_k` — ragged per-row candidate lists padded with
-  ``id == -1`` / ``score == -inf`` (the IVF and LSH backends, the serving
-  layer's candidate rescoring), where the tie-break key is the candidate's
-  *item id* rather than its column position.
+  ``id == -1`` / ``score == -inf`` (the IVF/LSH/IVF-PQ backends, the
+  serving layer's candidate rescoring), where the tie-break key is the
+  candidate's *item id* rather than its column position.
+
+Both accept scores in any float dtype but widen them to float64 exactly
+once, here (see :func:`_check_matrix`): this is the single place the
+float32 serving path deliberately pays a float64 copy, so that orderings —
+including every tie-break decision — are bit-identical whatever precision
+the scan matmuls ran in, and returned score matrices are always float64.
 """
 
 from __future__ import annotations

@@ -56,14 +56,27 @@ class FactorizedRepresentations(NamedTuple):
         return int(self.items.shape[0])
 
     def score_matrix(self, users: np.ndarray) -> np.ndarray:
-        """``users_matrix[users] @ items_matrix.T (+ biases)`` in one matmul."""
+        """``users_matrix[users] @ items_matrix.T (+ biases)`` in one matmul.
+
+        Runs in the matrices' own float precision — a float32 serving
+        snapshot scores in float32 with no widening copies; models handing
+        out float64 representations keep scoring in float64.
+        """
         users = np.asarray(users, dtype=np.int64).reshape(-1)
-        scores = np.asarray(self.users, dtype=np.float64)[users] @ np.asarray(
-            self.items, dtype=np.float64
-        ).T
+        user_matrix = _as_float_array(self.users)
+        item_matrix = _as_float_array(self.items)
+        scores = user_matrix[users] @ item_matrix.T
         if self.item_biases is not None:
-            scores = scores + np.asarray(self.item_biases, dtype=np.float64)[None, :]
+            scores = scores + _as_float_array(self.item_biases)[None, :]
         return scores
+
+
+def _as_float_array(values: np.ndarray) -> np.ndarray:
+    """A float view of ``values``: float32/float64 pass through, rest widen."""
+    values = np.asarray(values)
+    if values.dtype in (np.float32, np.float64):
+        return values
+    return values.astype(np.float64)
 
 
 class Recommender(Module):

@@ -5,6 +5,12 @@ computes them once (lazily, in eval mode, without gradient bookkeeping) and
 hands them out until :meth:`ItemRepresentationCache.refresh` is called —
 which the owner must do after further training or any parameter mutation.
 
+The snapshot is stored in a configurable ``dtype`` — float32 by default:
+serving is memory-bandwidth-bound, and halving every matrix the hot path
+touches (score matmuls, index builds, candidate rescoring) buys real
+throughput while model training stays float64.  Pass ``dtype="float64"``
+for bit-exact parity with the live model's scores.
+
 Downstream state derived from the cached matrices (most importantly a
 candidate-retrieval index built over the item side) must go stale in the same
 breath: such consumers register a callback via
@@ -32,12 +38,25 @@ __all__ = ["ItemRepresentationCache"]
 #: A partial-refresh listener: ``(item_ids, item_vectors, item_biases)``.
 PartialRefreshListener = Callable[[np.ndarray, np.ndarray, "np.ndarray | None"], None]
 
+#: Dtypes a snapshot may be held in.
+_SNAPSHOT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
 
 class ItemRepresentationCache:
-    """Lazy cache of a factorized model's user/item representation matrices."""
+    """Lazy cache of a factorized model's user/item representation matrices.
 
-    def __init__(self, model: object) -> None:
+    ``dtype`` fixes the snapshot precision (float32 default, float64 for
+    bit-exact serving); all rows handed to partial-refresh listeners are in
+    this dtype too, so derived state (indexes, monitor oracles) stays
+    precision-consistent with the snapshot it was built from.
+    """
+
+    def __init__(self, model: object, dtype: "str | np.dtype" = "float32") -> None:
+        dtype = np.dtype(dtype)
+        if dtype not in _SNAPSHOT_DTYPES:
+            raise ValueError(f"dtype must be float32 or float64, got {dtype}")
         self._model = model
+        self._dtype = dtype
         self._representations: FactorizedRepresentations | None = None
         self._refresh_listeners: list[Callable[[], None]] = []
         self._partial_listeners: list[PartialRefreshListener] = []
@@ -46,6 +65,11 @@ class ItemRepresentationCache:
     def supported(self) -> bool:
         """Whether the wrapped model exposes factorized representations."""
         return isinstance(self._model, FactorizedRecommender)
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The snapshot precision."""
+        return self._dtype
 
     @property
     def is_warm(self) -> bool:
@@ -61,16 +85,17 @@ class ItemRepresentationCache:
             )
         if self._representations is None:
             representations = self._compute_live()
-            # Snapshot with copies: models may hand out live views of
-            # their weight tables, and row-sparse optimisers mutate
-            # those in place — a cache must stay stale until refresh().
+            # Snapshot with copies (casting to the cache dtype): models may
+            # hand out live views of their weight tables, and row-sparse
+            # optimisers mutate those in place — a cache must stay stale
+            # until refresh().
             self._representations = FactorizedRepresentations(
-                users=np.array(representations.users, dtype=np.float64, copy=True),
-                items=np.array(representations.items, dtype=np.float64, copy=True),
+                users=np.array(representations.users, dtype=self._dtype, copy=True),
+                items=np.array(representations.items, dtype=self._dtype, copy=True),
                 item_biases=(
                     None
                     if representations.item_biases is None
-                    else np.array(representations.item_biases, dtype=np.float64, copy=True)
+                    else np.array(representations.item_biases, dtype=self._dtype, copy=True)
                 ),
             )
         return self._representations
@@ -161,7 +186,7 @@ class ItemRepresentationCache:
             if item_biases is not None:
                 raise ValueError("item_biases without items: pass both or neither")
             live = self._compute_live()
-            live_items = np.asarray(live.items, dtype=np.float64)
+            live_items = np.asarray(live.items, dtype=self._dtype)
             if not self._change_confined_to(live, cached, ids):
                 # Propagation models (LightGCN, NGCF, …) mix nodes: an item
                 # update moves neighbouring rows and the user side too, so a
@@ -173,10 +198,10 @@ class ItemRepresentationCache:
             biases = (
                 None
                 if live.item_biases is None or cached.item_biases is None
-                else np.asarray(live.item_biases, dtype=np.float64)[ids]
+                else np.asarray(live.item_biases, dtype=self._dtype)[ids]
             )
         else:
-            rows = np.asarray(items, dtype=np.float64)
+            rows = np.asarray(items, dtype=self._dtype)
             if rows.ndim == 1:
                 rows = rows[None, :]
             if rows.shape != (ids.size, cached.items.shape[1]):
@@ -188,7 +213,7 @@ class ItemRepresentationCache:
             if cached.item_biases is not None:
                 if item_biases is None:
                     raise ValueError("this model has item biases; refresh_items needs item_biases")
-                biases = np.asarray(item_biases, dtype=np.float64).reshape(-1)
+                biases = np.asarray(item_biases, dtype=self._dtype).reshape(-1)
                 if biases.size != ids.size:
                     raise ValueError(f"{biases.size} biases for {ids.size} refreshed items")
             elif item_biases is not None:
@@ -199,28 +224,29 @@ class ItemRepresentationCache:
         for listener in self._partial_listeners:
             listener(ids, rows, biases)
 
-    @staticmethod
     def _change_confined_to(
-        live: FactorizedRepresentations, cached: FactorizedRepresentations, ids: np.ndarray
+        self, live: FactorizedRepresentations, cached: FactorizedRepresentations, ids: np.ndarray
     ) -> bool:
         """Whether the live model differs from the snapshot only in ``ids``.
 
         True for raw-embedding-table models (the rows a parameter update
         touched are exactly the rows that moved); false whenever a shared
         computation spread the change — recomputing unchanged parameters is
-        deterministic, so any divergence outside ``ids`` is a real change.
+        deterministic (and rounding to the snapshot dtype is too), so any
+        divergence outside ``ids`` is a real change.
         """
-        if not np.array_equal(np.asarray(live.users, dtype=np.float64), cached.users):
+        live_users = np.asarray(live.users, dtype=self._dtype)
+        if not np.array_equal(live_users, cached.users):
             return False
         untouched = np.ones(cached.num_items, dtype=bool)
         untouched[ids] = False
-        live_items = np.asarray(live.items, dtype=np.float64)
+        live_items = np.asarray(live.items, dtype=self._dtype)
         if live_items.shape != cached.items.shape or not np.array_equal(
             live_items[untouched], cached.items[untouched]
         ):
             return False
         if cached.item_biases is not None and live.item_biases is not None:
-            live_biases = np.asarray(live.item_biases, dtype=np.float64).reshape(-1)
+            live_biases = np.asarray(live.item_biases, dtype=self._dtype).reshape(-1)
             if not np.array_equal(live_biases[untouched], cached.item_biases[untouched]):
                 return False
         return True

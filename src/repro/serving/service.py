@@ -20,14 +20,26 @@ Catalogue churn does not pay that rebuild:
 warm representation cache, whose partial-refresh notification applies a
 row-level ``upsert`` to the index (and the recall monitor's oracle) in
 place, and :meth:`RecommendationService.delete_items` retires items
-everywhere at once.  An attached :class:`~repro.index.RecallMonitor` shadow-rescores a
+everywhere at once.  Structural work an index defers off the mutation path
+(the IVF/IVF-PQ drift re-cluster) runs at an explicit
+:meth:`RecommendationService.maintain` call.  An attached
+:class:`~repro.index.RecallMonitor` shadow-rescores a
 sample of served requests against the exact oracle;
 :meth:`RecommendationService.stats` exposes its windowed recall@k /
-candidate-hit-rate numbers next to the plain serving counters.
+candidate-hit-rate numbers next to the plain serving counters — plus, when
+the monitor carries a ``target_recall``, the probe width
+(``nprobe``/``hamming_radius``) that windowed recall argues for, which
+``auto_tune=True`` applies live (bounded, with hysteresis and a cooldown).
 
-Top-K selection uses :func:`numpy.argpartition` (O(I) per user) instead of a
-full sort, with ties broken by ascending item id so rankings are reproducible
-and identical to a stable full sort.
+The whole hot path runs in a configurable ``dtype`` — float32 by default:
+the representation cache snapshots, every score matmul, the index build and
+the candidate rescoring all stay in one precision with no widening copies
+(serving at scale is memory-bandwidth-bound; halving the bytes halves the
+traffic).  Top-K selection widens scores to float64 exactly once, inside
+the top-k helpers, so tie-breaking — :func:`numpy.argpartition` prefixes
+with ties broken by ascending item id — is reproducible and identical to a
+stable full sort whatever the serving precision.  ``dtype="float64"``
+restores bit-exact parity with the live model.
 """
 
 from __future__ import annotations
@@ -56,9 +68,12 @@ DEFAULT_CANDIDATE_MULTIPLE = 4
 MIN_CANDIDATE_K = 64
 #: Element budget of one candidate-rescoring gather chunk: the
 #: ``(rows, candidate_k, dim)`` item gather is processed in row chunks of at
-#: most this many float64 elements (~32 MB), so peak memory stays flat even
-#: when ``candidate_k`` approaches the catalogue size.
+#: most this many elements (~16 MB float32 / ~32 MB float64), so peak memory
+#: stays flat even when ``candidate_k`` approaches the catalogue size.
 RESCORE_CHUNK_ELEMENTS = 1 << 22
+#: Minimum fresh monitor samples between two auto-tune decisions: the
+#: cooldown that keeps target-driven probe changes from flapping on noise.
+AUTO_TUNE_MIN_SAMPLES = 4
 
 
 def batch_top_k(scores: np.ndarray, allowed: np.ndarray, k: int) -> list[np.ndarray]:
@@ -124,7 +139,8 @@ class RecommendationService:
     index:
         optional candidate-retrieval backend (:mod:`repro.index`): an
         :class:`~repro.index.ItemIndex` instance, or a registered backend
-        name (``"exact"``, ``"ivf"``, ``"lsh"``) built with defaults.
+        name (``"exact"``, ``"ivf"``, ``"ivfpq"``, ``"lsh"``) built with
+        defaults.
         Requires a factorized model with representation caching enabled.
         The index is built lazily over the cached item representations and
         rebuilt automatically after every :meth:`refresh`.
@@ -137,6 +153,18 @@ class RecommendationService:
         A sample of requests is shadow-rescored against an exact oracle
         kept in lockstep with the index, and :meth:`stats` reports the
         windowed recall@k / candidate-hit-rate of real served traffic.
+    dtype:
+        serving precision — ``"float32"`` (default) or ``"float64"``.  Sets
+        the representation-cache snapshot dtype, which the score matmuls,
+        the index build and the candidate rescoring all inherit.
+    auto_tune:
+        apply the monitor's probe-width suggestion automatically.  Requires
+        a ``monitor`` with ``target_recall`` set: when the windowed
+        served-traffic recall sags below the target the index's ``nprobe``
+        (IVF/IVF-PQ) or ``hamming_radius`` (LSH) widens, and once recall
+        clears the target plus the monitor's hysteresis band it narrows
+        again — always inside the backend's hard bounds, never more than
+        one change per :data:`AUTO_TUNE_MIN_SAMPLES` fresh samples.
 
     After further training of ``model``, call :meth:`refresh` to invalidate
     the precomputed representation and explanation caches (and the index).
@@ -155,6 +183,8 @@ class RecommendationService:
         index: "ItemIndex | str | None" = None,
         candidate_k: int | None = None,
         monitor: RecallMonitor | None = None,
+        dtype: "str | np.dtype" = "float32",
+        auto_tune: bool = False,
     ) -> None:
         if scene_graph is not None and scene_graph.num_items != bipartite.num_items:
             raise ValueError("scene graph and bipartite graph disagree on the number of items")
@@ -169,7 +199,8 @@ class RecommendationService:
         self.item_batch = item_batch
         self.cache_representations = bool(cache_representations)
         self._exclude_seen = ExcludeSeenFilter(bipartite)
-        self._cache = ItemRepresentationCache(model)
+        self._cache = ItemRepresentationCache(model, dtype=dtype)
+        self.dtype = self._cache.dtype
         self._explainer = SceneAffinityExplainer(model)
         if isinstance(index, str):
             index = build_index(index)
@@ -188,19 +219,32 @@ class RecommendationService:
             self._cache.subscribe_partial(self._apply_partial_update)
         if monitor is not None and index is None:
             raise ValueError("a recall monitor shadow-scores the index path; pass index= as well")
+        if auto_tune and (monitor is None or monitor.target_recall is None):
+            raise ValueError(
+                "auto_tune applies the monitor's target-driven suggestion; "
+                "pass monitor=RecallMonitor(target_recall=...) as well"
+            )
         self.index = index
         self.monitor = monitor
         self.candidate_k = candidate_k
+        self.auto_tune = bool(auto_tune)
         self._index_fresh = False
         self._unavailable = np.zeros(bipartite.num_items, dtype=bool)
         self._requests_served = 0
         self._users_served = 0
+        self._auto_tunes = 0
+        self._tuned_at_samples = 0
 
     # ------------------------------------------------------------------ #
     # Scoring
     # ------------------------------------------------------------------ #
     def score_matrix(self, users: "np.ndarray | Sequence[int]", item_batch: int | None = None) -> np.ndarray:
-        """``(len(users), num_items)`` model scores, via the fastest available path."""
+        """``(len(users), num_items)`` model scores, via the fastest available path.
+
+        On the cached path the matrix is computed — and returned — in the
+        serving ``dtype``; the uncached fallback scores the live model in
+        float64.
+        """
         users = self._check_users(users)
         if item_batch is None:
             item_batch = self.item_batch
@@ -300,6 +344,22 @@ class RecommendationService:
             if self.monitor is not None:
                 self.monitor.delete(ids)
 
+    def maintain(self, force: bool = False) -> bool:
+        """Run deferred index maintenance (IVF/IVF-PQ drift re-cluster) now.
+
+        The mutation path (:meth:`refresh_items` / :meth:`delete_items`)
+        only *queues* structural re-organisation so its latency stays flat;
+        call this off the request path — a background thread, a cron job,
+        a deploy hook — to execute whatever is pending (``force=True`` runs
+        it regardless of the drift threshold).  A stale index is warmed
+        first, so the rebuild also happens here rather than on the next
+        request.  Returns whether any maintenance ran.
+        """
+        if self.index is None:
+            return False
+        self._ensure_index()
+        return self.index.maintain(force=force)
+
     def stats(self) -> ServiceStats:
         """Serving counters plus the monitor's windowed quality numbers."""
         live_items = None
@@ -309,13 +369,66 @@ class RecommendationService:
             # delete_items() calls yet, but those items are already
             # unservable.
             live_items = int(self.bipartite.num_items - self._unavailable.sum())
+        suggested_nprobe = suggested_hamming_radius = None
+        suggestion = self._tuning_suggestion()
+        if suggestion is not None:
+            if suggestion[0] == "nprobe":
+                suggested_nprobe = suggestion[1]
+            else:
+                suggested_hamming_radius = suggestion[1]
         return ServiceStats(
             requests=self._requests_served,
             users=self._users_served,
             index=None if self.index is None else self.index.name,
             live_items=live_items,
             monitor=None if self.monitor is None else self.monitor.stats(),
+            suggested_nprobe=suggested_nprobe,
+            suggested_hamming_radius=suggested_hamming_radius,
+            auto_tunes=self._auto_tunes,
         )
+
+    # ------------------------------------------------------------------ #
+    # Target-driven tuning
+    # ------------------------------------------------------------------ #
+    def _tuning_suggestion(self) -> tuple[str, int] | None:
+        """The monitor's probe-width verdict for this index, or None.
+
+        Maps the windowed served-traffic recall onto the backend's knob:
+        ``("nprobe", value)`` for IVF-family indexes (bounded by the built
+        cell count), ``("hamming_radius", value)`` for LSH (bounded by the
+        built signature width).  Exact indexes have nothing to tune.
+        """
+        if self.monitor is None or self.monitor.target_recall is None or self.index is None:
+            return None
+        index = self.index
+        if hasattr(index, "nprobe"):
+            upper = index.effective_nlist if index.effective_nlist else max(1, index.nprobe)
+            return ("nprobe", self.monitor.suggest_probe(index.nprobe, 1, upper))
+        if hasattr(index, "hamming_radius"):
+            upper = index.effective_num_bits if index.effective_num_bits else index.num_bits
+            return ("hamming_radius", self.monitor.suggest_probe(index.hamming_radius, 0, upper))
+        return None
+
+    def _maybe_auto_tune(self) -> None:
+        """Apply the suggestion after enough fresh samples; reset the window.
+
+        The cooldown (≥ :data:`AUTO_TUNE_MIN_SAMPLES` new sampled rows since
+        the last decision) plus the monitor's hysteresis dead band keep the
+        knob from flapping; the window reset after an applied change makes
+        the next decision measure the *new* setting only.
+        """
+        stats = self.monitor.stats()
+        if stats.sampled_users - self._tuned_at_samples < AUTO_TUNE_MIN_SAMPLES:
+            return
+        suggestion = self._tuning_suggestion()
+        if suggestion is None:
+            return
+        self._tuned_at_samples = stats.sampled_users
+        param, value = suggestion
+        if value != getattr(self.index, param):
+            setattr(self.index, param, value)
+            self._auto_tunes += 1
+            self.monitor.reset_window()
 
     # ------------------------------------------------------------------ #
     # Candidate retrieval
@@ -343,8 +456,9 @@ class RecommendationService:
             if self.index.metric == "cosine":
                 # Cosine retrieval is angle-only by design: build over the
                 # bare item vectors (biases are restored by the exact
-                # rescoring pass in _recommend_from_candidates).
-                self.index.build(np.asarray(representations.items, dtype=np.float64))
+                # rescoring pass in _recommend_from_candidates).  The cache
+                # snapshot is already in the serving dtype — no copy.
+                self.index.build(np.asarray(representations.items))
             else:
                 self.index.build(representations)
             deleted = np.flatnonzero(self._unavailable)
@@ -353,7 +467,7 @@ class RecommendationService:
                 self.index.delete(deleted)
             if self.monitor is not None:
                 self.monitor.rebuild(
-                    np.asarray(representations.items, dtype=np.float64),
+                    np.asarray(representations.items),
                     item_biases=representations.item_biases,
                 )
                 if deleted.size:
@@ -365,17 +479,17 @@ class RecommendationService:
         """Raw index candidates per user: ``(ids, index scores)``.
 
         Both are ``(len(users), candidate_k)``, padded with ``-1`` / ``-inf``
-        where the index reaches fewer items.  The scores are in the *index's*
-        metric: for a dot-metric index they are the exact biased dot products
-        the service ranks by; for a cosine-metric index they are cosine
-        similarities in ``[-1, 1]`` (biases excluded), which the serving path
+        where the index reaches fewer items.  The scores are the *index's*
+        scores: when ``index.returns_exact_scores`` they are the exact biased
+        dot products the service ranks by; otherwise (cosine retrieval,
+        raw-ADC IVF-PQ) they are retrieval-stage scores that the serving path
         replaces with true model scores before ranking.
         """
         if self.index is None:
             raise RuntimeError("this service has no candidate-retrieval index; pass index= at construction")
         users = self._check_users(users)
         representations = self._ensure_index()
-        queries = np.asarray(representations.users, dtype=np.float64)[users]
+        queries = np.asarray(representations.users)[users]
         return self.index.search(queries, candidate_k)
 
     def _effective_candidate_k(self, request: RecommendRequest) -> int:
@@ -413,20 +527,21 @@ class RecommendationService:
         """The ANN path: index retrieval, then exact rescoring of candidates."""
         representations = self._ensure_index()
         candidate_k = self._effective_candidate_k(request)
-        user_matrix = np.asarray(representations.users, dtype=np.float64)
-        item_matrix = np.asarray(representations.items, dtype=np.float64)
+        user_matrix = np.asarray(representations.users)
+        item_matrix = np.asarray(representations.items)
         queries = user_matrix[users]
         candidate_ids, candidate_scores = self.index.search(queries, candidate_k)
         safe_ids = np.where(candidate_ids == PAD_ID, 0, candidate_ids)
-        if self.index.metric != "dot":
-            # A cosine index retrieves by angle, but the final ranking must be
-            # by the model's true score — exact-rescore the candidates only:
-            # gather their item vectors (in row chunks so peak memory stays
-            # flat) and take per-row biased dot products.
+        if not self.index.returns_exact_scores:
+            # The index's scores are not the model's ranking scores — cosine
+            # retrieval ranks by angle, a raw ADC scan by quantized distance
+            # — so exact-rescore the candidates only: gather their item
+            # vectors (in row chunks so peak memory stays flat) and take
+            # per-row biased dot products, all in the serving dtype.
             biases = (
                 None
                 if representations.item_biases is None
-                else np.asarray(representations.item_biases, dtype=np.float64)
+                else np.asarray(representations.item_biases)
             )
             candidate_scores = np.empty(candidate_ids.shape, dtype=np.float64)
             rows_per_chunk = max(
@@ -434,14 +549,16 @@ class RecommendationService:
             )
             for start in range(0, users.size, rows_per_chunk):
                 block = slice(start, start + rows_per_chunk)
-                candidate_scores[block] = np.einsum(
+                chunk_scores = np.einsum(
                     "ud,ucd->uc", queries[block], item_matrix[safe_ids[block]]
                 )
                 if biases is not None:
-                    candidate_scores[block] += biases[safe_ids[block]]
-        # A dot-metric index already returned the exact biased dot products
-        # over the same representation snapshot (it is rebuilt in lockstep
-        # with the cache), so those scores are reused as-is.
+                    chunk_scores = chunk_scores + biases[safe_ids[block]]
+                candidate_scores[block] = chunk_scores
+        # An exact-scoring index (dot-metric exact/IVF/LSH, refined IVF-PQ)
+        # already returned the model's biased dot products over the same
+        # representation snapshot (it is rebuilt in lockstep with the
+        # cache), so those scores are reused as-is.
         if self.monitor is not None:
             # Shadow-rescore a sample of this request's rows against the
             # exact oracle — before filtering, so the numbers measure the
@@ -454,6 +571,8 @@ class RecommendationService:
                     candidate_scores[sampled_rows],
                     request.k,
                 )
+            if self.auto_tune:
+                self._maybe_auto_tune()
         keep = candidate_ids != PAD_ID
         if self.base_filters or request.filters:
             # General filters only speak the full (users, num_items) mask

@@ -96,6 +96,13 @@ class ServiceStats:
     carries the attached
     :class:`~repro.index.monitor.RecallMonitor`'s windowed recall numbers,
     or ``None`` when no monitor is configured.
+
+    When the monitor has a ``target_recall``, exactly one of
+    ``suggested_nprobe`` / ``suggested_hamming_radius`` (matching the
+    backend's probe knob) carries the probe width the windowed
+    served-traffic recall argues for — equal to the current setting when
+    the window sits inside the target's dead band.  ``auto_tunes`` counts
+    how many suggestions an ``auto_tune=True`` service has applied.
     """
 
     requests: int
@@ -103,6 +110,9 @@ class ServiceStats:
     index: str | None = None
     live_items: int | None = None
     monitor: MonitorStats | None = None
+    suggested_nprobe: int | None = None
+    suggested_hamming_radius: int | None = None
+    auto_tunes: int = 0
 
 
 @dataclass(frozen=True)

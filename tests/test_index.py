@@ -20,6 +20,7 @@ from repro.index import (
     INDEX_REGISTRY,
     ExactIndex,
     IVFIndex,
+    IVFPQIndex,
     ItemIndex,
     LSHIndex,
     PAD_ID,
@@ -192,11 +193,13 @@ class TestExactIndex:
         assert set(ids[0, :3].tolist()) == {0, 1, 2}
 
 
-@pytest.mark.parametrize("backend", ["ivf", "lsh"])
+@pytest.mark.parametrize("backend", ["ivf", "lsh", "ivfpq"])
 class TestApproximateBackends:
     def _build(self, backend: str, items: np.ndarray, metric: str = "dot") -> ItemIndex:
         if backend == "ivf":
             return IVFIndex(metric=metric, nlist=12, nprobe=6, seed=1).build(items)
+        if backend == "ivfpq":
+            return IVFPQIndex(metric=metric, nlist=12, nprobe=6, num_subspaces=8, seed=1).build(items)
         return LSHIndex(metric=metric, num_tables=10, num_bits=8, seed=1).build(items)
 
     def test_scores_are_true_dot_products(self, backend):
@@ -239,13 +242,15 @@ class TestApproximateBackends:
             assert real.size == np.unique(real).size
 
 
-@pytest.mark.parametrize("backend", ["exact", "ivf", "lsh"])
+@pytest.mark.parametrize("backend", ["exact", "ivf", "lsh", "ivfpq"])
 class TestOnlineMaintenance:
     """upsert/delete edit the built structures instead of rebuilding."""
 
     def _build(self, backend: str, items: np.ndarray, **kwargs) -> ItemIndex:
         if backend == "ivf":
             return IVFIndex(nlist=8, nprobe=8, seed=1, **kwargs).build(items)
+        if backend == "ivfpq":
+            return IVFPQIndex(nlist=8, nprobe=8, num_subspaces=4, seed=1, **kwargs).build(items)
         if backend == "lsh":
             return LSHIndex(num_tables=8, num_bits=6, hamming_radius=1, seed=1, **kwargs).build(items)
         return ExactIndex(**kwargs).build(items)
@@ -356,22 +361,40 @@ class TestOnlineMaintenance:
 
 
 class TestIVFMaintenanceSpecifics:
-    def test_churn_counters_and_threshold_recluster(self):
+    def test_churn_counters_queue_the_recluster_for_maintain(self):
+        """Drift trips the threshold but the mutating call stays flat-latency:
+        the re-cluster is queued and only runs at the next maintain()."""
         items, _ = clustered_embeddings(num_items=400, num_queries=1)
         index = IVFIndex(nlist=8, nprobe=4, rebuild_threshold=0.25, seed=0).build(items)
         assert index.num_reclusters == 0 and index.churn_fraction == 0.0
+        assert not index.recluster_pending
         rng = np.random.default_rng(0)
         index.upsert(np.arange(50), rng.normal(size=(50, items.shape[1])))
-        assert index.num_reclusters == 0
+        assert index.num_reclusters == 0 and not index.recluster_pending
         assert index.churn_fraction == pytest.approx(50 / 400)
         index.delete(np.arange(50, 100))  # churn hits 100/400 = threshold
-        assert index.num_reclusters == 1
+        assert index.recluster_pending, "threshold churn must queue the re-cluster"
+        assert index.num_reclusters == 0, "the mutating call must not run it inline"
+        assert index.maintain() is True
+        assert index.num_reclusters == 1 and not index.recluster_pending
         assert index.churn_fraction == 0.0  # counters reset by the re-cluster
+        assert index.maintain() is False  # nothing queued anymore
+
+    def test_maintain_force_runs_below_threshold(self):
+        items, _ = clustered_embeddings(num_items=400, num_queries=1)
+        index = IVFIndex(nlist=8, nprobe=4, rebuild_threshold=0.25, seed=0).build(items)
+        rng = np.random.default_rng(1)
+        index.upsert(np.arange(10), rng.normal(size=(10, items.shape[1])))
+        assert not index.recluster_pending
+        assert index.maintain() is False
+        assert index.maintain(force=True) is True
+        assert index.num_reclusters == 1 and index.churn_fraction == 0.0
 
     def test_recluster_handles_catalogue_shrinking_below_nlist(self):
         items, queries = clustered_embeddings(num_items=60, num_queries=3)
         index = IVFIndex(nlist=16, nprobe=16, rebuild_threshold=0.1, seed=0).build(items)
         index.delete(np.arange(50))  # 10 items left, far below nlist
+        assert index.maintain() is True
         assert index.effective_nlist <= 10
         ids, _ = index.search(queries, 20)
         assert set(ids[ids != PAD_ID].tolist()) <= set(range(50, 60))
@@ -478,7 +501,7 @@ class TestLSHSpecifics:
 
 class TestRegistry:
     def test_builtin_backends_registered(self):
-        assert {"exact", "ivf", "lsh"} <= set(list_index_names())
+        assert {"exact", "ivf", "ivfpq", "lsh"} <= set(list_index_names())
 
     def test_build_index_passes_kwargs(self):
         index = build_index("ivf", metric="cosine", nprobe=3)

@@ -1,0 +1,501 @@
+"""Tests for ``repro.index.pq`` (PQ codec + IVF-PQ) and the tuning satellites.
+
+Four invariant families:
+
+* **PQCodec** — encode/decode geometry (shapes, padding, clamping),
+  round-trip error bounds (zero on data the codebooks can represent exactly,
+  bounded and subspace-monotone on random data), and the ADC identity:
+  the lookup-table score of ``(q, x)`` must equal ``q · decode(encode(x))``.
+* **IVFPQIndex** — the search contract under refine (exact scores,
+  deterministic ordering), raw-ADC mode, recall on clustered embeddings,
+  deferred re-cluster maintenance (codebooks retrain at ``maintain()``),
+  and compression accounting.
+* **Deferred maintenance through the service** — ``service.maintain()``
+  executes the queued IVF/IVF-PQ re-cluster off the mutation path.
+* **Monitor-driven auto-tuning** — target-recall suggestions surface in
+  ``service.stats()`` and an ``auto_tune=True`` service applies them
+  (bounded, hysteresis + cooldown so it cannot flap), for IVF-family
+  ``nprobe`` and LSH ``hamming_radius`` alike.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.bipartite import UserItemBipartiteGraph
+from repro.index import (
+    ExactIndex,
+    IVFIndex,
+    IVFPQIndex,
+    LSHIndex,
+    PAD_ID,
+    PQCodec,
+    RecallMonitor,
+    build_index,
+    recall_at_k,
+)
+from repro.index.lsh import hamming_ball_masks
+from repro.models.base import FactorizedRecommender, FactorizedRepresentations
+from repro.serving import RecommendationService, RecommendRequest
+
+
+def clustered(num_items=2000, num_queries=32, dim=16, num_clusters=12, spread=0.25, seed=0):
+    rng = np.random.default_rng(seed)
+    centres = rng.normal(size=(num_clusters, dim))
+    items = centres[rng.integers(0, num_clusters, size=num_items)]
+    items = items + spread * rng.normal(size=items.shape)
+    queries = centres[rng.integers(0, num_clusters, size=num_queries)]
+    queries = queries + spread * rng.normal(size=queries.shape)
+    items /= np.linalg.norm(items, axis=1, keepdims=True)
+    queries /= np.linalg.norm(queries, axis=1, keepdims=True)
+    return items, queries
+
+
+# --------------------------------------------------------------------- #
+# PQCodec
+# --------------------------------------------------------------------- #
+class TestPQCodec:
+    def test_shapes_and_dtype(self):
+        rng = np.random.default_rng(0)
+        vectors = rng.normal(size=(500, 24))
+        codec = PQCodec(num_subspaces=4, seed=0).train(vectors)
+        codes = codec.encode(vectors)
+        assert codes.shape == (500, 4) and codes.dtype == np.uint8
+        decoded = codec.decode(codes)
+        assert decoded.shape == (500, 24)
+        tables = codec.lookup_tables(rng.normal(size=(7, 24)))
+        assert tables.shape == (7, 4, codec.codebook_size)
+
+    def test_round_trip_is_exact_when_codebooks_can_represent_the_data(self):
+        """≤ 256 distinct per-subspace patterns → k-means can place one
+        centroid on each and the round trip must reconstruct exactly."""
+        rng = np.random.default_rng(1)
+        patterns = rng.normal(size=(16, 4))  # 16 distinct 4-d subspace rows
+        vectors = np.hstack(
+            [patterns[rng.integers(0, 16, size=800)] for _ in range(3)]
+        )  # (800, 12): 3 subspaces, 16 patterns each
+        codec = PQCodec(num_subspaces=3, kmeans_iters=25, seed=0).train(vectors)
+        decoded = codec.decode(codec.encode(vectors))
+        np.testing.assert_allclose(decoded, vectors, atol=1e-10)
+        assert codec.reconstruction_error(vectors) <= 1e-20
+
+    def test_round_trip_error_bounded_and_decreasing_in_subspaces(self):
+        rng = np.random.default_rng(2)
+        vectors = rng.normal(size=(3000, 32))
+        errors = []
+        for subspaces in (2, 4, 8):
+            codec = PQCodec(num_subspaces=subspaces, seed=0).train(vectors)
+            errors.append(codec.reconstruction_error(vectors))
+        variance = float(np.mean(vectors.astype(np.float64) ** 2))
+        assert errors[0] < variance, "quantization must beat the all-zeros code"
+        assert errors[0] > errors[1] > errors[2], (
+            f"MSE should fall as subspaces grow, got {errors}"
+        )
+
+    def test_adc_tables_equal_decoded_dot_products(self):
+        """The ADC identity: Σ_m table[q, m, code_m] == q · decode(encode(x))."""
+        rng = np.random.default_rng(3)
+        vectors = rng.normal(size=(600, 20))
+        queries = rng.normal(size=(9, 20))
+        codec = PQCodec(num_subspaces=5, seed=1).train(vectors)
+        codes = codec.encode(vectors)
+        tables = codec.lookup_tables(queries)
+        adc = tables[
+            np.arange(9)[:, None, None],
+            np.arange(5)[None, None, :],
+            codes[None, :, :],
+        ].sum(axis=2)
+        reference = queries @ codec.decode(codes).T
+        np.testing.assert_allclose(adc, reference, rtol=1e-10, atol=1e-10)
+
+    def test_dimension_padding_is_dot_product_neutral(self):
+        """dim not divisible by subspaces: zero padding must not shift ADC."""
+        rng = np.random.default_rng(4)
+        vectors = rng.normal(size=(400, 10))  # 3 subspaces → dsub 4, pad 2
+        queries = rng.normal(size=(5, 10))
+        codec = PQCodec(num_subspaces=3, seed=0).train(vectors)
+        codes = codec.encode(vectors)
+        np.testing.assert_allclose(
+            codec.lookup_tables(queries)[
+                np.arange(5)[:, None, None], np.arange(3)[None, None, :], codes[None, :, :]
+            ].sum(axis=2),
+            queries @ codec.decode(codes).T,
+            rtol=1e-10,
+            atol=1e-10,
+        )
+
+    def test_codebook_size_clamped_to_training_rows(self):
+        rng = np.random.default_rng(5)
+        codec = PQCodec(num_subspaces=2, seed=0).train(rng.normal(size=(40, 8)))
+        assert codec.codebook_size == 40
+
+    def test_subspaces_clamped_to_dimension(self):
+        rng = np.random.default_rng(6)
+        codec = PQCodec(num_subspaces=16, seed=0).train(rng.normal(size=(100, 5)))
+        assert codec.effective_subspaces == 5
+        assert codec.encode(rng.normal(size=(3, 5))).shape == (3, 5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="num_subspaces"):
+            PQCodec(num_subspaces=0)
+        with pytest.raises(ValueError, match="kmeans_iters"):
+            PQCodec(kmeans_iters=0)
+        codec = PQCodec()
+        with pytest.raises(RuntimeError, match="not trained"):
+            codec.encode(np.ones((2, 4)))
+        codec.train(np.random.default_rng(0).normal(size=(50, 8)))
+        with pytest.raises(ValueError, match=r"\(n, 8\)"):
+            codec.encode(np.ones((2, 5)))
+
+
+# --------------------------------------------------------------------- #
+# IVFPQIndex
+# --------------------------------------------------------------------- #
+class TestIVFPQIndex:
+    def test_registered(self):
+        assert isinstance(build_index("ivfpq", nprobe=3), IVFPQIndex)
+
+    def test_refined_scores_are_true_dot_products(self):
+        items, queries = clustered(num_items=600, num_queries=8)
+        index = IVFPQIndex(nlist=8, nprobe=8, num_subspaces=4, seed=1).build(items)
+        ids, scores = index.search(queries, 15)
+        for row in range(queries.shape[0]):
+            valid = ids[row] != PAD_ID
+            np.testing.assert_allclose(
+                scores[row][valid], items[ids[row][valid]] @ queries[row], atol=1e-12
+            )
+            pairs = list(zip(-scores[row][valid], ids[row][valid]))
+            assert pairs == sorted(pairs), "not (score desc, id asc) ordered"
+
+    def test_raw_adc_mode_matches_reconstruction_scores(self):
+        """refine_factor=None returns ADC scores == q · decode(encode(x))."""
+        items, queries = clustered(num_items=500, num_queries=6)
+        index = IVFPQIndex(
+            nlist=4, nprobe=4, num_subspaces=4, refine_factor=None, seed=1
+        ).build(items)
+        assert not index.returns_exact_scores
+        ids, scores = index.search(queries, 10)
+        live = np.flatnonzero(index._active)
+        residuals = items - index._centroids[index._id_cell]
+        decoded = index.codec.decode(index.codec.encode(residuals)) + index._centroids[index._id_cell]
+        for row in range(queries.shape[0]):
+            valid = ids[row] != PAD_ID
+            np.testing.assert_allclose(
+                scores[row][valid], decoded[ids[row][valid]] @ queries[row], rtol=1e-5, atol=1e-5
+            )
+        assert set(ids[ids != PAD_ID].tolist()) <= set(live.tolist())
+
+    def test_high_recall_on_clustered_embeddings(self):
+        items, queries = clustered()
+        index = IVFPQIndex(nlist=12, nprobe=6, num_subspaces=8, seed=1).build(items)
+        exact = ExactIndex().build(items)
+        assert recall_at_k(index, exact, queries, 50) >= 0.9
+
+    def test_residual_encoding_beats_raw_on_reconstruction(self):
+        items, _ = clustered(num_items=1500, dim=32)
+        residual = IVFPQIndex(nlist=12, nprobe=6, num_subspaces=4, seed=1).build(items)
+        raw = IVFPQIndex(nlist=12, nprobe=6, num_subspaces=4, residual=False, seed=1).build(items)
+        live = np.arange(items.shape[0])
+        res_vectors = items - residual._centroids[residual._id_cell[live]]
+        assert (
+            residual.codec.reconstruction_error(res_vectors)
+            < raw.codec.reconstruction_error(items)
+        )
+
+    def test_compression_accounting(self):
+        items, _ = clustered(num_items=800, dim=32)
+        index = IVFPQIndex(nlist=8, nprobe=4, num_subspaces=4, seed=0).build(items)
+        assert index.compression_ratio == pytest.approx(32 * 8 / 4)
+        assert index.code_bytes == 800 * 4
+        assert index.scan(items[:2])[0].shape[0] == 2
+
+    def test_deferred_recluster_retrains_codebooks_and_reencodes(self):
+        rng = np.random.default_rng(11)
+        items, queries = clustered(num_items=900, num_queries=6, seed=11)
+        index = IVFPQIndex(
+            nlist=8, nprobe=8, num_subspaces=4, rebuild_threshold=0.2, seed=1
+        ).build(items)
+        moved = rng.choice(900, size=250, replace=False)
+        index.upsert(moved, clustered(num_items=250, seed=12)[0])
+        assert index.recluster_pending and index.num_reclusters == 0
+        before = {sub: index.codec.codebooks[sub].copy() for sub in range(4)}
+        assert index.maintain() is True
+        assert index.num_reclusters == 1 and not index.recluster_pending
+        assert any(
+            not np.array_equal(before[sub], index.codec.codebooks[sub]) for sub in range(4)
+        ), "maintain() must warm-retrain the codebooks"
+        # And the re-encoded index still honours the contract.
+        ids, scores = index.search(queries, 20)
+        for row in range(queries.shape[0]):
+            valid = ids[row] != PAD_ID
+            np.testing.assert_allclose(
+                scores[row][valid], index._vectors[ids[row][valid]] @ queries[row], atol=1e-12
+            )
+
+    def test_deletions_never_resurface_without_rebuild(self):
+        items, queries = clustered(num_items=700, num_queries=10)
+        index = IVFPQIndex(nlist=8, nprobe=8, num_subspaces=4, seed=1).build(items)
+        victims = np.unique(index.search(queries, 5)[0].ravel())
+        victims = victims[victims != PAD_ID]
+        index.delete(victims)
+        ids, _ = index.search(queries, 80)
+        assert not np.isin(ids[ids != PAD_ID], victims).any()
+        index.maintain(force=True)  # survives the re-cluster too
+        ids, _ = index.search(queries, 80)
+        assert not np.isin(ids[ids != PAD_ID], victims).any()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="num_subspaces"):
+            IVFPQIndex(num_subspaces=0)
+        with pytest.raises(ValueError, match="pq_iters"):
+            IVFPQIndex(pq_iters=0)
+        with pytest.raises(ValueError, match="refine_factor"):
+            IVFPQIndex(refine_factor=0.5)
+
+    def test_serving_rescore_path_restores_exact_scores_for_raw_adc(self):
+        """A raw-ADC (refine_factor=None) index flows through the serving
+        rescore path: response scores must be the model's true scores."""
+        items, users = clustered(num_items=400, num_queries=20, seed=3)
+        model = _StaticModel(users, items)
+        bipartite = _bipartite(users.shape[0], items.shape[0])
+        service = RecommendationService(
+            model,
+            bipartite,
+            index=IVFPQIndex(nlist=8, nprobe=8, num_subspaces=4, refine_factor=None, seed=0),
+            candidate_k=200,
+        )
+        response = service.recommend(
+            RecommendRequest(users=tuple(range(10)), k=5, exclude_seen=False)
+        )
+        snapshot_users = np.asarray(service._cache.get().users)
+        snapshot_items = np.asarray(service._cache.get().items)
+        for row, recs in enumerate(response.results):
+            for rec in recs:
+                expected = float(snapshot_users[row] @ snapshot_items[rec.item])
+                assert rec.score == pytest.approx(expected, rel=1e-6)
+
+
+# --------------------------------------------------------------------- #
+# Service-level maintenance + auto-tuning
+# --------------------------------------------------------------------- #
+class _StaticModel(FactorizedRecommender):
+    name = "static"
+    trainable = False
+
+    def __init__(self, users: np.ndarray, items: np.ndarray) -> None:
+        super().__init__()
+        self._users = users
+        self._items = items
+
+    def factorized_representations(self) -> FactorizedRepresentations:
+        return FactorizedRepresentations(users=self._users, items=self._items)
+
+
+def _bipartite(num_users: int, num_items: int) -> UserItemBipartiteGraph:
+    return UserItemBipartiteGraph(
+        num_users=num_users,
+        num_items=num_items,
+        interactions=[(u, u % num_items) for u in range(num_users)],
+    )
+
+
+class TestServiceMaintain:
+    @pytest.mark.parametrize("backend", ["ivf", "ivfpq"])
+    def test_service_maintain_runs_the_queued_recluster(self, backend):
+        items, users = clustered(num_items=600, num_queries=16, seed=7)
+        model = _StaticModel(users, items)
+        index = build_index(backend, nlist=8, nprobe=4, rebuild_threshold=0.1, seed=0)
+        service = RecommendationService(model, _bipartite(users.shape[0], items.shape[0]), index=index)
+        request = RecommendRequest(users=tuple(range(8)), k=5, exclude_seen=False)
+        service.recommend(request)  # warm: builds cache + index
+        moved = np.arange(100)
+        service.refresh_items(moved, items=clustered(num_items=100, seed=8)[0])
+        assert index.recluster_pending, "mutation path must only queue the re-cluster"
+        assert index.num_reclusters == 0
+        assert service.maintain() is True
+        assert index.num_reclusters == 1 and not index.recluster_pending
+        assert service.maintain() is False
+        assert service.maintain(force=True) is True
+
+    def test_maintain_without_index_is_a_noop(self):
+        items, users = clustered(num_items=50, num_queries=4, seed=9)
+        service = RecommendationService(_StaticModel(users, items), _bipartite(users.shape[0], 50))
+        assert service.maintain() is False
+
+    def test_maintain_warms_a_stale_index(self):
+        items, users = clustered(num_items=200, num_queries=8, seed=10)
+        index = IVFIndex(nlist=4, nprobe=4, seed=0)
+        service = RecommendationService(_StaticModel(users, items), _bipartite(users.shape[0], 200), index=index)
+        assert not index.is_built
+        service.maintain()  # off-request-path warmup
+        assert index.is_built
+
+
+class TestAutoTune:
+    def _service(self, index, monitor, items, users, **kwargs):
+        return RecommendationService(
+            _StaticModel(users, items),
+            _bipartite(users.shape[0], items.shape[0]),
+            index=index,
+            monitor=monitor,
+            **kwargs,
+        )
+
+    def test_stats_surface_the_nprobe_suggestion(self):
+        items, users = clustered(num_items=800, num_queries=32, spread=0.6, seed=13)
+        monitor = RecallMonitor(sample_rate=1.0, window=64, target_recall=0.99, seed=0)
+        service = self._service(IVFIndex(nlist=16, nprobe=1, seed=0), monitor, items, users)
+        request = RecommendRequest(users=tuple(range(32)), k=10, exclude_seen=False)
+        for _ in range(4):
+            service.recommend(request)
+        stats = service.stats()
+        assert stats.monitor.target_recall == 0.99
+        assert stats.suggested_hamming_radius is None
+        assert stats.suggested_nprobe is not None and stats.suggested_nprobe > 1
+        assert service.index.nprobe == 1, "without auto_tune the service must not touch the knob"
+
+    def test_auto_tune_raises_nprobe_until_target_met_and_holds(self):
+        items, users = clustered(num_items=800, num_queries=32, spread=0.6, seed=13)
+        monitor = RecallMonitor(sample_rate=1.0, window=32, target_recall=0.999, seed=0)
+        service = self._service(
+            IVFIndex(nlist=16, nprobe=1, seed=0), monitor, items, users, auto_tune=True
+        )
+        request = RecommendRequest(users=tuple(range(32)), k=10, exclude_seen=False)
+        for _ in range(30):
+            service.recommend(request)
+        stats = service.stats()
+        assert service.index.nprobe > 1, "auto-tune should have widened the probe"
+        assert service.index.nprobe <= 16, "bounded by the built cell count"
+        assert stats.auto_tunes >= 1
+        assert stats.monitor.recall_at_k is None or stats.monitor.recall_at_k >= 0.9
+
+    def test_auto_tune_narrows_with_hysteresis_and_does_not_flap(self):
+        items, users = clustered(num_items=500, num_queries=16, seed=14)
+        # nprobe == nlist is exact (recall 1.0) — far above target + band, so
+        # the tuner narrows; near the dead band it must stop, not oscillate.
+        monitor = RecallMonitor(
+            sample_rate=1.0, window=16, target_recall=0.5, hysteresis=0.05, seed=0
+        )
+        service = self._service(
+            IVFIndex(nlist=8, nprobe=8, seed=0), monitor, items, users, auto_tune=True
+        )
+        request = RecommendRequest(users=tuple(range(16)), k=5, exclude_seen=False)
+        trajectory = []
+        for _ in range(40):
+            service.recommend(request)
+            trajectory.append(service.index.nprobe)
+        assert trajectory[-1] < 8, "overshooting recall should narrow the probe"
+        assert trajectory[-1] >= 1
+        # No flapping: once narrowed, the knob never widens again in this
+        # workload (recall stays above target the whole way down to 1).
+        assert all(b <= a for a, b in zip(trajectory, trajectory[1:]))
+
+    def test_auto_tune_drives_lsh_hamming_radius(self):
+        items, users = clustered(num_items=800, num_queries=32, spread=0.6, seed=15)
+        monitor = RecallMonitor(sample_rate=1.0, window=32, target_recall=0.99, seed=0)
+        service = self._service(
+            LSHIndex(num_tables=2, num_bits=7, hamming_radius=0, seed=0),
+            monitor,
+            items,
+            users,
+            auto_tune=True,
+        )
+        request = RecommendRequest(users=tuple(range(32)), k=10, exclude_seen=False)
+        for _ in range(30):
+            service.recommend(request)
+        stats = service.stats()
+        assert stats.suggested_nprobe is None
+        assert service.index.hamming_radius > 0, "auto-tune should widen the Hamming ball"
+        assert service.index.hamming_radius <= service.index.effective_num_bits
+
+    def test_auto_tune_requires_a_targeted_monitor(self):
+        items, users = clustered(num_items=100, num_queries=8, seed=16)
+        with pytest.raises(ValueError, match="auto_tune"):
+            self._service(IVFIndex(seed=0), None, items, users, auto_tune=True)
+        with pytest.raises(ValueError, match="auto_tune"):
+            self._service(
+                IVFIndex(seed=0), RecallMonitor(sample_rate=1.0), items, users, auto_tune=True
+            )
+
+    def test_monitor_validation(self):
+        with pytest.raises(ValueError, match="target_recall"):
+            RecallMonitor(target_recall=1.5)
+        with pytest.raises(ValueError, match="hysteresis"):
+            RecallMonitor(hysteresis=0.0)
+        monitor = RecallMonitor(target_recall=0.9)
+        with pytest.raises(ValueError, match="probe range"):
+            monitor.suggest_probe(4, 5, 3)
+
+
+class TestHammingMaskCache:
+    def test_masks_shared_across_instances_and_rebuilds(self):
+        first = hamming_ball_masks(9, 2)
+        assert hamming_ball_masks(9, 2) is first, "same (bits, radius) must hit the cache"
+        assert not first.flags.writeable
+        items, _ = clustered(num_items=300, num_queries=1, seed=17)
+        index = LSHIndex(num_tables=2, num_bits=6, hamming_radius=2, seed=0).build(items)
+        index.rebuild()  # rebuilds must not re-enumerate the ball
+        import itertools
+
+        expected = 1 + sum(
+            len(list(itertools.combinations(range(9), r))) for r in (1, 2)
+        )
+        assert first.size == expected
+
+    def test_radius_clamped_to_bits(self):
+        masks = hamming_ball_masks(3, 10)
+        assert masks.size == 1 + 3 + 3 + 1  # the whole 3-bit cube
+
+
+class TestFloat32ServingParity:
+    def test_float32_and_float64_services_rank_identically_on_tie_free_data(self):
+        """The dtype sweep's acceptance: on tie-free data the float32 default
+        must produce exactly the float64 rankings (scores differ only at
+        float32 resolution)."""
+        rng = np.random.default_rng(21)
+        users = rng.normal(size=(24, 16))
+        items = rng.normal(size=(300, 16))
+        model = _StaticModel(users, items)
+        bipartite = _bipartite(24, 300)
+        request = RecommendRequest(users=tuple(range(24)), k=20, exclude_seen=False)
+        for index in (None, "exact", "ivfpq"):
+            kwargs = (
+                {}
+                if index is None
+                else {
+                    "index": build_index(index) if index == "exact" else build_index(index, seed=0),
+                    "candidate_k": 300,
+                }
+            )
+            fast = RecommendationService(model, bipartite, dtype="float32", **kwargs)
+            exact = RecommendationService(model, bipartite, dtype="float64", **kwargs)
+            assert fast.dtype == np.float32 and exact.dtype == np.float64
+            got = fast.recommend(request)
+            want = exact.recommend(request)
+            assert got.item_lists() == want.item_lists(), f"rankings diverged for index={index}"
+            for got_row, want_row in zip(got.results, want.results):
+                np.testing.assert_allclose(
+                    [rec.score for rec in got_row],
+                    [rec.score for rec in want_row],
+                    rtol=1e-5,
+                    atol=1e-5,
+                )
+
+    def test_index_inherits_the_cache_dtype(self):
+        items, users = clustered(num_items=120, num_queries=6, seed=22)
+        index = ExactIndex()
+        service = RecommendationService(
+            _StaticModel(users, items), _bipartite(users.shape[0], 120), index=index
+        )
+        service.recommend(RecommendRequest(users=(0,), k=3, exclude_seen=False))
+        assert index.work_dtype == np.float32
+
+    def test_invalid_dtype_rejected(self):
+        items, users = clustered(num_items=30, num_queries=2, seed=23)
+        with pytest.raises(ValueError, match="dtype"):
+            RecommendationService(
+                _StaticModel(users, items), _bipartite(users.shape[0], 30), dtype="float16"
+            )
+        with pytest.raises(ValueError, match="dtype"):
+            IVFPQIndex(dtype="int8")

@@ -30,6 +30,7 @@ from hypothesis import strategies as st
 from repro.index import (
     ExactIndex,
     IVFIndex,
+    IVFPQIndex,
     LSHIndex,
     PAD_ID,
     PAD_SCORE,
@@ -181,13 +182,15 @@ def clustered(rng: np.random.Generator, centres: np.ndarray, count: int) -> np.n
     return rows / np.linalg.norm(rows, axis=1, keepdims=True)
 
 
-@pytest.mark.parametrize("backend", ["ivf", "lsh"])
+@pytest.mark.parametrize("backend", ["ivf", "lsh", "ivfpq"])
 class TestApproximateChurnFloors:
-    """IVF/LSH keep their static-build recall floor under ≥ 20% churn."""
+    """IVF/LSH/IVF-PQ keep their static-build recall floor under ≥ 20% churn."""
 
     def _build(self, backend: str, items: np.ndarray):
         if backend == "ivf":
             return IVFIndex(nlist=16, nprobe=8, seed=1).build(items)
+        if backend == "ivfpq":
+            return IVFPQIndex(nlist=16, nprobe=8, num_subspaces=8, seed=1).build(items)
         return LSHIndex(num_tables=10, num_bits=8, seed=1).build(items)
 
     @pytest.mark.parametrize("trial", range(3))

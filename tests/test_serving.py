@@ -153,6 +153,25 @@ class TestRecommendationService:
         model = bpr_service.model
         all_items = np.arange(tiny_train_graph.num_items)
         for row, user in enumerate(users):
+            # The default serving snapshot is float32, so parity with the
+            # float64 live model holds to float32 resolution.
+            np.testing.assert_allclose(
+                matrix[row],
+                model.score(np.full(all_items.size, user), all_items),
+                rtol=1e-5,
+                atol=1e-5,
+            )
+
+    def test_float64_service_matches_live_model_bit_tight(self, bpr_service, tiny_train_graph):
+        """dtype="float64" restores the pre-quantization exactness contract."""
+        service = RecommendationService(
+            bpr_service.model, tiny_train_graph, dtype="float64"
+        )
+        users = np.array([0, 5])
+        matrix = service.score_matrix(users)
+        model = service.model
+        all_items = np.arange(tiny_train_graph.num_items)
+        for row, user in enumerate(users):
             np.testing.assert_allclose(
                 matrix[row], model.score(np.full(all_items.size, user), all_items), atol=1e-9
             )
@@ -654,9 +673,12 @@ class TestRepresentationCache:
         service.refresh()
         after = service.score_matrix(np.array([0]))
         assert not np.allclose(after, before)
-        # And the refreshed scores agree with the live pairwise path.
+        # And the refreshed scores agree with the live pairwise path (to
+        # float32 resolution — the default serving snapshot dtype).
         all_items = np.arange(tiny_train_graph.num_items)
-        np.testing.assert_allclose(after[0], model.score(np.full(all_items.size, 0), all_items), atol=1e-9)
+        np.testing.assert_allclose(
+            after[0], model.score(np.full(all_items.size, 0), all_items), rtol=1e-5, atol=1e-5
+        )
 
     def test_unsupported_model_raises(self, tiny_train_graph, tiny_scene_graph):
         model = build_model("NCF", tiny_train_graph, tiny_scene_graph, embedding_dim=8, seed=0)
