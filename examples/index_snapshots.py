@@ -1,0 +1,132 @@
+"""Snapshot persistence demo: publish once, attach everywhere in O(1).
+
+A serving fleet should never re-run k-means on startup.  PR 6's persistence
+layer turns a built index into a versioned, crash-safe on-disk snapshot that
+any number of worker processes attach to by memory-mapping — no training,
+no copying, shared physical pages.  This demo walks the full
+maintainer/worker life cycle:
+
+1. train a factorized baseline, build an ``IVFIndex`` over it and time a
+   ``save`` / memory-mapped ``load`` round trip against the rebuild it
+   replaces (the loaded index answers byte-identically),
+2. prove the zero-copy claim the honest way: load the snapshot **in a
+   second Python process** and compare its rankings to the parent's,
+3. stand up a maintainer service that publishes to a
+   :class:`~repro.index.SnapshotStore` and a worker service that hot-swaps
+   to each published version between requests with ``sync_snapshot()``, and
+4. retire items on the worker, swap again, and show local deletions
+   survive the swap.
+
+Run with::
+
+    python examples/index_snapshots.py
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.data import dataset_config, generate_dataset, leave_one_out_split
+from repro.index import IVFIndex, ItemIndex, SnapshotStore
+from repro.models import build_model
+from repro.serving import RecommendRequest, RecommendationService
+from repro.training import TrainConfig, Trainer
+from repro.utils.logging import configure_logging
+
+WORKER_SCRIPT = """
+import sys
+import numpy as np
+from repro.index import ItemIndex
+
+snapshot, queries_file = sys.argv[1], sys.argv[2]
+index = ItemIndex.load(snapshot, mmap=True)   # O(1): no k-means runs here
+ids, scores = index.search(np.load(queries_file), 10)
+np.save(sys.argv[3], ids)
+"""
+
+
+def main() -> None:
+    configure_logging()
+    workdir = Path(tempfile.mkdtemp(prefix="repro-snapshots-"))
+
+    # 1. Data, a quickly-trained model, and a built IVF index.
+    dataset = generate_dataset(dataset_config("electronics", scale=0.5))
+    split = leave_one_out_split(dataset, num_negatives=50, rng=0)
+    train_graph = dataset.bipartite_graph(split.train_interactions)
+    scene_graph = dataset.scene_graph()
+    model = build_model("BPR-MF", train_graph, scene_graph, embedding_dim=32, seed=0)
+    Trainer(model, split, TrainConfig(epochs=3, batch_size=256, learning_rate=0.05, eval_every=0)).fit()
+    representations = model.factorized_representations()
+    items = np.asarray(representations.items)
+    queries = np.asarray(representations.users)[:32]
+
+    index = IVFIndex(nprobe=8, seed=0)
+    start = time.perf_counter()
+    index.build(representations)
+    build_ms = 1000 * (time.perf_counter() - start)
+
+    snap = workdir / "snapshot"
+    index.save(snap)
+    start = time.perf_counter()
+    loaded = ItemIndex.load(snap, mmap=True)
+    load_ms = 1000 * (time.perf_counter() - start)
+    expected_ids, expected_scores = index.search(queries, 10)
+    got_ids, got_scores = loaded.search(queries, 10)
+    assert np.array_equal(expected_ids, got_ids) and np.array_equal(expected_scores, got_scores)
+    # At this toy scale both are milliseconds; the attach stays O(1) while
+    # the rebuild grows with the catalogue (see benchmarks/test_bench_persistence.py).
+    print(
+        f"built {index!r} in {build_ms:.1f} ms; mmap attach took {load_ms:.2f} ms "
+        f"with byte-identical rankings"
+    )
+
+    # 2. The point of persistence: a *different process* attaches in O(1).
+    queries_file, ids_file = workdir / "queries.npy", workdir / "worker_ids.npy"
+    np.save(queries_file, queries)
+    subprocess.run(
+        [sys.executable, "-c", WORKER_SCRIPT, str(snap), str(queries_file), str(ids_file)],
+        check=True,
+    )
+    assert np.array_equal(np.load(ids_file), expected_ids)
+    print("a second process loaded the snapshot and ranked identically")
+
+    # 3. Maintainer publishes; a serving worker hot-swaps between requests.
+    store = SnapshotStore(workdir / "store")
+    maintainer = RecommendationService(
+        model, train_graph, scene_graph, index=IVFIndex(nprobe=8, seed=0), snapshots=store
+    )
+    maintainer.maintain(force=True)  # re-cluster + publish v1
+    worker = RecommendationService(model, train_graph, scene_graph, snapshots=store)
+    worker.load_snapshot()
+    request = RecommendRequest(users=tuple(range(16)), k=10)
+    response = worker.recommend(request)
+    print(
+        f"worker serves snapshot v{worker.stats().snapshot_version} "
+        f"({len(response.results)} users answered)"
+    )
+
+    maintainer.publish_snapshot()  # e.g. after an online re-cluster
+    swapped = worker.sync_snapshot()
+    print(f"maintainer published v{store.current_version()}; worker swapped: {swapped}")
+
+    # 4. Local retirements survive the swap: the worker re-applies its own
+    #    deletion ledger to every snapshot it attaches to.
+    retired = [rec.item for rec in response.results[0][:2]]
+    worker.delete_items(retired)
+    maintainer.publish_snapshot()
+    worker.sync_snapshot()
+    served = {rec.item for rec in worker.recommend(request).results[0]}
+    assert not served & set(retired)
+    print(f"items {retired} stayed retired across the swap; store versions: {store.versions()}")
+    store.prune(keep=2)
+    print(f"pruned store down to versions {store.versions()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -61,7 +61,7 @@ from repro import (
     utils,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "autograd",

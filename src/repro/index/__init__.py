@@ -27,7 +27,17 @@ inserts and tombstones for IVF, signature splices for LSH, row swaps for
 the exact scan) instead of paying a full rebuild per change, and
 :class:`~repro.index.monitor.RecallMonitor` shadow-rescores a sample of
 served traffic against the exact oracle so retrieval-quality drift is
-measured, not assumed.  Pick one by name through
+measured, not assumed.
+
+Built indexes persist: every backend ``save``\\ s into a crash-safe
+manifest + ``.npy`` bundle and ``load``\\ s back **without re-running any
+training** — with ``mmap=True`` the payloads are memory-mapped read-only,
+so a serving worker attaches to a multi-gigabyte snapshot in O(1) and the
+first mutation promotes to private copies (copy-on-write).
+:class:`~repro.index.snapshot.SnapshotStore` stacks monotonic versioning
+and an atomically-flipped ``CURRENT`` pointer on top, so a maintainer
+process publishes re-clustered indexes while serving processes hot-swap
+between requests.  Pick a backend by name through
 :func:`~repro.index.registry.build_index`, measure it with
 :func:`~repro.index.recall.recall_at_k`, and hand it to
 :class:`~repro.serving.RecommendationService` via ``index=``::
@@ -48,6 +58,7 @@ from repro.index.monitor import MonitorStats, RecallMonitor
 from repro.index.pq import IVFPQIndex, PQCodec
 from repro.index.recall import recall_at_k
 from repro.index.registry import INDEX_REGISTRY, build_index, list_index_names, register_index
+from repro.index.snapshot import SnapshotStore
 from repro.index.topk import PAD_ID, PAD_SCORE, dense_top_k, padded_top_k
 
 __all__ = [
@@ -63,6 +74,7 @@ __all__ = [
     "PAD_SCORE",
     "PQCodec",
     "RecallMonitor",
+    "SnapshotStore",
     "build_index",
     "dense_top_k",
     "list_index_names",

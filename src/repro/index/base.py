@@ -38,16 +38,35 @@ the memory traffic of the scan) or ``float64``; when omitted, the build
 input's precision is inherited (float32 stays float32, everything else is
 snapshotted at float64).  Returned *scores* are always float64 — top-k
 selection widens once so tie-breaking is identical across storage dtypes.
+
+Built indexes persist without retraining: :meth:`ItemIndex.save` writes the
+shared state (vectors, live mask, config) plus whatever the backend adds
+through its ``_snapshot_*`` hooks into one crash-safe array bundle
+(:func:`repro.utils.serialization.write_bundle`), and
+:meth:`ItemIndex.load` reconstructs an equivalent index — via the registry,
+from the manifest's ``config()`` — with **no** k-means/LSH/PQ training.
+With ``mmap=True`` (the default) the payloads are memory-mapped read-only,
+so attaching to a snapshot is O(1) regardless of catalogue size; the first
+mutating call (``upsert``/``delete``/structural ``maintain``) promotes the
+mapped arrays to private in-memory copies (copy-on-write), so a snapshot
+on disk is never written through, and read-only serving workers never pay
+the copy at all.
 """
 
 from __future__ import annotations
+
+from pathlib import Path
 
 import numpy as np
 
 from repro.index.topk import PAD_ID, PAD_SCORE
 from repro.models.base import FactorizedRepresentations
+from repro.utils.serialization import BundleError, dtype_from_name, read_bundle, write_bundle
 
-__all__ = ["ItemIndex", "METRICS"]
+__all__ = ["ItemIndex", "METRICS", "SNAPSHOT_KIND"]
+
+#: Manifest tag distinguishing index snapshots from other array bundles.
+SNAPSHOT_KIND = "item-index-snapshot"
 
 #: Similarity metrics every backend must support.
 METRICS = ("dot", "cosine")
@@ -80,6 +99,7 @@ class ItemIndex:
         self._vectors: np.ndarray | None = None
         self._active: np.ndarray | None = None  # live-item mask over the id space
         self._has_bias = False
+        self._readonly = False  # snapshot-mapped arrays pending copy-on-write
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -166,6 +186,7 @@ class ItemIndex:
             items = _normalize_rows(items)
         self._vectors = items
         self._active = np.ones(items.shape[0], dtype=bool)
+        self._readonly = False  # fresh private arrays, nothing snapshot-backed
         self._build()
         return self
 
@@ -194,6 +215,127 @@ class ItemIndex:
         """
         self._require_built()
         return False
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def config(self) -> dict:
+        """Constructor kwargs reproducing this instance's configuration.
+
+        ``build_index(index.name, **index.config())`` constructs an
+        equivalent (unbuilt) index; the values are JSON-able (dtypes as
+        name strings), so a snapshot manifest can round-trip them.
+        Subclasses extend the base ``metric``/``dtype`` pair with their own
+        parameters.
+        """
+        return {
+            "metric": self.metric,
+            "dtype": None if self.dtype is None else self.dtype.name,
+        }
+
+    def save(self, directory: "str | Path") -> Path:
+        """Persist the built index as a crash-safe array bundle.
+
+        The bundle holds everything :meth:`load` needs to answer searches
+        byte-identically without re-running any training: the shared state
+        (vectors, live mask, bias flag, ``config()``) plus the backend's
+        own structures (centroids, cell lists, signatures, codebooks, …)
+        from its ``_snapshot_arrays``/``_snapshot_state`` hooks.  Files are
+        written atomically with the manifest last, so a crash mid-save
+        never leaves a torn snapshot.
+        """
+        self._require_built()
+        arrays: dict[str, np.ndarray] = {"vectors": self._vectors, "active": self._active}
+        arrays.update(self._snapshot_arrays())
+        meta = {
+            "kind": SNAPSHOT_KIND,
+            "backend": self.name,
+            "config": self.config(),
+            "has_bias": self._has_bias,
+            "state": self._snapshot_state(),
+        }
+        return write_bundle(directory, arrays, meta=meta)
+
+    @classmethod
+    def load(cls, directory: "str | Path", mmap: bool = True) -> "ItemIndex":
+        """Reconstruct a saved index from its snapshot bundle — no training.
+
+        The backend is resolved through the registry from the manifest
+        (``ItemIndex.load`` works on any snapshot; calling ``load`` on a
+        concrete class additionally asserts the snapshot holds that
+        backend).  With ``mmap=True`` the array payloads are memory-mapped
+        read-only — an O(1) attach whatever the catalogue size — and the
+        first mutating call promotes them to private copies; with
+        ``mmap=False`` everything is read into (checksum-verified) memory
+        up front.
+        """
+        from repro.index.registry import build_index
+
+        meta, arrays = read_bundle(directory, mmap=mmap)
+        if meta.get("kind") != SNAPSHOT_KIND:
+            raise BundleError(f"{directory} is a {meta.get('kind')!r} bundle, not an index snapshot")
+        index = build_index(str(meta.get("backend")), **dict(meta.get("config", {})))
+        if not isinstance(index, cls):
+            raise TypeError(
+                f"snapshot at {directory} holds a {meta.get('backend')!r} index, "
+                f"which is not a {cls.__name__}"
+            )
+        if index.dtype is not None and arrays["vectors"].dtype != index.dtype:
+            raise BundleError(
+                f"snapshot vectors are {arrays['vectors'].dtype}, config pins {index.dtype}"
+            )
+        index._has_bias = bool(meta.get("has_bias", False))
+        index._vectors = arrays["vectors"]
+        index._active = arrays["active"]
+        index._readonly = bool(mmap)
+        index._restore(arrays, dict(meta.get("state", {})))
+        return index
+
+    def is_live(self, item_ids: "np.ndarray | list[int]") -> np.ndarray:
+        """Boolean mask: which of the given ids are currently searchable.
+
+        Ids outside the id space count as not live (no error) — callers
+        reconciling external ledgers against a loaded snapshot use this to
+        find which retirements still need applying.
+        """
+        self._require_built()
+        ids = np.asarray(item_ids, dtype=np.int64).reshape(-1)
+        mask = (ids >= 0) & (ids < self._vectors.shape[0])
+        mask[mask] = self._active[ids[mask]]
+        return mask
+
+    def _promote_writable(self) -> None:
+        """Copy-on-write: replace snapshot-mapped arrays with private copies.
+
+        Called by every mutating entry point before it writes.  A no-op
+        unless the index was loaded with ``mmap=True`` and has not mutated
+        yet; backends promote their own mapped structures via the
+        :meth:`_promote` hook.
+        """
+        if not self._readonly:
+            return
+        self._vectors = np.array(self._vectors)
+        self._active = np.array(self._active)
+        self._promote()
+        self._readonly = False
+
+    # Backend persistence hooks ---------------------------------------- #
+    def _snapshot_arrays(self) -> "dict[str, np.ndarray]":
+        """Backend arrays to persist alongside the shared state."""
+        return {}
+
+    def _snapshot_state(self) -> dict:
+        """Backend scalars/flags to persist in the manifest (JSON-able)."""
+        return {}
+
+    def _restore(self, arrays: "dict[str, np.ndarray]", state: dict) -> None:
+        """Rebuild internal structures from a snapshot — without training."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement snapshot loading"
+        )
+
+    def _promote(self) -> None:
+        """Copy backend arrays that mutating paths write in place (hook)."""
 
     # ------------------------------------------------------------------ #
     # Online maintenance
@@ -244,6 +386,10 @@ class ItemIndex:
             rows = rows.copy()
         if self.metric == "cosine":
             rows = _normalize_rows(rows)
+        # Validation is done; from here on the index mutates.  A snapshot-
+        # mapped index first promotes its arrays to private copies so the
+        # on-disk snapshot is never written through.
+        self._promote_writable()
         size = self._vectors.shape[0]
         new_ids = ids[ids >= size]
         if new_ids.size:
@@ -285,6 +431,7 @@ class ItemIndex:
                 f"items {ids[dead].tolist()} are not in the index "
                 "(never inserted or already deleted)"
             )
+        self._promote_writable()
         self._active[ids] = False
         self._apply_delete(ids)
         return self

@@ -44,6 +44,36 @@ class ExactIndex(ItemIndex):
         # from dense_top_k ARE item ids.  Any structural mutation clears it.
         self._columns_are_ids = live.size == self._vectors.shape[0]
 
+    # ------------------------------------------------------------------ #
+    # Persistence: the compact block is saved trimmed to its live count —
+    # spare reserve capacity is an in-memory amortization detail, not
+    # state — and the id→row inverse is recomputed from the row→id map.
+    # ------------------------------------------------------------------ #
+    def _snapshot_arrays(self) -> dict[str, np.ndarray]:
+        return {
+            "exact_dense": self._dense[: self._count],
+            "exact_dense_ids": self._dense_ids[: self._count],
+        }
+
+    def _snapshot_state(self) -> dict:
+        return {"columns_are_ids": bool(self._columns_are_ids)}
+
+    def _restore(self, arrays: dict[str, np.ndarray], state: dict) -> None:
+        self._dense = arrays["exact_dense"]
+        self._dense_ids = arrays["exact_dense_ids"]
+        self._count = int(self._dense.shape[0])
+        self._id_to_row = np.full(self._vectors.shape[0], -1, dtype=np.int64)
+        self._id_to_row[self._dense_ids] = np.arange(self._count)
+        self._columns_are_ids = bool(state["columns_are_ids"])
+
+    def _promote(self) -> None:
+        # The dense block and its row→id map are overwritten in place by
+        # upserts and row-swap deletes; the id→row inverse is already a
+        # private in-memory array.
+        self._dense = np.array(self._dense)
+        self._dense_ids = np.array(self._dense_ids)
+
+    # ------------------------------------------------------------------ #
     def _apply_growth(self, new_size: int) -> None:
         grown = np.full(new_size, -1, dtype=np.int64)
         grown[: self._id_to_row.size] = self._id_to_row

@@ -142,6 +142,72 @@ class IVFIndex(ItemIndex):
         nlist = self.nlist if self.nlist is not None else max(1, int(round(np.sqrt(num_live))))
         return min(nlist, num_live)
 
+    # ------------------------------------------------------------------ #
+    # Persistence: centroids + CSR cell lists load as-is (no k-means), and
+    # the full drift state rides along — tombstoned ``_id_cell`` links, the
+    # ragged post-build extras (flattened to flat + offsets arrays), churn
+    # counters and the queued-re-cluster flag — so a loaded index resumes
+    # exactly where the saved one stood, mid-churn included.
+    # ------------------------------------------------------------------ #
+    def config(self) -> dict:
+        config = super().config()
+        config.update(
+            nlist=self.nlist,
+            nprobe=self.nprobe,
+            kmeans_iters=self.kmeans_iters,
+            rebuild_threshold=self.rebuild_threshold,
+            recluster_iters=self.recluster_iters,
+            seed=self.seed,
+        )
+        return config
+
+    def _snapshot_arrays(self) -> dict[str, np.ndarray]:
+        counts = np.array([len(cell) for cell in self._extras], dtype=np.int64)
+        extras_offsets = np.zeros(counts.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=extras_offsets[1:])
+        extras_flat = (
+            np.concatenate([np.asarray(cell, dtype=np.int64) for cell in self._extras])
+            if extras_offsets[-1]
+            else np.empty(0, dtype=np.int64)
+        )
+        return {
+            "ivf_centroids": self._centroids,
+            "ivf_member_items": self._member_items,
+            "ivf_offsets": self._offsets,
+            "ivf_id_cell": self._id_cell,
+            "ivf_extras_flat": extras_flat,
+            "ivf_extras_offsets": extras_offsets,
+        }
+
+    def _snapshot_state(self) -> dict:
+        return {
+            "churn": int(self._churn),
+            "dirty": bool(self._dirty),
+            "recluster_pending": bool(self._recluster_pending),
+            "num_reclusters": int(self._num_reclusters),
+        }
+
+    def _restore(self, arrays: dict[str, np.ndarray], state: dict) -> None:
+        self._centroids = arrays["ivf_centroids"]
+        self._member_items = arrays["ivf_member_items"]
+        self._offsets = arrays["ivf_offsets"]
+        self._id_cell = arrays["ivf_id_cell"]
+        flat = arrays["ivf_extras_flat"]
+        bounds = arrays["ivf_extras_offsets"]
+        self._extras = [flat[bounds[cell] : bounds[cell + 1]].tolist() for cell in range(bounds.size - 1)]
+        self._churn = int(state["churn"])
+        self._dirty = bool(state["dirty"])
+        self._recluster_pending = bool(state["recluster_pending"])
+        self._num_reclusters = int(state["num_reclusters"])
+
+    def _promote(self) -> None:
+        # Mutating paths write tombstones/movers into ``_id_cell`` and the
+        # drift re-cluster polishes ``_centroids`` with in-place Lloyd
+        # steps; the CSR member lists are only ever *replaced* (by
+        # ``_relink``) so their mapped views can stay shared.
+        self._centroids = np.array(self._centroids)
+        self._id_cell = np.array(self._id_cell)
+
     def _build(self) -> None:
         live = np.flatnonzero(self._active)
         vectors = self._vectors[live]
@@ -221,6 +287,7 @@ class IVFIndex(ItemIndex):
         return True
 
     def _run_recluster(self) -> None:
+        self._promote_writable()  # the Lloyd polish moves centroids in place
         live = np.flatnonzero(self._active)
         vectors = self._vectors[live]
         self._num_reclusters += 1

@@ -157,6 +157,37 @@ class LSHIndex(ItemIndex):
             self._sorted_signatures.append(signatures[order])
 
     # ------------------------------------------------------------------ #
+    # Persistence: the hyperplanes plus every table's signature-sorted
+    # arrays load as-is — no re-hashing of the catalogue.  Each live id
+    # appears exactly once per table, so the per-table arrays share one
+    # length and stack into plain ``(num_tables, live)`` matrices.  The
+    # splice-based mutation paths *replace* table arrays (``np.delete`` /
+    # ``np.insert`` allocate fresh ones), so mapped rows need no
+    # copy-on-write promotion — they are simply dropped on first mutation.
+    # ------------------------------------------------------------------ #
+    def config(self) -> dict:
+        config = super().config()
+        config.update(
+            num_tables=self.num_tables,
+            num_bits=self.num_bits,
+            hamming_radius=self.hamming_radius,
+            seed=self.seed,
+        )
+        return config
+
+    def _snapshot_arrays(self) -> dict[str, np.ndarray]:
+        return {
+            "lsh_planes": self._planes,
+            "lsh_signatures": np.stack(self._sorted_signatures),
+            "lsh_permutations": np.stack(self._permutations),
+        }
+
+    def _restore(self, arrays: dict[str, np.ndarray], state: dict) -> None:
+        self._planes = arrays["lsh_planes"]
+        self._sorted_signatures = [arrays["lsh_signatures"][table] for table in range(self.num_tables)]
+        self._permutations = [arrays["lsh_permutations"][table] for table in range(self.num_tables)]
+
+    # ------------------------------------------------------------------ #
     # Online maintenance
     # ------------------------------------------------------------------ #
     def _apply_upsert(self, item_ids: np.ndarray, rows: np.ndarray, was_active: np.ndarray) -> None:

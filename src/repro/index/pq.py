@@ -334,6 +334,55 @@ class IVFPQIndex(IVFIndex):
         return rows - self._centroids[cells]
 
     # ------------------------------------------------------------------ #
+    # Persistence: on top of the IVF state, the trained codebooks and the
+    # uint8 code matrix load as-is — no PQ training, no re-encode.  The
+    # codec's split geometry (dim / subspaces / padded width) travels in
+    # the manifest; its knobs come back through ``config()``.
+    # ------------------------------------------------------------------ #
+    def config(self) -> dict:
+        config = super().config()
+        config.update(
+            num_subspaces=self.num_subspaces,
+            pq_iters=self.pq_iters,
+            residual=self.residual,
+            refine_factor=self.refine_factor,
+        )
+        return config
+
+    def _snapshot_arrays(self) -> dict[str, np.ndarray]:
+        arrays = super()._snapshot_arrays()
+        arrays.update(pq_codes=self._codes, pq_codebooks=self._codec.codebooks)
+        return arrays
+
+    def _snapshot_state(self) -> dict:
+        state = super()._snapshot_state()
+        state.update(
+            pq_dim=int(self._codec.dim),
+            pq_subspaces=int(self._codec._subspaces),
+            pq_dsub=int(self._codec._dsub),
+        )
+        return state
+
+    def _restore(self, arrays: dict[str, np.ndarray], state: dict) -> None:
+        super()._restore(arrays, state)
+        codec = PQCodec(
+            num_subspaces=self.num_subspaces, kmeans_iters=self.pq_iters, seed=self.seed + 1
+        )
+        codec.codebooks = arrays["pq_codebooks"]
+        codec.dim = int(state["pq_dim"])
+        codec._subspaces = int(state["pq_subspaces"])
+        codec._dsub = int(state["pq_dsub"])
+        self._codec = codec
+        self._codes = arrays["pq_codes"]
+
+    def _promote(self) -> None:
+        # Upserts and the maintenance re-encode write ``_codes`` rows in
+        # place, and the codebook warm-retrain is an in-place Lloyd polish.
+        super()._promote()
+        self._codes = np.array(self._codes)
+        self._codec.codebooks = np.array(self._codec.codebooks)
+
+    # ------------------------------------------------------------------ #
     # Online maintenance
     # ------------------------------------------------------------------ #
     def _apply_growth(self, new_size: int) -> None:

@@ -12,6 +12,13 @@ benchmark harness, user config files) construct them by name through
 
 ``RecommendationService`` also accepts the bare name (``index="ivf"``) and
 resolves it through this registry with default parameters.
+
+The registry is also the snapshot layer's reconstruction seam: every
+backend's :meth:`~repro.index.base.ItemIndex.config` returns the JSON-able
+constructor kwargs that reproduce it, a snapshot manifest stores
+``(name, config)``, and :meth:`~repro.index.base.ItemIndex.load` round-trips
+through ``build_index(name, **config)`` — so an index loaded in another
+process is configured identically to the one that was saved.
 """
 
 from __future__ import annotations

@@ -1,0 +1,159 @@
+"""Versioned index snapshots with an atomically-flipped ``CURRENT`` pointer.
+
+A :class:`SnapshotStore` turns a directory into a tiny publish/subscribe
+channel between a **maintainer** process (which trains, re-clusters and
+mutates an index) and any number of **serving** processes (which only ever
+attach read-only)::
+
+    store = SnapshotStore("var/index")
+    store.publish(index)              # maintainer: v00000001, CURRENT → it
+
+    worker = store.load(mmap=True)    # worker: O(1) attach, no training
+    ...
+    if store.current_version() != my_version:   # between requests
+        worker = store.load(mmap=True)          # hot-swap to the new build
+
+Publishing is crash-safe end to end: the index is saved into a hidden
+staging directory (every file inside written atomically by the bundle
+layer), the staging directory is renamed to the next monotonic ``vNNNNNNNN``
+slot — a rename collision with a concurrent publisher just moves on to the
+following slot — and only then is the ``CURRENT`` pointer file atomically
+replaced.  A reader therefore sees either the previous complete version or
+the new complete version, never a half-written one; a crash mid-publish
+leaves at worst an unreferenced staging/version directory that
+:meth:`SnapshotStore.prune` sweeps up.
+
+Old versions are kept (rollback = point ``CURRENT`` elsewhere, or load an
+explicit version) until pruned; live readers that memory-mapped a pruned
+version keep working — the kernel keeps unlinked mappings alive — but new
+loads of it fail.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shutil
+import uuid
+from pathlib import Path
+
+from repro.index.base import ItemIndex
+from repro.utils.serialization import MANIFEST_NAME, BundleError, atomic_write_bytes
+
+__all__ = ["SnapshotStore"]
+
+#: Pointer file naming the currently-published version directory.
+CURRENT_POINTER = "CURRENT"
+
+_VERSION_PATTERN = re.compile(r"^v(\d{8})$")
+_STAGING_PREFIX = ".staging-"
+
+
+def _version_name(version: int) -> str:
+    return f"v{version:08d}"
+
+
+class SnapshotStore:
+    """Monotonically versioned snapshot directory with atomic publish."""
+
+    def __init__(self, root: "str | Path") -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def versions(self) -> list[int]:
+        """All complete (manifest-bearing) version numbers, ascending."""
+        found = []
+        for entry in self.root.iterdir():
+            match = _VERSION_PATTERN.match(entry.name)
+            if match and (entry / MANIFEST_NAME).exists():
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def current_version(self) -> int | None:
+        """The published version the ``CURRENT`` pointer names (None if none)."""
+        pointer = self.root / CURRENT_POINTER
+        try:
+            name = pointer.read_text().strip()
+        except FileNotFoundError:
+            return None
+        match = _VERSION_PATTERN.match(name)
+        if not match:
+            raise BundleError(f"{pointer} is corrupted: {name!r} is not a version name")
+        return int(match.group(1))
+
+    def path(self, version: int) -> Path:
+        """The directory of one version (which may or may not exist yet)."""
+        return self.root / _version_name(int(version))
+
+    # ------------------------------------------------------------------ #
+    # Publish / load
+    # ------------------------------------------------------------------ #
+    def publish(self, index: ItemIndex) -> int:
+        """Save ``index`` as the next version and flip ``CURRENT`` to it.
+
+        The snapshot is fully written (into a staging directory, atomically
+        file by file) *before* it becomes visible: first the staging
+        directory is renamed into its monotonic version slot — racing
+        publishers simply claim successive slots — and then the pointer
+        file is atomically replaced.  Returns the published version number.
+        """
+        staging = self.root / f"{_STAGING_PREFIX}{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        index.save(staging)
+        version = (self.versions() or [0])[-1] + 1
+        while True:
+            target = self.path(version)
+            try:
+                os.rename(staging, target)
+                break
+            except OSError:
+                if not target.exists():
+                    shutil.rmtree(staging, ignore_errors=True)
+                    raise
+                version += 1  # a concurrent publisher claimed this slot
+        self._set_current(version)
+        return version
+
+    def load(self, version: int | None = None, *, mmap: bool = True) -> ItemIndex:
+        """Load a published version (default: the one ``CURRENT`` names).
+
+        ``mmap=True`` attaches read-only in O(1) — the serving-worker path;
+        ``mmap=False`` reads a private, checksum-verified copy.
+        """
+        if version is None:
+            version = self.current_version()
+            if version is None:
+                raise FileNotFoundError(f"no published snapshot in {self.root}")
+        return ItemIndex.load(self.path(version), mmap=mmap)
+
+    # ------------------------------------------------------------------ #
+    # Housekeeping
+    # ------------------------------------------------------------------ #
+    def prune(self, keep: int = 2) -> list[int]:
+        """Delete old versions (and stray staging dirs); returns what went.
+
+        The newest ``keep`` versions and the ``CURRENT`` one are always
+        retained, so a rollback target survives routine pruning.
+        """
+        if keep < 1:
+            raise ValueError(f"keep must be at least 1, got {keep}")
+        for entry in self.root.iterdir():
+            if entry.name.startswith(_STAGING_PREFIX):
+                shutil.rmtree(entry, ignore_errors=True)
+        versions = self.versions()
+        current = self.current_version()
+        removed = []
+        for version in versions[:-keep] if len(versions) > keep else []:
+            if version == current:
+                continue
+            shutil.rmtree(self.path(version), ignore_errors=True)
+            removed.append(version)
+        return removed
+
+    def _set_current(self, version: int) -> None:
+        atomic_write_bytes(self.root / CURRENT_POINTER, _version_name(version).encode("ascii"))
+
+    def __repr__(self) -> str:
+        return f"SnapshotStore(root={str(self.root)!r}, current={self.current_version()})"

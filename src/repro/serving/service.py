@@ -44,6 +44,7 @@ restores bit-exact parity with the live model.
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -51,7 +52,7 @@ import numpy as np
 from repro.autograd.tensor import no_grad
 from repro.graph.bipartite import UserItemBipartiteGraph
 from repro.graph.scene_graph import SceneBasedGraph
-from repro.index import ItemIndex, RecallMonitor, build_index
+from repro.index import ItemIndex, RecallMonitor, SnapshotStore, build_index
 from repro.index.topk import PAD_ID, PAD_SCORE, dense_top_k, padded_top_k
 from repro.models.base import compute_score_matrix
 from repro.serving.cache import ItemRepresentationCache
@@ -165,6 +166,15 @@ class RecommendationService:
         clears the target plus the monitor's hysteresis band it narrows
         again — always inside the backend's hard bounds, never more than
         one change per :data:`AUTO_TUNE_MIN_SAMPLES` fresh samples.
+    snapshots:
+        optional :class:`~repro.index.SnapshotStore` (or its root directory)
+        connecting this service to published index snapshots.  A maintainer
+        service publishes there — :meth:`publish_snapshot` explicitly, and
+        :meth:`maintain` automatically whenever structural work ran — while
+        a serving worker attaches with :meth:`load_snapshot` (memory-mapped,
+        O(1), no build) and hot-swaps to newer publishes between requests
+        via :meth:`sync_snapshot`.  A worker constructed with ``snapshots=``
+        but no ``index=`` gets its index entirely from the store.
 
     After further training of ``model``, call :meth:`refresh` to invalidate
     the precomputed representation and explanation caches (and the index).
@@ -185,6 +195,7 @@ class RecommendationService:
         monitor: RecallMonitor | None = None,
         dtype: "str | np.dtype" = "float32",
         auto_tune: bool = False,
+        snapshots: "SnapshotStore | str | Path | None" = None,
     ) -> None:
         if scene_graph is not None and scene_graph.num_items != bipartite.num_items:
             raise ValueError("scene graph and bipartite graph disagree on the number of items")
@@ -204,20 +215,14 @@ class RecommendationService:
         self._explainer = SceneAffinityExplainer(model)
         if isinstance(index, str):
             index = build_index(index)
-        if index is not None:
-            if not self._cache.supported:
-                raise TypeError(
-                    f"candidate retrieval needs a FactorizedRecommender, "
-                    f"got {type(model).__name__}; drop index= or use a factorized model"
-                )
-            if not self.cache_representations:
-                raise ValueError(
-                    "candidate retrieval builds on the representation cache; "
-                    "index= requires cache_representations=True"
-                )
-            self._cache.subscribe(self._invalidate_index)
-            self._cache.subscribe_partial(self._apply_partial_update)
-        if monitor is not None and index is None:
+        if isinstance(snapshots, (str, Path)):
+            snapshots = SnapshotStore(snapshots)
+        self.snapshots = snapshots
+        self._snapshot_version: int | None = None
+        self._index_wired = False
+        if index is not None or snapshots is not None:
+            self._wire_index_support()
+        if monitor is not None and index is None and snapshots is None:
             raise ValueError("a recall monitor shadow-scores the index path; pass index= as well")
         if auto_tune and (monitor is None or monitor.target_recall is None):
             raise ValueError(
@@ -354,11 +359,105 @@ class RecommendationService:
         it regardless of the drift threshold).  A stale index is warmed
         first, so the rebuild also happens here rather than on the next
         request.  Returns whether any maintenance ran.
+
+        With a :class:`~repro.index.SnapshotStore` attached this is also
+        the publish point: whenever this call did structural work (a
+        rebuild or a re-cluster) — or the store has no published version
+        yet — the freshly-organised index is published as a new snapshot,
+        so serving workers polling :meth:`sync_snapshot` pick it up.
         """
         if self.index is None:
             return False
+        rebuilt = not self._index_fresh
         self._ensure_index()
-        return self.index.maintain(force=force)
+        ran = self.index.maintain(force=force)
+        if self.snapshots is not None and (
+            ran or rebuilt or self.snapshots.current_version() is None
+        ):
+            self._snapshot_version = self.snapshots.publish(self.index)
+        return ran
+
+    # ------------------------------------------------------------------ #
+    # Snapshots: maintainer publishes, serving workers hot-swap
+    # ------------------------------------------------------------------ #
+    def publish_snapshot(self) -> int:
+        """Publish the current index to the attached snapshot store.
+
+        The index is warmed (built, with local deletions re-applied) first,
+        so what lands in the store is exactly what this service serves.
+        Returns the published version number.
+        """
+        if self.snapshots is None:
+            raise RuntimeError("this service has no snapshot store; pass snapshots= at construction")
+        if self.index is None:
+            raise RuntimeError("this service has no candidate-retrieval index; pass index= at construction")
+        self._ensure_index()
+        self._snapshot_version = self.snapshots.publish(self.index)
+        return self._snapshot_version
+
+    def load_snapshot(self, version: int | None = None, *, mmap: bool = True) -> int:
+        """Attach to a published index snapshot (default: the current one).
+
+        This is the serving-worker entry point: the snapshot's arrays are
+        memory-mapped read-only (``mmap=True``), so attaching is O(1) in
+        the catalogue size and the physical pages are shared with every
+        other worker mapping the same version — no k-means, no hashing, no
+        training of any kind runs.  The loaded index replaces this
+        service's live index until the representation cache is refreshed
+        (which marks it stale like any other index).
+
+        Items already retired locally via :meth:`delete_items` are
+        re-deleted from the loaded index (promoting its arrays to private
+        copies if any are still live in the snapshot), and an attached
+        recall monitor's oracle is rebuilt so shadow-scoring measures the
+        swapped-in index.  Returns the version attached to.
+        """
+        if self.snapshots is None:
+            raise RuntimeError("this service has no snapshot store; pass snapshots= at construction")
+        if version is None:
+            version = self.snapshots.current_version()
+            if version is None:
+                raise FileNotFoundError(f"no published snapshot in {self.snapshots.root}")
+        version = int(version)
+        index = self.snapshots.load(version, mmap=mmap)
+        if index.num_items > self.bipartite.num_items:
+            raise ValueError(
+                f"snapshot {version} indexes {index.num_items} items but this catalogue "
+                f"has {self.bipartite.num_items}; it was published from a different catalogue"
+            )
+        self._wire_index_support()
+        deleted = np.flatnonzero(self._unavailable)
+        if deleted.size:
+            still_live = deleted[index.is_live(deleted)]
+            if still_live.size:
+                index.delete(still_live)
+        if self.monitor is not None:
+            representations = self._cache.get()
+            self.monitor.rebuild(
+                np.asarray(representations.items),
+                item_biases=representations.item_biases,
+            )
+            if deleted.size:
+                self.monitor.delete(deleted)
+        self.index = index
+        self._index_fresh = True
+        self._snapshot_version = version
+        return version
+
+    def sync_snapshot(self, *, mmap: bool = True) -> bool:
+        """Hot-swap to the store's current version if it moved; cheap no-op otherwise.
+
+        The between-requests poll of a serving worker: one pointer-file read
+        when nothing changed, an O(1) memory-mapped attach when a maintainer
+        published a newer version.  Returns whether a swap happened.
+        """
+        if self.snapshots is None:
+            return False
+        current = self.snapshots.current_version()
+        if current is None or current == self._snapshot_version:
+            return False
+        self.load_snapshot(current, mmap=mmap)
+        return True
 
     def stats(self) -> ServiceStats:
         """Serving counters plus the monitor's windowed quality numbers."""
@@ -385,6 +484,7 @@ class RecommendationService:
             suggested_nprobe=suggested_nprobe,
             suggested_hamming_radius=suggested_hamming_radius,
             auto_tunes=self._auto_tunes,
+            snapshot_version=self._snapshot_version,
         )
 
     # ------------------------------------------------------------------ #
@@ -433,6 +533,24 @@ class RecommendationService:
     # ------------------------------------------------------------------ #
     # Candidate retrieval
     # ------------------------------------------------------------------ #
+    def _wire_index_support(self) -> None:
+        """Validate index prerequisites and hook the cache listeners (once)."""
+        if self._index_wired:
+            return
+        if not self._cache.supported:
+            raise TypeError(
+                f"candidate retrieval needs a FactorizedRecommender, "
+                f"got {type(self.model).__name__}; drop index= or use a factorized model"
+            )
+        if not self.cache_representations:
+            raise ValueError(
+                "candidate retrieval builds on the representation cache; "
+                "index= requires cache_representations=True"
+            )
+        self._cache.subscribe(self._invalidate_index)
+        self._cache.subscribe_partial(self._apply_partial_update)
+        self._index_wired = True
+
     def _invalidate_index(self) -> None:
         self._index_fresh = False
 

@@ -103,6 +103,12 @@ class ServiceStats:
     served-traffic recall argues for — equal to the current setting when
     the window sits inside the target's dead band.  ``auto_tunes`` counts
     how many suggestions an ``auto_tune=True`` service has applied.
+
+    ``snapshot_version`` is the version of the attached
+    :class:`~repro.index.snapshot.SnapshotStore` the service last published
+    or loaded (``None`` when no snapshot has flowed either way) — serving
+    workers expose it so an operator can see which published index each
+    process is answering from.
     """
 
     requests: int
@@ -113,6 +119,7 @@ class ServiceStats:
     suggested_nprobe: int | None = None
     suggested_hamming_radius: int | None = None
     auto_tunes: int = 0
+    snapshot_version: int | None = None
 
 
 @dataclass(frozen=True)

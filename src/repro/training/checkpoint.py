@@ -1,33 +1,42 @@
-"""Model checkpointing.
+"""Model checkpointing on the shared crash-safe bundle seam.
 
-Checkpoints are ``.npz`` files holding every named parameter; they are
-model-class agnostic (loading requires constructing the same architecture
-first, then calling :func:`load_checkpoint`).
+A checkpoint is an array bundle (:func:`repro.utils.serialization.write_bundle`):
+a directory holding ``manifest.json`` plus one raw ``.npy`` file per named
+parameter, every file written atomically (temp + fsync + rename, manifest
+last) and checksummed — the same format, and the same torn-write guarantees,
+as the index snapshot store.  Checkpoints stay model-class agnostic: loading
+requires constructing the same architecture first, then calling
+:func:`load_checkpoint`.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
 
-import numpy as np
-
 from repro.nn.module import Module
+from repro.utils.serialization import read_bundle, write_bundle
 
 __all__ = ["save_checkpoint", "load_checkpoint"]
 
+#: Manifest tag distinguishing checkpoints from other bundles.
+CHECKPOINT_KIND = "model-checkpoint"
+
 
 def _sanitize(name: str) -> str:
-    # np.savez keys cannot contain '/', and '.' is fine but keep it simple.
+    # Parameter names become file stems; '/' is the only structural
+    # character the module tree produces that a filesystem rejects.
     return name.replace("/", "_")
 
 
 def save_checkpoint(model: Module, path: str | Path) -> Path:
-    """Write every parameter of ``model`` to ``path`` (``.npz``)."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
+    """Write every parameter of ``model`` to the bundle directory ``path``."""
     state = {_sanitize(name): value for name, value in model.state_dict().items()}
-    np.savez_compressed(path, **state)
-    return path
+    meta = {
+        "kind": CHECKPOINT_KIND,
+        "model": type(model).__name__,
+        "parameters": {name: _sanitize(name) for name, _ in model.named_parameters()},
+    }
+    return write_bundle(Path(path), state, meta=meta)
 
 
 def load_checkpoint(model: Module, path: str | Path, strict: bool = True) -> Module:
@@ -35,11 +44,13 @@ def load_checkpoint(model: Module, path: str | Path, strict: bool = True) -> Mod
     path = Path(path)
     if not path.exists():
         raise FileNotFoundError(f"checkpoint not found: {path}")
-    archive = np.load(path)
+    meta, arrays = read_bundle(path)
+    if meta.get("kind") not in (None, CHECKPOINT_KIND):
+        raise ValueError(f"{path} is a {meta.get('kind')!r} bundle, not a model checkpoint")
     own_names = {name: _sanitize(name) for name, _ in model.named_parameters()}
-    state = {name: archive[key] for name, key in own_names.items() if key in archive.files}
+    state = {name: arrays[key] for name, key in own_names.items() if key in arrays}
     if strict:
-        missing = [name for name, key in own_names.items() if key not in archive.files]
+        missing = [name for name, key in own_names.items() if key not in arrays]
         if missing:
             raise KeyError(f"checkpoint is missing parameters: {missing}")
     model.load_state_dict(state, strict=strict)

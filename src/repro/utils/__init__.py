@@ -1,16 +1,33 @@
-"""Shared utilities: seeding, logging, timing and light-weight persistence."""
+"""Shared utilities: seeding, logging, timing and crash-safe persistence."""
 
 from repro.utils.logging import get_logger
 from repro.utils.rng import RngMixin, new_rng, set_global_seed
-from repro.utils.serialization import load_json, save_json
+from repro.utils.serialization import (
+    BundleError,
+    atomic_write_bytes,
+    dtype_from_name,
+    load_json,
+    read_bundle,
+    read_manifest,
+    save_json,
+    to_jsonable,
+    write_bundle,
+)
 from repro.utils.timing import Timer
 
 __all__ = [
+    "BundleError",
     "RngMixin",
     "Timer",
+    "atomic_write_bytes",
+    "dtype_from_name",
     "get_logger",
     "load_json",
     "new_rng",
+    "read_bundle",
+    "read_manifest",
     "save_json",
     "set_global_seed",
+    "to_jsonable",
+    "write_bundle",
 ]

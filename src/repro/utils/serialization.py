@@ -1,31 +1,81 @@
-"""JSON persistence helpers that understand NumPy scalars and arrays.
+"""Crash-safe persistence: JSON helpers and the manifest + ``.npy`` array store.
 
-Experiment results, dataset statistics and model configuration dictionaries
-are stored as JSON so they are diff-able and inspectable without the library.
-NumPy types are converted to their Python equivalents on the way out.
+Two layers live here.  The JSON helpers (:func:`to_jsonable`,
+:func:`save_json`, :func:`load_json`) keep experiment results, dataset
+statistics and configuration dictionaries diff-able and inspectable without
+the library; NumPy scalars, arrays and dtypes are converted losslessly on
+the way out (``np.float32(0.5)`` → ``0.5``, ``np.dtype("float32")`` →
+``"float32"``) and :func:`dtype_from_name` is the inverse coercion used
+when a manifest is turned back into constructor arguments.
+
+On top of that sits the **array bundle**: a directory holding one
+``manifest.json`` (metadata plus a per-array descriptor with shape, dtype,
+byte size and CRC-32) and one raw ``.npy`` payload per named array.  Every
+file is written atomically — to a temp file in the same directory, fsync'd,
+then :func:`os.replace`'d into place, with the manifest written last — so a
+crash mid-save leaves either the previous bundle or a stray temp file,
+never a torn one.  :func:`read_bundle` can hand the payloads back either as
+ordinary in-memory arrays (checksum-verified) or memory-mapped read-only
+(``mmap=True``: the open is O(1) and pages fault in on demand — the seam
+the index snapshot store and model checkpoints both build on).
 """
 
 from __future__ import annotations
 
 import json
+import os
+import re
+import tempfile
+import zlib
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable, IO
 
 import numpy as np
 
-__all__ = ["to_jsonable", "save_json", "load_json"]
+__all__ = [
+    "BundleError",
+    "MANIFEST_NAME",
+    "atomic_write_bytes",
+    "dtype_from_name",
+    "load_json",
+    "read_bundle",
+    "read_manifest",
+    "save_json",
+    "to_jsonable",
+    "write_bundle",
+]
+
+#: File name of a bundle's manifest; written last so its presence marks a
+#: complete bundle.
+MANIFEST_NAME = "manifest.json"
+
+#: On-disk format tag + revision checked by :func:`read_manifest`.
+_BUNDLE_FORMAT = "repro-array-bundle"
+_BUNDLE_VERSION = 1
+
+#: Array names double as file stems, so they must stay filesystem-safe.
+_SAFE_KEY = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+class BundleError(RuntimeError):
+    """A bundle is missing, incomplete, corrupted or of the wrong kind."""
 
 
 def to_jsonable(value: Any) -> Any:
-    """Recursively convert ``value`` into JSON-serialisable Python objects."""
+    """Recursively convert ``value`` into JSON-serialisable Python objects.
+
+    NumPy scalars convert via ``.item()`` (exact: every float32/int64/bool
+    value is representable in the wider Python type, and casting the JSON
+    value back through its dtype reproduces the original bit pattern);
+    dtypes convert to their canonical name string, which
+    :func:`dtype_from_name` coerces back.
+    """
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
-    if isinstance(value, (np.integer,)):
-        return int(value)
-    if isinstance(value, (np.floating,)):
-        return float(value)
-    if isinstance(value, (np.bool_,)):
-        return bool(value)
+    if isinstance(value, np.dtype):
+        return value.name
+    if isinstance(value, (np.integer, np.floating, np.bool_)):
+        return value.item()
     if isinstance(value, np.ndarray):
         return value.tolist()
     if isinstance(value, dict):
@@ -37,14 +87,191 @@ def to_jsonable(value: Any) -> Any:
     raise TypeError(f"cannot convert {type(value).__name__} to JSON")
 
 
-def save_json(path: str | Path, value: Any, *, indent: int = 2) -> Path:
-    """Serialise ``value`` to ``path``, creating parent directories."""
+def dtype_from_name(name: "str | np.dtype | None") -> np.dtype | None:
+    """Coerce a manifest's dtype name back into a :class:`numpy.dtype`.
+
+    The inverse of what :func:`to_jsonable` does to dtypes; ``None`` passes
+    through (configs use it for "inherit"), and an unknown name raises
+    :class:`BundleError` rather than numpy's bare :class:`TypeError` so
+    manifest problems surface uniformly.
+    """
+    if name is None:
+        return None
+    try:
+        return np.dtype(name)
+    except TypeError as error:
+        raise BundleError(f"manifest names unknown dtype {name!r}") from error
+
+
+def atomic_write_bytes(path: "str | Path", data: bytes) -> Path:
+    """Write ``data`` to ``path`` atomically (temp file + fsync + rename)."""
+    return _atomic_write(path, lambda handle: handle.write(data))
+
+
+def _atomic_write(path: "str | Path", write: Callable[[IO[bytes]], Any]) -> Path:
+    """Run ``write`` against a temp file and atomically publish it as ``path``.
+
+    The temp file lives in the target directory (``os.replace`` must not
+    cross filesystems) and is fsync'd before the rename; the directory is
+    fsync'd after, so the rename itself survives a crash.  On any failure
+    the temp file is removed and the previous ``path`` content is untouched.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(to_jsonable(value), indent=indent, sort_keys=True))
+    handle, temp_name = tempfile.mkstemp(prefix=f".{path.name}.", dir=path.parent)
+    try:
+        with os.fdopen(handle, "wb") as stream:
+            write(stream)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+        raise
+    _fsync_directory(path.parent)
     return path
 
 
-def load_json(path: str | Path) -> Any:
+def _fsync_directory(directory: Path) -> None:
+    """Flush a directory entry (rename durability); no-op where unsupported."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - e.g. Windows
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover
+        pass
+    finally:
+        os.close(fd)
+
+
+def save_json(path: "str | Path", value: Any, *, indent: int = 2) -> Path:
+    """Serialise ``value`` to ``path`` atomically, creating parent directories."""
+    payload = json.dumps(to_jsonable(value), indent=indent, sort_keys=True)
+    return _atomic_write(Path(path), lambda handle: handle.write(payload.encode("utf-8")))
+
+
+def load_json(path: "str | Path") -> Any:
     """Load JSON previously written by :func:`save_json`."""
     return json.loads(Path(path).read_text())
+
+
+# --------------------------------------------------------------------------- #
+# Array bundles
+# --------------------------------------------------------------------------- #
+def write_bundle(
+    directory: "str | Path",
+    arrays: "dict[str, np.ndarray]",
+    meta: "dict[str, Any] | None" = None,
+) -> Path:
+    """Write named arrays + metadata as an atomic manifest/``.npy`` bundle.
+
+    Each array lands in ``<key>.npy`` (atomic temp-and-rename, fsync'd) and
+    is described in the manifest with its shape, dtype, byte size and
+    CRC-32; the manifest is written last, so a reader never sees a manifest
+    whose payloads are missing.  ``meta`` is passed through
+    :func:`to_jsonable` and stored under the manifest's ``"meta"`` key.
+    Returns the bundle directory.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    descriptors: dict[str, dict[str, Any]] = {}
+    for key, array in arrays.items():
+        if not _SAFE_KEY.match(key):
+            raise ValueError(f"array key {key!r} is not filesystem-safe")
+        array = np.ascontiguousarray(array)
+        file_name = f"{key}.npy"
+        _atomic_write(directory / file_name, lambda handle, a=array: np.save(handle, a))
+        descriptors[key] = {
+            "file": file_name,
+            "shape": list(array.shape),
+            "dtype": array.dtype.name,
+            "nbytes": int(array.nbytes),
+            "crc32": int(zlib.crc32(array.tobytes())),
+        }
+    manifest = {
+        "format": _BUNDLE_FORMAT,
+        "version": _BUNDLE_VERSION,
+        "meta": to_jsonable(meta or {}),
+        "arrays": descriptors,
+    }
+    save_json(directory / MANIFEST_NAME, manifest)
+    return directory
+
+
+def read_manifest(directory: "str | Path") -> dict[str, Any]:
+    """Parse and validate a bundle's manifest (payloads are not touched).
+
+    Raises :class:`FileNotFoundError` when the directory or manifest is
+    missing and :class:`BundleError` when the manifest is truncated,
+    malformed or of an unknown format revision.
+    """
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no bundle manifest at {manifest_path}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise BundleError(f"corrupted bundle manifest {manifest_path}: {error}") from error
+    if not isinstance(manifest, dict) or manifest.get("format") != _BUNDLE_FORMAT:
+        raise BundleError(f"{manifest_path} is not a {_BUNDLE_FORMAT} manifest")
+    if manifest.get("version") != _BUNDLE_VERSION:
+        raise BundleError(
+            f"{manifest_path} has format version {manifest.get('version')!r}; "
+            f"this library reads version {_BUNDLE_VERSION}"
+        )
+    if not isinstance(manifest.get("arrays"), dict) or not isinstance(manifest.get("meta"), dict):
+        raise BundleError(f"{manifest_path} is missing its arrays/meta sections")
+    return manifest
+
+
+def read_bundle(
+    directory: "str | Path",
+    *,
+    mmap: bool = False,
+    verify: bool = True,
+) -> tuple[dict[str, Any], dict[str, np.ndarray]]:
+    """Load a bundle written by :func:`write_bundle` → ``(meta, arrays)``.
+
+    With ``mmap=True`` every payload comes back as a **read-only**
+    memory-mapped array: the call does O(1) work per array (open + header
+    parse + structural checks against the manifest) and the data pages
+    fault in lazily — writes through such arrays raise, which is what the
+    index mutation paths use to trigger copy-on-write promotion.  With
+    ``mmap=False`` the arrays are ordinary private writable copies and,
+    when ``verify`` is on, their CRC-32 is checked against the manifest.
+    Structural problems — missing/truncated payloads, shape or dtype
+    drift — raise :class:`BundleError` in both modes.
+    """
+    directory = Path(directory)
+    manifest = read_manifest(directory)
+    arrays: dict[str, np.ndarray] = {}
+    for key, spec in manifest["arrays"].items():
+        path = directory / spec["file"]
+        if not path.exists():
+            raise BundleError(f"bundle {directory} is missing payload {spec['file']}")
+        try:
+            array = np.load(path, mmap_mode="r" if mmap else None, allow_pickle=False)
+        except (ValueError, OSError) as error:
+            raise BundleError(f"cannot read bundle payload {path}: {error}") from error
+        if list(array.shape) != list(spec["shape"]) or array.dtype != dtype_from_name(spec["dtype"]):
+            raise BundleError(
+                f"bundle payload {path} is {array.dtype}{array.shape}, "
+                f"manifest says {spec['dtype']}{tuple(spec['shape'])}"
+            )
+        if array.nbytes != int(spec["nbytes"]):
+            raise BundleError(f"bundle payload {path} has {array.nbytes} bytes, manifest says {spec['nbytes']}")
+        if verify and not mmap:
+            checksum = zlib.crc32(np.ascontiguousarray(array).tobytes())
+            if checksum != int(spec["crc32"]):
+                raise BundleError(
+                    f"bundle payload {path} fails its checksum "
+                    f"(crc32 {checksum} != manifest {spec['crc32']})"
+                )
+        arrays[key] = array
+    return manifest["meta"], arrays

@@ -1,0 +1,455 @@
+"""Tests for the index persistence layer (PR 6).
+
+Four invariant families:
+
+* **round-trip parity** — ``save`` → ``load`` must answer searches
+  byte-identically to the live index, for every backend, both metrics,
+  with and without memory-mapping, and after heavy churn (tombstones,
+  revivals, a queued drift re-cluster) — and loading must never re-run
+  any training (k-means, hashing, PQ codebook fitting);
+* **copy-on-write safety** — a memory-mapped index promotes to private
+  copies on its first mutation and the snapshot files on disk are never
+  written through;
+* **corruption rejection** — truncated or tampered snapshots fail loudly
+  with :class:`BundleError`, never load garbage;
+* **publish/swap** — :class:`SnapshotStore` versions monotonically, flips
+  ``CURRENT`` atomically, and a serving worker hot-swaps to a maintainer's
+  publishes mid-traffic without a wrong answer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+
+import numpy as np
+import pytest
+
+from repro.index import (
+    ExactIndex,
+    IVFIndex,
+    IVFPQIndex,
+    ItemIndex,
+    LSHIndex,
+    SnapshotStore,
+    build_index,
+)
+from repro.models import build_model
+from repro.serving import RecommendRequest, RecommendationService
+from repro.utils.serialization import BundleError, load_json, save_json
+
+
+def clustered_embeddings(
+    num_items: int = 400,
+    num_queries: int = 16,
+    dim: int = 16,
+    num_clusters: int = 12,
+    spread: float = 0.25,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Unit-norm items and queries drawn around shared cluster centres."""
+    rng = np.random.default_rng(seed)
+    centres = rng.normal(size=(num_clusters, dim))
+    items = centres[rng.integers(0, num_clusters, size=num_items)]
+    items = items + spread * rng.normal(size=items.shape)
+    queries = centres[rng.integers(0, num_clusters, size=num_queries)]
+    queries = queries + spread * rng.normal(size=queries.shape)
+    items /= np.linalg.norm(items, axis=1, keepdims=True)
+    queries /= np.linalg.norm(queries, axis=1, keepdims=True)
+    return items, queries
+
+
+def make_backend(name: str, metric: str = "dot") -> ItemIndex:
+    """One configured instance of a backend, small enough for tests."""
+    return {
+        "exact": lambda: ExactIndex(metric=metric),
+        "ivf": lambda: IVFIndex(metric=metric, nlist=8, nprobe=4, seed=3),
+        "lsh": lambda: LSHIndex(metric=metric, num_tables=4, num_bits=8, hamming_radius=1, seed=3),
+        "ivfpq": lambda: IVFPQIndex(metric=metric, nlist=8, nprobe=4, num_subspaces=4, seed=3),
+    }[name]()
+
+
+BACKEND_NAMES = ["exact", "ivf", "ivfpq", "lsh"]
+
+
+def built_index(name: str, metric: str = "dot", with_bias: bool = True, seed: int = 0):
+    """A built backend over clustered embeddings; returns (index, queries)."""
+    items, queries = clustered_embeddings(num_items=400, num_queries=16, dim=16, seed=seed)
+    index = make_backend(name, metric=metric)
+    biases = None
+    if metric == "dot" and with_bias:
+        biases = np.linspace(-0.5, 0.5, items.shape[0])
+    index.build(items, item_biases=biases)
+    return index, queries
+
+
+def assert_search_parity(left: ItemIndex, right: ItemIndex, queries: np.ndarray, k: int = 20):
+    """Both indexes must return byte-identical rankings AND scores."""
+    left_ids, left_scores = left.search(queries, k)
+    right_ids, right_scores = right.search(queries, k)
+    np.testing.assert_array_equal(left_ids, right_ids)
+    np.testing.assert_array_equal(left_scores, right_scores)
+
+
+def snapshot_digest(directory) -> dict[str, str]:
+    """Content hash of every file in a snapshot directory."""
+    return {
+        path.name: hashlib.sha256(path.read_bytes()).hexdigest()
+        for path in sorted(directory.iterdir())
+        if path.is_file()
+    }
+
+
+class TestRoundTripParity:
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    @pytest.mark.parametrize("metric", ["dot", "cosine"])
+    @pytest.mark.parametrize("mmap", [False, True])
+    def test_loaded_index_is_byte_identical(self, tmp_path, name, metric, mmap):
+        index, queries = built_index(name, metric=metric)
+        index.save(tmp_path / "snap")
+        loaded = ItemIndex.load(tmp_path / "snap", mmap=mmap)
+        assert type(loaded) is type(index)
+        assert loaded.num_items == index.num_items
+        assert loaded.num_active == index.num_active
+        assert_search_parity(index, loaded, queries)
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_parity_survives_churn_and_pending_recluster(self, tmp_path, name):
+        """≥20% churn — revivals, tombstones, appended ids, queued drift work —
+        must round-trip: the loaded index answers identically now AND after
+        running the (deterministically seeded) deferred maintenance."""
+        index, queries = built_index(name)
+        rng = np.random.default_rng(7)
+        num = index.num_items
+        # Replace 15% of rows, delete 10%, then append 5% new ids: >20% churn.
+        replace = rng.choice(num, size=num * 15 // 100, replace=False)
+        index.upsert(
+            replace,
+            rng.normal(size=(replace.size, 16)),
+            item_biases=rng.normal(size=replace.size),
+        )
+        doomed = rng.choice(num, size=num // 10, replace=False)
+        index.delete(doomed)
+        fresh = np.arange(num, num + num // 20)
+        index.upsert(
+            fresh, rng.normal(size=(fresh.size, 16)), item_biases=rng.normal(size=fresh.size)
+        )
+        if hasattr(index, "recluster_pending"):
+            assert index.recluster_pending, "churn scenario should trip the drift threshold"
+        index.save(tmp_path / "snap")
+        for mmap in (False, True):
+            loaded = ItemIndex.load(tmp_path / "snap", mmap=mmap)
+            assert_search_parity(index, loaded, queries)
+        # The queued re-cluster must resume identically: counters and seeds
+        # round-tripped, so maintain() reorganises both copies the same way.
+        loaded = ItemIndex.load(tmp_path / "snap", mmap=True)
+        assert loaded.maintain() == index.maintain()
+        assert_search_parity(index, loaded, queries)
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_load_runs_no_training(self, tmp_path, name, monkeypatch):
+        """Loading attaches to saved structures; k-means/assignment must not run."""
+        index, queries = built_index(name)
+        index.save(tmp_path / "snap")
+
+        def boom(*args, **kwargs):  # pragma: no cover - would be the failure
+            raise AssertionError("training ran during snapshot load")
+
+        for module in ("repro.index.ivf", "repro.index.pq"):
+            monkeypatch.setattr(f"{module}.lloyd", boom)
+            monkeypatch.setattr(f"{module}.nearest_centroid", boom)
+        loaded = ItemIndex.load(tmp_path / "snap", mmap=True)
+        if name in ("exact", "lsh"):  # backends whose search needs no centroids
+            assert_search_parity(index, loaded, queries)
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_concrete_class_load_and_kind_checks(self, tmp_path, name):
+        index, _ = built_index(name)
+        index.save(tmp_path / "snap")
+        loaded = type(index).load(tmp_path / "snap", mmap=False)
+        assert type(loaded) is type(index)
+        # NB: IVFIndex would be a *valid* target for an ivfpq snapshot (it is
+        # the superclass), so pick a genuinely incompatible backend each time.
+        wrong = {"exact": IVFIndex, "ivf": ExactIndex, "lsh": ExactIndex, "ivfpq": LSHIndex}[name]
+        with pytest.raises(TypeError, match="not a"):
+            wrong.load(tmp_path / "snap")
+
+    def test_non_snapshot_bundle_is_rejected(self, tmp_path):
+        from repro.utils.serialization import write_bundle
+
+        write_bundle(tmp_path / "other", {"x": np.zeros(3)}, meta={"kind": "something-else"})
+        with pytest.raises(BundleError, match="not an index snapshot"):
+            ItemIndex.load(tmp_path / "other")
+
+
+class TestConfigRoundTrip:
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_build_index_reconstructs_equivalent_config(self, name):
+        index = make_backend(name)
+        rebuilt = build_index(index.name, **index.config())
+        assert type(rebuilt) is type(index)
+        assert rebuilt.config() == index.config()
+
+    def test_config_is_jsonable(self):
+        import json
+
+        for name in BACKEND_NAMES:
+            json.dumps(make_backend(name).config())
+
+    def test_dtype_pin_round_trips(self, tmp_path):
+        items, queries = clustered_embeddings(num_items=120, dim=8)
+        index = IVFIndex(nlist=4, nprobe=4, dtype="float32").build(items)
+        assert index.config()["dtype"] == "float32"
+        index.save(tmp_path / "snap")
+        loaded = ItemIndex.load(tmp_path / "snap", mmap=False)
+        assert loaded.dtype == np.dtype("float32")
+        assert loaded.work_dtype == np.dtype("float32")
+        assert_search_parity(index, loaded, queries)
+
+
+class TestCopyOnWrite:
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_mmap_arrays_are_read_only_until_mutation(self, tmp_path, name):
+        index, _ = built_index(name)
+        index.save(tmp_path / "snap")
+        loaded = ItemIndex.load(tmp_path / "snap", mmap=True)
+        assert not loaded._vectors.flags.writeable
+        with pytest.raises(ValueError):
+            loaded._vectors[0, 0] = 99.0
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_mutation_promotes_and_never_touches_snapshot(self, tmp_path, name):
+        index, queries = built_index(name)
+        snap = index.save(tmp_path / "snap")
+        before = snapshot_digest(snap)
+        loaded = ItemIndex.load(snap, mmap=True)
+        rng = np.random.default_rng(5)
+        loaded.upsert([0, 1], rng.normal(size=(2, 16)), item_biases=[0.1, -0.1])
+        loaded.delete([7])
+        loaded.maintain(force=True)
+        assert loaded._vectors.flags.writeable  # promoted to private copies
+        ids, scores = loaded.search(queries, 10)
+        assert 7 not in ids
+        assert snapshot_digest(snap) == before, "mutation wrote through the snapshot"
+        # A second reader still sees the original, unmutated index.
+        pristine = ItemIndex.load(snap, mmap=True)
+        assert_search_parity(index, pristine, queries)
+
+    def test_readonly_load_without_mmap_is_private_and_writable(self, tmp_path):
+        index, queries = built_index("exact")
+        snap = index.save(tmp_path / "snap")
+        loaded = ItemIndex.load(snap, mmap=False)
+        assert loaded._vectors.flags.writeable
+        loaded.delete([0])
+        assert index.is_live([0])[0]  # the live index is unaffected
+
+
+class TestCorruptionRejection:
+    def test_truncated_payload(self, tmp_path):
+        index, _ = built_index("ivf")
+        snap = index.save(tmp_path / "snap")
+        payload = snap / "vectors.npy"
+        payload.write_bytes(payload.read_bytes()[:-80])
+        with pytest.raises(BundleError):
+            ItemIndex.load(snap, mmap=True)
+        with pytest.raises(BundleError):
+            ItemIndex.load(snap, mmap=False)
+
+    def test_corrupted_manifest(self, tmp_path):
+        index, _ = built_index("exact")
+        snap = index.save(tmp_path / "snap")
+        (snap / "manifest.json").write_text("{ not json")
+        with pytest.raises(BundleError, match="corrupted"):
+            ItemIndex.load(snap)
+
+    def test_manifest_shape_drift(self, tmp_path):
+        index, _ = built_index("exact")
+        snap = index.save(tmp_path / "snap")
+        manifest = load_json(snap / "manifest.json")
+        manifest["arrays"]["vectors"]["shape"][0] += 1
+        save_json(snap / "manifest.json", manifest)
+        with pytest.raises(BundleError, match="manifest says"):
+            ItemIndex.load(snap, mmap=True)
+
+    def test_bit_flip_fails_checksum_on_verified_load(self, tmp_path):
+        index, _ = built_index("exact")
+        snap = index.save(tmp_path / "snap")
+        payload = snap / "vectors.npy"
+        raw = bytearray(payload.read_bytes())
+        raw[-1] ^= 0x01
+        payload.write_bytes(bytes(raw))
+        with pytest.raises(BundleError, match="checksum"):
+            ItemIndex.load(snap, mmap=False)
+
+    def test_missing_snapshot_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ItemIndex.load(tmp_path / "nowhere")
+
+
+class TestSnapshotStore:
+    def test_versions_are_monotonic_and_current_flips(self, tmp_path):
+        store = SnapshotStore(tmp_path / "store")
+        assert store.versions() == []
+        assert store.current_version() is None
+        with pytest.raises(FileNotFoundError, match="no published snapshot"):
+            store.load()
+        index, queries = built_index("ivf")
+        assert store.publish(index) == 1
+        assert store.publish(index) == 2
+        assert store.versions() == [1, 2]
+        assert store.current_version() == 2
+        assert_search_parity(index, store.load(), queries)
+        assert_search_parity(index, store.load(1, mmap=False), queries)
+
+    def test_corrupted_current_pointer(self, tmp_path):
+        store = SnapshotStore(tmp_path / "store")
+        store.publish(built_index("exact")[0])
+        (store.root / "CURRENT").write_text("garbage")
+        with pytest.raises(BundleError, match="corrupted"):
+            store.current_version()
+
+    def test_prune_keeps_newest_and_current(self, tmp_path):
+        store = SnapshotStore(tmp_path / "store")
+        index, _ = built_index("exact")
+        for _ in range(4):
+            store.publish(index)
+        (store.root / ".staging-dead-beef").mkdir()  # stray from a crashed publish
+        assert store.prune(keep=2) == [1, 2]
+        assert store.versions() == [3, 4]
+        assert store.current_version() == 4
+        assert not list(store.root.glob(".staging-*"))
+        with pytest.raises(ValueError, match="keep"):
+            store.prune(keep=0)
+
+    def test_incomplete_version_directories_are_invisible(self, tmp_path):
+        store = SnapshotStore(tmp_path / "store")
+        (store.root / "v00000001").mkdir()  # manifest-less: a torn publish
+        assert store.versions() == []
+        index, _ = built_index("exact")
+        # An empty torn slot is reclaimed by the rename; a non-empty one
+        # (crashed mid-save) cannot be renamed over, so the publisher skips
+        # to the following slot.  Either way the publish lands.
+        assert store.publish(index) == 1
+        occupied = store.root / "v00000002"
+        occupied.mkdir()
+        (occupied / "junk.npy").write_bytes(b"partial")
+        assert store.publish(index) == 3
+        assert store.versions() == [1, 3]
+        assert store.current_version() == 3
+
+
+class TestServiceSnapshots:
+    @pytest.fixture()
+    def model(self, tiny_train_graph, tiny_scene_graph):
+        return build_model("BPR-MF", tiny_train_graph, tiny_scene_graph, embedding_dim=8, seed=11)
+
+    def _service(self, model, graph, scene, **kwargs):
+        kwargs.setdefault("candidate_k", graph.num_items)
+        return RecommendationService(model, graph, scene, **kwargs)
+
+    def test_maintainer_publishes_worker_swaps(
+        self, tmp_path, model, tiny_train_graph, tiny_scene_graph
+    ):
+        store = SnapshotStore(tmp_path / "store")
+        maintainer = self._service(
+            model, tiny_train_graph, tiny_scene_graph, index=ExactIndex(), snapshots=store
+        )
+        assert maintainer.maintain(force=True) is False  # exact: no deferred work...
+        assert store.current_version() == 1  # ...but the first publish still happens
+        assert maintainer.stats().snapshot_version == 1
+        worker = self._service(model, tiny_train_graph, tiny_scene_graph, snapshots=store)
+        assert worker.load_snapshot() == 1
+        assert worker.stats().snapshot_version == 1
+        request = RecommendRequest(users=tuple(range(8)), k=10)
+        assert worker.recommend(request).item_lists() == maintainer.recommend(request).item_lists()
+
+    def test_publish_snapshot_and_sync(self, tmp_path, model, tiny_train_graph, tiny_scene_graph):
+        store = SnapshotStore(tmp_path / "store")
+        maintainer = self._service(
+            model, tiny_train_graph, tiny_scene_graph, index=ExactIndex(), snapshots=store
+        )
+        assert maintainer.publish_snapshot() == 1
+        worker = self._service(model, tiny_train_graph, tiny_scene_graph, snapshots=store)
+        assert worker.sync_snapshot() is True
+        assert worker.sync_snapshot() is False  # nothing new: one pointer read
+        maintainer.publish_snapshot()
+        assert worker.sync_snapshot() is True
+        assert worker.stats().snapshot_version == 2
+
+    def test_worker_deletions_survive_snapshot_swap(
+        self, tmp_path, model, tiny_train_graph, tiny_scene_graph
+    ):
+        store = SnapshotStore(tmp_path / "store")
+        maintainer = self._service(
+            model, tiny_train_graph, tiny_scene_graph, index=ExactIndex(), snapshots=store
+        )
+        maintainer.publish_snapshot()
+        worker = self._service(model, tiny_train_graph, tiny_scene_graph, snapshots=store)
+        worker.load_snapshot()
+        request = RecommendRequest(users=(0, 1, 2, 3), k=5)
+        served = {item for items in worker.recommend(request).item_lists() for item in items}
+        target = sorted(served)[:2]
+        worker.delete_items(target)
+        maintainer.publish_snapshot()  # the new snapshot still contains them
+        assert worker.sync_snapshot() is True
+        for items in worker.recommend(request).item_lists():
+            assert not set(items) & set(target), "locally-retired items resurfaced after swap"
+
+    def test_snapshotless_service_has_no_snapshot_api(
+        self, model, tiny_train_graph, tiny_scene_graph
+    ):
+        service = self._service(model, tiny_train_graph, tiny_scene_graph, index=ExactIndex())
+        assert service.sync_snapshot() is False
+        assert service.stats().snapshot_version is None
+        with pytest.raises(RuntimeError, match="no snapshot store"):
+            service.publish_snapshot()
+        with pytest.raises(RuntimeError, match="no snapshot store"):
+            service.load_snapshot()
+
+    def test_worker_without_index_or_snapshot_load_serves_full_catalogue(
+        self, tmp_path, model, tiny_train_graph, tiny_scene_graph
+    ):
+        store = SnapshotStore(tmp_path / "store")
+        worker = self._service(model, tiny_train_graph, tiny_scene_graph, snapshots=store)
+        with pytest.raises(FileNotFoundError):
+            worker.load_snapshot()  # nothing published yet
+        # Until a snapshot is attached the worker answers from the full
+        # catalogue path, so it is never wrong, just slower.
+        assert worker.recommend(RecommendRequest(users=(0,), k=5)).results[0]
+
+    def test_concurrent_publish_and_swap_under_search_load(
+        self, tmp_path, model, tiny_train_graph, tiny_scene_graph
+    ):
+        """A maintainer publishing in a thread while a worker serves and
+        hot-swaps must never produce an invalid (or empty) response."""
+        store = SnapshotStore(tmp_path / "store")
+        maintainer = self._service(
+            model, tiny_train_graph, tiny_scene_graph, index=ExactIndex(), snapshots=store
+        )
+        maintainer.publish_snapshot()
+        worker = self._service(model, tiny_train_graph, tiny_scene_graph, snapshots=store)
+        worker.load_snapshot()
+        reference = self._service(model, tiny_train_graph, tiny_scene_graph)
+        request = RecommendRequest(users=(0, 3, 5), k=8)
+        expected = reference.recommend(request).item_lists()
+        publishes = 6
+        errors: list[BaseException] = []
+
+        def publisher():
+            try:
+                for _ in range(publishes):
+                    maintainer.publish_snapshot()
+            except BaseException as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        thread = threading.Thread(target=publisher)
+        thread.start()
+        served = 0
+        while thread.is_alive() or worker.sync_snapshot():
+            worker.sync_snapshot()
+            assert worker.recommend(request).item_lists() == expected
+            served += 1
+        thread.join()
+        assert not errors
+        assert served > 0
+        assert worker.stats().snapshot_version == store.current_version() == publishes + 1

@@ -83,7 +83,7 @@ class TestFullPipeline:
         trainer = Trainer(model, split, TrainConfig(epochs=3, batch_size=128, learning_rate=0.05, eval_every=0))
         trainer.fit()
         before = trainer.evaluate_test()
-        path = save_checkpoint(model, tmp_path / "bprmf.npz")
+        path = save_checkpoint(model, tmp_path / "bprmf.ckpt")
         restored = BPRMF(train_graph.num_users, train_graph.num_items, embedding_dim=16, seed=123)
         load_checkpoint(restored, path)
         after = RankingEvaluator(split.test, k=10).evaluate(restored)

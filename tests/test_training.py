@@ -251,7 +251,9 @@ class TestCheckpoint:
     def test_roundtrip(self, tiny_split, tmp_path):
         model = BPRMF(tiny_split.num_users, tiny_split.num_items, embedding_dim=8, seed=0)
         Trainer(model, tiny_split, TrainConfig(epochs=1, eval_every=0)).fit()
-        path = save_checkpoint(model, tmp_path / "model.npz")
+        path = save_checkpoint(model, tmp_path / "model.ckpt")
+        # Checkpoints are crash-safe bundle directories: manifest + .npy payloads.
+        assert path.is_dir() and (path / "manifest.json").exists()
         fresh = BPRMF(tiny_split.num_users, tiny_split.num_items, embedding_dim=8, seed=99)
         load_checkpoint(fresh, path)
         users = np.array([0, 1, 2])
@@ -261,11 +263,11 @@ class TestCheckpoint:
     def test_missing_file_raises(self, tiny_split, tmp_path):
         model = BPRMF(tiny_split.num_users, tiny_split.num_items, 8, seed=0)
         with pytest.raises(FileNotFoundError):
-            load_checkpoint(model, tmp_path / "missing.npz")
+            load_checkpoint(model, tmp_path / "missing.ckpt")
 
     def test_strict_load_rejects_architecture_mismatch(self, tiny_split, tmp_path):
         model = BPRMF(tiny_split.num_users, tiny_split.num_items, 8, seed=0)
-        path = save_checkpoint(model, tmp_path / "model.npz")
+        path = save_checkpoint(model, tmp_path / "model.ckpt")
         mismatched = BPRMF(tiny_split.num_users, tiny_split.num_items, 16, seed=0)
         with pytest.raises((KeyError, ValueError)):
             load_checkpoint(mismatched, path)

@@ -11,7 +11,15 @@ import pytest
 from repro.utils import Timer, get_logger, load_json, new_rng, save_json, set_global_seed
 from repro.utils.logging import configure_logging
 from repro.utils.rng import RngMixin, spawn_rngs
-from repro.utils.serialization import to_jsonable
+from repro.utils.serialization import (
+    BundleError,
+    atomic_write_bytes,
+    dtype_from_name,
+    read_bundle,
+    read_manifest,
+    to_jsonable,
+    write_bundle,
+)
 from repro.utils.timing import format_seconds
 
 
@@ -115,3 +123,103 @@ class TestSerialization:
     def test_save_and_load_roundtrip(self, tmp_path):
         path = save_json(tmp_path / "nested" / "file.json", {"value": np.float64(1.5)})
         assert load_json(path) == {"value": 1.5}
+
+    def test_dtype_round_trip_is_lossless(self):
+        for name in ("float32", "float64", "int64", "uint8", "bool"):
+            dtype = np.dtype(name)
+            assert dtype_from_name(to_jsonable(dtype)) == dtype
+
+    def test_numpy_scalars_round_trip_bit_exactly(self):
+        # .item() widens to Python int/float; casting the JSON value back
+        # through the dtype must reproduce the original bit pattern.
+        tricky = np.float32(0.1)
+        assert np.float32(to_jsonable(tricky)) == tricky
+        big = np.int64(2**62 + 3)
+        assert np.int64(to_jsonable(big)) == big
+
+    def test_dtype_from_name_rejects_unknown(self):
+        assert dtype_from_name(None) is None
+        with pytest.raises(BundleError, match="unknown dtype"):
+            dtype_from_name("not-a-dtype")
+
+    def test_save_json_is_atomic_on_failure(self, tmp_path):
+        path = save_json(tmp_path / "file.json", {"value": 1})
+        with pytest.raises(TypeError):
+            save_json(path, {"bad": object()})
+        assert load_json(path) == {"value": 1}  # previous content untouched
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["file.json"]  # no temp litter
+
+    def test_atomic_write_bytes(self, tmp_path):
+        path = atomic_write_bytes(tmp_path / "blob", b"payload")
+        assert path.read_bytes() == b"payload"
+
+
+class TestArrayBundle:
+    def _arrays(self):
+        rng = np.random.default_rng(0)
+        return {
+            "vectors": rng.normal(size=(40, 6)).astype(np.float32),
+            "codes.sub": rng.integers(0, 255, size=(40, 3)).astype(np.uint8),
+            "mask": rng.random(40) > 0.5,
+        }
+
+    def test_round_trip_in_memory_and_mmap(self, tmp_path):
+        arrays = self._arrays()
+        write_bundle(tmp_path / "bundle", arrays, meta={"kind": "test", "dtype": np.dtype("float32")})
+        for mmap in (False, True):
+            meta, loaded = read_bundle(tmp_path / "bundle", mmap=mmap)
+            assert meta == {"kind": "test", "dtype": "float32"}
+            assert sorted(loaded) == sorted(arrays)
+            for key, array in arrays.items():
+                np.testing.assert_array_equal(loaded[key], array)
+                assert bool(loaded[key].flags.writeable) is (not mmap)
+
+    def test_rejects_unsafe_array_keys(self, tmp_path):
+        with pytest.raises(ValueError, match="filesystem-safe"):
+            write_bundle(tmp_path / "bundle", {"../escape": np.zeros(2)})
+
+    def test_missing_manifest_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_manifest(tmp_path / "nowhere")
+
+    def test_corrupted_manifest_raises_bundle_error(self, tmp_path):
+        bundle = write_bundle(tmp_path / "bundle", self._arrays())
+        (bundle / "manifest.json").write_text('{"format": "repro-array-bundle", "version')
+        with pytest.raises(BundleError, match="corrupted"):
+            read_manifest(bundle)
+
+    def test_wrong_format_or_version_raises(self, tmp_path):
+        bundle = write_bundle(tmp_path / "bundle", self._arrays())
+        manifest = load_json(bundle / "manifest.json")
+        manifest["version"] = 999
+        (bundle / "manifest.json").write_text(__import__("json").dumps(manifest))
+        with pytest.raises(BundleError, match="format version"):
+            read_manifest(bundle)
+        (bundle / "manifest.json").write_text('{"format": "something-else"}')
+        with pytest.raises(BundleError, match="not a"):
+            read_manifest(bundle)
+
+    def test_missing_payload_raises(self, tmp_path):
+        bundle = write_bundle(tmp_path / "bundle", self._arrays())
+        (bundle / "mask.npy").unlink()
+        with pytest.raises(BundleError, match="missing payload"):
+            read_bundle(bundle)
+
+    def test_truncated_payload_raises_in_both_modes(self, tmp_path):
+        bundle = write_bundle(tmp_path / "bundle", self._arrays())
+        payload = bundle / "vectors.npy"
+        payload.write_bytes(payload.read_bytes()[:-64])
+        with pytest.raises(BundleError):
+            read_bundle(bundle, mmap=False)
+        with pytest.raises(BundleError):
+            read_bundle(bundle, mmap=True)
+
+    def test_bit_flip_fails_checksum_on_verified_read(self, tmp_path):
+        bundle = write_bundle(tmp_path / "bundle", self._arrays())
+        payload = bundle / "vectors.npy"
+        raw = bytearray(payload.read_bytes())
+        raw[-1] ^= 0xFF  # flip data bytes, leaving the npy header intact
+        payload.write_bytes(bytes(raw))
+        with pytest.raises(BundleError, match="checksum"):
+            read_bundle(bundle, mmap=False)
+        read_bundle(bundle, mmap=False, verify=False)  # opt-out skips the CRC
