@@ -1,0 +1,249 @@
+"""The observability tax, and a scrape-compatibility check of the exposition.
+
+Instrumentation that distorts the numbers it reports is worse than none:
+the whole :mod:`repro.obs` design (no-op null objects when disabled,
+``enabled`` flags gating every clock read, lock-free counter bumps on the
+hot path) exists so that metrics can stay on in production serving.  These
+benches hold the layer to that claim:
+
+* a fully instrumented service (metrics + tracing, ``obs=True``) adds
+  ≤ 5% mean ``recommend()`` latency over an identical service wired to the
+  null registry, measured A/B-interleaved at catalogue scale, and
+* ``render_prometheus()`` output parses back line by line — ``# TYPE``
+  declarations, sample lines, cumulative (monotone) histogram buckets,
+  ``+Inf`` == ``_count`` == the sum implied by ``to_dict()`` — i.e. a real
+  scraper would accept the page.  The rendered page is written to
+  ``benchmarks/results/obs_prometheus.txt`` (uploaded as a CI artifact).
+
+Environment knobs:
+
+* ``REPRO_OBS_BENCH_ITEMS`` — catalogue size (default ``30000``).
+* ``REPRO_OBS_BENCH_OVERHEAD_CEIL`` — asserted instrumentation-overhead
+  ceiling as a fraction (default ``0.05``; CI's smoke run relaxes it for
+  shared runners).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import time
+
+import numpy as np
+import pytest
+
+from repro.graph.bipartite import UserItemBipartiteGraph
+from repro.index import IVFIndex
+from repro.models.base import FactorizedRecommender, FactorizedRepresentations
+from repro.serving import RecommendRequest, RecommendationService
+
+NUM_CLUSTERS = 96
+EMBEDDING_DIM = 48
+CLUSTER_SPREAD = 0.35
+NUM_USERS = 256
+
+
+def obs_bench_items() -> int:
+    return int(os.environ.get("REPRO_OBS_BENCH_ITEMS", "30000"))
+
+
+def obs_bench_overhead_ceil() -> float:
+    return float(os.environ.get("REPRO_OBS_BENCH_OVERHEAD_CEIL", "0.05"))
+
+
+class _StaticFactorized(FactorizedRecommender):
+    """A frozen factorized model: serving-stack scaffolding for the bench."""
+
+    name = "static-factorized"
+    trainable = False
+
+    def __init__(self, users: np.ndarray, items: np.ndarray) -> None:
+        super().__init__()
+        self._users = users
+        self._items = items
+
+    def factorized_representations(self) -> FactorizedRepresentations:
+        return FactorizedRepresentations(users=self._users, items=self._items)
+
+
+@pytest.fixture(scope="module")
+def embeddings():
+    """Clustered unit-norm item/user embeddings, the shape of a real catalogue."""
+    rng = np.random.default_rng(29)
+    centres = rng.normal(size=(NUM_CLUSTERS, EMBEDDING_DIM))
+
+    def draw(count: int) -> np.ndarray:
+        rows = centres[rng.integers(0, NUM_CLUSTERS, size=count)]
+        rows = rows + CLUSTER_SPREAD * rng.normal(size=rows.shape)
+        return rows / np.linalg.norm(rows, axis=1, keepdims=True)
+
+    return draw(obs_bench_items()), draw(NUM_USERS)
+
+
+def _make_service(
+    items: np.ndarray, users: np.ndarray, *, obs, snapshots=None
+) -> RecommendationService:
+    model = _StaticFactorized(users, items)
+    bipartite = UserItemBipartiteGraph(
+        num_users=users.shape[0],
+        num_items=items.shape[0],
+        interactions=[(u, u) for u in range(users.shape[0])],
+    )
+    return RecommendationService(
+        model,
+        bipartite,
+        index=IVFIndex(nlist=128, nprobe=8, seed=0),
+        snapshots=snapshots,
+        obs=obs,
+    )
+
+
+@pytest.mark.smoke
+def test_obs_overhead_ceiling(embeddings):
+    """Acceptance ceiling: full instrumentation costs ≤ 5% mean latency.
+
+    Mean over many interleaved requests rather than best-of: the
+    instrumentation cost is per-request and constant (a handful of
+    ``perf_counter`` reads and counter bumps), so the mean is the honest
+    statistic, and interleaving makes machine-level drift (frequency
+    scaling, noisy neighbours) hit both sides equally.
+    (``REPRO_OBS_BENCH_OVERHEAD_CEIL`` relaxes the ceiling for CI smoke
+    runs.)
+    """
+    items, users = embeddings
+    request = RecommendRequest(users=tuple(range(users.shape[0])), k=10, exclude_seen=False)
+    num_requests = 40
+
+    baseline = _make_service(items, users, obs=None)
+    instrumented = _make_service(items, users, obs=True)
+    baseline.recommend(request)  # warm caches + indexes outside the timing
+    instrumented.recommend(request)
+
+    timings: dict[str, list[float]] = {"baseline": [], "instrumented": []}
+    for _ in range(num_requests):
+        for label, service in (("baseline", baseline), ("instrumented", instrumented)):
+            start = time.perf_counter()
+            service.recommend(request)
+            timings[label].append(time.perf_counter() - start)
+
+    baseline_seconds = float(np.mean(timings["baseline"]))
+    instrumented_seconds = float(np.mean(timings["instrumented"]))
+    registry = instrumented.obs.registry
+    assert registry.counter("repro_serving_requests_total").value == num_requests + 1
+    assert registry.histogram("repro_serving_request_seconds").count == num_requests + 1
+    assert instrumented.obs.tracer.last_trace() is not None
+
+    overhead = instrumented_seconds / baseline_seconds - 1.0
+    ceiling = obs_bench_overhead_ceil()
+    assert overhead < ceiling, (
+        f"instrumentation overhead {overhead:.1%} ≥ {ceiling:.0%} "
+        f"({instrumented_seconds * 1000:.2f} ms vs {baseline_seconds * 1000:.2f} ms per "
+        f"request at {items.shape[0]} items)"
+    )
+
+
+# One exposition line: `name{labels} value` with the labels block optional.
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})? "
+    r"(?P<value>[0-9.eE+-]+|\+Inf|NaN)$"
+)
+
+
+def _parse_exposition(text: str):
+    """Parse Prometheus text back into types + samples, or fail the test."""
+    types: dict[str, str] = {}
+    samples: list[tuple[str, str, float]] = []
+    for line in text.splitlines():
+        if not line or line.startswith("# HELP"):
+            continue
+        if line.startswith("# TYPE"):
+            _, _, name, kind = line.split(" ")
+            assert kind in {"counter", "gauge", "histogram"}, line
+            assert name not in types, f"duplicate TYPE for {name}"
+            types[name] = kind
+        else:
+            match = _SAMPLE_RE.match(line)
+            assert match is not None, f"unparseable exposition line: {line!r}"
+            value = float(match["value"].replace("+Inf", "inf"))
+            samples.append((match["name"], match["labels"] or "", value))
+    return types, samples
+
+
+@pytest.mark.smoke
+def test_prometheus_render_parses_back(embeddings, results_dir, tmp_path):
+    """Scrape compatibility: the rendered page obeys the text-format rules.
+
+    A service is driven through its whole observable surface (serving,
+    index mutation + maintenance, snapshot publish/load) and the rendered
+    page is then re-parsed: every line must match the exposition grammar,
+    every sample's metric must carry exactly one ``# TYPE``, and every
+    histogram must satisfy the cumulative-bucket invariants.  The page is
+    saved under ``benchmarks/results/`` for the CI artifact upload.
+    """
+    items, users = embeddings
+    service = _make_service(items, users, obs=True, snapshots=tmp_path / "snaps")
+    request = RecommendRequest(users=tuple(range(8)), k=10, exclude_seen=False)
+    for _ in range(5):
+        service.recommend(request)
+    rng = np.random.default_rng(3)
+    ids = rng.choice(items.shape[0], size=64, replace=False)
+    service.refresh_items(ids, items[ids] + 0.01)
+    service.maintain(force=True)
+    service.publish_snapshot()
+    service.load_snapshot()
+
+    text = service.obs.registry.render_prometheus()
+    (results_dir / "obs_prometheus.txt").write_text(text)
+    types, samples = _parse_exposition(text)
+
+    # Every sample belongs to a declared family (histograms expose
+    # _bucket/_sum/_count under the family name).
+    suffix = re.compile(r"_(bucket|sum|count)$")
+    for name, _, _ in samples:
+        family = suffix.sub("", name) if suffix.sub("", name) in types else name
+        assert family in types, f"sample {name} has no # TYPE declaration"
+
+    expected = {
+        "repro_serving_requests_total": "counter",
+        "repro_serving_request_seconds": "histogram",
+        "repro_serving_stage_seconds": "histogram",
+        "repro_index_queries_total": "counter",
+        "repro_index_probes_total": "counter",
+        "repro_index_upsert_seconds": "histogram",
+        "repro_index_recluster_seconds": "histogram",
+        "repro_serving_last_maintain_seconds": "gauge",
+        "repro_snapshot_publish_seconds": "histogram",
+        "repro_snapshot_publish_bytes_total": "counter",
+        "repro_snapshot_load_seconds": "histogram",
+    }
+    for name, kind in expected.items():
+        assert types.get(name) == kind, f"{name}: {types.get(name)} != {kind}"
+
+    # Histogram invariants: buckets cumulative and monotone, +Inf == _count,
+    # and the exposition agrees with the structured to_dict() view.
+    by_series: dict[tuple[str, str], float] = {(n, l): v for n, l, v in samples}
+    histogram_series = {
+        (name[: -len("_count")], labels)
+        for name, labels, _ in samples
+        if name.endswith("_count") and types.get(name[: -len("_count")]) == "histogram"
+    }
+    assert histogram_series
+    for family, labels in histogram_series:
+        buckets = sorted(
+            (
+                (float(re.search(r'le="([^"]+)"', l).group(1).replace("+Inf", "inf")), v)
+                for n, l, v in samples
+                if n == f"{family}_bucket" and re.sub(r'le="[^"]+",?', "", l).strip(",") == labels
+            ),
+        )
+        counts = [count for _, count in buckets]
+        assert counts == sorted(counts), f"{family}{{{labels}}} buckets not cumulative"
+        assert buckets[-1][0] == float("inf")
+        assert counts[-1] == by_series[(f"{family}_count", labels)]
+        assert by_series[(f"{family}_sum", labels)] >= 0.0
+
+    requests_served = by_series[("repro_serving_requests_total", "")]
+    assert requests_served == 5
+    snapshot = service.obs.registry.to_dict()
+    assert snapshot["repro_serving_requests_total"][""]["value"] == requests_served

@@ -43,6 +43,13 @@ catalogue churn online (``upsert``/``delete``, surfaced as
 ``service.refresh_items``/``delete_items``) and a
 :class:`~repro.index.RecallMonitor` tracks retrieval quality on served
 traffic through ``service.stats()``.
+
+Runtime visibility comes from :mod:`repro.obs`: pass ``obs=True`` to the
+service (or the trainer) and every hot path records dependency-free
+counters, gauges and latency histograms plus per-request stage traces —
+``service.obs.registry.render_prometheus()`` is a scrape-ready metrics
+page, ``service.obs.tracer.last_trace()`` answers "where did that request's
+latency go?".
 """
 
 from repro import (
@@ -54,6 +61,7 @@ from repro import (
     index,
     models,
     nn,
+    obs,
     optim,
     scene_mining,
     serving,
@@ -61,7 +69,7 @@ from repro import (
     utils,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "autograd",
@@ -72,6 +80,7 @@ __all__ = [
     "index",
     "models",
     "nn",
+    "obs",
     "optim",
     "scene_mining",
     "serving",

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
+from time import perf_counter
 from typing import Sequence
 
 from repro.data.configs import dataset_config, list_dataset_names
@@ -28,7 +29,6 @@ from repro.training.config import TrainConfig
 from repro.training.trainer import Trainer
 from repro.utils.logging import get_logger
 from repro.utils.serialization import save_json
-from repro.utils.timing import Timer
 
 __all__ = ["Table2Config", "ModelResult", "Table2Result", "run_table2"]
 
@@ -160,13 +160,13 @@ def run_table2(config: Table2Config | None = None, output_dir: str | Path | None
                 seed=config.seed,
             )
             trainer = Trainer(model, split, config.train)
-            timer = Timer()
-            with timer:
-                trainer.fit()
+            train_started = perf_counter()
+            trainer.fit()
+            train_seconds = perf_counter() - train_started
             test = trainer.evaluate_test(k=config.k)
-            _LOGGER.info("%s / %s: %s (%.1fs)", dataset_name, model_name, test, timer.elapsed)
+            _LOGGER.info("%s / %s: %s (%.1fs)", dataset_name, model_name, test, train_seconds)
             results.append(
-                ModelResult(dataset=dataset_name, model=model_name, test=test, train_seconds=timer.elapsed)
+                ModelResult(dataset=dataset_name, model=model_name, test=test, train_seconds=train_seconds)
             )
     outcome = Table2Result(config=config, results=results)
     if output_dir is not None:

@@ -56,11 +56,13 @@ the copy at all.
 from __future__ import annotations
 
 from pathlib import Path
+from time import perf_counter
 
 import numpy as np
 
 from repro.index.topk import PAD_ID, PAD_SCORE
 from repro.models.base import FactorizedRepresentations
+from repro.obs import NULL_OBS
 from repro.utils.serialization import BundleError, dtype_from_name, read_bundle, write_bundle
 
 __all__ = ["ItemIndex", "METRICS", "SNAPSHOT_KIND"]
@@ -100,6 +102,52 @@ class ItemIndex:
         self._active: np.ndarray | None = None  # live-item mask over the id space
         self._has_bias = False
         self._readonly = False  # snapshot-mapped arrays pending copy-on-write
+        self.bind_obs(NULL_OBS)
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+    def bind_obs(self, obs) -> None:
+        """Attach an :class:`~repro.obs.Observability` bundle to this index.
+
+        Registers the index's metric series — labelled by backend name —
+        in the bundle's registry and starts recording into them: search /
+        upsert / delete / maintain durations, query rows answered, plus
+        whatever the backend adds through :meth:`_bind_backend_metrics`
+        (IVF probe and scan counters, PQ ADC table builds).  Binding the
+        shared :data:`~repro.obs.NULL_OBS` (the constructor default)
+        disables recording; instrumented call sites check
+        ``self._obs.enabled`` before reading any clock.
+        """
+        self._obs = obs
+        registry = obs.registry
+        labels = {"backend": self.name}
+        self._met_search_seconds = registry.histogram(
+            "repro_index_search_seconds", "Seconds per ItemIndex.search call.", labels=labels
+        )
+        self._met_queries = registry.counter(
+            "repro_index_queries_total", "Query rows answered by ItemIndex.search.", labels=labels
+        )
+        self._met_upsert_seconds = registry.histogram(
+            "repro_index_upsert_seconds", "Seconds per ItemIndex.upsert call.", labels=labels
+        )
+        self._met_delete_seconds = registry.histogram(
+            "repro_index_delete_seconds", "Seconds per ItemIndex.delete call.", labels=labels
+        )
+        self._met_maintain_seconds = registry.histogram(
+            "repro_index_maintain_seconds",
+            "Seconds per ItemIndex.maintain call that ran structural work.",
+            labels=labels,
+        )
+        self._met_maintain_runs = registry.counter(
+            "repro_index_maintain_runs_total",
+            "ItemIndex.maintain calls that ran structural work.",
+            labels=labels,
+        )
+        self._bind_backend_metrics(registry, labels)
+
+    def _bind_backend_metrics(self, registry, labels: "dict[str, str]") -> None:
+        """Hook: backends register their own series on the bound registry."""
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -210,10 +258,22 @@ class ItemIndex:
         so the mutation latency stays flat; calling ``maintain()`` — e.g.
         from a background thread or a cron-style job — executes whatever is
         pending.  ``force=True`` runs the maintenance even when no threshold
-        has tripped.  Returns whether any work ran; the base implementation
-        (backends without deferred work) does nothing and returns False.
+        has tripped.  Returns whether any work ran; backends without
+        deferred work (the default :meth:`_maintain` hook) do nothing and
+        return False.
         """
         self._require_built()
+        if not self._obs.enabled:
+            return self._maintain(force)
+        started = perf_counter()
+        ran = self._maintain(force)
+        if ran:
+            self._met_maintain_seconds.observe(perf_counter() - started)
+            self._met_maintain_runs.inc()
+        return ran
+
+    def _maintain(self, force: bool = False) -> bool:
+        """Backend hook: execute deferred structural work, report whether any ran."""
         return False
 
     # ------------------------------------------------------------------ #
@@ -357,6 +417,7 @@ class ItemIndex:
         supply one bias per upserted row (and must be omitted otherwise).
         """
         self._require_built()
+        started = perf_counter() if self._obs.enabled else 0.0
         ids = np.asarray(item_ids, dtype=np.int64).reshape(-1)
         if ids.size == 0:
             return self
@@ -409,6 +470,8 @@ class ItemIndex:
         self._vectors[ids] = rows
         self._active[ids] = True
         self._apply_upsert(ids, rows, was_active)
+        if self._obs.enabled:
+            self._met_upsert_seconds.observe(perf_counter() - started)
         return self
 
     def delete(self, item_ids: "np.ndarray | list[int]") -> "ItemIndex":
@@ -419,6 +482,7 @@ class ItemIndex:
         and can be revived by a later :meth:`upsert`.
         """
         self._require_built()
+        started = perf_counter() if self._obs.enabled else 0.0
         ids = np.asarray(item_ids, dtype=np.int64).reshape(-1)
         if ids.size == 0:
             return self
@@ -434,6 +498,8 @@ class ItemIndex:
         self._promote_writable()
         self._active[ids] = False
         self._apply_delete(ids)
+        if self._obs.enabled:
+            self._met_delete_seconds.observe(perf_counter() - started)
         return self
 
     # ------------------------------------------------------------------ #
@@ -456,7 +522,13 @@ class ItemIndex:
             # Every item deleted: pure padding, no backend involvement.
             ids = np.full((queries.shape[0], int(k)), PAD_ID, dtype=np.int64)
             return ids, np.full(ids.shape, PAD_SCORE, dtype=np.float64)
-        ids, scores = self._search(queries, int(k))
+        if self._obs.enabled:
+            started = perf_counter()
+            ids, scores = self._search(queries, int(k))
+            self._met_search_seconds.observe(perf_counter() - started)
+            self._met_queries.inc(queries.shape[0])
+        else:
+            ids, scores = self._search(queries, int(k))
         # Scores leave the index as float64 whatever the working dtype, so
         # downstream consumers see one precision (tie-break determinism).
         return ids, scores.astype(np.float64, copy=False)

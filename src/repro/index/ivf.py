@@ -32,6 +32,7 @@ multiple of one assignment pass rather than a full build.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable
 
 import numpy as np
@@ -278,13 +279,32 @@ class IVFIndex(ItemIndex):
         if self.num_active > 0 and self._churn >= self.rebuild_threshold * self.num_active:
             self._recluster_pending = True
 
-    def maintain(self, force: bool = False) -> bool:
+    def _maintain(self, force: bool = False) -> bool:
         """Run the queued drift re-cluster (or force one) off the mutation path."""
-        self._require_built()
         if not (force or self._recluster_pending) or self.num_active == 0:
             return False
-        self._run_recluster()
+        if self._obs.enabled:
+            # Timed here rather than in _run_recluster so the quantized
+            # subclass's codebook retrain + re-encode is included too.
+            started = perf_counter()
+            self._run_recluster()
+            self._met_recluster_seconds.observe(perf_counter() - started)
+        else:
+            self._run_recluster()
         return True
+
+    def _bind_backend_metrics(self, registry, labels: "dict[str, str]") -> None:
+        self._met_probes = registry.counter(
+            "repro_index_probes_total", "Cells probed across all queries.", labels=labels
+        )
+        self._met_scanned = registry.counter(
+            "repro_index_candidates_scanned_total",
+            "Candidate slots scanned in probed cells across all queries.",
+            labels=labels,
+        )
+        self._met_recluster_seconds = registry.histogram(
+            "repro_index_recluster_seconds", "Seconds per drift re-cluster.", labels=labels
+        )
 
     def _run_recluster(self) -> None:
         self._promote_writable()  # the Lloyd polish moves centroids in place
@@ -366,6 +386,9 @@ class IVFIndex(ItemIndex):
         ends = np.cumsum(probe_sizes, axis=1, dtype=np.int32)
         starts = ends - probe_sizes
         max_candidates = int(ends[:, -1].max())
+        if self._obs.enabled:
+            self._met_probes.inc(int(probe.size))
+            self._met_scanned.inc(int(ends[:, -1].sum()))
         # int32 ids halve the scatter traffic of the id matrix; the top-k
         # helpers widen them (with the scores) once at selection time.
         candidate_ids = np.full((num_queries, max_candidates), PAD_ID, dtype=np.int32)

@@ -26,11 +26,13 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
 from repro.index.exact import ExactIndex
 from repro.index.topk import PAD_ID, padded_top_k
+from repro.obs import NULL_OBS
 from repro.utils.rng import new_rng
 
 __all__ = ["MonitorStats", "RecallMonitor"]
@@ -116,6 +118,26 @@ class RecallMonitor:
         self._hit_rates: deque[float] = deque(maxlen=window)
         self._sampled_requests = 0
         self._sampled_users = 0
+        self.bind_obs(NULL_OBS)
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+    def bind_obs(self, obs) -> None:
+        """Attach an :class:`~repro.obs.Observability` bundle to this monitor.
+
+        Shadow-scoring cost and volume become visible as
+        ``repro_monitor_observe_seconds`` / ``repro_monitor_sampled_users_total``.
+        """
+        self._obs = obs
+        self._met_observe_seconds = obs.registry.histogram(
+            "repro_monitor_observe_seconds",
+            "Seconds per RecallMonitor.observe shadow-scoring call.",
+        )
+        self._met_sampled_users = obs.registry.counter(
+            "repro_monitor_sampled_users_total",
+            "User rows shadow-rescored against the exact oracle.",
+        )
 
     # ------------------------------------------------------------------ #
     # Oracle lifecycle (driven by the owning service)
@@ -165,6 +187,7 @@ class RecallMonitor:
         """
         if not self.exact.is_built:
             raise RuntimeError("RecallMonitor oracle is not built; call rebuild() first")
+        started = perf_counter() if self._obs.enabled else 0.0
         exact_ids, _ = self.exact.search(queries, k)
         served_ids, _ = padded_top_k(candidate_ids, candidate_scores, k)
         self._sampled_requests += 1
@@ -183,6 +206,9 @@ class RecallMonitor:
             self._recalls.append(recall)
             self._hit_rates.append(hit_rate)
             self._sampled_users += 1
+        if self._obs.enabled:
+            self._met_observe_seconds.observe(perf_counter() - started)
+            self._met_sampled_users.inc(queries.shape[0])
 
     def stats(self) -> MonitorStats:
         """The windowed statistics as an immutable snapshot."""

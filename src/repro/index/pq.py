@@ -316,6 +316,14 @@ class IVFPQIndex(IVFIndex):
             return 0.0
         return (self._vectors.shape[1] * 8.0) / self._codes.shape[1]
 
+    def _bind_backend_metrics(self, registry, labels: "dict[str, str]") -> None:
+        super()._bind_backend_metrics(registry, labels)
+        self._met_adc_tables = registry.counter(
+            "repro_index_adc_table_builds_total",
+            "Per-query ADC lookup tables built for quantized scans.",
+            labels=labels,
+        )
+
     # ------------------------------------------------------------------ #
     def _build(self) -> None:
         super()._build()  # coarse quantizer + cell links (resets churn)
@@ -431,6 +439,8 @@ class IVFPQIndex(IVFIndex):
         flat_tables = np.ascontiguousarray(
             self._codec.lookup_tables(queries).reshape(queries.shape[0], subspaces * ksub)
         )
+        if self._obs.enabled:
+            self._met_adc_tables.inc(queries.shape[0])
         code_offsets = (np.arange(subspaces) * ksub).astype(np.int32)
 
         def adc_block(query_rows: np.ndarray, members: np.ndarray, cell: int) -> np.ndarray:

@@ -36,8 +36,10 @@ import re
 import shutil
 import uuid
 from pathlib import Path
+from time import perf_counter
 
 from repro.index.base import ItemIndex
+from repro.obs import NULL_OBS
 from repro.utils.serialization import MANIFEST_NAME, BundleError, atomic_write_bytes
 
 __all__ = ["SnapshotStore"]
@@ -59,6 +61,31 @@ class SnapshotStore:
     def __init__(self, root: "str | Path") -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.bind_obs(NULL_OBS)
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+    def bind_obs(self, obs) -> None:
+        """Attach an :class:`~repro.obs.Observability` bundle to this store.
+
+        Publishes record their duration and on-disk byte volume
+        (``repro_snapshot_publish_seconds`` /
+        ``repro_snapshot_publish_bytes_total``), loads their attach
+        duration (``repro_snapshot_load_seconds``) — the numbers behind
+        "how long did the last publish take and how big was it".
+        """
+        self._obs = obs
+        registry = obs.registry
+        self._met_publish_seconds = registry.histogram(
+            "repro_snapshot_publish_seconds", "Seconds per SnapshotStore.publish call."
+        )
+        self._met_publish_bytes = registry.counter(
+            "repro_snapshot_publish_bytes_total", "Bytes written by SnapshotStore.publish."
+        )
+        self._met_load_seconds = registry.histogram(
+            "repro_snapshot_load_seconds", "Seconds per SnapshotStore.load attach."
+        )
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -100,6 +127,7 @@ class SnapshotStore:
         publishers simply claim successive slots — and then the pointer
         file is atomically replaced.  Returns the published version number.
         """
+        started = perf_counter() if self._obs.enabled else 0.0
         staging = self.root / f"{_STAGING_PREFIX}{os.getpid()}-{uuid.uuid4().hex[:8]}"
         index.save(staging)
         version = (self.versions() or [0])[-1] + 1
@@ -114,6 +142,11 @@ class SnapshotStore:
                     raise
                 version += 1  # a concurrent publisher claimed this slot
         self._set_current(version)
+        if self._obs.enabled:
+            self._met_publish_seconds.observe(perf_counter() - started)
+            self._met_publish_bytes.inc(
+                sum(entry.stat().st_size for entry in target.iterdir() if entry.is_file())
+            )
         return version
 
     def load(self, version: int | None = None, *, mmap: bool = True) -> ItemIndex:
@@ -126,7 +159,12 @@ class SnapshotStore:
             version = self.current_version()
             if version is None:
                 raise FileNotFoundError(f"no published snapshot in {self.root}")
-        return ItemIndex.load(self.path(version), mmap=mmap)
+        if not self._obs.enabled:
+            return ItemIndex.load(self.path(version), mmap=mmap)
+        started = perf_counter()
+        index = ItemIndex.load(self.path(version), mmap=mmap)
+        self._met_load_seconds.observe(perf_counter() - started)
+        return index
 
     # ------------------------------------------------------------------ #
     # Housekeeping

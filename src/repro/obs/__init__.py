@@ -1,0 +1,154 @@
+"""``repro.obs`` — dependency-free metrics and tracing for the hot paths.
+
+The subsystem has two halves and one bundle tying them together:
+
+- :mod:`repro.obs.metrics` — :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` series owned by a :class:`MetricsRegistry`, with
+  ``to_dict()`` and Prometheus text exposition (``render_prometheus()``).
+- :mod:`repro.obs.tracing` — :class:`Tracer` spans (``perf_counter``
+  context managers with contextvar parent linkage) collected into a ring
+  buffer of recent :class:`Trace` trees.
+- :class:`Observability` — the ``(registry, tracer)`` pair every
+  instrumented component accepts.  ``Observability()`` turns everything
+  on; the module-level :data:`NULL_OBS` singleton is the disabled bundle
+  whose registry and tracer are no-ops, so instrumented code never
+  branches on ``None``.
+
+Components take an ``obs`` argument normalised through
+:func:`resolve_obs`: ``None``/``False`` mean disabled (:data:`NULL_OBS`),
+``True`` means a fresh enabled bundle, and an existing
+:class:`Observability` is shared as-is — sharing one bundle across a
+service, its index, monitor, snapshot store and trainer is what makes
+``render_prometheus()`` a single whole-process page.
+
+The recording idiom for a timed stage is :meth:`Observability.stage`::
+
+    with obs.stage("retrieve", histogram) as stage:
+        ...
+    # stage.duration holds the seconds; the histogram observed it and a
+    # "retrieve" span was recorded under the current trace.
+
+When ``obs.enabled`` is false the same line costs one attribute lookup
+and a shared no-op context manager — no clock reads, no allocations.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.tracing import NullTracer, SpanRecord, Trace, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "DEFAULT_TIME_BUCKETS",
+    "SpanRecord",
+    "Trace",
+    "Tracer",
+    "NullTracer",
+    "Observability",
+    "NULL_OBS",
+    "resolve_obs",
+]
+
+
+class _Stage:
+    """Times one stage: opens a span, observes a histogram on exit."""
+
+    __slots__ = ("_tracer_span", "_histogram", "_started_at", "duration")
+
+    def __init__(self, tracer, name: str, histogram) -> None:
+        self._tracer_span = tracer.span(name)
+        self._histogram = histogram
+        self._started_at = 0.0
+        #: seconds spent inside the stage, available after exit
+        self.duration = 0.0
+
+    def __enter__(self) -> "_Stage":
+        self._tracer_span.__enter__()
+        self._started_at = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.duration = perf_counter() - self._started_at
+        self._tracer_span.__exit__(exc_type, exc, tb)
+        if self._histogram is not None:
+            self._histogram.observe(self.duration)
+
+
+class _NullStage:
+    """Shared no-op stage handed out by a disabled bundle."""
+
+    duration = 0.0
+
+    def __enter__(self) -> "_NullStage":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_STAGE = _NullStage()
+
+
+class Observability:
+    """The ``(registry, tracer)`` bundle instrumented components share.
+
+    ``Observability()`` builds an enabled bundle with a fresh
+    :class:`MetricsRegistry` and :class:`Tracer`; pass explicit instances
+    to share or customise either half.  ``enabled`` is ``True`` when at
+    least one half records anything — hot paths use it to skip their
+    clock reads when the whole bundle is null.
+    """
+
+    __slots__ = ("registry", "tracer", "enabled")
+
+    def __init__(self, registry=None, tracer=None) -> None:
+        self.registry = MetricsRegistry() if registry is None else registry
+        self.tracer = Tracer() if tracer is None else tracer
+        self.enabled = bool(self.registry.enabled or self.tracer.enabled)
+
+    def stage(self, name: str, histogram=None):
+        """A context manager timing one named stage of the current trace.
+
+        On exit the measured seconds are observed into ``histogram`` (when
+        given) and recorded as a span named ``name``.  On a disabled
+        bundle this returns a shared no-op — no clock reads at all.
+        """
+        if not self.enabled:
+            return _NULL_STAGE
+        return _Stage(self.tracer, name, histogram if histogram is not None else None)
+
+
+#: The disabled bundle: a no-op registry and tracer, shared process-wide.
+NULL_OBS = Observability(NullRegistry(), NullTracer())
+
+
+def resolve_obs(obs) -> Observability:
+    """Normalise a component's ``obs`` argument to an :class:`Observability`.
+
+    ``None`` / ``False`` → the shared disabled :data:`NULL_OBS`;
+    ``True`` → a fresh enabled bundle; an :class:`Observability` instance
+    is returned unchanged.  Anything else raises ``TypeError``.
+    """
+    if obs is None or obs is False:
+        return NULL_OBS
+    if obs is True:
+        return Observability()
+    if isinstance(obs, Observability):
+        return obs
+    raise TypeError(
+        "obs must be None, a bool, or an Observability bundle, "
+        f"got {type(obs).__name__}"
+    )

@@ -1,0 +1,438 @@
+"""Dependency-free metrics: counters, gauges, fixed-bucket histograms.
+
+The primitives follow the Prometheus data model — monotonic
+:class:`Counter`\\ s, free-moving :class:`Gauge`\\ s and cumulative
+fixed-bucket :class:`Histogram`\\ s — because that model is what every
+scraping/alerting stack speaks, and because cumulative buckets make the
+recording path one ``bisect`` + one integer increment, cheap enough for a
+serving hot path.  A :class:`MetricsRegistry` owns every metric of one
+process (or one service): ``registry.counter(name, ...)`` is get-or-create,
+so two components naming the same series share one underlying metric, and a
+component can be swapped out (e.g. a serving worker hot-swapping its index
+snapshot) without resetting anything — the counters belong to the registry,
+not to the component.
+
+Exposition comes in two shapes: :meth:`MetricsRegistry.to_dict` for
+programmatic consumers (tests, the ``service.stats(detail=True)`` fold) and
+:meth:`MetricsRegistry.render_prometheus` for the standard text format
+(``# HELP`` / ``# TYPE`` headers, ``_bucket``/``_sum``/``_count`` histogram
+series with cumulative ``le`` buckets).
+
+Disabled instrumentation must cost nothing measurable:
+:class:`NullRegistry` hands out one shared no-op metric whose ``inc`` /
+``set`` / ``observe`` do nothing, and exposes ``enabled = False`` so hot
+paths can skip even the clock reads that would feed it.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from bisect import bisect_left
+from threading import Lock
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "DEFAULT_TIME_BUCKETS",
+]
+
+#: Default histogram bucket upper bounds, in seconds: ~0.5 ms to 10 s in a
+#: 1-2.5-5 progression — wide enough for a request, an epoch phase and a
+#: snapshot publish alike; slower observations land in the +Inf bucket.
+DEFAULT_TIME_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+_NAME_PATTERN = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_PATTERN = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: ``(name, sorted (key, value) pairs)`` — the registry key of one series.
+LabelsKey = "tuple[str, tuple[tuple[str, str], ...]]"
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_PATTERN.match(name):
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _labels_key(labels: "dict[str, str] | None") -> "tuple[tuple[str, str], ...]":
+    if not labels:
+        return ()
+    items = []
+    for key in sorted(labels):
+        if not _LABEL_PATTERN.match(key):
+            raise ValueError(f"invalid label name {key!r}")
+        items.append((key, str(labels[key])))
+    return tuple(items)
+
+
+def _render_labels(labels: "tuple[tuple[str, str], ...]", extra: "tuple[tuple[str, str], ...]" = ()) -> str:
+    pairs = labels + extra
+    if not pairs:
+        return ""
+    rendered = ",".join(
+        f'{key}="{value.replace(chr(92), chr(92) * 2).replace(chr(34), chr(92) + chr(34))}"'
+        for key, value in pairs
+    )
+    return "{" + rendered + "}"
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class Counter:
+    """A monotonically increasing count (requests served, items scanned)."""
+
+    metric_type = "counter"
+    __slots__ = ("name", "labels", "_value")
+
+    def __init__(self, name: str = "", labels: "tuple[tuple[str, str], ...]" = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up; inc({amount}) is not allowed")
+        self._value += amount
+
+    def to_dict(self) -> dict:
+        return {"type": self.metric_type, "value": self._value}
+
+    def render(self) -> "list[str]":
+        return [f"{self.name}{_render_labels(self.labels)} {_format_value(self._value)}"]
+
+
+class Gauge:
+    """A value that can move both ways (live items, last publish duration)."""
+
+    metric_type = "gauge"
+    __slots__ = ("name", "labels", "_value", "_updated")
+
+    def __init__(self, name: str = "", labels: "tuple[tuple[str, str], ...]" = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._updated = False
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    @property
+    def updated(self) -> bool:
+        """Whether :meth:`set` (or ``inc``/``dec``) has ever been called."""
+        return self._updated
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+        self._updated = True
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.set(self._value + amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.set(self._value - amount)
+
+    def to_dict(self) -> dict:
+        return {"type": self.metric_type, "value": self._value}
+
+    def render(self) -> "list[str]":
+        return [f"{self.name}{_render_labels(self.labels)} {_format_value(self._value)}"]
+
+
+class Histogram:
+    """Fixed-bucket distribution with Prometheus-style quantile summaries.
+
+    ``buckets`` are the finite upper bounds (``le`` semantics: a value lands
+    in the first bucket whose bound is ≥ the value); everything beyond the
+    last bound goes to the implicit ``+Inf`` overflow bucket.  Recording is
+    O(log buckets) — one ``bisect`` and one increment — so a hot path can
+    observe every request.
+
+    Quantiles are estimated the way Prometheus' ``histogram_quantile`` does:
+    find the bucket holding the target rank and interpolate linearly inside
+    it (the first bucket's lower edge is 0); ranks that land in the overflow
+    bucket return the last finite bound, the largest value the histogram can
+    still vouch for.
+    """
+
+    metric_type = "histogram"
+    __slots__ = ("name", "labels", "_bounds", "_counts", "_sum", "_count")
+
+    def __init__(
+        self,
+        name: str = "",
+        labels: "tuple[tuple[str, str], ...]" = (),
+        buckets: "tuple[float, ...]" = DEFAULT_TIME_BUCKETS,
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("a histogram needs at least one finite bucket bound")
+        if any(not math.isfinite(b) for b in bounds):
+            raise ValueError(f"bucket bounds must be finite (the +Inf bucket is implicit), got {bounds}")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"bucket bounds must be strictly increasing, got {bounds}")
+        self.name = name
+        self.labels = labels
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last slot = +Inf overflow
+        self._sum = 0.0
+        self._count = 0
+
+    @property
+    def bounds(self) -> "tuple[float, ...]":
+        return self._bounds
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def overflow(self) -> int:
+        """Observations beyond the last finite bound (the +Inf bucket)."""
+        return self._counts[-1]
+
+    def observe(self, value: float) -> None:
+        self._counts[bisect_left(self._bounds, value)] += 1
+        self._sum += value
+        self._count += 1
+
+    def quantile(self, q: float) -> "float | None":
+        """Interpolated q-quantile estimate; None while empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must lie in [0, 1], got {q}")
+        if self._count == 0:
+            return None
+        rank = q * self._count
+        cumulative = 0
+        for bucket, count in enumerate(self._counts):
+            previous = cumulative
+            cumulative += count
+            if cumulative >= rank and count > 0:
+                if bucket == len(self._bounds):
+                    return self._bounds[-1]  # overflow: last trustworthy bound
+                lower = self._bounds[bucket - 1] if bucket > 0 else 0.0
+                upper = self._bounds[bucket]
+                fraction = (rank - previous) / count
+                return lower + fraction * (upper - lower)
+        return self._bounds[-1]  # pragma: no cover - cumulative == count always hits
+
+    @property
+    def p50(self) -> "float | None":
+        return self.quantile(0.5)
+
+    @property
+    def p95(self) -> "float | None":
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> "float | None":
+        return self.quantile(0.99)
+
+    def to_dict(self) -> dict:
+        cumulative: dict[str, int] = {}
+        running = 0
+        for bound, count in zip(self._bounds, self._counts):
+            running += count
+            cumulative[_format_value(bound)] = running
+        cumulative["+Inf"] = self._count
+        return {
+            "type": self.metric_type,
+            "count": self._count,
+            "sum": self._sum,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "buckets": cumulative,
+        }
+
+    def render(self) -> "list[str]":
+        lines = []
+        running = 0
+        for bound, count in zip(self._bounds, self._counts):
+            running += count
+            le = _render_labels(self.labels, (("le", _format_value(bound)),))
+            lines.append(f"{self.name}_bucket{le} {running}")
+        le = _render_labels(self.labels, (("le", "+Inf"),))
+        lines.append(f"{self.name}_bucket{le} {self._count}")
+        lines.append(f"{self.name}_sum{_render_labels(self.labels)} {_format_value(self._sum)}")
+        lines.append(f"{self.name}_count{_render_labels(self.labels)} {self._count}")
+        return lines
+
+
+class MetricsRegistry:
+    """Get-or-create home of every metric series; renders the exposition.
+
+    Thread-safe at the registration layer (a lock guards series creation);
+    the recording methods of the metrics themselves are plain CPython
+    attribute updates — atomic enough for counters under the GIL, which is
+    the standard trade every in-process metrics library makes.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._series: "dict[tuple[str, tuple[tuple[str, str], ...]], object]" = {}
+        self._types: "dict[str, str]" = {}
+        self._help: "dict[str, str]" = {}
+        self._lock = Lock()
+
+    # ------------------------------------------------------------------ #
+    def counter(self, name: str, help_text: str = "", labels: "dict[str, str] | None" = None) -> Counter:
+        return self._get_or_create(Counter, name, help_text, labels)
+
+    def gauge(self, name: str, help_text: str = "", labels: "dict[str, str] | None" = None) -> Gauge:
+        return self._get_or_create(Gauge, name, help_text, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: "dict[str, str] | None" = None,
+        buckets: "tuple[float, ...]" = DEFAULT_TIME_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help_text, labels, buckets=buckets)
+
+    def _get_or_create(self, cls, name, help_text, labels, **kwargs):
+        _check_name(name)
+        key = (name, _labels_key(labels))
+        with self._lock:
+            existing = self._series.get(key)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise TypeError(
+                        f"metric {name!r} is already registered as a "
+                        f"{existing.metric_type}, not a {cls.metric_type}"
+                    )
+                return existing
+            registered_type = self._types.get(name)
+            if registered_type is not None and registered_type != cls.metric_type:
+                raise TypeError(
+                    f"metric {name!r} is already registered as a {registered_type}, "
+                    f"not a {cls.metric_type}"
+                )
+            metric = cls(name, key[1], **kwargs)
+            self._series[key] = metric
+            self._types[name] = cls.metric_type
+            if help_text and name not in self._help:
+                self._help[name] = help_text
+            return metric
+
+    # ------------------------------------------------------------------ #
+    def metrics(self) -> "list[object]":
+        """Every registered series, in name (then label) order."""
+        return [self._series[key] for key in sorted(self._series)]
+
+    def to_dict(self) -> dict:
+        """``{name: {rendered-labels: metric dict}}`` snapshot of everything."""
+        snapshot: dict[str, dict] = {}
+        for (name, labels), metric in sorted(self._series.items()):
+            snapshot.setdefault(name, {})[_render_labels(labels) or ""] = metric.to_dict()
+        return snapshot
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition format of every series."""
+        lines: list[str] = []
+        current_name = None
+        for (name, _), metric in sorted(self._series.items()):
+            if name != current_name:
+                current_name = name
+                help_text = self._help.get(name)
+                if help_text:
+                    lines.append(f"# HELP {name} {help_text}")
+                lines.append(f"# TYPE {name} {self._types[name]}")
+            lines.extend(metric.render())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+class _NullMetric:
+    """One shared do-nothing metric standing in for every series when disabled."""
+
+    metric_type = "null"
+    value = 0.0
+    count = 0
+    sum = 0.0
+    overflow = 0
+    updated = False
+    p50 = p95 = p99 = None
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def quantile(self, q: float) -> None:
+        return None
+
+    def to_dict(self) -> dict:
+        return {}
+
+    def render(self) -> "list[str]":
+        return []
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullRegistry:
+    """The disabled registry: every request returns the shared no-op metric.
+
+    ``enabled`` is ``False`` so instrumented hot paths can skip their clock
+    reads entirely; calling the no-op metric anyway is also safe (and
+    costs one attribute lookup plus an empty call).
+    """
+
+    enabled = False
+
+    def counter(self, name: str, help_text: str = "", labels: "dict[str, str] | None" = None) -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str, help_text: str = "", labels: "dict[str, str] | None" = None) -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: "dict[str, str] | None" = None,
+        buckets: "tuple[float, ...]" = DEFAULT_TIME_BUCKETS,
+    ) -> _NullMetric:
+        return _NULL_METRIC
+
+    def metrics(self) -> "list[object]":
+        return []
+
+    def to_dict(self) -> dict:
+        return {}
+
+    def render_prometheus(self) -> str:
+        return ""

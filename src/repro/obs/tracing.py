@@ -1,0 +1,241 @@
+"""Lightweight tracing spans: where did this request's latency go?
+
+A :class:`Tracer` hands out :meth:`~Tracer.span` context managers that time
+their body with :func:`time.perf_counter` and link to the enclosing span
+through a :class:`contextvars.ContextVar` — so nesting works across
+ordinary calls and ``contextvars``-aware concurrency without any explicit
+plumbing.  When the outermost span of a task exits, the completed tree is
+frozen into a :class:`Trace` and pushed onto a small ring buffer
+(``deque(maxlen=capacity)``) of recent traces; :meth:`Tracer.last_trace`
+answers "show me where the last request went" without any collector
+infrastructure.
+
+Spans are recorded in *start* order — :class:`SpanRecord.index` is the
+start position, ``parent`` the start index of the enclosing span and
+``depth`` the nesting level — which makes the flat tuple render directly
+as an indented tree (:meth:`Trace.format`) and lets tests assert ordering
+without walking a graph.
+
+The disabled path mirrors the metrics side: :class:`NullTracer` returns a
+shared no-op context manager, and exposes ``enabled = False`` so hot paths
+can skip their clock reads entirely.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextvars import ContextVar
+from dataclasses import dataclass
+from time import perf_counter
+
+__all__ = ["SpanRecord", "Trace", "Tracer", "NullTracer"]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span inside a :class:`Trace`.
+
+    ``start`` is seconds since the root span opened (the root itself is
+    0.0); ``duration`` is wall-clock seconds spent inside the span,
+    children included.  ``index`` is the span's start-order position in the
+    trace, ``parent`` the index of the enclosing span (``None`` for the
+    root) and ``depth`` the nesting level (root = 0).
+    """
+
+    name: str
+    start: float
+    duration: float
+    index: int
+    depth: int
+    parent: "int | None"
+
+
+@dataclass(frozen=True)
+class Trace:
+    """One completed span tree, spans in start order (root first)."""
+
+    spans: "tuple[SpanRecord, ...]"
+
+    @property
+    def root(self) -> SpanRecord:
+        return self.spans[0]
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds of the whole trace (the root span)."""
+        return self.root.duration
+
+    def stage_durations(self) -> "dict[str, float]":
+        """Summed seconds per direct child of the root, keyed by span name.
+
+        This is the "where did the request go" view: for a ``recommend``
+        trace it maps stage names (retrieve, rescore, filter, rank, ...)
+        to their total time, merging repeats (e.g. the per-request stages
+        of a ``recommend_batch``).
+        """
+        stages: dict[str, float] = {}
+        for span in self.spans:
+            if span.depth == 1:
+                stages[span.name] = stages.get(span.name, 0.0) + span.duration
+        return stages
+
+    def format(self) -> str:
+        """An indented one-span-per-line tree, durations in milliseconds."""
+        lines = [
+            f"{'  ' * span.depth}{span.name}: {span.duration * 1e3:.3f} ms"
+            for span in self.spans
+        ]
+        return "\n".join(lines)
+
+
+class _ActiveSpan:
+    """Bookkeeping for one span between ``__enter__`` and ``__exit__``."""
+
+    __slots__ = ("name", "index", "depth", "parent", "started_at")
+
+    def __init__(self, name: str, index: int, depth: int, parent: "int | None") -> None:
+        self.name = name
+        self.index = index
+        self.depth = depth
+        self.parent = parent
+        self.started_at = 0.0
+
+
+class _SpanContext:
+    """The context manager one :meth:`Tracer.span` call returns."""
+
+    __slots__ = ("_tracer", "_name", "_span", "_token", "duration")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._span: "_ActiveSpan | None" = None
+        self._token = None
+        #: seconds spent inside the span, available after exit
+        self.duration = 0.0
+
+    def __enter__(self) -> "_SpanContext":
+        self._span, self._token = self._tracer._enter(self._name)
+        self._span.started_at = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        ended_at = perf_counter()
+        span, token = self._span, self._token
+        self._span = self._token = None
+        if span is None:  # pragma: no cover - double exit guard
+            return
+        self.duration = ended_at - span.started_at
+        self._tracer._exit(span, token, self.duration)
+
+
+class Tracer:
+    """Collects span trees into a ring buffer of recent traces."""
+
+    enabled = True
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._traces: "deque[Trace]" = deque(maxlen=int(capacity))
+        # (root-start perf_counter, start-ordered list of pending records)
+        self._current: ContextVar = ContextVar("repro_obs_trace", default=None)
+        self._active: ContextVar = ContextVar("repro_obs_span", default=None)
+
+    @property
+    def capacity(self) -> int:
+        return self._traces.maxlen or 0
+
+    def span(self, name: str) -> _SpanContext:
+        """A context manager timing ``name`` under the current span."""
+        return _SpanContext(self, name)
+
+    # ------------------------------------------------------------------ #
+    def _enter(self, name: str) -> "tuple[_ActiveSpan, object]":
+        parent: "_ActiveSpan | None" = self._active.get()
+        if parent is None:
+            pending: list = []
+            self._current.set(pending)
+            span = _ActiveSpan(name, index=0, depth=0, parent=None)
+        else:
+            pending = self._current.get()
+            span = _ActiveSpan(
+                name, index=len(pending), depth=parent.depth + 1, parent=parent.index
+            )
+        pending.append(None)  # placeholder keeps records in start order
+        token = self._active.set(span)
+        return span, token
+
+    def _exit(self, span: _ActiveSpan, token, duration: float) -> None:
+        self._active.reset(token)
+        pending = self._current.get()
+        if pending is None:  # pragma: no cover - trace already finalised
+            return
+        # Fill the placeholder with the finished record; once the root
+        # closes, freeze everything into a Trace with starts expressed
+        # relative to the root span's start.
+        pending[span.index] = (span, duration)
+        if span.depth == 0:
+            base = span.started_at
+            spans = tuple(
+                SpanRecord(
+                    name=active.name,
+                    start=active.started_at - base,
+                    duration=seconds,
+                    index=active.index,
+                    depth=active.depth,
+                    parent=active.parent,
+                )
+                for entry in pending
+                if entry is not None
+                for active, seconds in (entry,)
+            )
+            self._current.set(None)
+            if spans:
+                self._traces.append(Trace(spans=spans))
+
+    # ------------------------------------------------------------------ #
+    def traces(self) -> "tuple[Trace, ...]":
+        """Recent completed traces, oldest first."""
+        return tuple(self._traces)
+
+    def last_trace(self) -> "Trace | None":
+        """The most recently completed trace, or ``None``."""
+        return self._traces[-1] if self._traces else None
+
+    def clear(self) -> None:
+        self._traces.clear()
+
+
+class _NullSpanContext:
+    """Shared no-op span used whenever tracing is disabled."""
+
+    duration = 0.0
+
+    def __enter__(self) -> "_NullSpanContext":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpanContext()
+
+
+class NullTracer:
+    """The disabled tracer: no clock reads, no retained traces."""
+
+    enabled = False
+    capacity = 0
+
+    def span(self, name: str) -> _NullSpanContext:
+        return _NULL_SPAN
+
+    def traces(self) -> "tuple[Trace, ...]":
+        return ()
+
+    def last_trace(self) -> None:
+        return None
+
+    def clear(self) -> None:
+        pass

@@ -45,11 +45,13 @@ restores bit-exact parity with the live model.
 from __future__ import annotations
 
 from pathlib import Path
+from time import perf_counter
 from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro.autograd.tensor import no_grad
+from repro.obs import Observability, resolve_obs
 from repro.graph.bipartite import UserItemBipartiteGraph
 from repro.graph.scene_graph import SceneBasedGraph
 from repro.index import ItemIndex, RecallMonitor, SnapshotStore, build_index
@@ -175,6 +177,17 @@ class RecommendationService:
         O(1), no build) and hot-swaps to newer publishes between requests
         via :meth:`sync_snapshot`.  A worker constructed with ``snapshots=``
         but no ``index=`` gets its index entirely from the store.
+    obs:
+        observability (:mod:`repro.obs`): ``True`` instruments this service
+        with a fresh :class:`~repro.obs.Observability` bundle, or pass an
+        existing bundle to share one registry/tracer across services.  The
+        bundle is threaded through every attached component — index,
+        monitor, snapshot store — so ``obs.registry.render_prometheus()``
+        is one whole-service metrics page, and per-request stage spans
+        (retrieve → rescore → filter → rank → explain) land in
+        ``obs.tracer``.  The default (``None``/``False``) binds the shared
+        null bundle: instrumented call sites skip their clock reads
+        entirely, keeping the uninstrumented hot path at full speed.
 
     After further training of ``model``, call :meth:`refresh` to invalidate
     the precomputed representation and explanation caches (and the index).
@@ -196,6 +209,7 @@ class RecommendationService:
         dtype: "str | np.dtype" = "float32",
         auto_tune: bool = False,
         snapshots: "SnapshotStore | str | Path | None" = None,
+        obs: "Observability | bool | None" = None,
     ) -> None:
         if scene_graph is not None and scene_graph.num_items != bipartite.num_items:
             raise ValueError("scene graph and bipartite graph disagree on the number of items")
@@ -239,6 +253,54 @@ class RecommendationService:
         self._users_served = 0
         self._auto_tunes = 0
         self._tuned_at_samples = 0
+        self._last_maintain_s: float | None = None
+        self._last_publish_s: float | None = None
+        self.obs = resolve_obs(obs)
+        self._wire_obs()
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+    #: Stage names of the candidate (ANN) and full-catalogue request paths;
+    #: each gets a ``repro_serving_stage_seconds{stage=...}`` histogram and
+    #: a per-request span of the same name.
+    STAGES = ("retrieve", "rescore", "monitor", "filter", "rank", "explain", "score")
+
+    def _wire_obs(self) -> None:
+        """Register the service's metric series and bind attached components."""
+        registry = self.obs.registry
+        self._met_requests = registry.counter(
+            "repro_serving_requests_total", "Recommend requests served."
+        )
+        self._met_users = registry.counter(
+            "repro_serving_users_total", "User rows served across all requests."
+        )
+        self._met_candidates = registry.counter(
+            "repro_serving_candidates_total", "Candidates retrieved from the index."
+        )
+        self._met_request_seconds = registry.histogram(
+            "repro_serving_request_seconds", "End-to-end seconds per recommend request."
+        )
+        self._met_stage = {
+            stage: registry.histogram(
+                "repro_serving_stage_seconds",
+                "Seconds per request stage of the serving path.",
+                labels={"stage": stage},
+            )
+            for stage in self.STAGES
+        }
+        self._met_last_maintain = registry.gauge(
+            "repro_serving_last_maintain_seconds", "Duration of the last maintain() call."
+        )
+        self._met_last_publish = registry.gauge(
+            "repro_serving_last_publish_seconds", "Duration of the last snapshot publish."
+        )
+        if self.index is not None:
+            self.index.bind_obs(self.obs)
+        if self.monitor is not None:
+            self.monitor.bind_obs(self.obs)
+        if self.snapshots is not None:
+            self.snapshots.bind_obs(self.obs)
 
     # ------------------------------------------------------------------ #
     # Scoring
@@ -368,13 +430,19 @@ class RecommendationService:
         """
         if self.index is None:
             return False
+        started = perf_counter()
         rebuilt = not self._index_fresh
         self._ensure_index()
         ran = self.index.maintain(force=force)
         if self.snapshots is not None and (
             ran or rebuilt or self.snapshots.current_version() is None
         ):
+            publish_started = perf_counter()
             self._snapshot_version = self.snapshots.publish(self.index)
+            self._last_publish_s = perf_counter() - publish_started
+            self._met_last_publish.set(self._last_publish_s)
+        self._last_maintain_s = perf_counter() - started
+        self._met_last_maintain.set(self._last_maintain_s)
         return ran
 
     # ------------------------------------------------------------------ #
@@ -392,7 +460,10 @@ class RecommendationService:
         if self.index is None:
             raise RuntimeError("this service has no candidate-retrieval index; pass index= at construction")
         self._ensure_index()
+        started = perf_counter()
         self._snapshot_version = self.snapshots.publish(self.index)
+        self._last_publish_s = perf_counter() - started
+        self._met_last_publish.set(self._last_publish_s)
         return self._snapshot_version
 
     def load_snapshot(self, version: int | None = None, *, mmap: bool = True) -> int:
@@ -439,6 +510,10 @@ class RecommendationService:
             )
             if deleted.size:
                 self.monitor.delete(deleted)
+        # The swapped-in index records into the same registry series as its
+        # predecessor (the registry is get-or-create keyed on name+labels),
+        # so counters and histograms survive the hot-swap unreset.
+        index.bind_obs(self.obs)
         self.index = index
         self._index_fresh = True
         self._snapshot_version = version
@@ -459,8 +534,17 @@ class RecommendationService:
         self.load_snapshot(current, mmap=mmap)
         return True
 
-    def stats(self) -> ServiceStats:
-        """Serving counters plus the monitor's windowed quality numbers."""
+    def stats(self, detail: bool = False) -> ServiceStats:
+        """Serving counters plus the monitor's windowed quality numbers.
+
+        With ``detail=True`` the observability registry is folded in:
+        ``p50_ms``/``p95_ms`` serving latency (from the
+        ``repro_serving_request_seconds`` histogram; ``None`` until the
+        instrumented service has served a request) and the durations of the
+        last :meth:`maintain` / snapshot publish.  The extra fields stay
+        ``None`` on ``detail=False`` and on services without an enabled
+        ``obs`` bundle.
+        """
         live_items = None
         if self.index is not None:
             # Computed from the service's own deletion ledger rather than
@@ -475,6 +559,14 @@ class RecommendationService:
                 suggested_nprobe = suggestion[1]
             else:
                 suggested_hamming_radius = suggestion[1]
+        p50_ms = p95_ms = last_maintain_s = last_publish_s = None
+        if detail:
+            latency = self._met_request_seconds
+            if getattr(latency, "count", 0):
+                p50_ms = latency.p50 * 1e3
+                p95_ms = latency.p95 * 1e3
+            last_maintain_s = self._last_maintain_s
+            last_publish_s = self._last_publish_s
         return ServiceStats(
             requests=self._requests_served,
             users=self._users_served,
@@ -485,6 +577,10 @@ class RecommendationService:
             suggested_hamming_radius=suggested_hamming_radius,
             auto_tunes=self._auto_tunes,
             snapshot_version=self._snapshot_version,
+            p50_ms=p50_ms,
+            p95_ms=p95_ms,
+            last_maintain_s=last_maintain_s,
+            last_publish_s=last_publish_s,
         )
 
     # ------------------------------------------------------------------ #
@@ -625,95 +721,125 @@ class RecommendationService:
         With a candidate-retrieval index configured, the request flows
         through retrieve → exact rescore → filter → rank over
         ``candidate_k`` candidates per user; otherwise the whole catalogue
-        is scored.
+        is scored.  An enabled ``obs`` bundle records one ``recommend``
+        trace per call, with a child span per stage, and feeds the request
+        latency histogram behind ``stats(detail=True)``.
         """
+        obs = self.obs
+        if not obs.enabled:
+            return self._recommend(request)
+        with obs.stage("recommend", self._met_request_seconds):
+            response = self._recommend(request)
+        self._met_requests.inc()
+        self._met_users.inc(len(response.users))
+        return response
+
+    def _recommend(self, request: RecommendRequest) -> RecommendResponse:
         users = self._check_users(request.users)
         self._requests_served += 1
         self._users_served += int(users.size)
         if self.index is not None:
             return self._recommend_from_candidates(request, users)
-        scores = self.score_matrix(users)
-        allowed = self._allowed_mask(users, request)
-        top_items = batch_top_k(scores, allowed, request.k)
-        results = tuple(
-            self._build_recommendations(int(user), items, scores[row, items], request.explain)
-            for row, (user, items) in enumerate(zip(users, top_items))
-        )
+        return self._recommend_full(request, users)
+
+    def _recommend_full(self, request: RecommendRequest, users: np.ndarray) -> RecommendResponse:
+        """The full-catalogue path: score every item, mask, rank, explain."""
+        obs = self.obs
+        with obs.stage("score", self._met_stage["score"]):
+            scores = self.score_matrix(users)
+        with obs.stage("filter", self._met_stage["filter"]):
+            allowed = self._allowed_mask(users, request)
+        with obs.stage("rank", self._met_stage["rank"]):
+            top_items = batch_top_k(scores, allowed, request.k)
+        with obs.stage("explain", self._met_stage["explain"]):
+            results = tuple(
+                self._build_recommendations(int(user), items, scores[row, items], request.explain)
+                for row, (user, items) in enumerate(zip(users, top_items))
+            )
         return RecommendResponse(users=tuple(int(u) for u in users), results=results)
 
     def _recommend_from_candidates(self, request: RecommendRequest, users: np.ndarray) -> RecommendResponse:
         """The ANN path: index retrieval, then exact rescoring of candidates."""
-        representations = self._ensure_index()
-        candidate_k = self._effective_candidate_k(request)
-        user_matrix = np.asarray(representations.users)
-        item_matrix = np.asarray(representations.items)
-        queries = user_matrix[users]
-        candidate_ids, candidate_scores = self.index.search(queries, candidate_k)
-        safe_ids = np.where(candidate_ids == PAD_ID, 0, candidate_ids)
+        obs = self.obs
+        with obs.stage("retrieve", self._met_stage["retrieve"]):
+            representations = self._ensure_index()
+            candidate_k = self._effective_candidate_k(request)
+            user_matrix = np.asarray(representations.users)
+            item_matrix = np.asarray(representations.items)
+            queries = user_matrix[users]
+            candidate_ids, candidate_scores = self.index.search(queries, candidate_k)
+            safe_ids = np.where(candidate_ids == PAD_ID, 0, candidate_ids)
+        if obs.enabled:
+            self._met_candidates.inc(int((candidate_ids != PAD_ID).sum()))
         if not self.index.returns_exact_scores:
             # The index's scores are not the model's ranking scores — cosine
             # retrieval ranks by angle, a raw ADC scan by quantized distance
             # — so exact-rescore the candidates only: gather their item
             # vectors (in row chunks so peak memory stays flat) and take
             # per-row biased dot products, all in the serving dtype.
-            biases = (
-                None
-                if representations.item_biases is None
-                else np.asarray(representations.item_biases)
-            )
-            candidate_scores = np.empty(candidate_ids.shape, dtype=np.float64)
-            rows_per_chunk = max(
-                1, RESCORE_CHUNK_ELEMENTS // max(1, candidate_k * item_matrix.shape[1])
-            )
-            for start in range(0, users.size, rows_per_chunk):
-                block = slice(start, start + rows_per_chunk)
-                chunk_scores = np.einsum(
-                    "ud,ucd->uc", queries[block], item_matrix[safe_ids[block]]
+            with obs.stage("rescore", self._met_stage["rescore"]):
+                biases = (
+                    None
+                    if representations.item_biases is None
+                    else np.asarray(representations.item_biases)
                 )
-                if biases is not None:
-                    chunk_scores = chunk_scores + biases[safe_ids[block]]
-                candidate_scores[block] = chunk_scores
+                candidate_scores = np.empty(candidate_ids.shape, dtype=np.float64)
+                rows_per_chunk = max(
+                    1, RESCORE_CHUNK_ELEMENTS // max(1, candidate_k * item_matrix.shape[1])
+                )
+                for start in range(0, users.size, rows_per_chunk):
+                    block = slice(start, start + rows_per_chunk)
+                    chunk_scores = np.einsum(
+                        "ud,ucd->uc", queries[block], item_matrix[safe_ids[block]]
+                    )
+                    if biases is not None:
+                        chunk_scores = chunk_scores + biases[safe_ids[block]]
+                    candidate_scores[block] = chunk_scores
         # An exact-scoring index (dot-metric exact/IVF/LSH, refined IVF-PQ)
         # already returned the model's biased dot products over the same
         # representation snapshot (it is rebuilt in lockstep with the
         # cache), so those scores are reused as-is.
         if self.monitor is not None:
-            # Shadow-rescore a sample of this request's rows against the
-            # exact oracle — before filtering, so the numbers measure the
-            # retrieval stage rather than the request's filter set.
-            sampled_rows = self.monitor.sample(users.size)
-            if sampled_rows.size:
-                self.monitor.observe(
-                    queries[sampled_rows],
-                    candidate_ids[sampled_rows],
-                    candidate_scores[sampled_rows],
-                    request.k,
-                )
-            if self.auto_tune:
-                self._maybe_auto_tune()
-        keep = candidate_ids != PAD_ID
-        if self.base_filters or request.filters:
-            # General filters only speak the full (users, num_items) mask
-            # contract, so materialise it and gather the candidate columns.
-            allowed = self._allowed_mask(users, request)
-            keep &= np.take_along_axis(allowed, safe_ids, axis=1)
-        elif request.exclude_seen:
-            # The common serving shape (exclude-seen only) stays
-            # O(users × candidate_k): membership tests against each user's
-            # history instead of a full-catalogue boolean mask.
+            with obs.stage("monitor", self._met_stage["monitor"]):
+                # Shadow-rescore a sample of this request's rows against the
+                # exact oracle — before filtering, so the numbers measure the
+                # retrieval stage rather than the request's filter set.
+                sampled_rows = self.monitor.sample(users.size)
+                if sampled_rows.size:
+                    self.monitor.observe(
+                        queries[sampled_rows],
+                        candidate_ids[sampled_rows],
+                        candidate_scores[sampled_rows],
+                        request.k,
+                    )
+                if self.auto_tune:
+                    self._maybe_auto_tune()
+        with obs.stage("filter", self._met_stage["filter"]):
+            keep = candidate_ids != PAD_ID
+            if self.base_filters or request.filters:
+                # General filters only speak the full (users, num_items) mask
+                # contract, so materialise it and gather the candidate columns.
+                allowed = self._allowed_mask(users, request)
+                keep &= np.take_along_axis(allowed, safe_ids, axis=1)
+            elif request.exclude_seen:
+                # The common serving shape (exclude-seen only) stays
+                # O(users × candidate_k): membership tests against each user's
+                # history instead of a full-catalogue boolean mask.
+                for row, user in enumerate(users):
+                    keep[row] &= ~np.isin(candidate_ids[row], self.bipartite.user_items(int(user)))
+            candidate_ids = np.where(keep, candidate_ids, PAD_ID)
+            candidate_scores = np.where(keep, candidate_scores, PAD_SCORE)
+        with obs.stage("rank", self._met_stage["rank"]):
+            top_ids, top_scores = padded_top_k(candidate_ids, candidate_scores, request.k)
+        with obs.stage("explain", self._met_stage["explain"]):
+            results = []
             for row, user in enumerate(users):
-                keep[row] &= ~np.isin(candidate_ids[row], self.bipartite.user_items(int(user)))
-        candidate_ids = np.where(keep, candidate_ids, PAD_ID)
-        candidate_scores = np.where(keep, candidate_scores, PAD_SCORE)
-        top_ids, top_scores = padded_top_k(candidate_ids, candidate_scores, request.k)
-        results = []
-        for row, user in enumerate(users):
-            valid = top_ids[row] != PAD_ID
-            results.append(
-                self._build_recommendations(
-                    int(user), top_ids[row][valid], top_scores[row][valid], request.explain
+                valid = top_ids[row] != PAD_ID
+                results.append(
+                    self._build_recommendations(
+                        int(user), top_ids[row][valid], top_scores[row][valid], request.explain
+                    )
                 )
-            )
         return RecommendResponse(users=tuple(int(u) for u in users), results=tuple(results))
 
     def _allowed_mask(self, users: np.ndarray, request: RecommendRequest) -> np.ndarray:

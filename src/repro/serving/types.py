@@ -109,6 +109,18 @@ class ServiceStats:
     or loaded (``None`` when no snapshot has flowed either way) — serving
     workers expose it so an operator can see which published index each
     process is answering from.
+
+    The last four fields are the opt-in observability view
+    (``service.stats(detail=True)``, populated from the service's
+    :mod:`repro.obs` registry): ``p50_ms`` / ``p95_ms`` are the median and
+    tail end-to-end :meth:`recommend
+    <repro.serving.RecommendationService.recommend>` latencies in
+    milliseconds (estimated from the request-latency histogram; ``None``
+    until an instrumented request was served), and ``last_maintain_s`` /
+    ``last_publish_s`` the durations in seconds of the most recent
+    :meth:`maintain <repro.serving.RecommendationService.maintain>` call
+    and snapshot publish (``None`` until one ran).  All four stay ``None``
+    on ``detail=False`` and on services without an enabled ``obs`` bundle.
     """
 
     requests: int
@@ -120,6 +132,10 @@ class ServiceStats:
     suggested_hamming_radius: int | None = None
     auto_tunes: int = 0
     snapshot_version: int | None = None
+    p50_ms: float | None = None
+    p95_ms: float | None = None
+    last_maintain_s: float | None = None
+    last_publish_s: float | None = None
 
 
 @dataclass(frozen=True)

@@ -8,6 +8,7 @@ measure differences between *models*, not between training pipelines.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
@@ -15,6 +16,7 @@ from repro.data.batching import BprBatcher
 from repro.data.splits import LeaveOneOutSplit
 from repro.evaluation.evaluator import EvaluationResult, RankingEvaluator
 from repro.models.base import Recommender
+from repro.obs import Observability, resolve_obs
 from repro.optim.adam import Adam
 from repro.optim.clip import clip_grad_norm, grad_norm
 from repro.optim.optimizer import Optimizer
@@ -25,7 +27,6 @@ from repro.training.early_stopping import EarlyStopping
 from repro.training.losses import bpr_loss
 from repro.utils.logging import get_logger
 from repro.utils.rng import new_rng
-from repro.utils.timing import Timer
 
 __all__ = ["EpochStats", "TrainingHistory", "Trainer"]
 
@@ -89,13 +90,27 @@ def _build_optimizer(model: Recommender, config: TrainConfig) -> Optimizer:
 
 
 class Trainer:
-    """Train a recommender with pairwise BPR on a leave-one-out split."""
+    """Train a recommender with pairwise BPR on a leave-one-out split.
+
+    ``obs`` instruments the training loop (:mod:`repro.obs`): each epoch
+    records its total duration into ``repro_training_epoch_seconds`` and
+    splits the batch loop into per-phase histograms
+    ``repro_training_phase_seconds{phase=sampling|forward|backward|step}``
+    — negative sampling / batch assembly, the score + loss forward pass,
+    the backward pass, and gradient clipping + the optimiser step.  Pass
+    ``True`` for a private bundle or share a service's bundle; the default
+    (``None``) keeps the loop uninstrumented at full speed.
+    """
+
+    #: Per-batch phases the instrumented epoch loop is split into.
+    PHASES = ("sampling", "forward", "backward", "step")
 
     def __init__(
         self,
         model: Recommender,
         split: LeaveOneOutSplit,
         config: TrainConfig | None = None,
+        obs: "Observability | bool | None" = None,
     ) -> None:
         self.model = model
         self.split = split
@@ -104,6 +119,19 @@ class Trainer:
         self._validation_evaluator = (
             RankingEvaluator(split.validation, k=self.config.k) if split.validation else None
         )
+        self.obs = resolve_obs(obs)
+        registry = self.obs.registry
+        self._met_epoch_seconds = registry.histogram(
+            "repro_training_epoch_seconds", "Seconds per training epoch."
+        )
+        self._met_phase_seconds = {
+            phase: registry.histogram(
+                "repro_training_phase_seconds",
+                "Seconds per epoch spent in one phase of the batch loop.",
+                labels={"phase": phase},
+            )
+            for phase in self.PHASES
+        }
 
     # ------------------------------------------------------------------ #
     def fit(self) -> TrainingHistory:
@@ -136,15 +164,17 @@ class Trainer:
         )
 
         for epoch in range(1, self.config.epochs + 1):
-            timer = Timer()
-            with timer:
-                loss_value, grad_norm = self._train_one_epoch(batcher, optimizer)
+            epoch_started = perf_counter()
+            loss_value, grad_norm = self._train_one_epoch(batcher, optimizer)
+            epoch_seconds = perf_counter() - epoch_started
+            if self.obs.enabled:
+                self._met_epoch_seconds.observe(epoch_seconds)
             validation = self._maybe_validate(epoch=epoch)
             stats = EpochStats(
                 epoch=epoch,
                 loss=loss_value,
                 grad_norm=grad_norm,
-                seconds=timer.elapsed,
+                seconds=epoch_seconds,
                 validation=validation,
             )
             history.append(stats)
@@ -168,13 +198,34 @@ class Trainer:
         total_examples = 0
         norm_total = 0.0
         num_batches = 0
-        for batch in batcher.epoch():
+        # Phase accounting only reads the clock when obs is enabled; each
+        # phase's per-epoch total lands in one histogram observation.
+        instrumented = self.obs.enabled
+        phases = dict.fromkeys(self.PHASES, 0.0)
+        iterator = iter(batcher.epoch())
+        while True:
+            mark = perf_counter() if instrumented else 0.0
+            batch = next(iterator, None)
+            if instrumented:
+                phases["sampling"] += perf_counter() - mark
+            if batch is None:
+                break
             optimizer.zero_grad()
+            if instrumented:
+                mark = perf_counter()
             positive_scores, negative_scores = self.model.bpr_scores(
                 batch.users, batch.positive_items, batch.negative_items
             )
             loss = bpr_loss(positive_scores, negative_scores)
+            if instrumented:
+                now = perf_counter()
+                phases["forward"] += now - mark
+                mark = now
             loss.backward()
+            if instrumented:
+                now = perf_counter()
+                phases["backward"] += now - mark
+                mark = now
             # The true (pre-clipping) norm of every batch feeds the epoch
             # mean, whether or not clipping is enabled.
             if self.config.grad_clip_norm > 0:
@@ -182,10 +233,15 @@ class Trainer:
             else:
                 batch_norm = grad_norm(parameters)
             optimizer.step()
+            if instrumented:
+                phases["step"] += perf_counter() - mark
             total_loss += float(loss.data) * len(batch)
             total_examples += len(batch)
             norm_total += batch_norm
             num_batches += 1
+        if instrumented:
+            for phase, seconds in phases.items():
+                self._met_phase_seconds[phase].observe(seconds)
         return total_loss / max(total_examples, 1), norm_total / max(num_batches, 1)
 
     def _maybe_validate(self, epoch: int = 0, force: bool = False) -> EvaluationResult | None:

@@ -1,6 +1,6 @@
 """Shared utilities: seeding, logging, timing and crash-safe persistence."""
 
-from repro.utils.logging import get_logger
+from repro.utils.logging import JsonLinesFormatter, configure_logging, get_logger
 from repro.utils.rng import RngMixin, new_rng, set_global_seed
 from repro.utils.serialization import (
     BundleError,
@@ -17,9 +17,11 @@ from repro.utils.timing import Timer
 
 __all__ = [
     "BundleError",
+    "JsonLinesFormatter",
     "RngMixin",
     "Timer",
     "atomic_write_bytes",
+    "configure_logging",
     "dtype_from_name",
     "get_logger",
     "load_json",

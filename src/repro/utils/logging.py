@@ -2,29 +2,58 @@
 
 The library logs through the standard :mod:`logging` module under the
 ``repro`` namespace.  By default the root ``repro`` logger gets a single
-stream handler with a compact format; applications embedding the library can
-reconfigure or silence it like any other logger.
+stream handler with a compact human-readable format;
+``configure_logging(json=True)`` switches that handler to structured
+JSON-lines output (one ``{"ts", "level", "logger", "message"}`` object per
+line) for log shippers.  Repeated ``configure_logging`` calls are
+idempotent updates: the level and format are re-applied to the existing
+handler — never a second handler, never silently ignored.  Applications
+embedding the library can still reconfigure or silence the ``repro``
+logger like any other.
 """
 
 from __future__ import annotations
 
+import json as _json
 import logging
 
-__all__ = ["get_logger", "configure_logging"]
+__all__ = ["get_logger", "configure_logging", "JsonLinesFormatter"]
 
 _FORMAT = "%(asctime)s %(levelname)s %(name)s: %(message)s"
-_configured = False
+_HANDLER: logging.Handler | None = None
 
 
-def configure_logging(level: int = logging.INFO) -> None:
-    """Attach a stream handler to the ``repro`` root logger once."""
-    global _configured
+class JsonLinesFormatter(logging.Formatter):
+    """One JSON object per log record — the structured-logging format."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": self.formatTime(record, datefmt="%Y-%m-%dT%H:%M:%S"),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return _json.dumps(payload)
+
+
+def configure_logging(level: int = logging.INFO, *, json: bool = False) -> None:
+    """Configure the ``repro`` root logger (idempotently re-appliable).
+
+    The first call attaches one stream handler; every call — first or
+    repeated — sets the logger level and the handler's formatter (compact
+    text by default, JSON lines with ``json=True``), so switching level or
+    format later is just another ``configure_logging`` call.
+    """
+    global _HANDLER
     logger = logging.getLogger("repro")
-    if not _configured:
-        handler = logging.StreamHandler()
-        handler.setFormatter(logging.Formatter(_FORMAT, datefmt="%H:%M:%S"))
-        logger.addHandler(handler)
-        _configured = True
+    if _HANDLER is None or _HANDLER not in logger.handlers:
+        _HANDLER = logging.StreamHandler()
+        logger.addHandler(_HANDLER)
+    _HANDLER.setFormatter(
+        JsonLinesFormatter() if json else logging.Formatter(_FORMAT, datefmt="%H:%M:%S")
+    )
     logger.setLevel(level)
 
 

@@ -1,9 +1,22 @@
-"""Small timing helpers used by the trainer and the experiment harness."""
+"""Small timing helpers used by the trainer and the experiment harness.
+
+:class:`Timer` is now a thin shim over the :mod:`repro.obs` histogram
+primitive: every ``start``/``stop`` segment is *observed* into an
+underlying :class:`~repro.obs.Histogram`, so a timer accumulates not just
+a total (``elapsed``) but a full latency distribution (``p50``/``p95``
+via :attr:`Timer.histogram`).  The stopwatch API is unchanged for
+existing callers, but new code that wants durations should record
+straight into a registry histogram (``registry.histogram(...)`` plus
+``Observability.stage``) — that is what the trainer and the experiment
+harness do since the observability layer landed, and it is what
+``render_prometheus()`` exposes.
+"""
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+
+from repro.obs.metrics import Histogram
 
 __all__ = ["Timer", "format_seconds"]
 
@@ -21,9 +34,13 @@ def format_seconds(seconds: float) -> str:
     return f"{hours}h{minutes:02d}m"
 
 
-@dataclass
 class Timer:
     """Accumulating stopwatch usable as a context manager.
+
+    Each ``start``/``stop`` segment is observed into the backing
+    :attr:`histogram` — pass one in to aggregate several timers into one
+    registry series, or let the timer own a private histogram (the
+    default, which :meth:`reset` replaces wholesale).
 
     >>> timer = Timer()
     >>> with timer:
@@ -32,8 +49,19 @@ class Timer:
     True
     """
 
-    elapsed: float = 0.0
-    _started_at: float | None = field(default=None, repr=False)
+    def __init__(self, histogram: Histogram | None = None) -> None:
+        self._histogram = Histogram("timer_seconds") if histogram is None else histogram
+        self._started_at: float | None = None
+
+    @property
+    def histogram(self) -> Histogram:
+        """The segment-duration distribution behind this timer."""
+        return self._histogram
+
+    @property
+    def elapsed(self) -> float:
+        """Total seconds across all completed segments."""
+        return self._histogram.sum
 
     def start(self) -> "Timer":
         if self._started_at is not None:
@@ -44,12 +72,15 @@ class Timer:
     def stop(self) -> float:
         if self._started_at is None:
             raise RuntimeError("timer is not running")
-        self.elapsed += time.perf_counter() - self._started_at
+        self._histogram.observe(time.perf_counter() - self._started_at)
         self._started_at = None
         return self.elapsed
 
     def reset(self) -> None:
-        self.elapsed = 0.0
+        """Drop all recorded segments (a shared histogram is replaced, not cleared)."""
+        self._histogram = Histogram(
+            self._histogram.name or "timer_seconds", buckets=self._histogram.bounds
+        )
         self._started_at = None
 
     @property
@@ -61,3 +92,7 @@ class Timer:
 
     def __exit__(self, *exc_info: object) -> None:
         self.stop()
+
+    def __repr__(self) -> str:
+        state = "running" if self.running else "stopped"
+        return f"Timer(elapsed={self.elapsed:.6f}, segments={self._histogram.count}, {state})"

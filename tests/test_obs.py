@@ -1,0 +1,446 @@
+"""Tests of the observability layer: metrics, tracing, and the wired hot paths."""
+
+from __future__ import annotations
+
+import json
+import logging
+from time import perf_counter, sleep
+
+import numpy as np
+import pytest
+
+from repro.index import RecallMonitor, SnapshotStore
+from repro.models import build_model
+from repro.obs import (
+    DEFAULT_TIME_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    NullTracer,
+    Observability,
+    NULL_OBS,
+    Tracer,
+    resolve_obs,
+)
+from repro.serving import RecommendationService, RecommendRequest
+from repro.training import TrainConfig, Trainer
+from repro.utils import Timer, configure_logging
+from repro.utils.logging import JsonLinesFormatter
+
+
+# --------------------------------------------------------------------------- #
+# Metrics primitives
+# --------------------------------------------------------------------------- #
+class TestCounterGauge:
+    def test_counter_monotonic(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_test_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = MetricsRegistry().gauge("repro_test_gauge")
+        assert not gauge.updated
+        gauge.set(2.5)
+        gauge.inc()
+        gauge.dec(0.5)
+        assert gauge.value == 3.0
+        assert gauge.updated
+
+
+class TestHistogram:
+    def test_empty_quantiles_are_none(self):
+        histogram = Histogram("h")
+        assert histogram.count == 0
+        assert histogram.quantile(0.5) is None
+        assert histogram.p50 is None and histogram.p95 is None and histogram.p99 is None
+
+    def test_single_sample_interpolates_inside_its_bucket(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0))
+        histogram.observe(1.5)
+        # Rank q·count lands in the (1, 2] bucket whatever q; estimates
+        # interpolate linearly across that bucket.
+        assert 1.0 < histogram.quantile(0.5) <= 2.0
+        assert histogram.count == 1 and histogram.sum == 1.5
+
+    def test_overflow_bucket_reports_last_finite_bound(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0))
+        histogram.observe(100.0)
+        assert histogram.overflow == 1
+        # Prometheus convention: a quantile in +Inf returns the last bound.
+        assert histogram.quantile(0.99) == 2.0
+
+    def test_le_semantics_on_exact_bound(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0))
+        histogram.observe(1.0)  # le="1" bucket, not the (1, 2] one
+        assert histogram.to_dict()["buckets"]["1"] == 1
+
+    def test_quantiles_on_spread_samples(self):
+        histogram = Histogram("h", buckets=tuple(float(b) for b in range(1, 11)))
+        for value in np.linspace(0.05, 9.95, 200):
+            histogram.observe(float(value))
+        assert histogram.quantile(0.5) == pytest.approx(5.0, abs=0.5)
+        assert histogram.quantile(0.95) == pytest.approx(9.5, abs=0.5)
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, float("inf")))
+        histogram = Histogram("h")
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_series(self):
+        registry = MetricsRegistry()
+        first = registry.counter("repro_x_total", labels={"a": "1"})
+        second = registry.counter("repro_x_total", labels={"a": "1"})
+        assert first is second
+        other = registry.counter("repro_x_total", labels={"a": "2"})
+        assert other is not first
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total")
+        with pytest.raises(TypeError):
+            registry.gauge("repro_x_total")
+        with pytest.raises(TypeError):
+            registry.histogram("repro_x_total", labels={"b": "2"})
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("0bad")
+        with pytest.raises(ValueError):
+            registry.counter("ok_total", labels={"0bad": "x"})
+
+    def test_render_prometheus_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total", "help text", labels={"kind": "x"}).inc(3)
+        histogram = registry.histogram("repro_b_seconds", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(5.0)
+        text = registry.render_prometheus()
+        lines = text.strip().splitlines()
+        assert "# HELP repro_a_total help text" in lines
+        assert "# TYPE repro_a_total counter" in lines
+        assert 'repro_a_total{kind="x"} 3' in lines
+        assert "# TYPE repro_b_seconds histogram" in lines
+        assert 'repro_b_seconds_bucket{le="+Inf"} 2' in lines
+        assert "repro_b_seconds_count 2" in lines
+
+    def test_to_dict_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total").inc()
+        snapshot = registry.to_dict()
+        assert snapshot["repro_a_total"][""]["value"] == 1
+
+    def test_null_registry_is_inert(self):
+        registry = NullRegistry()
+        counter = registry.counter("anything")
+        counter.inc(10)
+        assert counter.value == 0
+        histogram = registry.histogram("x")
+        histogram.observe(1.0)
+        assert histogram.count == 0 and histogram.quantile(0.5) is None
+        assert registry.render_prometheus() == ""
+        assert registry.to_dict() == {}
+
+
+# --------------------------------------------------------------------------- #
+# Tracing
+# --------------------------------------------------------------------------- #
+class TestTracer:
+    def test_nesting_and_start_order(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("first"):
+                with tracer.span("inner"):
+                    pass
+            with tracer.span("second"):
+                pass
+        trace = tracer.last_trace()
+        assert [span.name for span in trace.spans] == ["root", "first", "inner", "second"]
+        assert [span.depth for span in trace.spans] == [0, 1, 2, 1]
+        assert [span.parent for span in trace.spans] == [None, 0, 1, 0]
+        # Children start at or after their parent, and fit inside it.
+        for span in trace.spans[1:]:
+            parent = trace.spans[span.parent]
+            assert span.start >= parent.start
+            assert span.start + span.duration <= parent.start + parent.duration + 1e-6
+
+    def test_stage_durations_merge_repeats(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            for _ in range(3):
+                with tracer.span("stage"):
+                    sleep(0.001)
+        stages = tracer.last_trace().stage_durations()
+        assert set(stages) == {"stage"}
+        assert stages["stage"] >= 0.003
+
+    def test_ring_buffer_capacity(self):
+        tracer = Tracer(capacity=2)
+        for index in range(4):
+            with tracer.span(f"t{index}"):
+                pass
+        names = [trace.root.name for trace in tracer.traces()]
+        assert names == ["t2", "t3"]
+        tracer.clear()
+        assert tracer.last_trace() is None
+
+    def test_format_renders_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        rendered = tracer.last_trace().format()
+        assert rendered.splitlines()[0].startswith("outer:")
+        assert rendered.splitlines()[1].startswith("  inner:")
+
+    def test_null_tracer_records_nothing(self):
+        tracer = NullTracer()
+        with tracer.span("x"):
+            pass
+        assert tracer.traces() == () and tracer.last_trace() is None
+
+
+class TestObservabilityBundle:
+    def test_resolve_obs(self):
+        assert resolve_obs(None) is NULL_OBS
+        assert resolve_obs(False) is NULL_OBS
+        bundle = resolve_obs(True)
+        assert bundle.enabled and isinstance(bundle, Observability)
+        assert resolve_obs(bundle) is bundle
+        with pytest.raises(TypeError):
+            resolve_obs("yes")
+
+    def test_stage_times_and_observes(self):
+        obs = Observability()
+        histogram = obs.registry.histogram("repro_stage_seconds")
+        with obs.stage("work", histogram) as stage:
+            sleep(0.001)
+        assert stage.duration >= 0.001
+        assert histogram.count == 1
+        assert obs.tracer.last_trace().root.name == "work"
+
+    def test_null_stage_is_free(self):
+        with NULL_OBS.stage("work") as stage:
+            pass
+        assert stage.duration == 0.0
+        assert not NULL_OBS.enabled
+
+
+# --------------------------------------------------------------------------- #
+# Wired hot paths
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def obs_service(tiny_train_graph, tiny_scene_graph):
+    model = build_model("BPR-MF", tiny_train_graph, tiny_scene_graph, embedding_dim=8, seed=0)
+    return RecommendationService(
+        model,
+        tiny_train_graph,
+        tiny_scene_graph,
+        index="ivf",
+        monitor=RecallMonitor(sample_rate=1.0, seed=0),
+        obs=True,
+    )
+
+
+class TestServiceInstrumentation:
+    def test_request_counters_and_histograms(self, obs_service):
+        registry = obs_service.obs.registry
+        requests = registry.counter("repro_serving_requests_total")
+        users = registry.counter("repro_serving_users_total")
+        before_requests, before_users = requests.value, users.value
+        obs_service.recommend(RecommendRequest(users=(0, 1, 2), k=5))
+        assert requests.value == before_requests + 1
+        assert users.value == before_users + 3
+        latency = registry.histogram("repro_serving_request_seconds")
+        assert latency.count >= 1
+        assert registry.counter("repro_serving_candidates_total").value > 0
+        assert registry.counter(
+            "repro_index_queries_total", labels={"backend": "ivf"}
+        ).value >= 3
+
+    def test_trace_has_expected_stages(self, obs_service):
+        obs_service.recommend(RecommendRequest(users=(0,), k=5))
+        trace = obs_service.obs.tracer.last_trace()
+        assert trace.root.name == "recommend"
+        stages = trace.stage_durations()
+        # The ANN path with a monitor: retrieve and rank always run;
+        # the flat IVF scan returns exact scores, so no rescore stage.
+        for stage in ("retrieve", "monitor", "filter", "rank", "explain"):
+            assert stage in stages, f"missing stage {stage}"
+        assert "rescore" not in stages
+
+    def test_span_nesting_under_recommend_batch(self, obs_service):
+        obs_service.recommend_batch([0, 1], k=4)
+        trace = obs_service.obs.tracer.last_trace()
+        assert trace.root.name == "recommend"
+        depths = {span.name: span.depth for span in trace.spans}
+        assert depths["recommend"] == 0
+        assert depths["retrieve"] == 1 and depths["rank"] == 1
+        # Spans are recorded in start order: retrieve before rank.
+        names = [span.name for span in trace.spans]
+        assert names.index("retrieve") < names.index("rank")
+
+    def test_stage_spans_sum_close_to_end_to_end(self, obs_service):
+        """Acceptance: per-stage spans account for the request's latency."""
+        request = RecommendRequest(users=tuple(range(8)), k=5)
+        obs_service.recommend(request)  # warm every lazy path
+        best_coverage = 0.0
+        for _ in range(5):
+            started = perf_counter()
+            obs_service.recommend(request)
+            end_to_end = perf_counter() - started
+            trace = obs_service.obs.tracer.last_trace()
+            stage_sum = sum(trace.stage_durations().values())
+            assert stage_sum <= end_to_end * 1.02
+            best_coverage = max(best_coverage, stage_sum / end_to_end)
+        assert best_coverage >= 0.8, (
+            f"stage spans cover only {best_coverage:.1%} of the end-to-end latency"
+        )
+
+    def test_stats_detail_view(self, obs_service):
+        obs_service.recommend(RecommendRequest(users=(0,), k=3))
+        plain = obs_service.stats()
+        assert plain.p50_ms is None and plain.last_maintain_s is None
+        detail = obs_service.stats(detail=True)
+        assert detail.p50_ms is not None and detail.p50_ms > 0.0
+        assert detail.p95_ms >= detail.p50_ms
+        obs_service.maintain(force=True)
+        detail = obs_service.stats(detail=True)
+        assert detail.last_maintain_s is not None and detail.last_maintain_s > 0.0
+
+    def test_disabled_service_keeps_null_bundle(self, tiny_train_graph, tiny_scene_graph):
+        model = build_model("BPR-MF", tiny_train_graph, tiny_scene_graph, embedding_dim=8, seed=0)
+        service = RecommendationService(model, tiny_train_graph, tiny_scene_graph)
+        assert service.obs is NULL_OBS
+        service.recommend(RecommendRequest(users=(0,), k=3))
+        assert service.obs.tracer.last_trace() is None
+        stats = service.stats(detail=True)
+        assert stats.p50_ms is None
+
+    def test_full_path_records_score_stage(self, tiny_train_graph, tiny_scene_graph):
+        model = build_model("BPR-MF", tiny_train_graph, tiny_scene_graph, embedding_dim=8, seed=0)
+        service = RecommendationService(model, tiny_train_graph, tiny_scene_graph, obs=True)
+        service.recommend(RecommendRequest(users=(0, 1), k=4))
+        stages = service.obs.tracer.last_trace().stage_durations()
+        for stage in ("score", "filter", "rank", "explain"):
+            assert stage in stages
+
+
+class TestMetricsSurviveHotSwap:
+    def test_counters_survive_load_and_sync(self, tiny_train_graph, tiny_scene_graph, tmp_path):
+        model = build_model("BPR-MF", tiny_train_graph, tiny_scene_graph, embedding_dim=8, seed=0)
+        obs = Observability()
+        maintainer = RecommendationService(
+            model, tiny_train_graph, index="ivf", snapshots=tmp_path / "snaps", obs=obs
+        )
+        maintainer.recommend(RecommendRequest(users=(0, 1), k=4))
+        queries = obs.registry.counter("repro_index_queries_total", labels={"backend": "ivf"})
+        before = queries.value
+        assert before >= 2
+        maintainer.publish_snapshot()
+        assert obs.registry.histogram("repro_snapshot_publish_seconds").count == 1
+        assert obs.registry.counter("repro_snapshot_publish_bytes_total").value > 0
+
+        maintainer.load_snapshot()
+        maintainer.recommend(RecommendRequest(users=(2,), k=4))
+        assert queries.value > before, "hot-swap must not reset index counters"
+
+        publish_before = obs.registry.histogram("repro_snapshot_publish_seconds").count
+        maintainer.publish_snapshot()
+        swapped = maintainer.sync_snapshot()
+        assert not swapped  # already on the latest version
+        assert obs.registry.histogram("repro_snapshot_publish_seconds").count == publish_before + 1
+        requests_total = obs.registry.counter("repro_serving_requests_total").value
+        assert requests_total == 2
+
+
+class TestTrainerInstrumentation:
+    def test_epoch_phases_recorded(self, tiny_split, tiny_train_graph, tiny_scene_graph):
+        model = build_model("BPR-MF", tiny_train_graph, tiny_scene_graph, embedding_dim=8, seed=0)
+        trainer = Trainer(model, tiny_split, TrainConfig(epochs=2, eval_every=0), obs=True)
+        history = trainer.fit()
+        assert len(history) == 2
+        registry = trainer.obs.registry
+        assert registry.histogram("repro_training_epoch_seconds").count == 2
+        for phase in Trainer.PHASES:
+            phase_histogram = registry.histogram(
+                "repro_training_phase_seconds", labels={"phase": phase}
+            )
+            assert phase_histogram.count == 2, f"phase {phase} not recorded"
+            assert phase_histogram.sum > 0.0
+        epoch_sum = registry.histogram("repro_training_epoch_seconds").sum
+        phase_sum = sum(
+            registry.histogram("repro_training_phase_seconds", labels={"phase": phase}).sum
+            for phase in Trainer.PHASES
+        )
+        assert phase_sum <= epoch_sum * 1.02
+
+
+# --------------------------------------------------------------------------- #
+# Satellites: Timer shim, structured logging
+# --------------------------------------------------------------------------- #
+class TestTimerShim:
+    def test_timer_backed_by_histogram(self):
+        timer = Timer()
+        with timer:
+            sleep(0.001)
+        with timer:
+            pass
+        assert timer.histogram.count == 2
+        assert timer.elapsed == timer.histogram.sum
+        assert timer.elapsed >= 0.001
+
+    def test_timer_shares_registry_histogram(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("repro_shared_seconds")
+        timer = Timer(histogram)
+        with timer:
+            pass
+        assert histogram.count == 1
+        timer.reset()  # replaces, never clears, a shared series
+        assert timer.elapsed == 0.0
+        assert histogram.count == 1
+
+
+class TestStructuredLogging:
+    def test_json_formatter_emits_json_lines(self):
+        record = logging.LogRecord(
+            "repro.test", logging.INFO, __file__, 1, "hello %s", ("world",), None
+        )
+        payload = json.loads(JsonLinesFormatter().format(record))
+        assert payload["message"] == "hello world"
+        assert payload["level"] == "INFO"
+        assert payload["logger"] == "repro.test"
+
+    def test_configure_logging_updates_idempotently(self):
+        logger = logging.getLogger("repro")
+        configure_logging(logging.WARNING)
+        handlers_after_first = list(logger.handlers)
+        configure_logging(logging.INFO, json=True)
+        assert logger.level == logging.INFO
+        assert list(logger.handlers) == handlers_after_first, "no duplicate handlers"
+        managed = [h for h in handlers_after_first if isinstance(h.formatter, JsonLinesFormatter)]
+        assert managed, "repeated call must swap the managed handler's formatter"
+        configure_logging(logging.INFO)  # back to the text format
+        assert not any(
+            isinstance(h.formatter, JsonLinesFormatter) for h in logger.handlers
+        )
+
+
+class TestDefaultBuckets:
+    def test_default_buckets_cover_serving_range(self):
+        assert DEFAULT_TIME_BUCKETS[0] <= 0.001
+        assert DEFAULT_TIME_BUCKETS[-1] >= 5.0
+        assert list(DEFAULT_TIME_BUCKETS) == sorted(DEFAULT_TIME_BUCKETS)
