@@ -50,6 +50,13 @@ counters, gauges and latency histograms plus per-request stage traces —
 ``service.obs.registry.render_prometheus()`` is a scrape-ready metrics
 page, ``service.obs.tracer.last_trace()`` answers "where did that request's
 latency go?".
+
+Partial failure is handled by :mod:`repro.reliability`: request deadlines
+that shed optional work instead of blowing the SLA, a circuit breaker that
+fails the ANN path over to the exact full scan (responses come back
+``degraded=True`` but never wrong), self-healing snapshot loads that
+quarantine a corrupted publish and roll back to the newest verifiable
+version, and named failpoints for chaos-testing all of the above.
 """
 
 from repro import (
@@ -63,13 +70,14 @@ from repro import (
     nn,
     obs,
     optim,
+    reliability,
     scene_mining,
     serving,
     training,
     utils,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "autograd",
@@ -82,6 +90,7 @@ __all__ = [
     "nn",
     "obs",
     "optim",
+    "reliability",
     "scene_mining",
     "serving",
     "training",

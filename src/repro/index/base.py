@@ -63,6 +63,7 @@ import numpy as np
 from repro.index.topk import PAD_ID, PAD_SCORE
 from repro.models.base import FactorizedRepresentations
 from repro.obs import NULL_OBS
+from repro.reliability.failpoints import hit as _failpoint
 from repro.utils.serialization import BundleError, dtype_from_name, read_bundle, write_bundle
 
 __all__ = ["ItemIndex", "METRICS", "SNAPSHOT_KIND"]
@@ -517,6 +518,7 @@ class ItemIndex:
         self._require_built()
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
+        _failpoint("index.search")
         queries = self._prepare_queries(queries)
         if not self._active.any():
             # Every item deleted: pure padding, no backend involvement.

@@ -41,6 +41,7 @@ from repro.index.base import ItemIndex, _normalize_rows
 from repro.index.kmeans import lloyd, nearest_centroid
 from repro.index.registry import register_index
 from repro.index.topk import PAD_ID, PAD_SCORE, dense_top_k, padded_top_k
+from repro.reliability.failpoints import hit as _failpoint
 from repro.utils.rng import new_rng
 
 __all__ = ["IVFIndex"]
@@ -307,6 +308,7 @@ class IVFIndex(ItemIndex):
         )
 
     def _run_recluster(self) -> None:
+        _failpoint("index.recluster")
         self._promote_writable()  # the Lloyd polish moves centroids in place
         live = np.flatnonzero(self._active)
         vectors = self._vectors[live]

@@ -16,39 +16,67 @@ attach read-only)::
 Publishing is crash-safe end to end: the index is saved into a hidden
 staging directory (every file inside written atomically by the bundle
 layer), the staging directory is renamed to the next monotonic ``vNNNNNNNN``
-slot — a rename collision with a concurrent publisher just moves on to the
-following slot — and only then is the ``CURRENT`` pointer file atomically
-replaced.  A reader therefore sees either the previous complete version or
-the new complete version, never a half-written one; a crash mid-publish
-leaves at worst an unreferenced staging/version directory that
-:meth:`SnapshotStore.prune` sweeps up.
+slot — a rename collision with a concurrent publisher moves on to the
+following slot after a bounded, jittered backoff — and only then is the
+``CURRENT`` pointer file atomically replaced.  A reader therefore sees
+either the previous complete version or the new complete version, never a
+half-written one; a crash mid-publish leaves at worst an unreferenced
+staging/version directory that :meth:`SnapshotStore.prune` sweeps up.
+
+Loading the published version is **self-healing**: when the version the
+``CURRENT`` pointer names fails its bundle checks (truncated payload,
+manifest drift, corrupted pointer file), the bad version is quarantined —
+renamed to ``vNNNNNNNN.corrupt`` so operators can inspect it — and the
+store walks back to the newest version that passes full checksum
+verification, atomically repairing the pointer to it.  Serving therefore
+survives a corrupted publish with at worst one stale-but-valid index.
 
 Old versions are kept (rollback = point ``CURRENT`` elsewhere, or load an
 explicit version) until pruned; live readers that memory-mapped a pruned
 version keep working — the kernel keeps unlinked mappings alive — but new
-loads of it fail.
+loads of it fail.  ``prune`` never deletes the version the ``CURRENT``
+pointer names (the pointer is re-read immediately before every removal, so
+a concurrent rollback cannot tear it) and leaves recent staging directories
+alone so an in-flight publish is never swept mid-write.
 """
 
 from __future__ import annotations
 
 import os
+import random
 import re
 import shutil
+import time
 import uuid
 from pathlib import Path
 from time import perf_counter
 
 from repro.index.base import ItemIndex
 from repro.obs import NULL_OBS
-from repro.utils.serialization import MANIFEST_NAME, BundleError, atomic_write_bytes
+from repro.reliability.failpoints import hit as _failpoint
+from repro.reliability.retry import RetryExhausted, backoff_delays
+from repro.utils.logging import get_logger
+from repro.utils.serialization import (
+    MANIFEST_NAME,
+    BundleError,
+    atomic_write_bytes,
+    read_bundle,
+)
 
 __all__ = ["SnapshotStore"]
+
+_LOGGER = get_logger("index.snapshot")
 
 #: Pointer file naming the currently-published version directory.
 CURRENT_POINTER = "CURRENT"
 
 _VERSION_PATTERN = re.compile(r"^v(\d{8})$")
 _STAGING_PREFIX = ".staging-"
+_CORRUPT_SUFFIX = ".corrupt"
+
+#: Errors that mark a stored version as unusable (vs. transient faults,
+#: which propagate so the caller can retry against the same version).
+_CORRUPTION_ERRORS = (BundleError, FileNotFoundError, OSError)
 
 
 def _version_name(version: int) -> str:
@@ -56,11 +84,40 @@ def _version_name(version: int) -> str:
 
 
 class SnapshotStore:
-    """Monotonically versioned snapshot directory with atomic publish."""
+    """Monotonically versioned snapshot directory with atomic publish.
 
-    def __init__(self, root: "str | Path") -> None:
+    Parameters
+    ----------
+    root:
+        the store directory (created if missing).
+    publish_attempts:
+        bound on the rename-collision retry loop of :meth:`publish`; racing
+        publishers claim successive version slots with jittered backoff
+        between attempts, and exhausting the bound raises
+        :class:`~repro.reliability.retry.RetryExhausted` instead of
+        spinning forever.
+    staging_grace_s:
+        how recently a staging directory must have been modified for
+        :meth:`prune` to consider it in-flight and leave it alone.
+    """
+
+    def __init__(
+        self,
+        root: "str | Path",
+        *,
+        publish_attempts: int = 32,
+        staging_grace_s: float = 300.0,
+    ) -> None:
+        if publish_attempts < 1:
+            raise ValueError(f"publish_attempts must be at least 1, got {publish_attempts}")
+        if staging_grace_s < 0:
+            raise ValueError(f"staging_grace_s must be non-negative, got {staging_grace_s}")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.publish_attempts = int(publish_attempts)
+        self.staging_grace_s = float(staging_grace_s)
+        self._sleep = time.sleep  # injectable for tests
+        self._rng = random.Random()
         self.bind_obs(NULL_OBS)
 
     # ------------------------------------------------------------------ #
@@ -73,7 +130,10 @@ class SnapshotStore:
         (``repro_snapshot_publish_seconds`` /
         ``repro_snapshot_publish_bytes_total``), loads their attach
         duration (``repro_snapshot_load_seconds``) — the numbers behind
-        "how long did the last publish take and how big was it".
+        "how long did the last publish take and how big was it".  The
+        reliability layer adds rename-collision retries
+        (``repro_snapshot_publish_retries_total``) and the rollback
+        machinery's quarantine/rollback counts.
         """
         self._obs = obs
         registry = obs.registry
@@ -85,6 +145,18 @@ class SnapshotStore:
         )
         self._met_load_seconds = registry.histogram(
             "repro_snapshot_load_seconds", "Seconds per SnapshotStore.load attach."
+        )
+        self._met_publish_retries = registry.counter(
+            "repro_snapshot_publish_retries_total",
+            "Version-slot rename collisions retried by SnapshotStore.publish.",
+        )
+        self._met_quarantined = registry.counter(
+            "repro_snapshot_quarantined_total",
+            "Corrupted snapshot versions quarantined to *.corrupt directories.",
+        )
+        self._met_rollbacks = registry.counter(
+            "repro_snapshot_rollbacks_total",
+            "Times loading rolled back from a corrupted CURRENT to an older version.",
         )
 
     # ------------------------------------------------------------------ #
@@ -123,23 +195,41 @@ class SnapshotStore:
 
         The snapshot is fully written (into a staging directory, atomically
         file by file) *before* it becomes visible: first the staging
-        directory is renamed into its monotonic version slot — racing
-        publishers simply claim successive slots — and then the pointer
-        file is atomically replaced.  Returns the published version number.
+        directory is renamed into its monotonic version slot, and then the
+        pointer file is atomically replaced.  Racing publishers claim
+        successive slots; each collision waits a jittered, exponentially
+        growing backoff (decorrelating the racers) and the loop is bounded
+        by ``publish_attempts`` — exhaustion raises
+        :class:`~repro.reliability.retry.RetryExhausted` rather than
+        spinning.  Returns the published version number.
         """
         started = perf_counter() if self._obs.enabled else 0.0
+        _failpoint("snapshot.publish")
         staging = self.root / f"{_STAGING_PREFIX}{os.getpid()}-{uuid.uuid4().hex[:8]}"
         index.save(staging)
         version = (self.versions() or [0])[-1] + 1
+        delays = backoff_delays(self.publish_attempts, rng=self._rng)
+        collisions = 0
         while True:
             target = self.path(version)
             try:
                 os.rename(staging, target)
                 break
-            except OSError:
+            except OSError as error:
                 if not target.exists():
                     shutil.rmtree(staging, ignore_errors=True)
                     raise
+                collisions += 1
+                self._met_publish_retries.inc()
+                if collisions >= self.publish_attempts:
+                    shutil.rmtree(staging, ignore_errors=True)
+                    raise RetryExhausted(
+                        f"publish lost {collisions} version-slot races in {self.root}; "
+                        f"giving up at {target.name}"
+                    ) from error
+                delay = delays[collisions - 1]
+                if delay > 0.0:
+                    self._sleep(delay)
                 version += 1  # a concurrent publisher claimed this slot
         self._set_current(version)
         if self._obs.enabled:
@@ -149,16 +239,112 @@ class SnapshotStore:
             )
         return version
 
-    def load(self, version: int | None = None, *, mmap: bool = True) -> ItemIndex:
+    def load(self, version: int | None = None, *, mmap: bool = True, recover: bool = True) -> ItemIndex:
         """Load a published version (default: the one ``CURRENT`` names).
 
         ``mmap=True`` attaches read-only in O(1) — the serving-worker path;
-        ``mmap=False`` reads a private, checksum-verified copy.
+        ``mmap=False`` reads a private, checksum-verified copy.  Loading
+        the *current* version (``version=None``) is self-healing by default
+        (see :meth:`load_current`); an explicitly named version is loaded
+        verbatim and failures propagate.
         """
         if version is None:
+            return self.load_current(mmap=mmap, recover=recover)[1]
+        return self._timed_load(int(version), mmap)
+
+    def load_current(self, *, mmap: bool = True, recover: bool = True) -> tuple[int, ItemIndex]:
+        """Load the ``CURRENT`` version, rolling back past corruption.
+
+        Returns ``(version, index)``.  With ``recover=True`` (the default)
+        a :class:`~repro.utils.serialization.BundleError` from the pointed-
+        at version — or a corrupted pointer file itself — quarantines the
+        bad version (renamed to ``vNNNNNNNN.corrupt``) and walks back to
+        the newest fully-verifiable version, atomically repairing the
+        pointer (:meth:`rollback`).  Transient faults that are not
+        corruption evidence propagate unchanged.  Raises
+        :class:`FileNotFoundError` when the store has no version at all.
+        """
+        try:
             version = self.current_version()
-            if version is None:
-                raise FileNotFoundError(f"no published snapshot in {self.root}")
+        except BundleError:
+            if not recover:
+                raise
+            _LOGGER.warning("snapshot store %s: corrupted CURRENT pointer; rolling back", self.root)
+            version = None
+        if version is None and not self.versions():
+            raise FileNotFoundError(f"no published snapshot in {self.root}")
+        if version is not None:
+            try:
+                return version, self._timed_load(version, mmap)
+            except _CORRUPTION_ERRORS:
+                if not recover:
+                    raise
+                _LOGGER.warning(
+                    "snapshot store %s: version %d failed to load; quarantining and rolling back",
+                    self.root,
+                    version,
+                )
+                self.quarantine(version)
+        return self.rollback(mmap=mmap)
+
+    def rollback(self, *, mmap: bool = True) -> tuple[int, ItemIndex]:
+        """Walk back to the newest verifiable version and repair ``CURRENT``.
+
+        Candidates are tried newest-first; each is fully checksum-verified
+        (:meth:`verify_version`) before the pointer is repaired to it, and
+        versions that fail verification are quarantined on the way down.
+        Raises :class:`~repro.utils.serialization.BundleError` when no
+        verifiable version remains.
+        """
+        for candidate in reversed(self.versions()):
+            if not self.verify_version(candidate):
+                _LOGGER.warning(
+                    "snapshot store %s: rollback candidate %d fails verification; quarantining",
+                    self.root,
+                    candidate,
+                )
+                self.quarantine(candidate)
+                continue
+            index = self._timed_load(candidate, mmap)
+            self._set_current(candidate)
+            self._met_rollbacks.inc()
+            _LOGGER.warning("snapshot store %s: rolled back CURRENT to version %d", self.root, candidate)
+            return candidate, index
+        raise BundleError(f"no verifiable snapshot version left in {self.root}")
+
+    def verify_version(self, version: int) -> bool:
+        """Whether one stored version passes full (checksum) verification.
+
+        Reads every payload into memory — O(bundle size), so this is a
+        recovery/audit tool, not a hot-path check.
+        """
+        try:
+            read_bundle(self.path(version), mmap=False, verify=True)
+        except _CORRUPTION_ERRORS:
+            return False
+        return True
+
+    def quarantine(self, version: int) -> Path | None:
+        """Move a bad version out of the version namespace for inspection.
+
+        The directory is renamed to ``vNNNNNNNN.corrupt`` (suffixed when
+        that name is taken), so :meth:`versions` stops offering it while
+        the bytes stay available for forensics.  Returns the quarantine
+        path, or ``None`` when the version directory no longer exists
+        (e.g. a concurrent process already moved it).
+        """
+        source = self.path(version)
+        target = self.root / f"{source.name}{_CORRUPT_SUFFIX}"
+        if target.exists():
+            target = self.root / f"{source.name}{_CORRUPT_SUFFIX}-{uuid.uuid4().hex[:8]}"
+        try:
+            os.rename(source, target)
+        except FileNotFoundError:
+            return None
+        self._met_quarantined.inc()
+        return target
+
+    def _timed_load(self, version: int, mmap: bool) -> ItemIndex:
         if not self._obs.enabled:
             return ItemIndex.load(self.path(version), mmap=mmap)
         started = perf_counter()
@@ -170,20 +356,43 @@ class SnapshotStore:
     # Housekeeping
     # ------------------------------------------------------------------ #
     def prune(self, keep: int = 2) -> list[int]:
-        """Delete old versions (and stray staging dirs); returns what went.
+        """Delete old versions (and stale staging dirs); returns what went.
 
         The newest ``keep`` versions and the ``CURRENT`` one are always
-        retained, so a rollback target survives routine pruning.
+        retained, so a rollback target survives routine pruning.  Two
+        concurrency guards close the windows a naive sweep would race
+        through:
+
+        * staging (and quarantine) directories are only removed once their
+          modification time is older than ``staging_grace_s`` — an
+          in-flight publish writing into its staging directory is never
+          swept mid-write, and
+        * the ``CURRENT`` pointer is re-read immediately before every
+          version removal, so a rollback (or manual re-point) that lands
+          mid-prune cannot leave the pointer naming a deleted directory
+          (the torn-pointer window).  An unreadable pointer is treated
+          conservatively: nothing is removed.
         """
         if keep < 1:
             raise ValueError(f"keep must be at least 1, got {keep}")
+        cutoff = time.time() - self.staging_grace_s
         for entry in self.root.iterdir():
-            if entry.name.startswith(_STAGING_PREFIX):
+            if entry.name.startswith(_STAGING_PREFIX) or _CORRUPT_SUFFIX in entry.name:
+                try:
+                    if entry.stat().st_mtime > cutoff:
+                        continue  # possibly an in-flight publish; leave it
+                except OSError:
+                    continue
                 shutil.rmtree(entry, ignore_errors=True)
         versions = self.versions()
-        current = self.current_version()
         removed = []
         for version in versions[:-keep] if len(versions) > keep else []:
+            # Re-read the pointer per removal: a concurrent rollback may
+            # have re-pointed CURRENT at an old version since we started.
+            try:
+                current = self.current_version()
+            except BundleError:
+                break  # pointer unreadable mid-prune: stop deleting anything
             if version == current:
                 continue
             shutil.rmtree(self.path(version), ignore_errors=True)

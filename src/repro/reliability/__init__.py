@@ -1,0 +1,48 @@
+"""``repro.reliability`` — partial failure as the normal case.
+
+A production serving system degrades; it does not crash.  This package
+holds the four dependency-free primitives the rest of the library threads
+through its serving, index and snapshot layers:
+
+- :class:`~repro.reliability.deadline.Deadline` — a monotonic request time
+  budget.  The serving path checks remaining budget between stages and
+  *sheds optional work* (skip explanations, shrink ``candidate_k``, narrow
+  the probe width) instead of blowing the SLA; :class:`DeadlineExceeded`
+  is for callers that prefer aborting to degrading.
+- :class:`~repro.reliability.breaker.CircuitBreaker` — consecutive-failure
+  tripping with timed half-open recovery probes.  The service guards its
+  ANN index with one: a raising backend fails over to the exact full-scan
+  path immediately instead of being retried on every request.
+- :mod:`~repro.reliability.failpoints` — named fault-injection hooks
+  compiled into the risky seams (bundle read, index search, re-cluster,
+  snapshot publish), armed programmatically or via ``REPRO_FAILPOINTS``.
+  The chaos suite drives these to prove the fallbacks actually hold.
+- :func:`~repro.reliability.retry.retry_with_backoff` — bounded attempts
+  with full-jitter exponential backoff, the retry shape of the snapshot
+  publish rename race.
+
+Everything here is stdlib-only and imports nothing from the rest of the
+library, so even :mod:`repro.utils.serialization` can hit a failpoint
+without an import cycle.
+"""
+
+from repro.reliability.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.reliability.deadline import Deadline, DeadlineExceeded
+from repro.reliability.failpoints import FAILPOINTS, FailpointRegistry, FaultInjected, hit
+from repro.reliability.retry import RetryExhausted, backoff_delays, retry_with_backoff
+
+__all__ = [
+    "CLOSED",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
+    "FAILPOINTS",
+    "FailpointRegistry",
+    "FaultInjected",
+    "HALF_OPEN",
+    "OPEN",
+    "RetryExhausted",
+    "backoff_delays",
+    "hit",
+    "retry_with_backoff",
+]

@@ -1,0 +1,191 @@
+"""A per-component circuit breaker with half-open recovery probing.
+
+The breaker sits in front of a component that can fail repeatedly (an ANN
+index backend, a snapshot load) and turns "keep retrying the broken thing
+on every request" into "fail over immediately, probe for recovery on a
+schedule":
+
+* **closed** — normal operation; failures are counted, and
+  ``failure_threshold`` *consecutive* failures trip the breaker open.
+* **open** — :meth:`CircuitBreaker.allow` answers ``False`` so callers take
+  their fallback path without touching the component at all; after
+  ``reset_timeout_s`` the breaker moves to half-open.
+* **half-open** — up to ``half_open_probes`` trial calls are let through.
+  One success closes the breaker (full recovery); one failure re-opens it
+  and restarts the timeout.
+
+The class is thread-safe (one small lock around the state machine — serving
+workers share a service object across threads) and clock-injectable for
+deterministic tests.  It carries no policy about *what* a failure is: the
+caller decides what to :meth:`record_failure` — typically any exception
+from the guarded component.
+
+Observability: :meth:`bind_obs` registers a state gauge
+(``repro_reliability_breaker_state``: 0 closed / 1 half-open / 2 open) and
+a trip counter labelled by component, matching the rest of the
+:mod:`repro.obs` surface.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: Prometheus encoding of the state gauge.
+_STATE_VALUES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker guarding one component.
+
+    Parameters
+    ----------
+    failure_threshold:
+        consecutive failures that trip the breaker open.
+    reset_timeout_s:
+        seconds the breaker stays open before probing for recovery.
+    half_open_probes:
+        trial calls admitted while half-open; further calls are rejected
+        until a probe reports back.
+    component:
+        label for metrics and ``repr`` (e.g. ``"index"``).
+    clock:
+        monotonic time source; inject a fake for tests.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout_s: float = 30.0,
+        half_open_probes: int = 1,
+        component: str = "component",
+        clock=time.monotonic,
+    ) -> None:
+        if failure_threshold <= 0:
+            raise ValueError(f"failure_threshold must be positive, got {failure_threshold}")
+        if reset_timeout_s <= 0:
+            raise ValueError(f"reset_timeout_s must be positive, got {reset_timeout_s}")
+        if half_open_probes <= 0:
+            raise ValueError(f"half_open_probes must be positive, got {half_open_probes}")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout_s = float(reset_timeout_s)
+        self.half_open_probes = int(half_open_probes)
+        self.component = component
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self._trips = 0
+        self._met_state = None
+        self._met_trips = None
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+    def bind_obs(self, obs) -> None:
+        """Register this breaker's gauge/counter in an obs bundle's registry."""
+        registry = obs.registry
+        labels = {"component": self.component}
+        self._met_state = registry.gauge(
+            "repro_reliability_breaker_state",
+            "Circuit-breaker state: 0 closed, 1 half-open, 2 open.",
+            labels=labels,
+        )
+        self._met_trips = registry.counter(
+            "repro_reliability_breaker_trips_total",
+            "Times the circuit breaker tripped open.",
+            labels=labels,
+        )
+        self._met_state.set(_STATE_VALUES[self._state])
+
+    def _record_state_metric(self) -> None:
+        if self._met_state is not None:
+            self._met_state.set(_STATE_VALUES[self._state])
+
+    # ------------------------------------------------------------------ #
+    # State machine
+    # ------------------------------------------------------------------ #
+    @property
+    def state(self) -> str:
+        """Current state, advancing open → half-open when the timeout elapsed."""
+        with self._lock:
+            self._advance()
+            return self._state
+
+    @property
+    def trips(self) -> int:
+        """How many times the breaker has tripped open."""
+        return self._trips
+
+    def _advance(self) -> None:
+        if self._state == OPEN and self._clock() - self._opened_at >= self.reset_timeout_s:
+            self._state = HALF_OPEN
+            self._probes_in_flight = 0
+            self._record_state_metric()
+
+    def allow(self) -> bool:
+        """Whether the caller may touch the guarded component right now.
+
+        Closed always allows; open rejects until the reset timeout, then
+        half-open admits up to ``half_open_probes`` trial calls (each
+        ``allow() == True`` claims one probe slot — report its outcome via
+        :meth:`record_success` / :meth:`record_failure`).
+        """
+        with self._lock:
+            self._advance()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and self._probes_in_flight < self.half_open_probes:
+                self._probes_in_flight += 1
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """A guarded call succeeded: reset failures, close from half-open."""
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state != CLOSED:
+                self._state = CLOSED
+                self._probes_in_flight = 0
+                self._record_state_metric()
+
+    def record_failure(self) -> None:
+        """A guarded call failed: count it, trip or re-open as the state asks."""
+        with self._lock:
+            self._advance()
+            self._consecutive_failures += 1
+            if self._state == HALF_OPEN or (
+                self._state == CLOSED and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._trip()
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._probes_in_flight = 0
+        self._trips += 1
+        if self._met_trips is not None:
+            self._met_trips.inc()
+        self._record_state_metric()
+
+    def reset(self) -> None:
+        """Force-close the breaker and clear its failure history."""
+        with self._lock:
+            self._state = CLOSED
+            self._consecutive_failures = 0
+            self._probes_in_flight = 0
+            self._record_state_metric()
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker(component={self.component!r}, state={self.state!r}, "
+            f"failures={self._consecutive_failures}/{self.failure_threshold})"
+        )

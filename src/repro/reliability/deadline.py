@@ -1,0 +1,110 @@
+"""Request deadlines: a monotonic time budget carried through the serving path.
+
+A :class:`Deadline` is created where the latency contract is made — the RPC
+edge, the batch driver, a test — and handed down through every stage that
+might spend time.  Stages ask two questions:
+
+* :meth:`Deadline.remaining` / :attr:`Deadline.expired` — "how much budget
+  is left?"  The serving layer uses these to *shed optional work* (skip
+  explanations, shrink the candidate budget, narrow the probe width)
+  instead of blowing the SLA; shedding never raises.
+* :meth:`Deadline.check` — "abort now if the budget is gone", raising
+  :class:`DeadlineExceeded`.  Batch/offline callers that would rather fail
+  a unit of work than return a degraded one use this form.
+
+Deadlines are cheap (two floats and a clock reference) and clock-injectable
+so tests can move time deterministically.  ``Deadline.coerce`` normalises
+the serving API surface: ``None`` stays ``None`` (no budget), a bare number
+of seconds becomes ``Deadline.after(seconds)``, an existing deadline passes
+through — so ``RecommendRequest(..., deadline=0.050)`` just works.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+__all__ = ["Deadline", "DeadlineExceeded"]
+
+
+class DeadlineExceeded(TimeoutError):
+    """The time budget of a :class:`Deadline` ran out."""
+
+
+class Deadline:
+    """A fixed time budget measured on a monotonic clock.
+
+    Parameters
+    ----------
+    budget_s:
+        seconds granted from the moment of construction.  ``math.inf``
+        means unlimited (never expires, fraction stays 1.0).
+    clock:
+        the time source (defaults to :func:`time.monotonic`); inject a fake
+        for deterministic tests.
+    """
+
+    __slots__ = ("budget_s", "_clock", "_expires_at")
+
+    def __init__(self, budget_s: float, clock=time.monotonic) -> None:
+        budget_s = float(budget_s)
+        if not budget_s > 0 and not math.isinf(budget_s):
+            raise ValueError(f"deadline budget must be positive seconds, got {budget_s}")
+        self.budget_s = budget_s
+        self._clock = clock
+        self._expires_at = clock() + budget_s
+
+    @classmethod
+    def after(cls, seconds: float, clock=time.monotonic) -> "Deadline":
+        """A deadline expiring ``seconds`` from now."""
+        return cls(seconds, clock=clock)
+
+    @classmethod
+    def coerce(cls, value: "Deadline | float | None") -> "Deadline | None":
+        """Normalise an API-surface deadline argument.
+
+        ``None`` → ``None`` (no budget), a number → ``Deadline.after(value)``
+        (its clock starts ticking *now*), a :class:`Deadline` → itself.
+        """
+        if value is None or isinstance(value, Deadline):
+            return value
+        if isinstance(value, (int, float)):
+            return cls.after(float(value))
+        raise TypeError(
+            f"deadline must be None, seconds, or a Deadline, got {type(value).__name__}"
+        )
+
+    def remaining(self) -> float:
+        """Seconds left before expiry; negative once blown, ``inf`` if unlimited."""
+        if math.isinf(self.budget_s):
+            return math.inf
+        return self._expires_at - self._clock()
+
+    @property
+    def expired(self) -> bool:
+        """Whether the budget has run out."""
+        return self.remaining() <= 0.0
+
+    def fraction_remaining(self) -> float:
+        """Remaining budget as a fraction of the original, clamped to [0, 1].
+
+        The serving degradation ladder keys its shedding rungs off this
+        number, so the same thresholds work for a 10 ms and a 10 s budget.
+        """
+        if math.isinf(self.budget_s):
+            return 1.0
+        return min(1.0, max(0.0, self.remaining() / self.budget_s))
+
+    def check(self, stage: str = "") -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is gone."""
+        if self.expired:
+            where = f" at stage {stage!r}" if stage else ""
+            raise DeadlineExceeded(
+                f"deadline of {self.budget_s * 1e3:.1f} ms exceeded{where} "
+                f"(overrun {-self.remaining() * 1e3:.1f} ms)"
+            )
+
+    def __repr__(self) -> str:
+        if math.isinf(self.budget_s):
+            return "Deadline(unlimited)"
+        return f"Deadline(budget={self.budget_s * 1e3:.1f}ms, remaining={self.remaining() * 1e3:.1f}ms)"

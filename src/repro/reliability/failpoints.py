@@ -1,0 +1,223 @@
+"""Named failpoints: deterministic fault injection at the system's seams.
+
+A **failpoint** is a named hook compiled into a risky seam of the codebase —
+``failpoints.hit("bundle.read")`` at the top of the bundle reader,
+``hit("index.search")`` inside the index search path, and so on.  In normal
+operation a hit is one dictionary-emptiness check (nothing armed → return
+immediately).  A chaos test (or an operator running a game day) *arms* a
+failpoint with a trigger — fire always, with a probability, or for the next
+``count`` hits — and the seam then raises the configured exception exactly
+as if the underlying failure had happened, exercising every fallback path
+above it with zero mocking.
+
+The seams compiled into the library:
+
+========================  ====================================================
+``bundle.read``           :func:`repro.utils.serialization.read_bundle` —
+                          a corrupted / unreadable snapshot bundle.
+``index.search``          :meth:`repro.index.base.ItemIndex.search` — an ANN
+                          backend raising mid-query.
+``index.recluster``       the IVF/IVF-PQ drift re-cluster — a failing
+                          maintenance pass.
+``snapshot.publish``      :meth:`repro.index.snapshot.SnapshotStore.publish`
+                          — a failing snapshot publish.
+========================  ====================================================
+
+Activation is programmatic (:meth:`FailpointRegistry.arm`, or the scoped
+:meth:`FailpointRegistry.armed` context manager) or environmental: set
+``REPRO_FAILPOINTS="bundle.read=0.5,index.search=1:3"`` before the process
+starts and the named points arm themselves — ``name=probability[:count]``
+entries separated by commas.  Probability draws are seeded per failpoint,
+so a chaos run is reproducible end to end.
+
+This module is intentionally dependency-free (stdlib only) so the lowest
+layers of the library can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+from contextlib import contextmanager
+
+__all__ = [
+    "FAILPOINTS",
+    "FailpointRegistry",
+    "FaultInjected",
+    "hit",
+]
+
+#: Environment variable whose spec arms failpoints at registry creation.
+FAILPOINTS_ENV = "REPRO_FAILPOINTS"
+
+
+class FaultInjected(RuntimeError):
+    """The default exception a triggered failpoint raises."""
+
+
+class _Failpoint:
+    """One armed failpoint: trigger condition + exception factory + counters."""
+
+    __slots__ = ("name", "probability", "remaining", "error", "rng", "fired")
+
+    def __init__(self, name, probability, count, error, seed) -> None:
+        self.name = name
+        self.probability = probability
+        self.remaining = count  # None = unlimited
+        self.error = error
+        self.rng = random.Random(seed if seed is not None else hash(name) & 0xFFFFFFFF)
+        self.fired = 0
+
+    def should_fire(self) -> bool:
+        if self.remaining is not None and self.remaining <= 0:
+            return False
+        if self.probability < 1.0 and self.rng.random() >= self.probability:
+            return False
+        if self.remaining is not None:
+            self.remaining -= 1
+        self.fired += 1
+        return True
+
+    def make_error(self) -> BaseException:
+        error = self.error
+        if isinstance(error, BaseException):
+            return error
+        if isinstance(error, type) and issubclass(error, BaseException):
+            return error(f"failpoint {self.name!r} triggered")
+        return error()  # zero-arg factory
+
+
+class FailpointRegistry:
+    """The process-wide set of armed failpoints.
+
+    Normally used through the module-level :data:`FAILPOINTS` singleton and
+    the free function :func:`hit`; tests that want isolation can construct
+    their own registry and call its methods directly.
+    """
+
+    def __init__(self, env: "str | None" = None) -> None:
+        self._lock = threading.Lock()
+        self._armed: dict[str, _Failpoint] = {}
+        self._fired: dict[str, int] = {}
+        spec = os.environ.get(FAILPOINTS_ENV) if env is None else env
+        if spec:
+            self.load_spec(spec)
+
+    # ------------------------------------------------------------------ #
+    # Arming
+    # ------------------------------------------------------------------ #
+    def arm(
+        self,
+        name: str,
+        *,
+        probability: float = 1.0,
+        count: "int | None" = None,
+        error: "type[BaseException] | BaseException | None" = None,
+        seed: "int | None" = None,
+    ) -> None:
+        """Arm ``name``: the next matching :func:`hit` calls will raise.
+
+        ``probability`` triggers each hit independently (seeded per
+        failpoint for reproducibility); ``count`` bounds the total number
+        of firings (``None`` = unlimited).  ``error`` is the exception
+        class, instance, or zero-arg factory to raise —
+        :class:`FaultInjected` by default.
+        """
+        if not 0.0 < probability <= 1.0:
+            raise ValueError(f"probability must lie in (0, 1], got {probability}")
+        if count is not None and count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        with self._lock:
+            self._armed[name] = _Failpoint(
+                name, float(probability), count, error if error is not None else FaultInjected, seed
+            )
+
+    def disarm(self, name: str) -> None:
+        """Disarm ``name`` (a no-op if it was not armed)."""
+        with self._lock:
+            self._armed.pop(name, None)
+
+    def clear(self) -> None:
+        """Disarm everything and forget all fired counts."""
+        with self._lock:
+            self._armed.clear()
+            self._fired.clear()
+
+    @contextmanager
+    def armed(self, name: str, **kwargs):
+        """Scoped arming: ``with FAILPOINTS.armed("bundle.read"): ...``."""
+        self.arm(name, **kwargs)
+        try:
+            yield self
+        finally:
+            self.disarm(name)
+
+    def load_spec(self, spec: str) -> None:
+        """Arm failpoints from a ``name=probability[:count]`` spec string.
+
+        The format of the ``REPRO_FAILPOINTS`` environment variable:
+        comma-separated entries, e.g. ``"bundle.read=0.5,index.search=1:3"``
+        (fire ``bundle.read`` on half of its hits, ``index.search`` on its
+        next three).  A bare ``name`` arms at probability 1.
+        """
+        for entry in spec.split(","):
+            entry = entry.strip()
+            if not entry:
+                continue
+            name, _, trigger = entry.partition("=")
+            probability, count = 1.0, None
+            if trigger:
+                prob_part, _, count_part = trigger.partition(":")
+                probability = float(prob_part)
+                count = int(count_part) if count_part else None
+            self.arm(name.strip(), probability=probability, count=count)
+
+    # ------------------------------------------------------------------ #
+    # The seam side
+    # ------------------------------------------------------------------ #
+    def hit(self, name: str) -> None:
+        """The call compiled into a seam: raises if ``name`` is armed and fires.
+
+        When nothing is armed this is one attribute load and an emptiness
+        check — cheap enough to leave in production hot paths.
+        """
+        if not self._armed:
+            return
+        with self._lock:
+            point = self._armed.get(name)
+            if point is None or not point.should_fire():
+                return
+            self._fired[name] = self._fired.get(name, 0) + 1
+            error = point.make_error()
+        raise error
+
+    # ------------------------------------------------------------------ #
+    # Introspection (chaos suites assert on these)
+    # ------------------------------------------------------------------ #
+    def fired(self, name: str) -> int:
+        """How many times ``name`` has fired since the last :meth:`clear`."""
+        with self._lock:
+            return self._fired.get(name, 0)
+
+    def fired_total(self) -> int:
+        """Total firings across all failpoints since the last :meth:`clear`."""
+        with self._lock:
+            return sum(self._fired.values())
+
+    def active(self) -> "list[str]":
+        """Names currently armed (exhausted counts included until disarmed)."""
+        with self._lock:
+            return sorted(self._armed)
+
+    def __repr__(self) -> str:
+        return f"FailpointRegistry(armed={self.active()}, fired={self.fired_total()})"
+
+
+#: The process-wide registry every compiled-in seam reports to.
+FAILPOINTS = FailpointRegistry()
+
+
+def hit(name: str) -> None:
+    """Module-level shorthand for ``FAILPOINTS.hit(name)`` (the seam idiom)."""
+    FAILPOINTS.hit(name)

@@ -1,0 +1,84 @@
+"""Bounded retry with jittered exponential backoff.
+
+The retry shape used across the library (snapshot publish rename
+collisions, and anything else that races a peer over a shared resource):
+a **bounded** number of attempts — an unbounded loop turns a persistent
+fault into a livelock — with exponentially growing, jittered sleeps between
+them.  Full jitter (each sleep drawn uniformly from ``[0, cap]``) is the
+standard decorrelation fix: when N processes collide at once, deterministic
+backoff makes them collide again in lockstep; jitter spreads them out.
+
+Both the sleep function and the RNG are injectable so tests run instantly
+and deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, TypeVar
+
+__all__ = ["RetryExhausted", "retry_with_backoff", "backoff_delays"]
+
+T = TypeVar("T")
+
+
+class RetryExhausted(RuntimeError):
+    """All retry attempts failed; ``__cause__`` carries the last error."""
+
+
+def backoff_delays(
+    attempts: int,
+    base_s: float = 0.001,
+    cap_s: float = 0.05,
+    multiplier: float = 2.0,
+    rng: "random.Random | None" = None,
+) -> "list[float]":
+    """The jittered sleep schedule between ``attempts`` tries.
+
+    ``attempts - 1`` delays; the ``i``-th is drawn uniformly from
+    ``[0, min(cap_s, base_s * multiplier**i)]`` (full jitter).
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be at least 1, got {attempts}")
+    rng = rng if rng is not None else random.Random()
+    return [
+        rng.uniform(0.0, min(cap_s, base_s * multiplier**i)) for i in range(attempts - 1)
+    ]
+
+
+def retry_with_backoff(
+    operation: Callable[[], T],
+    *,
+    attempts: int = 8,
+    base_s: float = 0.001,
+    cap_s: float = 0.05,
+    multiplier: float = 2.0,
+    retry_on: "tuple[type[BaseException], ...]" = (Exception,),
+    sleep: Callable[[float], None] = time.sleep,
+    rng: "random.Random | None" = None,
+    on_retry: "Callable[[int, BaseException], None] | None" = None,
+) -> T:
+    """Call ``operation`` up to ``attempts`` times with jittered backoff.
+
+    Exceptions matching ``retry_on`` trigger a retry (after the next
+    jittered delay); anything else propagates immediately.  When every
+    attempt fails, :class:`RetryExhausted` is raised from the last error.
+    ``on_retry(attempt_index, error)`` is invoked before each sleep —
+    the hook metrics/logging ride on.
+    """
+    delays = backoff_delays(attempts, base_s=base_s, cap_s=cap_s, multiplier=multiplier, rng=rng)
+    last_error: BaseException | None = None
+    for attempt in range(attempts):
+        try:
+            return operation()
+        except retry_on as error:
+            last_error = error
+            if attempt < len(delays):
+                if on_retry is not None:
+                    on_retry(attempt, error)
+                if delays[attempt] > 0.0:
+                    sleep(delays[attempt])
+    raise RetryExhausted(
+        f"operation failed after {attempts} attempts: {last_error!r}"
+    ) from last_error

@@ -44,6 +44,7 @@ restores bit-exact parity with the live model.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from pathlib import Path
 from time import perf_counter
 from typing import Iterable, Sequence
@@ -57,12 +58,17 @@ from repro.graph.scene_graph import SceneBasedGraph
 from repro.index import ItemIndex, RecallMonitor, SnapshotStore, build_index
 from repro.index.topk import PAD_ID, PAD_SCORE, dense_top_k, padded_top_k
 from repro.models.base import compute_score_matrix
+from repro.reliability import CircuitBreaker, Deadline
 from repro.serving.cache import ItemRepresentationCache
 from repro.serving.explanations import SceneAffinityExplainer
 from repro.serving.filters import CandidateFilter, ExcludeSeenFilter
 from repro.serving.types import Recommendation, RecommendRequest, RecommendResponse, ServiceStats
+from repro.utils.logging import get_logger
+from repro.utils.serialization import BundleError
 
 __all__ = ["RecommendationService", "batch_top_k"]
+
+_LOGGER = get_logger("serving.service")
 
 #: Default candidate budget when neither the request nor the service set one:
 #: a few multiples of ``k`` so filters (exclude-seen, allowlists) cannot
@@ -77,6 +83,16 @@ RESCORE_CHUNK_ELEMENTS = 1 << 22
 #: Minimum fresh monitor samples between two auto-tune decisions: the
 #: cooldown that keeps target-driven probe changes from flapping on noise.
 AUTO_TUNE_MIN_SAMPLES = 4
+#: The deadline-shedding ladder, as fractions of the request budget still
+#: remaining when a stage starts.  Below each threshold one more piece of
+#: optional work is shed: first explanations (pure garnish), then the
+#: rescoring pool shrinks to ``k`` (fewer exact dot products), then the
+#: probe width drops to the minimum (coarser retrieval).  Rankings over the
+#: retrieved pool stay exact at every rung — shedding trades recall and
+#: detail for latency, never correctness of the ranking itself.
+SHED_EXPLAIN_FRACTION = 0.5
+SHED_CANDIDATE_FRACTION = 0.25
+SHED_NPROBE_FRACTION = 0.10
 
 
 def batch_top_k(scores: np.ndarray, allowed: np.ndarray, k: int) -> list[np.ndarray]:
@@ -177,6 +193,15 @@ class RecommendationService:
         O(1), no build) and hot-swaps to newer publishes between requests
         via :meth:`sync_snapshot`.  A worker constructed with ``snapshots=``
         but no ``index=`` gets its index entirely from the store.
+    breaker:
+        the :class:`~repro.reliability.CircuitBreaker` guarding the
+        candidate-retrieval path (one is created by default).  When a
+        request's index path raises, the failure is recorded and the
+        request is answered by the exact full-catalogue fallback instead of
+        propagating; once the breaker trips, requests skip the index
+        entirely until a timed half-open probe succeeds.  Fallback
+        responses are flagged ``degraded=True`` but their rankings are
+        exact — the fallback scores every item.
     obs:
         observability (:mod:`repro.obs`): ``True`` instruments this service
         with a fresh :class:`~repro.obs.Observability` bundle, or pass an
@@ -209,6 +234,7 @@ class RecommendationService:
         dtype: "str | np.dtype" = "float32",
         auto_tune: bool = False,
         snapshots: "SnapshotStore | str | Path | None" = None,
+        breaker: CircuitBreaker | None = None,
         obs: "Observability | bool | None" = None,
     ) -> None:
         if scene_graph is not None and scene_graph.num_items != bipartite.num_items:
@@ -255,6 +281,10 @@ class RecommendationService:
         self._tuned_at_samples = 0
         self._last_maintain_s: float | None = None
         self._last_publish_s: float | None = None
+        self.breaker = breaker if breaker is not None else CircuitBreaker(component="index")
+        self._degraded_requests = 0
+        self._sync_failures = 0
+        self._last_sync_error: str | None = None
         self.obs = resolve_obs(obs)
         self._wire_obs()
 
@@ -295,12 +325,33 @@ class RecommendationService:
         self._met_last_publish = registry.gauge(
             "repro_serving_last_publish_seconds", "Duration of the last snapshot publish."
         )
+        self._met_degraded = registry.counter(
+            "repro_serving_degraded_total", "Responses served on a fallback or shed path."
+        )
+        self._met_degraded_reason: dict[str, object] = {}
+        self._met_sync_failures = registry.counter(
+            "repro_serving_snapshot_sync_failures_total",
+            "sync_snapshot() polls that failed while the service kept its live index.",
+        )
+        self.breaker.bind_obs(self.obs)
         if self.index is not None:
             self.index.bind_obs(self.obs)
         if self.monitor is not None:
             self.monitor.bind_obs(self.obs)
         if self.snapshots is not None:
             self.snapshots.bind_obs(self.obs)
+
+    def _reason_counter(self, reason: str):
+        """Get-or-create the per-reason slice of the degraded counter."""
+        counter = self._met_degraded_reason.get(reason)
+        if counter is None:
+            counter = self.obs.registry.counter(
+                "repro_serving_degraded_reason_total",
+                "Degraded responses by degradation reason.",
+                labels={"reason": reason},
+            )
+            self._met_degraded_reason[reason] = counter
+        return counter
 
     # ------------------------------------------------------------------ #
     # Scoring
@@ -427,23 +478,63 @@ class RecommendationService:
         rebuild or a re-cluster) — or the store has no published version
         yet — the freshly-organised index is published as a new snapshot,
         so serving workers polling :meth:`sync_snapshot` pick it up.
+
+        Maintenance failures do not propagate: structural re-organisation
+        and the snapshot publish both run *before* anything serving-visible
+        changes, so when either raises the index keeps serving its current
+        organisation (and workers keep the previous snapshot), the failure
+        is logged, and the call reports ``False`` / skips the publish.
         """
         if self.index is None:
             return False
         started = perf_counter()
         rebuilt = not self._index_fresh
         self._ensure_index()
-        ran = self.index.maintain(force=force)
+        try:
+            ran = self.index.maintain(force=force)
+        except Exception as error:
+            _LOGGER.warning(
+                "deferred index maintenance failed (%s: %s); "
+                "the index keeps serving its current organisation",
+                type(error).__name__,
+                error,
+            )
+            self._finish_maintain(started)
+            return False
         if self.snapshots is not None and (
-            ran or rebuilt or self.snapshots.current_version() is None
+            ran or rebuilt or self._published_version_or_none() is None
         ):
             publish_started = perf_counter()
-            self._snapshot_version = self.snapshots.publish(self.index)
-            self._last_publish_s = perf_counter() - publish_started
-            self._met_last_publish.set(self._last_publish_s)
+            try:
+                self._snapshot_version = self.snapshots.publish(self.index)
+            except Exception as error:
+                _LOGGER.warning(
+                    "snapshot publish failed (%s: %s); "
+                    "serving workers keep the previously published version",
+                    type(error).__name__,
+                    error,
+                )
+            else:
+                self._last_publish_s = perf_counter() - publish_started
+                self._met_last_publish.set(self._last_publish_s)
+        self._finish_maintain(started)
+        return ran
+
+    def _finish_maintain(self, started: float) -> None:
         self._last_maintain_s = perf_counter() - started
         self._met_last_maintain.set(self._last_maintain_s)
-        return ran
+
+    def _published_version_or_none(self) -> int | None:
+        """The store's current version, with a corrupt pointer read as None.
+
+        Used on the publish side only: a corrupted ``CURRENT`` pointer means
+        "publish a fresh version" (which atomically repairs the pointer),
+        not "crash the maintainer".
+        """
+        try:
+            return self.snapshots.current_version()
+        except BundleError:
+            return None
 
     # ------------------------------------------------------------------ #
     # Snapshots: maintainer publishes, serving workers hot-swap
@@ -481,16 +572,21 @@ class RecommendationService:
         re-deleted from the loaded index (promoting its arrays to private
         copies if any are still live in the snapshot), and an attached
         recall monitor's oracle is rebuilt so shadow-scoring measures the
-        swapped-in index.  Returns the version attached to.
+        swapped-in index.  Returns the version attached to — when loading
+        the current version (``version=None``) this goes through the
+        store's self-healing path (:meth:`SnapshotStore.load_current
+        <repro.index.snapshot.SnapshotStore.load_current>`), so a corrupted
+        publish is quarantined and the newest verifiable older version is
+        attached instead; the returned version is then the rollback target,
+        not the corrupted head.
         """
         if self.snapshots is None:
             raise RuntimeError("this service has no snapshot store; pass snapshots= at construction")
         if version is None:
-            version = self.snapshots.current_version()
-            if version is None:
-                raise FileNotFoundError(f"no published snapshot in {self.snapshots.root}")
-        version = int(version)
-        index = self.snapshots.load(version, mmap=mmap)
+            version, index = self.snapshots.load_current(mmap=mmap)
+        else:
+            version = int(version)
+            index = self.snapshots.load(version, mmap=mmap)
         if index.num_items > self.bipartite.num_items:
             raise ValueError(
                 f"snapshot {version} indexes {index.num_items} items but this catalogue "
@@ -525,14 +621,37 @@ class RecommendationService:
         The between-requests poll of a serving worker: one pointer-file read
         when nothing changed, an O(1) memory-mapped attach when a maintainer
         published a newer version.  Returns whether a swap happened.
+
+        The poll never propagates store trouble into the serving loop: a
+        corrupted publish is rolled back through the store's self-healing
+        load (the worker attaches to the newest verifiable version), and
+        any other failure — unreadable pointer with nothing to roll back
+        to, transient I/O fault — leaves the worker on its current
+        in-memory index and is reported via ``stats().sync_failures`` /
+        ``stats().last_sync_error`` and the
+        ``repro_serving_snapshot_sync_failures_total`` counter.
         """
         if self.snapshots is None:
             return False
-        current = self.snapshots.current_version()
-        if current is None or current == self._snapshot_version:
+        before = self._snapshot_version
+        try:
+            current = self._published_version_or_none()
+            if current is not None and current == before:
+                return False
+            self.load_snapshot(mmap=mmap)
+        except FileNotFoundError:
+            return False  # nothing published yet: quiet no-op, not a failure
+        except Exception as error:
+            self._sync_failures += 1
+            self._last_sync_error = f"{type(error).__name__}: {error}"
+            self._met_sync_failures.inc()
+            _LOGGER.warning(
+                "snapshot sync failed (%s); still serving version %s",
+                self._last_sync_error,
+                before,
+            )
             return False
-        self.load_snapshot(current, mmap=mmap)
-        return True
+        return self._snapshot_version != before
 
     def stats(self, detail: bool = False) -> ServiceStats:
         """Serving counters plus the monitor's windowed quality numbers.
@@ -581,6 +700,11 @@ class RecommendationService:
             p95_ms=p95_ms,
             last_maintain_s=last_maintain_s,
             last_publish_s=last_publish_s,
+            degraded_requests=self._degraded_requests,
+            breaker_state=None if self.index is None else self.breaker.state,
+            breaker_trips=self.breaker.trips,
+            sync_failures=self._sync_failures,
+            last_sync_error=self._last_sync_error,
         )
 
     # ------------------------------------------------------------------ #
@@ -735,14 +859,69 @@ class RecommendationService:
         return response
 
     def _recommend(self, request: RecommendRequest) -> RecommendResponse:
+        """Dispatch one request down the degradation ladder.
+
+        Happy path: the candidate (ANN) pipeline.  When that path raises —
+        any failure, from a corrupted memory-mapped page to an injected
+        fault — the breaker records it and the request is re-answered by
+        the exact full-catalogue scan, which shares no index state; once
+        the breaker trips, requests skip the index without even trying
+        until a half-open probe closes it again.  Responses that took a
+        fallback (or shed deadline work) come back ``degraded=True`` with
+        the reasons; the rankings themselves stay exact because the
+        fallback scores every item.
+        """
         users = self._check_users(request.users)
         self._requests_served += 1
         self._users_served += int(users.size)
-        if self.index is not None:
-            return self._recommend_from_candidates(request, users)
-        return self._recommend_full(request, users)
+        degradation: list[str] = []
+        if self.index is None:
+            response = self._recommend_full(request, users, degradation)
+        elif self.breaker.allow():
+            attempt: list[str] = []
+            try:
+                response = self._recommend_from_candidates(request, users, attempt)
+            except Exception as error:
+                self.breaker.record_failure()
+                _LOGGER.warning(
+                    "candidate path failed (%s: %s); serving the exact full-scan fallback",
+                    type(error).__name__,
+                    error,
+                )
+                degradation.append("index_error")
+                response = self._recommend_full(request, users, degradation)
+            else:
+                self.breaker.record_success()
+                degradation.extend(attempt)
+        else:
+            degradation.append("breaker_open")
+            response = self._recommend_full(request, users, degradation)
+        if degradation:
+            self._degraded_requests += 1
+            self._met_degraded.inc()
+            for reason in degradation:
+                self._reason_counter(reason).inc()
+            response = replace(response, degraded=True, degradation=tuple(degradation))
+        return response
 
-    def _recommend_full(self, request: RecommendRequest, users: np.ndarray) -> RecommendResponse:
+    def _shed_explain(self, request: RecommendRequest, degradation: list[str]) -> bool:
+        """Whether to compute explanations, after a last-moment budget check.
+
+        Checked right before the explain stage — the first rung of the
+        shedding ladder — so it sees the budget *after* retrieval and
+        ranking actually spent their time.
+        """
+        if not request.explain:
+            return False
+        deadline = request.deadline
+        if deadline is not None and deadline.fraction_remaining() < SHED_EXPLAIN_FRACTION:
+            degradation.append("shed_explain")
+            return False
+        return True
+
+    def _recommend_full(
+        self, request: RecommendRequest, users: np.ndarray, degradation: list[str] | None = None
+    ) -> RecommendResponse:
         """The full-catalogue path: score every item, mask, rank, explain."""
         obs = self.obs
         with obs.stage("score", self._met_stage["score"]):
@@ -751,23 +930,51 @@ class RecommendationService:
             allowed = self._allowed_mask(users, request)
         with obs.stage("rank", self._met_stage["rank"]):
             top_items = batch_top_k(scores, allowed, request.k)
+        explain = (
+            self._shed_explain(request, degradation) if degradation is not None else request.explain
+        )
         with obs.stage("explain", self._met_stage["explain"]):
             results = tuple(
-                self._build_recommendations(int(user), items, scores[row, items], request.explain)
+                self._build_recommendations(int(user), items, scores[row, items], explain)
                 for row, (user, items) in enumerate(zip(users, top_items))
             )
         return RecommendResponse(users=tuple(int(u) for u in users), results=results)
 
-    def _recommend_from_candidates(self, request: RecommendRequest, users: np.ndarray) -> RecommendResponse:
+    def _recommend_from_candidates(
+        self, request: RecommendRequest, users: np.ndarray, degradation: list[str] | None = None
+    ) -> RecommendResponse:
         """The ANN path: index retrieval, then exact rescoring of candidates."""
         obs = self.obs
+        if degradation is None:
+            degradation = []
+        candidate_k = self._effective_candidate_k(request)
+        nprobe_override = None
+        deadline = request.deadline
+        if deadline is not None:
+            # The deeper shedding rungs, decided on the budget left when
+            # retrieval starts: shrink the rescoring pool to k, and at the
+            # last rung retrieve with the narrowest probe.
+            fraction = deadline.fraction_remaining()
+            if fraction < SHED_CANDIDATE_FRACTION and candidate_k > request.k:
+                candidate_k = int(request.k)
+                degradation.append("shed_candidate_k")
+            if fraction < SHED_NPROBE_FRACTION and getattr(self.index, "nprobe", 1) > 1:
+                nprobe_override = 1
+                degradation.append("shed_nprobe")
         with obs.stage("retrieve", self._met_stage["retrieve"]):
             representations = self._ensure_index()
-            candidate_k = self._effective_candidate_k(request)
             user_matrix = np.asarray(representations.users)
             item_matrix = np.asarray(representations.items)
             queries = user_matrix[users]
-            candidate_ids, candidate_scores = self.index.search(queries, candidate_k)
+            if nprobe_override is None:
+                candidate_ids, candidate_scores = self.index.search(queries, candidate_k)
+            else:
+                restore = self.index.nprobe
+                self.index.nprobe = nprobe_override
+                try:
+                    candidate_ids, candidate_scores = self.index.search(queries, candidate_k)
+                finally:
+                    self.index.nprobe = restore
             safe_ids = np.where(candidate_ids == PAD_ID, 0, candidate_ids)
         if obs.enabled:
             self._met_candidates.inc(int((candidate_ids != PAD_ID).sum()))
@@ -831,13 +1038,14 @@ class RecommendationService:
             candidate_scores = np.where(keep, candidate_scores, PAD_SCORE)
         with obs.stage("rank", self._met_stage["rank"]):
             top_ids, top_scores = padded_top_k(candidate_ids, candidate_scores, request.k)
+        explain = self._shed_explain(request, degradation)
         with obs.stage("explain", self._met_stage["explain"]):
             results = []
             for row, user in enumerate(users):
                 valid = top_ids[row] != PAD_ID
                 results.append(
                     self._build_recommendations(
-                        int(user), top_ids[row][valid], top_scores[row][valid], request.explain
+                        int(user), top_ids[row][valid], top_scores[row][valid], explain
                     )
                 )
         return RecommendResponse(users=tuple(int(u) for u in users), results=tuple(results))
@@ -861,6 +1069,7 @@ class RecommendationService:
         explain: bool = False,
         filters: Sequence[CandidateFilter] = (),
         candidate_k: int | None = None,
+        deadline: "Deadline | float | None" = None,
     ) -> list[Recommendation]:
         """The ``k`` highest-scoring items for one user."""
         request = RecommendRequest(
@@ -870,6 +1079,7 @@ class RecommendationService:
             explain=explain,
             filters=tuple(filters),
             candidate_k=candidate_k,
+            deadline=deadline,
         )
         return list(self.recommend(request).results[0])
 
@@ -881,6 +1091,7 @@ class RecommendationService:
         explain: bool = False,
         filters: Sequence[CandidateFilter] = (),
         candidate_k: int | None = None,
+        deadline: "Deadline | float | None" = None,
     ) -> dict[int, list[Recommendation]]:
         """Top-K lists for several users as a ``{user: list}`` mapping.
 
@@ -897,6 +1108,7 @@ class RecommendationService:
             explain=explain,
             filters=tuple(filters),
             candidate_k=candidate_k,
+            deadline=deadline,
         )
         return self.recommend(request).as_dict()
 

@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Iterable
 import numpy as np
 
 from repro.index.monitor import MonitorStats
+from repro.reliability import Deadline
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
     from repro.serving.filters import CandidateFilter
@@ -51,6 +52,14 @@ class RecommendRequest:
     index retrieves per user before exact rescoring — the per-request
     accuracy-vs-latency knob.  ``None`` defers to the service default, and
     services without an index ignore it.
+
+    ``deadline`` is the request's time budget: a
+    :class:`~repro.reliability.Deadline`, or a plain number of seconds
+    (coerced — the clock starts at request construction).  The serving path
+    never aborts on it; instead it *sheds optional work* stage by stage as
+    the budget drains (drop explanations, shrink the rescoring pool, narrow
+    the probe width) and reports what it shed on the response.  ``None``
+    (the default) serves with an unlimited budget.
     """
 
     users: tuple[int, ...]
@@ -59,6 +68,7 @@ class RecommendRequest:
     explain: bool = False
     filters: tuple["CandidateFilter", ...] = ()
     candidate_k: int | None = None
+    deadline: "Deadline | float | None" = None
 
     def __post_init__(self) -> None:
         users = tuple(int(user) for user in self._iter_users(self.users))
@@ -72,6 +82,7 @@ class RecommendRequest:
             )
         object.__setattr__(self, "users", users)
         object.__setattr__(self, "filters", tuple(self.filters))
+        object.__setattr__(self, "deadline", Deadline.coerce(self.deadline))
 
     @staticmethod
     def _iter_users(users: "Iterable[int] | int") -> Iterable[int]:
@@ -121,6 +132,14 @@ class ServiceStats:
     :meth:`maintain <repro.serving.RecommendationService.maintain>` call
     and snapshot publish (``None`` until one ran).  All four stay ``None``
     on ``detail=False`` and on services without an enabled ``obs`` bundle.
+
+    The reliability view: ``degraded_requests`` counts responses served on
+    a fallback or shed path, ``breaker_state`` is the ANN index circuit
+    breaker's current state (``"closed"`` / ``"half-open"`` / ``"open"``;
+    ``None`` on services without an index), ``breaker_trips`` how often it
+    has tripped, and ``sync_failures`` / ``last_sync_error`` record
+    snapshot hot-swaps that failed while the service kept serving its
+    in-memory index.
     """
 
     requests: int
@@ -136,20 +155,41 @@ class ServiceStats:
     p95_ms: float | None = None
     last_maintain_s: float | None = None
     last_publish_s: float | None = None
+    degraded_requests: int = 0
+    breaker_state: str | None = None
+    breaker_trips: int = 0
+    sync_failures: int = 0
+    last_sync_error: str | None = None
 
 
 @dataclass(frozen=True)
 class RecommendResponse:
-    """Ranked recommendation lists, positionally aligned with request users."""
+    """Ranked recommendation lists, positionally aligned with request users.
+
+    ``degraded`` is ``True`` when the service served this response on a
+    fallback or shed path instead of its configured happy path — the ANN
+    index failed or its circuit breaker was open (served via the exact
+    full-catalogue scan), or the request's deadline forced optional work to
+    be shed.  ``degradation`` names what happened (e.g. ``"index_error"``,
+    ``"breaker_open"``, ``"shed_explain"``), worst first; an empty tuple on
+    a non-degraded response.  Degraded responses are still *correct* top-K
+    rankings — the exact fallback scores the full catalogue — they just
+    cost more latency or carry less optional detail.
+    """
 
     users: tuple[int, ...]
     results: tuple[tuple[Recommendation, ...], ...] = field(repr=False)
+    degraded: bool = False
+    degradation: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if len(self.users) != len(self.results):
             raise ValueError(
                 f"{len(self.users)} users but {len(self.results)} result lists"
             )
+        object.__setattr__(self, "degradation", tuple(self.degradation))
+        if self.degradation and not self.degraded:
+            object.__setattr__(self, "degraded", True)
 
     def for_user(self, user: int) -> tuple[Recommendation, ...]:
         """The ranked list of the first occurrence of ``user`` in the request."""

@@ -32,6 +32,8 @@ from typing import Any, Callable, IO
 
 import numpy as np
 
+from repro.reliability.failpoints import hit as _failpoint
+
 __all__ = [
     "BundleError",
     "MANIFEST_NAME",
@@ -248,6 +250,7 @@ def read_bundle(
     Structural problems — missing/truncated payloads, shape or dtype
     drift — raise :class:`BundleError` in both modes.
     """
+    _failpoint("bundle.read")
     directory = Path(directory)
     manifest = read_manifest(directory)
     arrays: dict[str, np.ndarray] = {}

@@ -1,0 +1,204 @@
+"""Randomized fault-injection (chaos) suite for the reliability layer (PR 10).
+
+One long scenario: a maintainer publishes index snapshots while a serving
+worker polls, hot-swaps and answers requests — with faults armed at all
+four compiled-in seams (``bundle.read``, ``index.search``,
+``index.recluster``, ``snapshot.publish``) and deliberate corruption
+injected into the snapshot store along the way.  The invariants:
+
+* **zero unhandled exceptions** — every ``recommend`` / ``maintain`` /
+  ``sync_snapshot`` call returns; faults surface as degraded responses,
+  absorbed maintenance, or counted sync failures, never as a crash;
+* **zero incorrect rankings** — the worker's index is configured to be
+  exhaustive (``nprobe == nlist``, ``candidate_k == num_items``), so every
+  response — happy path, exact fallback, breaker-open — must match a
+  no-index oracle service item for item;
+* **self-healing storage** — a corrupted ``CURRENT`` pointer or published
+  version is quarantined and rolled back automatically; the store ends the
+  run with a resolvable pointer.
+
+The run is deterministic: request draws come from a seeded generator and
+every failpoint carries its own seed.  ``REPRO_CHAOS_ITERATIONS`` scales
+the length (default 200 randomized ``recommend`` calls), and
+``REPRO_CHAOS_LOG`` names a file to write the failure-scenario log to
+(every degraded response and fault firing, plus an end-of-run summary) —
+CI uploads it as an artifact.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.index import IVFIndex, SnapshotStore
+from repro.models import build_model
+from repro.reliability import FAILPOINTS, CircuitBreaker, Deadline
+from repro.serving import RecommendRequest, RecommendationService
+from repro.utils.serialization import BundleError
+
+#: Randomized recommend() calls per run (the acceptance floor is 200).
+ITERATIONS = int(os.environ.get("REPRO_CHAOS_ITERATIONS", "200"))
+SEED = int(os.environ.get("REPRO_CHAOS_SEED", "20210323"))
+
+#: Per-seam firing probabilities: high enough that every fallback is
+#: exercised many times per run, low enough that the system spends time in
+#: every state (healthy, degraded, recovering) rather than only one.
+SEAM_PROBABILITIES = {
+    "index.search": 0.25,
+    "index.recluster": 0.5,
+    "snapshot.publish": 0.3,
+    "bundle.read": 0.2,
+}
+
+
+@pytest.fixture(autouse=True)
+def clean_failpoints():
+    FAILPOINTS.clear()
+    yield
+    FAILPOINTS.clear()
+
+
+def test_chaos_recommend_never_wrong(tmp_path, tiny_train_graph, tiny_scene_graph):
+    model = build_model("BPR-MF", tiny_train_graph, tiny_scene_graph, embedding_dim=8, seed=11)
+    num_items = tiny_train_graph.num_items
+    store = SnapshotStore(tmp_path / "store", staging_grace_s=0.0)
+
+    # Exhaustive retrieval configuration: nprobe == nlist scans every cell
+    # and candidate_k == num_items rescores the whole catalogue, so the ANN
+    # path is an exact oracle of itself — any fault-induced divergence from
+    # the no-index service is a real wrong answer, not approximation noise.
+    maintainer = RecommendationService(
+        model,
+        tiny_train_graph,
+        tiny_scene_graph,
+        index=IVFIndex(nlist=4, nprobe=4, seed=0),
+        candidate_k=num_items,
+        snapshots=store,
+    )
+    maintainer.maintain(force=True)  # v1, published before any fault is armed
+
+    worker = RecommendationService(
+        model,
+        tiny_train_graph,
+        tiny_scene_graph,
+        candidate_k=num_items,
+        snapshots=store,
+        breaker=CircuitBreaker(failure_threshold=2, reset_timeout_s=0.05, component="index"),
+    )
+    worker.load_snapshot()
+    oracle = RecommendationService(model, tiny_train_graph, tiny_scene_graph)
+
+    for offset, (seam, probability) in enumerate(SEAM_PROBABILITIES.items()):
+        error = BundleError if seam == "bundle.read" else None
+        FAILPOINTS.arm(seam, probability=probability, seed=SEED + offset, error=error)
+
+    rng = np.random.default_rng(SEED)
+    log: list[str] = []
+    wrong = 0
+    degraded_seen: set[str] = set()
+    deletion_at = ITERATIONS // 3
+    corrupt_pointer_at = ITERATIONS // 4
+    corrupt_version_at = (2 * ITERATIONS) // 3
+
+    for i in range(ITERATIONS):
+        # Background churn interleaved with traffic, exactly as deployed:
+        # the maintainer re-organises and publishes, the worker polls.
+        if i % 9 == 4:
+            maintainer.maintain(force=True)
+        if i == corrupt_pointer_at:
+            (store.root / "CURRENT").write_text("garbage")
+            log.append(f"iter={i} inject=corrupt-pointer")
+        if i == corrupt_version_at:
+            # A corrupted *publish*: a fresh head version lands truncated
+            # on disk before any worker attached it.  (Corrupting bytes the
+            # worker already memory-maps is a different failure — silent
+            # bit rot under a live mapping — that no pointer poll can see.)
+            FAILPOINTS.disarm("snapshot.publish")
+            head = store.path(maintainer.publish_snapshot())
+            FAILPOINTS.arm(
+                "snapshot.publish",
+                probability=SEAM_PROBABILITIES["snapshot.publish"],
+                seed=SEED + 1000,
+            )
+            payload = next(p for p in head.iterdir() if p.suffix == ".npy")
+            payload.write_bytes(payload.read_bytes()[: payload.stat().st_size // 2])
+            log.append(f"iter={i} inject=truncate-{head.name}")
+        if i % 5 == 2:
+            worker.sync_snapshot()
+        if i == deletion_at:
+            retire = [int(x) for x in rng.choice(num_items, size=2, replace=False)]
+            worker.delete_items(retire)
+            oracle.delete_items(retire)
+            log.append(f"iter={i} inject=delete-{retire}")
+
+        users = tuple(int(u) for u in rng.choice(tiny_train_graph.num_users, size=int(rng.integers(1, 5)), replace=False))
+        k = int(rng.integers(1, 12))
+        exclude_seen = bool(rng.random() < 0.7)
+        explain = bool(rng.random() < 0.3)
+
+        if i % 13 == 7:
+            # A starved deadline request: everything optional sheds.  Its
+            # ranking legitimately differs (the rescoring pool shrinks), so
+            # it is only checked for well-formedness, not oracle parity.
+            request = RecommendRequest(
+                users=users, k=k, exclude_seen=exclude_seen, explain=explain, deadline=Deadline(1e-9)
+            )
+            response = worker.recommend(request)
+            assert response.degraded and response.degradation
+            assert all(len(items) <= k for items in response.item_lists())
+            log.append(f"iter={i} deadline-shed degradation={response.degradation}")
+            continue
+
+        request = RecommendRequest(users=users, k=k, exclude_seen=exclude_seen, explain=explain)
+        response = worker.recommend(request)
+        expected = oracle.recommend(request)
+        if response.item_lists() != expected.item_lists():
+            wrong += 1
+            log.append(f"iter={i} WRONG users={users} k={k} degradation={response.degradation}")
+        if response.degraded:
+            assert response.degradation, "degraded response must carry its reasons"
+            degraded_seen.update(response.degradation)
+            log.append(f"iter={i} degraded reasons={response.degradation}")
+
+    stats = worker.stats()
+    summary = (
+        f"iterations={ITERATIONS} wrong={wrong} degraded_requests={stats.degraded_requests} "
+        f"breaker_trips={stats.breaker_trips} sync_failures={stats.sync_failures} "
+        f"fired={{{', '.join(f'{s}={FAILPOINTS.fired(s)}' for s in SEAM_PROBABILITIES)}}} "
+        f"store_versions={store.versions()} current={store.current_version()}"
+    )
+    log.append(summary)
+    log_path = os.environ.get("REPRO_CHAOS_LOG")
+    if log_path:
+        Path(log_path).parent.mkdir(parents=True, exist_ok=True)
+        Path(log_path).write_text("\n".join(log) + "\n")
+
+    # Zero incorrect rankings across the whole run.
+    assert wrong == 0, summary
+    # Every seam actually fired — the run exercised all four fallbacks.
+    for seam in SEAM_PROBABILITIES:
+        assert FAILPOINTS.fired(seam) > 0, f"seam {seam} never fired: {summary}"
+    # The degradation ladder was walked: fallbacks and sheds were served.
+    assert "index_error" in degraded_seen, summary
+    assert stats.degraded_requests > 0
+    # The store healed itself: the pointer resolves despite the injected
+    # pointer garbage and truncated version (both quarantined/rolled back).
+    assert store.current_version() is not None
+    assert (store.root / "CURRENT").read_text().strip().startswith("v")
+
+
+def test_chaos_under_env_spec(tmp_path, tiny_train_graph, tiny_scene_graph, monkeypatch):
+    """The ``REPRO_FAILPOINTS`` env spec arms a fresh registry — the
+    operator-facing activation path used for game days."""
+    from repro.reliability.failpoints import FailpointRegistry
+
+    registry = FailpointRegistry(env="index.search=1:2")
+    assert registry.active() == ["index.search"]
+    for _ in range(2):
+        with pytest.raises(Exception):
+            registry.hit("index.search")
+    registry.hit("index.search")  # count exhausted
+    assert registry.fired("index.search") == 2

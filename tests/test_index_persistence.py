@@ -20,6 +20,7 @@ Four invariant families:
 from __future__ import annotations
 
 import hashlib
+import os
 import threading
 
 import numpy as np
@@ -313,11 +314,16 @@ class TestSnapshotStore:
         index, _ = built_index("exact")
         for _ in range(4):
             store.publish(index)
-        (store.root / ".staging-dead-beef").mkdir()  # stray from a crashed publish
+        stale = store.root / ".staging-dead-beef"  # stray from a crashed publish
+        stale.mkdir()
+        os.utime(stale, (0, 0))  # long-dead: well past the staging grace
+        fresh = store.root / ".staging-in-flight"  # a publish happening right now
+        fresh.mkdir()
         assert store.prune(keep=2) == [1, 2]
         assert store.versions() == [3, 4]
         assert store.current_version() == 4
-        assert not list(store.root.glob(".staging-*"))
+        assert not stale.exists()
+        assert fresh.exists()  # inside the grace window: never swept mid-write
         with pytest.raises(ValueError, match="keep"):
             store.prune(keep=0)
 
